@@ -1,0 +1,94 @@
+"""Reproduction of **Figure 6** (sensitivity graph for the DBG data).
+
+The figure plots two series against the number of types k: the defect
+of the typing recast at k, and the cumulative clustering distance.
+The paper's observations, asserted below:
+
+* the defect falls steeply as k grows from 1 and flattens in a small
+  optimal range (6-10 for DBG);
+* the total distance decreases monotonically with k (fewer merges);
+* the knee of the defect curve sits in the optimal range.
+
+The harness prints the two series as an aligned table plus an ASCII
+sketch of the defect curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import SchemaExtractor
+from repro.core.sensitivity import SensitivityResult
+from repro.synth.datasets import make_dbg
+
+_CACHE: dict = {}
+
+
+def run_sweep() -> SensitivityResult:
+    if "sweep" not in _CACHE:
+        extractor = SchemaExtractor(make_dbg(seed=1998))
+        _CACHE["sweep"] = extractor.sweep()
+    return _CACHE["sweep"]
+
+
+def _ascii_curve(ks, values, width=50, height=12) -> str:
+    top = max(values) or 1
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        cells = []
+        for k in range(1, min(max(ks), width) + 1):
+            try:
+                value = values[ks.index(k)]
+            except ValueError:
+                cells.append(" ")
+                continue
+            cells.append("*" if value >= threshold else " ")
+        rows.append(f"{threshold:7.0f} |" + "".join(cells))
+    rows.append(" " * 8 + "+" + "-" * min(max(ks), width))
+    rows.append(" " * 9 + "k = 1.." + str(min(max(ks), width)))
+    return "\n".join(rows)
+
+
+def test_figure6_sweep(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    assert len(sweep.points) > 20
+
+
+def test_figure6_report(benchmark, report):
+    # benchmark fixture requested so --benchmark-only does not skip
+    # the table assembly; the heavy work is cached by the row helpers.
+    sweep = run_sweep()
+    ks, distances, defects = sweep.series()
+    knee = sweep.knee()
+    k_lo, k_hi = sweep.optimal_range()
+
+    lines = [
+        f"{'k':>4} {'total_distance':>15} {'defect':>7} {'excess':>7} {'deficit':>8}"
+    ]
+    for point in sweep.points:
+        if point.k <= 20 or point.k % 10 == 0 or point.k == ks[-1]:
+            lines.append(
+                f"{point.k:>4} {point.total_distance:>15.1f} "
+                f"{point.defect:>7} {point.excess:>7} {point.deficit:>8}"
+            )
+    lines += [
+        "",
+        f"knee of the defect curve: k = {knee}",
+        f"optimal range: {k_lo}-{k_hi} (paper: 6-10)",
+        "",
+        "defect vs k (first 50 values of k):",
+        _ascii_curve(ks, defects),
+    ]
+    report("figure6", "\n".join(lines))
+
+    # Steep initial fall: going 1 -> knee removes most of the defect.
+    d1 = sweep.point_at(1).defect
+    dknee = sweep.point_at(knee).defect
+    assert dknee < 0.5 * d1
+    # The knee is in (or near) the paper's optimal range.
+    assert 4 <= knee <= 12
+    # Total distance is monotone non-increasing in k.
+    assert distances == sorted(distances, reverse=True)
+    # The perfect typing has zero defect and zero distance.
+    assert defects[-1] == 0 and distances[-1] == 0

@@ -1,0 +1,138 @@
+"""Reproduction of **Table 1** (synthetic data results).
+
+For each of the eight synthetic databases the harness reports the
+paper's columns: bipartite?, overlap?, perturbed?, intended types,
+objects, links, perfect types, optimal types (the pipeline run with
+``k = intended``), and the defect of the optimal typing.
+
+Paper values for reference (ours reproduce the *shape*, not the exact
+numbers — the generator parameters were never published):
+
+    DB  bip ovl per  int  objs  links  perfect  optimal  defect
+    1    Y   N   N   10   1500   2909     30      10      225
+    2    Y   N   Y   10   1500   2958     52      10      307
+    3    Y   Y   N    6    950   2409     19       6      239
+    4    Y   Y   Y    6    950   2442     35       6      283
+    5    N   N   N    5    400    726    317       5      181
+    6    N   N   Y    5    400    749    341       5      310
+    7    N   Y   N    5    400    775    375       5      291
+    8    N   Y   Y    5    400    795    381       5      333
+
+The headline claims checked by assertions below:
+
+* perturbation inflates the *perfect* typing substantially while the
+  optimal approximate typing stays at the intended size;
+* non-bipartite databases have perfect typings of nearly one type per
+  object; bipartite ones are an order of magnitude smaller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.core.pipeline import SchemaExtractor
+from repro.synth.datasets import SyntheticConfig, table1_configs
+from repro.synth.evaluation import home_extents, match_extraction
+
+_ROW_CACHE: Dict[int, dict] = {}
+
+
+def run_row(config: SyntheticConfig) -> dict:
+    """Build one database and run the full pipeline at the intended k."""
+    if config.db_no in _ROW_CACHE:
+        return _ROW_CACHE[config.db_no]
+    db, _ = config.build()
+    extractor = SchemaExtractor(db)
+    result = extractor.extract(k=config.intended_types)
+    home = result.stage2.map_assignment(result.stage1.assignment())
+    agreement = match_extraction(config.spec, home_extents(home))
+    row = {
+        "db_no": config.db_no,
+        "bipartite": config.bipartite,
+        "overlap": config.overlap,
+        "perturbed": config.perturbed,
+        "intended": config.intended_types,
+        "objects": db.num_complex,
+        "links": db.num_links,
+        "perfect": result.num_perfect_types,
+        "optimal": result.num_types,
+        "defect": result.defect.total,
+        "agreement": agreement.macro_f1,
+    }
+    _ROW_CACHE[config.db_no] = row
+    return row
+
+
+def format_table(rows: List[dict]) -> str:
+    header = (
+        f"{'DB':>2} {'Bip?':>4} {'Ovl?':>4} {'Per?':>4} {'Int':>4} "
+        f"{'Objs':>5} {'Links':>6} {'Perfect':>8} {'Optimal':>8} {'Defect':>7} "
+        f"{'F1':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['db_no']:>2} "
+            f"{'Y' if row['bipartite'] else 'N':>4} "
+            f"{'Y' if row['overlap'] else 'N':>4} "
+            f"{'Y' if row['perturbed'] else 'N':>4} "
+            f"{row['intended']:>4} {row['objects']:>5} {row['links']:>6} "
+            f"{row['perfect']:>8} {row['optimal']:>8} {row['defect']:>7} "
+            f"{row['agreement']:>5.2f}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("config", table1_configs(), ids=lambda c: f"db{c.db_no}")
+def test_table1_row(benchmark, config):
+    """Time the full pipeline on each Table 1 database."""
+    row = benchmark.pedantic(run_row, args=(config,), rounds=1, iterations=1)
+    assert row["optimal"] == config.intended_types
+    # The approximate typing is always a massive compression of the
+    # perfect typing for the irregular (non-bipartite) datasets.
+    if not config.bipartite:
+        assert row["perfect"] > 20 * row["optimal"]
+
+
+def test_table1_report(benchmark, report):
+    # benchmark fixture requested so --benchmark-only does not skip
+    # the table assembly; the heavy work is cached by the row helpers.
+    """Assemble the full table and check the paper's headline claims."""
+    rows = [run_row(config) for config in table1_configs()]
+    report("table1", format_table(rows))
+
+    by_no = {row["db_no"]: row for row in rows}
+    # Perturbation blows up the perfect typing (here: bipartite pairs,
+    # where local pictures are pure attribute sets)...
+    for base, perturbed in ((1, 2), (3, 4)):
+        assert by_no[perturbed]["perfect"] > 1.4 * by_no[base]["perfect"]
+    # ... and never inflates it for the already-saturated graph datasets.
+    for base, perturbed in ((5, 6), (7, 8)):
+        assert by_no[perturbed]["perfect"] >= by_no[base]["perfect"]
+    # ... while the optimal typing stays at the intended size with a
+    # defect in the same regime as the unperturbed database.
+    for base, perturbed in ((1, 2), (3, 4), (5, 6), (7, 8)):
+        assert by_no[perturbed]["optimal"] == by_no[base]["optimal"]
+        assert by_no[perturbed]["defect"] < 6 * max(by_no[base]["defect"], 50)
+    # Non-bipartite databases: perfect typing ~ dataset size.
+    for db_no in (5, 6, 7, 8):
+        assert by_no[db_no]["perfect"] > 0.5 * by_no[db_no]["objects"]
+    # Bipartite databases are much easier: far fewer perfect types.
+    for db_no in (1, 3):
+        assert by_no[db_no]["perfect"] < 0.05 * by_no[db_no]["objects"]
+    # Beyond matching sizes, the extraction recovers the *intended*
+    # concepts with high extent agreement — except on the
+    # heavy-overlap graph datasets (7, 8), where every type shares a
+    # 'name' attribute and the greedy drifts toward a generic hub
+    # type.  That echoes the paper's own observation ("datasets with
+    # bipartite graphs are much easier to handle compared to regular
+    # graphs") and the fact that DB 7/8 carry the paper's worst
+    # defects; see EXPERIMENTS.md.
+    for db_no in (1, 2, 3, 4):
+        assert by_no[db_no]["agreement"] > 0.9
+    for db_no in (5, 6):
+        assert by_no[db_no]["agreement"] > 0.8
+    for db_no in (7, 8):
+        assert by_no[db_no]["agreement"] > 0.25

@@ -1,0 +1,34 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  The
+regenerated artefact is written to ``benchmarks/results/<name>.txt``
+(and echoed to stdout, visible with ``pytest -s``), so the numbers are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run; the
+pytest-benchmark machinery provides the timing columns.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """``report(name, text)`` — persist and echo a regenerated artefact."""
+
+    def write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return write

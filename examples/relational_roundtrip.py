@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Relational data through the semistructured lens (Section 2's
+justification).
+
+The paper argues the typing language is adequate because relational
+data, represented naturally as a graph, is typed perfectly with one
+type per relation.  This example:
+
+1. lowers two relational tables (with NULLs!) into link/atomic facts;
+2. shows that Stage 1 recovers one type per relation when the data is
+   clean, and how NULLs fracture the perfect typing;
+3. uses the approximate typing at k = 2 to heal the fracture and
+   exports the recovered relations back to rows.
+
+Run with:  python examples/relational_roundtrip.py
+"""
+
+from repro import SchemaExtractor, format_program, minimal_perfect_typing
+from repro.graph.relational import from_relations, to_relations
+
+EMPLOYEES = [
+    {"name": "Ada", "dept": "ENG", "salary": 120},
+    {"name": "Grace", "dept": "ENG", "salary": 130},
+    {"name": "Edsger", "dept": "SCI", "salary": 110},
+    {"name": "Barbara", "dept": "SCI", "salary": 125},
+    # Irregularity, as in real exports: missing salary / dept.
+    {"name": "Alan", "dept": "ENG", "salary": None},
+    {"name": "Kurt", "dept": None, "salary": 105},
+]
+
+DEPARTMENTS = [
+    {"dname": "ENG", "budget": 900},
+    {"dname": "SCI", "budget": 700},
+]
+
+
+def main():
+    db, tuple_ids = from_relations(
+        {"emp": EMPLOYEES, "dept": DEPARTMENTS}
+    )
+    print(f"lowered {db.num_complex} tuples into {db.num_links} facts\n")
+
+    # --- Perfect typing fractures on NULLs ------------------------------
+    stage1 = minimal_perfect_typing(db)
+    print(f"perfect typing: {stage1.num_types} types "
+          "(NULLs split 'emp' into attribute-subset variants):")
+    print(format_program(stage1.program))
+
+    # --- Approximate typing heals the relation schema -------------------
+    result = SchemaExtractor(db).extract(k=2)
+    print(f"\napproximate typing with k = 2 — {result.defect.summary()}:")
+    print(format_program(result.program))
+
+    # --- Round-trip: extents back to relations --------------------------
+    # Use home membership per extracted type; export only full rows
+    # (objects satisfying the type completely round-trip losslessly).
+    groups = {}
+    for name, members in result.recast_result.extents.items():
+        rule = result.program.rule(name)
+        label = "emp" if any(
+            l.label == "salary" for l in rule.body
+        ) else "dept"
+        groups[label] = sorted(members)
+    recovered = to_relations(db, groups)
+    print("\nrecovered relations:")
+    for rel, rows in recovered.items():
+        print(f"  {rel}: {len(rows)} rows")
+        for row in rows[:3]:
+            print(f"    {row}")
+
+    emp_ids = set(tuple_ids["emp"])
+    extracted_emp = set(groups["emp"])
+    print(f"\n'emp' extent matches the source table: "
+          f"{extracted_emp == emp_ids}")
+
+
+if __name__ == "__main__":
+    main()

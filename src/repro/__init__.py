@@ -1,0 +1,93 @@
+"""repro — schema extraction from semistructured data.
+
+A from-scratch, laptop-scale reproduction of
+
+    S. Nestorov, S. Abiteboul, R. Motwani.
+    "Extracting Schema from Semistructured Data." SIGMOD 1998.
+
+Semistructured data is modeled as a labeled directed graph
+(:mod:`repro.graph`); a schema is a restricted monadic datalog program
+interpreted under greatest-fixpoint semantics (:mod:`repro.core`).  The
+library implements the paper's three-stage approximate typing method —
+minimal perfect typing, clustering, recasting — together with the
+substrates the evaluation needs: synthetic data generation
+(:mod:`repro.synth`), bisimulation and DataGuide baselines
+(:mod:`repro.bisim`, :mod:`repro.baselines`), generic clustering
+machinery (:mod:`repro.cluster`), a small datalog engine
+(:mod:`repro.datalog`) and schema-guided path queries
+(:mod:`repro.query`).
+
+Quickstart
+----------
+>>> from repro import SchemaExtractor
+>>> from repro.graph import DatabaseBuilder
+>>> builder = DatabaseBuilder()
+>>> for i in range(5):
+...     _ = builder.attr(f"person{i}", "name", f"Name {i}")
+...     _ = builder.attr(f"person{i}", "email", f"p{i}@example.org")
+>>> result = SchemaExtractor(builder.build()).extract(k=1)
+>>> result.num_types
+1
+"""
+
+from repro.core import (
+    ATOMIC,
+    DefectReport,
+    Direction,
+    ExtractionResult,
+    FixpointResult,
+    GreedyMerger,
+    IncrementalTyper,
+    MergePolicy,
+    PerfectTyping,
+    PriorKnowledge,
+    RecastMode,
+    SchemaExtractor,
+    SensitivityResult,
+    TypedLink,
+    TypeRule,
+    TypingProgram,
+    compute_defect,
+    format_program,
+    greatest_fixpoint,
+    least_fixpoint,
+    minimal_perfect_typing,
+    minimal_perfect_typing_with_sorts,
+    parse_program,
+    recast,
+    sensitivity_sweep,
+)
+from repro.graph import Database, DatabaseBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATOMIC",
+    "Database",
+    "DatabaseBuilder",
+    "DefectReport",
+    "Direction",
+    "ExtractionResult",
+    "FixpointResult",
+    "GreedyMerger",
+    "IncrementalTyper",
+    "MergePolicy",
+    "PerfectTyping",
+    "PriorKnowledge",
+    "RecastMode",
+    "SchemaExtractor",
+    "SensitivityResult",
+    "TypeRule",
+    "TypedLink",
+    "TypingProgram",
+    "__version__",
+    "compute_defect",
+    "format_program",
+    "greatest_fixpoint",
+    "least_fixpoint",
+    "minimal_perfect_typing",
+    "minimal_perfect_typing_with_sorts",
+    "parse_program",
+    "recast",
+    "sensitivity_sweep",
+]

@@ -1,0 +1,27 @@
+"""Prior schema-summary approaches the paper contrasts against.
+
+The introduction positions the method against proposals that compute
+*perfect* typings and assume a *unique role* per object:
+
+* **DataGuides** [Goldman & Widom, VLDB 97] — a deterministic,
+  outgoing-only structural summary (:mod:`repro.baselines.dataguide`);
+* **Representative objects** [Nestorov, Ullman, Wiener, Chawathe,
+  ICDE 97] — degree-``k`` forward summaries
+  (:mod:`repro.baselines.representative`).
+
+Both are implemented so the benchmark suite can report their summary
+sizes next to the perfect and approximate typings.
+"""
+
+from repro.baselines.dataguide import DataGuide, build_dataguide
+from repro.baselines.representative import (
+    RepresentativeObjects,
+    build_representative_objects,
+)
+
+__all__ = [
+    "DataGuide",
+    "RepresentativeObjects",
+    "build_dataguide",
+    "build_representative_objects",
+]

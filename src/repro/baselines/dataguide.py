@@ -1,0 +1,127 @@
+"""Strong DataGuides [Goldman & Widom, VLDB 1997].
+
+A strong DataGuide is the deterministic summary of a rooted labeled
+graph: its nodes are *target sets* — the sets of database objects
+reachable from the roots by some label path — and there is exactly one
+DataGuide node per distinct target set.  Construction is the classic
+powerset determinization (NFA -> DFA), which terminates on cyclic data
+because only finitely many target sets exist, but can be exponential
+in the worst case — one of the paper's motivations for approximate
+typing instead of exact summaries.
+
+Only *outgoing* edges are summarised (DataGuides answer "what label
+paths exist from the root"), in contrast to the paper's typed links
+which also look at incoming edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.database import Database, ObjectId
+from repro.graph.traversal import roots as find_roots
+
+
+@dataclass(frozen=True)
+class DataGuide:
+    """A strong DataGuide.
+
+    Attributes
+    ----------
+    root:
+        The root target set (the database roots).
+    nodes:
+        All target sets, including the root.
+    edges:
+        ``(source_set, label, target_set)`` transitions.
+    """
+
+    root: FrozenSet[ObjectId]
+    nodes: Tuple[FrozenSet[ObjectId], ...]
+    edges: Tuple[Tuple[FrozenSet[ObjectId], str, FrozenSet[ObjectId]], ...]
+
+    @property
+    def num_nodes(self) -> int:
+        """Size of the summary (the number the benchmarks report)."""
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of labeled transitions."""
+        return len(self.edges)
+
+    def target_set(self, path: Sequence[str]) -> FrozenSet[ObjectId]:
+        """Objects reachable from the roots via the label ``path``.
+
+        The defining property of a DataGuide: one lookup walk instead
+        of a graph search.  Unknown paths yield the empty set.
+        """
+        transitions: Dict[Tuple[FrozenSet[ObjectId], str], FrozenSet[ObjectId]] = {
+            (src, label): dst for src, label, dst in self.edges
+        }
+        current = self.root
+        for label in path:
+            nxt = transitions.get((current, label))
+            if nxt is None:
+                return frozenset()
+            current = nxt
+        return current
+
+    def label_paths(self, max_depth: int) -> List[Tuple[str, ...]]:
+        """All label paths of length <= ``max_depth`` (sorted)."""
+        transitions: Dict[FrozenSet[ObjectId], List[Tuple[str, FrozenSet[ObjectId]]]] = {}
+        for src, label, dst in self.edges:
+            transitions.setdefault(src, []).append((label, dst))
+        out: List[Tuple[str, ...]] = []
+        frontier: List[Tuple[FrozenSet[ObjectId], Tuple[str, ...]]] = [
+            (self.root, ())
+        ]
+        for _ in range(max_depth):
+            next_frontier: List[Tuple[FrozenSet[ObjectId], Tuple[str, ...]]] = []
+            for node, path in frontier:
+                for label, dst in sorted(
+                    transitions.get(node, []), key=lambda t: t[0]
+                ):
+                    new_path = path + (label,)
+                    out.append(new_path)
+                    next_frontier.append((dst, new_path))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return sorted(set(out))
+
+
+def build_dataguide(
+    db: Database, roots: Optional[Iterable[ObjectId]] = None
+) -> DataGuide:
+    """Build the strong DataGuide of ``db``.
+
+    ``roots`` defaults to the complex objects without incoming edges;
+    pass them explicitly for databases where every object has parents
+    (e.g. cyclic datasets).
+    """
+    root_set = frozenset(roots) if roots is not None else find_roots(db)
+    seen: Dict[FrozenSet[ObjectId], None] = {root_set: None}
+    edges: List[Tuple[FrozenSet[ObjectId], str, FrozenSet[ObjectId]]] = []
+    queue = deque([root_set])
+    while queue:
+        current = queue.popleft()
+        by_label: Dict[str, set] = {}
+        for obj in current:
+            if db.is_atomic(obj):
+                continue
+            for edge in db.out_edges(obj):
+                by_label.setdefault(edge.label, set()).add(edge.dst)
+        for label in sorted(by_label):
+            target = frozenset(by_label[label])
+            edges.append((current, label, target))
+            if target not in seen:
+                seen[target] = None
+                queue.append(target)
+    return DataGuide(
+        root=root_set,
+        nodes=tuple(seen),
+        edges=tuple(edges),
+    )

@@ -1,0 +1,133 @@
+"""Generic signature-based partition refinement.
+
+The refinement loop: every object gets a *signature* — the set of
+``(direction, label, neighbour-block)`` triples visible one step away —
+and blocks are split by signature.  Iterating to a fixed point yields
+the coarsest stable partition, i.e. the (forward/backward/both)
+bisimulation quotient.  Running a bounded number of rounds yields the
+depth-``k`` variant.
+
+This is the naive ``O(rounds * |E|)`` scheme rather than
+Paige–Tarjan's ``O(|E| log |V|)``; at the paper's dataset sizes
+(hundreds to thousands of objects) the simple scheme is faster in
+Python and much easier to audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.graph.database import Database, ObjectId
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An immutable partition of a set of objects into blocks."""
+
+    blocks: Tuple[FrozenSet[ObjectId], ...]
+
+    @staticmethod
+    def single(objects: Iterable[ObjectId]) -> "Partition":
+        """The trivial one-block partition."""
+        return Partition((frozenset(objects),))
+
+    @staticmethod
+    def discrete(objects: Iterable[ObjectId]) -> "Partition":
+        """The finest partition: one block per object."""
+        return Partition(tuple(frozenset([o]) for o in sorted(objects)))
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks."""
+        return len(self.blocks)
+
+    def block_of(self) -> Dict[ObjectId, int]:
+        """Object -> block index map."""
+        out: Dict[ObjectId, int] = {}
+        for index, block in enumerate(self.blocks):
+            for obj in block:
+                out[obj] = index
+        return out
+
+    def same_block(self, obj1: ObjectId, obj2: ObjectId) -> bool:
+        """Whether two objects share a block."""
+        block = self.block_of()
+        return block.get(obj1, -1) == block.get(obj2, -2)
+
+    def refines(self, other: "Partition") -> bool:
+        """Whether every block of ``self`` is inside a block of ``other``."""
+        coarse = other.block_of()
+        for block in self.blocks:
+            targets = {coarse.get(obj) for obj in block}
+            if len(targets) > 1 or None in targets:
+                return False
+        return True
+
+    def normalised(self) -> "Partition":
+        """Blocks sorted by their smallest member (canonical form)."""
+        return Partition(tuple(sorted(self.blocks, key=lambda b: sorted(b))))
+
+
+#: Sentinel block id for atomic neighbours (they are never split).
+_ATOM_BLOCK = -1
+
+
+def _signatures(
+    db: Database,
+    block_of: Dict[ObjectId, int],
+    objects: List[ObjectId],
+    use_outgoing: bool,
+    use_incoming: bool,
+) -> Dict[ObjectId, FrozenSet[Tuple[str, str, int]]]:
+    sigs: Dict[ObjectId, FrozenSet[Tuple[str, str, int]]] = {}
+    for obj in objects:
+        parts: set = set()
+        if use_outgoing:
+            for edge in db.out_edges(obj):
+                neighbour_block = (
+                    _ATOM_BLOCK
+                    if db.is_atomic(edge.dst)
+                    else block_of[edge.dst]
+                )
+                parts.add(("out", edge.label, neighbour_block))
+        if use_incoming:
+            for edge in db.in_edges(obj):
+                parts.add(("in", edge.label, block_of[edge.src]))
+        sigs[obj] = frozenset(parts)
+    return sigs
+
+
+def refine_partition(
+    db: Database,
+    initial: Optional[Partition] = None,
+    use_outgoing: bool = True,
+    use_incoming: bool = True,
+    max_rounds: Optional[int] = None,
+) -> Partition:
+    """Refine ``initial`` to stability (or for ``max_rounds`` rounds).
+
+    With both directions enabled and no round bound this computes the
+    forward+backward bisimulation quotient of the complex objects; with
+    only ``use_outgoing`` the forward quotient; bounding the rounds
+    yields depth-``k`` bisimulation (round ``k`` distinguishes paths of
+    length ``k``).
+    """
+    objects = sorted(db.complex_objects())
+    partition = initial if initial is not None else Partition.single(objects)
+    rounds = 0
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            return partition.normalised()
+        block_of = partition.block_of()
+        sigs = _signatures(db, block_of, objects, use_outgoing, use_incoming)
+        groups: Dict[Tuple[int, FrozenSet], List[ObjectId]] = {}
+        for obj in objects:
+            groups.setdefault((block_of[obj], sigs[obj]), []).append(obj)
+        new_partition = Partition(
+            tuple(frozenset(members) for members in groups.values())
+        ).normalised()
+        rounds += 1
+        if new_partition.num_blocks == partition.num_blocks:
+            return new_partition
+        partition = new_partition

@@ -1,0 +1,222 @@
+"""Command-line interface: ``repro-schema`` / ``python -m repro``.
+
+Subcommands
+-----------
+``extract FILE``
+    Run the full pipeline on an OEM text file and print the program.
+``sweep FILE``
+    Print the Figure 6 sensitivity series as CSV (k, distance, defect).
+``generate NAME``
+    Emit a built-in dataset (``dbg`` or ``table1-<n>``) as OEM text.
+``describe FILE``
+    Print summary statistics of an OEM text file.
+``dot FILE``
+    Emit Graphviz DOT for the data graph, or for the extracted schema
+    with ``--schema [-k K]``.
+``query FILE QUERY``
+    Evaluate a select-from-where query; with a ``from`` clause the
+    schema is extracted first (``-k`` controls its size).
+``explain FILE OBJECT``
+    Extract a schema and explain why OBJECT carries its types.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.explain import explain_object
+from repro.core.hierarchy import hierarchy_to_dot
+from repro.core.sorts import sorted_local_rule
+from repro.core.pipeline import SchemaExtractor
+from repro.graph.dot import database_to_dot, program_to_dot
+from repro.graph.oem import dumps_oem, load_oem
+from repro.graph.statistics import describe
+from repro.query.select import evaluate_select, parse_select
+from repro.synth.datasets import make_dbg, make_table1_database
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    db = load_oem(args.file)
+    extractor = SchemaExtractor(
+        db,
+        distance=args.distance,
+        use_roles=args.roles,
+        allow_empty_type=args.empty_type,
+        local_rule_fn=sorted_local_rule if args.sorts else None,
+    )
+    result = extractor.extract(k=args.k)
+    print(result.describe())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    db = load_oem(args.file)
+    extractor = SchemaExtractor(db, distance=args.distance)
+    sweep = extractor.sweep(step=args.step)
+    print("k,total_distance,defect,excess,deficit")
+    for point in sweep.points:
+        print(
+            f"{point.k},{point.total_distance},{point.defect},"
+            f"{point.excess},{point.deficit}"
+        )
+    knee_lo, knee_hi = sweep.optimal_range()
+    print(f"# knee={sweep.knee()} optimal_range={knee_lo}-{knee_hi}", file=sys.stderr)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    name = args.name.lower()
+    if name == "dbg":
+        db = make_dbg(seed=args.seed)
+    elif name.startswith("table1-"):
+        db, _ = make_table1_database(int(name.split("-", 1)[1]))
+    else:
+        print(
+            f"unknown dataset {args.name!r}; use 'dbg' or 'table1-<1..8>'",
+            file=sys.stderr,
+        )
+        return 2
+    text = dumps_oem(db)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    db = load_oem(args.file)
+    print(describe(db).summary())
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    db = load_oem(args.file)
+    if args.schema or args.hierarchy:
+        result = SchemaExtractor(db).extract(k=args.k)
+        if args.hierarchy:
+            print(hierarchy_to_dot(result.program))
+        else:
+            print(program_to_dot(result.program))
+    else:
+        print(database_to_dot(db))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    db = load_oem(args.file)
+    if args.object not in db:
+        print(f"unknown object {args.object!r}", file=sys.stderr)
+        return 2
+    result = SchemaExtractor(db).extract(k=args.k)
+    print(explain_object(result.program, db, result.assignment, args.object))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = load_oem(args.file)
+    query = parse_select(args.query)
+    extents = None
+    if query.from_type is not None:
+        result = SchemaExtractor(db).extract(k=args.k)
+        extents = result.recast_result.extents
+        if query.from_type not in extents:
+            known = ", ".join(sorted(extents))
+            print(
+                f"type {query.from_type!r} not in the extracted schema "
+                f"(types: {known})",
+                file=sys.stderr,
+            )
+            return 2
+    outcome = evaluate_select(db, query, extents)
+    for value in outcome.values:
+        print(value)
+    print(
+        f"# {len(outcome.values)} value(s) from "
+        f"{outcome.candidates_considered} candidate object(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-schema",
+        description="Schema extraction from semistructured data "
+        "(Nestorov, Abiteboul, Motwani; SIGMOD 1998).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_extract = sub.add_parser("extract", help="extract a typing program")
+    p_extract.add_argument("file", help="OEM text file")
+    p_extract.add_argument("-k", type=int, default=None,
+                           help="number of types (default: auto knee)")
+    p_extract.add_argument("--distance", default="delta_2",
+                           help="weighted distance delta_1..delta_5")
+    p_extract.add_argument("--roles", action="store_true",
+                           help="enable multiple-role decomposition")
+    p_extract.add_argument("--empty-type", action="store_true",
+                           help="allow moving outlier types to the empty type")
+    p_extract.add_argument("--sorts", action="store_true",
+                           help="distinguish atomic sorts (Remark 2.1)")
+    p_extract.set_defaults(func=_cmd_extract)
+
+    p_sweep = sub.add_parser("sweep", help="print the defect-vs-k series")
+    p_sweep.add_argument("file", help="OEM text file")
+    p_sweep.add_argument("--distance", default="delta_2")
+    p_sweep.add_argument("--step", type=int, default=1,
+                         help="sample every STEP values of k")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_generate = sub.add_parser("generate", help="emit a built-in dataset")
+    p_generate.add_argument("name", help="'dbg' or 'table1-<1..8>'")
+    p_generate.add_argument("-o", "--output", default=None,
+                            help="write to a file instead of stdout")
+    p_generate.add_argument("--seed", type=int, default=1998)
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_describe = sub.add_parser("describe", help="summarise an OEM file")
+    p_describe.add_argument("file", help="OEM text file")
+    p_describe.set_defaults(func=_cmd_describe)
+
+    p_dot = sub.add_parser("dot", help="emit Graphviz DOT")
+    p_dot.add_argument("file", help="OEM text file")
+    p_dot.add_argument("--schema", action="store_true",
+                       help="render the extracted schema instead of the data")
+    p_dot.add_argument("--hierarchy", action="store_true",
+                       help="render the subsumption (inheritance) Hasse diagram")
+    p_dot.add_argument("-k", type=int, default=None,
+                       help="number of types for --schema (default: auto)")
+    p_dot.set_defaults(func=_cmd_dot)
+
+    p_query = sub.add_parser("query", help="run a select-from-where query")
+    p_query.add_argument("file", help="OEM text file")
+    p_query.add_argument("query", help="e.g. \"select name from t1 where age > 30\"")
+    p_query.add_argument("-k", type=int, default=None,
+                         help="schema size when a 'from' clause is used")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_explain = sub.add_parser("explain",
+                               help="explain an object's types")
+    p_explain.add_argument("file", help="OEM text file")
+    p_explain.add_argument("object", help="object identifier")
+    p_explain.add_argument("-k", type=int, default=None,
+                           help="schema size (default: auto)")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Generic clustering machinery behind Stage 2 (Section 5 references).
+
+The paper grounds its greedy merging in the fixed-cost median problem
+[Hochbaum 82] and the local-search facility-location heuristics of
+[Korupolu, Plaxton, Rajaraman, SODA 98]; this subpackage provides
+those algorithms over abstract weighted points so they can be ablated
+against the specialised :class:`repro.core.clustering.GreedyMerger`:
+
+* :mod:`repro.cluster.kmedian` — greedy center elimination, swap-based
+  local search and the brute-force exact optimum for tiny inputs (the
+  problem is NP-hard in general, Section 5.1);
+* :mod:`repro.cluster.hierarchy` — plain agglomerative clustering with
+  pluggable linkage;
+* :mod:`repro.cluster.jump` — the attribute-importance "jump function"
+  used by the Section 5.2 variation to k-clustering.
+"""
+
+from repro.cluster.hierarchy import Dendrogram, agglomerate
+from repro.cluster.jump import defining_attributes, jump_threshold
+from repro.cluster.kmedian import (
+    KMedianResult,
+    exact_k_median,
+    greedy_k_median,
+    local_search_k_median,
+)
+
+__all__ = [
+    "Dendrogram",
+    "KMedianResult",
+    "agglomerate",
+    "defining_attributes",
+    "exact_k_median",
+    "greedy_k_median",
+    "jump_threshold",
+    "local_search_k_median",
+]

@@ -1,0 +1,422 @@
+"""Stage 2: reducing the number of types by clustering (Section 5).
+
+Finding the best typing with ``k`` types is NP-hard (even for bipartite
+databases), so the paper uses a **greedy pairwise merging** heuristic —
+a special case of the fixed-cost median / facility-location heuristics
+of [Hochbaum 82, Korupolu-Plaxton-Rajaraman 98], with an ``O(log n)``
+approximation guarantee under assumptions.
+
+State: every live type has a *body* (its point on the typed-link
+hypercube) and a *weight* (number of home objects).  A step picks the
+ordered pair ``(t1, t2)`` minimising ``delta(w1, w2, d(t1, t2))`` and
+moves the objects of ``t2`` into ``t1``.  Crucially, coalescing also
+rewrites every superscript ``t2`` in all remaining bodies to ``t1`` —
+the paper's "projection of the hypercube points onto its diagonals" —
+which may make other types identical (they then merge at zero cost,
+Example 5.1).
+
+An optional **empty type** (Example 5.3) lets the algorithm *untype*
+outlier objects instead of forcing them into a bad cluster: moving
+``t`` to the empty type costs ``delta(empty_weight, w_t, |body(t)|)``
+and typed links referencing ``t`` are dropped from all bodies.
+
+Merge policies (``MergePolicy``) control the body of the surviving
+type; ``ABSORB`` (keep the absorbing type's body) matches the
+asymmetric reading of ``delta`` and is the default, while
+``WEIGHTED_CENTER`` implements the Section 5.2 "variation to
+k-clustering" where the cluster is represented by its (weighted
+majority) centre.
+
+The implementation is an agglomerative loop over a lazy-deletion heap:
+every candidate merge is pushed with the versions of its endpoints and
+revalidated when popped, so a step costs ``O(changed · n · log)``
+instead of rescanning all ``O(n^2)`` pairs.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.distance import WeightedDistance, delta_2, manhattan_bodies
+from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
+from repro.exceptions import ClusteringError
+from repro.graph.database import ObjectId
+
+#: Name of the distinguished empty type.  Objects mapped here are left
+#: untyped; the name never appears in an output program.
+EMPTY_TYPE = "_untyped"
+
+
+class MergePolicy(enum.Enum):
+    """How the surviving type's body is derived when two types merge."""
+
+    ABSORB = "absorb"  #: keep the absorbing type's body (paper default).
+    UNION = "union"  #: union of both bodies.
+    INTERSECTION = "intersection"  #: intersection of both bodies.
+    WEIGHTED_CENTER = "weighted-center"  #: weighted-majority typed links.
+
+
+@dataclass(frozen=True)
+class MergeRecord:
+    """One executed merge step."""
+
+    absorber: str  #: surviving type (or :data:`EMPTY_TYPE`).
+    absorbed: str  #: type merged away.
+    cost: float  #: ``delta`` value paid for the step.
+    manhattan: int  #: raw ``d`` between the two bodies at merge time.
+    types_after: int  #: live (non-empty-type) type count after the step.
+
+
+@dataclass(frozen=True)
+class Stage2Result:
+    """Outcome of a clustering run.
+
+    Attributes
+    ----------
+    program:
+        The reduced typing program (empty type excluded).
+    merge_map:
+        Maps every *original* type name to its surviving type, or
+        ``None`` when it was moved to the empty type.
+    weights:
+        Final weight per surviving type.
+    records:
+        The merge trace in execution order.
+    total_cost:
+        Sum of the per-merge ``delta`` costs — the paper's "total
+        distance" curve in Figure 6.
+    """
+
+    program: TypingProgram
+    merge_map: Dict[str, Optional[str]]
+    weights: Dict[str, float]
+    records: Tuple[MergeRecord, ...]
+    total_cost: float
+
+    @property
+    def num_types(self) -> int:
+        """Number of surviving types."""
+        return len(self.program)
+
+    def map_assignment(
+        self, assignment: Mapping[ObjectId, AbstractSet[str]]
+    ) -> Dict[ObjectId, FrozenSet[str]]:
+        """Push a Stage 1 home assignment through the merges.
+
+        Objects whose every home type went to the empty type end up
+        with an empty set (untyped).
+        """
+        out: Dict[ObjectId, FrozenSet[str]] = {}
+        for obj, homes in assignment.items():
+            mapped = {
+                self.merge_map.get(home)
+                for home in homes
+                if self.merge_map.get(home) is not None
+            }
+            out[obj] = frozenset(t for t in mapped if t is not None)
+        return out
+
+
+class GreedyMerger:
+    """Stateful greedy merger; drive with :meth:`step` or :meth:`run_to`.
+
+    Parameters
+    ----------
+    program:
+        Starting program (normally the Stage 1 output).
+    weights:
+        Weight per type (home-object counts).  Types without an entry
+        get weight 0.
+    distance:
+        The weighted distance ``delta(w1, w2, d)``; the paper's
+        experiments use :func:`repro.core.distance.delta_2`.
+    policy:
+        Body policy for merges (:class:`MergePolicy`).
+    allow_empty_type:
+        When true, "merge into the empty type" moves are candidates.
+    empty_weight:
+        ``w1`` used when pricing empty-type moves (application
+        dependent, per Example 5.3); defaults to the mean type weight.
+    frozen:
+        Type names that may *absorb* other types but can never be
+        absorbed or moved to the empty type — the Section 2 "a priori
+        knowledge" extension: known types survive clustering.  A frozen
+        type keeps its body verbatim under every merge policy; only the
+        mandatory superscript relabeling (when some *other* type is
+        coalesced or emptied) can touch it, which preserves
+        well-formedness of the program.
+    """
+
+    def __init__(
+        self,
+        program: TypingProgram,
+        weights: Mapping[str, float],
+        distance: WeightedDistance = delta_2,
+        policy: MergePolicy = MergePolicy.ABSORB,
+        allow_empty_type: bool = False,
+        empty_weight: Optional[float] = None,
+        frozen: Optional[AbstractSet[str]] = None,
+    ) -> None:
+        if EMPTY_TYPE in program:
+            raise ClusteringError(
+                f"{EMPTY_TYPE!r} is reserved for the empty type"
+            )
+        self._frozen: FrozenSet[str] = frozenset(frozen or ())
+        unknown_frozen = self._frozen - {r.name for r in program.rules()}
+        if unknown_frozen:
+            raise ClusteringError(
+                f"frozen types not in the program: {sorted(unknown_frozen)}"
+            )
+        self._distance = distance
+        self._policy = policy
+        self._allow_empty = allow_empty_type
+        self._bodies: Dict[str, FrozenSet[TypedLink]] = {
+            rule.name: rule.body for rule in program.rules()
+        }
+        self._weights: Dict[str, float] = {
+            name: float(weights.get(name, 0.0)) for name in self._bodies
+        }
+        if empty_weight is None:
+            live = list(self._weights.values())
+            empty_weight = sum(live) / len(live) if live else 1.0
+        self._empty_weight = float(empty_weight)
+        # Per-cluster members for WEIGHTED_CENTER: (body, weight) pairs.
+        self._members: Dict[str, List[Tuple[FrozenSet[TypedLink], float]]] = {
+            name: [(body, self._weights[name])]
+            for name, body in self._bodies.items()
+        }
+        self._merge_map: Dict[str, Optional[str]] = {
+            name: name for name in self._bodies
+        }
+        self._records: List[MergeRecord] = []
+        self._total_cost = 0.0
+        self._version: Dict[str, int] = {name: 0 for name in self._bodies}
+        self._heap: List[Tuple[float, str, str, int, int]] = []
+        for name in self._bodies:
+            self._push_candidates(name, pair_with_all=False)
+        # Initial full pairing (each unordered pair pushed both ways).
+        names = sorted(self._bodies)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                self._push_pair(a, b)
+                self._push_pair(b, a)
+
+    # ------------------------------------------------------------------
+    # Heap helpers
+    # ------------------------------------------------------------------
+    def _cost(self, absorber: str, absorbed: str) -> Tuple[float, int]:
+        if absorber == EMPTY_TYPE:
+            d = len(self._bodies[absorbed])
+            return (
+                self._distance(self._empty_weight, self._weights[absorbed], d),
+                d,
+            )
+        d = manhattan_bodies(self._bodies[absorber], self._bodies[absorbed])
+        return (
+            self._distance(self._weights[absorber], self._weights[absorbed], d),
+            d,
+        )
+
+    def _push_pair(self, absorber: str, absorbed: str) -> None:
+        if absorbed in self._frozen:
+            return
+        cost, _ = self._cost(absorber, absorbed)
+        va = -1 if absorber == EMPTY_TYPE else self._version[absorber]
+        heapq.heappush(
+            self._heap, (cost, absorber, absorbed, va, self._version[absorbed])
+        )
+
+    def _push_candidates(self, name: str, pair_with_all: bool = True) -> None:
+        """(Re)generate candidates involving ``name``."""
+        if self._allow_empty and name in self._bodies:
+            self._push_pair(EMPTY_TYPE, name)
+        if not pair_with_all:
+            return
+        for other in self._bodies:
+            if other != name:
+                self._push_pair(name, other)
+                self._push_pair(other, name)
+
+    def _pop_best(self) -> Tuple[float, str, str]:
+        while self._heap:
+            cost, absorber, absorbed, va, vb = heapq.heappop(self._heap)
+            if absorbed not in self._bodies:
+                continue
+            if absorber != EMPTY_TYPE and absorber not in self._bodies:
+                continue
+            if absorber != EMPTY_TYPE and self._version[absorber] != va:
+                continue
+            if self._version[absorbed] != vb:
+                continue
+            return cost, absorber, absorbed
+        raise ClusteringError("no merge candidates left")
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_types(self) -> int:
+        """Current number of live types (empty type excluded)."""
+        return len(self._bodies)
+
+    @property
+    def total_cost(self) -> float:
+        """Cumulative ``delta`` cost of the merges so far."""
+        return self._total_cost
+
+    def current_program(self) -> TypingProgram:
+        """The live types as a :class:`TypingProgram`."""
+        return TypingProgram(
+            [TypeRule(name, body) for name, body in self._bodies.items()]
+        )
+
+    def current_weights(self) -> Dict[str, float]:
+        """Weight per live type."""
+        return dict(self._weights)
+
+    def merge_map(self) -> Dict[str, Optional[str]]:
+        """Original type -> surviving type (``None`` = empty type)."""
+        return dict(self._merge_map)
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def _merged_body(self, absorber: str, absorbed: str) -> FrozenSet[TypedLink]:
+        if self._policy is MergePolicy.ABSORB:
+            return self._bodies[absorber]
+        if self._policy is MergePolicy.UNION:
+            return self._bodies[absorber] | self._bodies[absorbed]
+        if self._policy is MergePolicy.INTERSECTION:
+            return self._bodies[absorber] & self._bodies[absorbed]
+        # WEIGHTED_CENTER: typed links supported by >= half the weight.
+        members = self._members[absorber] + self._members[absorbed]
+        total = sum(weight for _, weight in members)
+        support: Dict[TypedLink, float] = {}
+        for body, weight in members:
+            for link in body:
+                support[link] = support.get(link, 0.0) + weight
+        return frozenset(
+            link for link, s in support.items() if 2 * s >= total and total > 0
+        )
+
+    def _retarget(self, old: str, new: Optional[str]) -> List[str]:
+        """Rewrite ``old`` superscripts everywhere; return changed types.
+
+        ``new=None`` (empty-type move) drops the typed links instead —
+        a requirement pointing at untyped objects is meaningless.
+        """
+        changed: List[str] = []
+        for name, body in list(self._bodies.items()):
+            if not any(link.target == old for link in body):
+                continue
+            if new is None:
+                rewritten = frozenset(l for l in body if l.target != old)
+            else:
+                rewritten = frozenset(l.rename({old: new}) for l in body)
+            if rewritten != body:
+                self._bodies[name] = rewritten
+                changed.append(name)
+            # Keep members in sync for WEIGHTED_CENTER.
+            if self._policy is MergePolicy.WEIGHTED_CENTER:
+                self._members[name] = [
+                    (
+                        frozenset(
+                            l
+                            for l in mbody
+                            if not (new is None and l.target == old)
+                        )
+                        if new is None
+                        else frozenset(l.rename({old: new}) for l in mbody),
+                        weight,
+                    )
+                    for mbody, weight in self._members[name]
+                ]
+        return changed
+
+    def step(self) -> MergeRecord:
+        """Execute the single cheapest merge and return its record."""
+        if len(self._bodies) <= 1:
+            raise ClusteringError("cannot merge: at most one type left")
+        cost, absorber, absorbed = self._pop_best()
+        _, d = self._cost(absorber, absorbed)
+
+        if absorber == EMPTY_TYPE:
+            del self._bodies[absorbed]
+            del self._weights[absorbed]
+            self._members.pop(absorbed, None)
+            changed = self._retarget(absorbed, None)
+        else:
+            if absorber in self._frozen:
+                # Known types keep their body verbatim under any policy.
+                new_body = self._bodies[absorber]
+            else:
+                new_body = self._merged_body(absorber, absorbed)
+            if self._policy is MergePolicy.WEIGHTED_CENTER:
+                self._members[absorber] = (
+                    self._members[absorber] + self._members[absorbed]
+                )
+            self._weights[absorber] += self._weights[absorbed]
+            del self._bodies[absorbed]
+            del self._weights[absorbed]
+            self._members.pop(absorbed, None)
+            self._bodies[absorber] = new_body
+            changed = self._retarget(absorbed, absorber)
+            if absorber not in changed:
+                changed.append(absorber)
+
+        # Redirect the merge map.
+        target = None if absorber == EMPTY_TYPE else absorber
+        for original, current in self._merge_map.items():
+            if current == absorbed:
+                self._merge_map[original] = target
+
+        for name in changed:
+            self._version[name] += 1
+        for name in changed:
+            self._push_candidates(name)
+
+        self._total_cost += cost
+        record = MergeRecord(
+            absorber=absorber,
+            absorbed=absorbed,
+            cost=cost,
+            manhattan=d,
+            types_after=len(self._bodies),
+        )
+        self._records.append(record)
+        return record
+
+    def run_to(self, k: int) -> Stage2Result:
+        """Merge until ``k`` types remain, then return the result."""
+        if k < 1:
+            raise ClusteringError(f"target type count must be >= 1, got {k}")
+        if k > len(self._bodies):
+            raise ClusteringError(
+                f"target {k} exceeds current type count {len(self._bodies)}"
+            )
+        while len(self._bodies) > k:
+            self.step()
+        return self.result()
+
+    def result(self) -> Stage2Result:
+        """Snapshot the current state as a :class:`Stage2Result`."""
+        return Stage2Result(
+            program=self.current_program(),
+            merge_map=dict(self._merge_map),
+            weights=dict(self._weights),
+            records=tuple(self._records),
+            total_cost=self._total_cost,
+        )

@@ -1,0 +1,237 @@
+"""Defect of a typing: excess + deficit (Section 2, "Defect").
+
+Given a program ``P``, a database ``D`` and a *type assignment*
+(object -> set of types, e.g. the GFP extents or the Stage 2/3 home
+assignment):
+
+* **Excess** counts the ``link`` facts of ``D`` that validate no
+  membership: ``link(o, o', l)`` is *used* when some assigned type of
+  ``o`` requires ``->l^{c'}`` with ``c'`` assigned to ``o'`` (or
+  ``->l^0`` with ``o'`` atomic), or some assigned type of ``o'``
+  requires ``<-l^{c}`` with ``c`` assigned to ``o``.  Unused facts are
+  in excess.  The greatest-fixpoint semantics can produce excess but
+  never deficit.
+
+* **Deficit** counts the ground facts that would have to be *invented*
+  to make every assigned membership derivable: for each object ``o``
+  and each typed link required by any of its assigned types but not
+  witnessed under the assignment, one fact is needed.  Requirements are
+  deduplicated per ``(object, typed link)`` — two roles of ``o`` that
+  both need ``->l^c`` are repaired by the same invented fact.  The
+  paper asks for the *minimum* number of invented facts; our count is
+  that minimum when each invented fact repairs requirements of a single
+  object (exact whenever invented endpoints are fresh, an upper bound
+  in the rare case where one fact could serve two existing objects at
+  once — e.g. a missing ``->a^c2`` of ``o`` and a missing ``<-a^c1`` of
+  ``o'`` repaired by the same ``link(o, o', a)``).  This matches the
+  arithmetic of the paper's Example 2.2.
+
+``defect = excess + deficit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Set,
+    Tuple,
+)
+
+from repro.core.typing_program import (
+    Direction,
+    TypedLink,
+    TypeRule,
+    TypingProgram,
+)
+from repro.graph.database import Database, Edge, ObjectId
+
+#: An assignment of objects to (possibly several) types.  Objects
+#: missing from the mapping are untyped — their edges can only be used
+#: from the other endpoint, and they impose no requirements.
+Assignment = Mapping[ObjectId, AbstractSet[str]]
+
+
+@dataclass(frozen=True)
+class ExcessReport:
+    """Outcome of the excess computation."""
+
+    count: int
+    unused_edges: Tuple[Edge, ...]
+
+
+@dataclass(frozen=True)
+class DeficitReport:
+    """Outcome of the deficit computation.
+
+    ``missing`` lists the deduplicated unmet requirements as
+    ``(object, typed_link)`` pairs.
+    """
+
+    count: int
+    missing: Tuple[Tuple[ObjectId, TypedLink], ...]
+
+
+@dataclass(frozen=True)
+class DefectReport:
+    """``defect = excess + deficit`` with both sub-reports attached."""
+
+    excess: ExcessReport
+    deficit: DeficitReport
+
+    @property
+    def total(self) -> int:
+        """The defect: excess count plus deficit count."""
+        return self.excess.count + self.deficit.count
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"defect {self.total} "
+            f"(excess {self.excess.count}, deficit {self.deficit.count})"
+        )
+
+
+def _uses_out(rule: TypeRule, label: str, target_types: AbstractSet[str]) -> bool:
+    return any(
+        link.direction is Direction.OUT
+        and link.label == label
+        and link.target in target_types
+        for link in rule.body
+    )
+
+
+def _uses_out_atomic(rule: TypeRule, label: str, sort: str) -> bool:
+    return any(
+        link.direction is Direction.OUT
+        and link.label == label
+        and link.is_atomic_target
+        and (link.sort is None or link.sort == sort)
+        for link in rule.body
+    )
+
+
+def _uses_in(rule: TypeRule, label: str, source_types: AbstractSet[str]) -> bool:
+    return any(
+        link.direction is Direction.IN
+        and link.label == label
+        and link.target in source_types
+        for link in rule.body
+    )
+
+
+def compute_excess(
+    program: TypingProgram,
+    db: Database,
+    assignment: Assignment,
+    collect_edges: bool = True,
+) -> ExcessReport:
+    """Count (and optionally collect) the unused ``link`` facts."""
+    count = 0
+    unused: List[Edge] = []
+    empty: FrozenSet[str] = frozenset()
+    for edge in db.edges():
+        src_types = assignment.get(edge.src, empty)
+        used = False
+        if db.is_atomic(edge.dst):
+            from repro.core.sorts import sort_of
+
+            value_sort = sort_of(db.value(edge.dst))
+            used = any(
+                _uses_out_atomic(program.rule(c), edge.label, value_sort)
+                for c in src_types
+                if c in program
+            )
+        else:
+            dst_types = frozenset(
+                t for t in assignment.get(edge.dst, empty) if t in program
+            )
+            used = any(
+                _uses_out(program.rule(c), edge.label, dst_types)
+                for c in src_types
+                if c in program
+            )
+            if not used:
+                live_src = frozenset(t for t in src_types if t in program)
+                used = any(
+                    _uses_in(program.rule(c), edge.label, live_src)
+                    for c in dst_types
+                )
+        if not used:
+            count += 1
+            if collect_edges:
+                unused.append(edge)
+    unused.sort()
+    return ExcessReport(count=count, unused_edges=tuple(unused))
+
+
+def _witnessed(
+    db: Database,
+    obj: ObjectId,
+    link: TypedLink,
+    assignment: Assignment,
+) -> bool:
+    """Whether ``obj`` satisfies ``link`` under the assignment."""
+    empty: FrozenSet[str] = frozenset()
+    if link.direction is Direction.OUT:
+        for neighbour in db.targets(obj, link.label):
+            if link.is_atomic_target:
+                if db.is_atomic(neighbour):
+                    if link.sort is None:
+                        return True
+                    from repro.core.sorts import sort_of
+
+                    if sort_of(db.value(neighbour)) == link.sort:
+                        return True
+            elif link.target in assignment.get(neighbour, empty):
+                return True
+        return False
+    return any(
+        link.target in assignment.get(neighbour, empty)
+        for neighbour in db.sources(obj, link.label)
+    )
+
+
+def compute_deficit(
+    program: TypingProgram,
+    db: Database,
+    assignment: Assignment,
+    collect_missing: bool = True,
+) -> DeficitReport:
+    """Count (and optionally collect) the unmet typed-link requirements."""
+    count = 0
+    missing: List[Tuple[ObjectId, TypedLink]] = []
+    for obj, types in assignment.items():
+        required: Set[TypedLink] = set()
+        for type_name in types:
+            if type_name in program:
+                required.update(program.rule(type_name).body)
+        for link in required:
+            if not _witnessed(db, obj, link, assignment):
+                count += 1
+                if collect_missing:
+                    missing.append((obj, link))
+    missing.sort(key=lambda item: (item[0], str(item[1])))
+    return DeficitReport(count=count, missing=tuple(missing))
+
+
+def compute_defect(
+    program: TypingProgram,
+    db: Database,
+    assignment: Assignment,
+    collect: bool = False,
+) -> DefectReport:
+    """Compute the full defect report for an assignment.
+
+    ``collect=False`` (the default) skips materialising the itemised
+    edge/requirement lists, which matters when the sensitivity sweep
+    evaluates the defect at every ``k``.
+    """
+    return DefectReport(
+        excess=compute_excess(program, db, assignment, collect_edges=collect),
+        deficit=compute_deficit(program, db, assignment, collect_missing=collect),
+    )

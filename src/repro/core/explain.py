@@ -1,0 +1,122 @@
+"""Human-readable explanations of typings and defects.
+
+The paper's motivation is user-facing (QBE-style interfaces "allow
+users ... to learn about the data set").  A schema users cannot
+interrogate is only half useful, so this module renders *why*:
+
+* :func:`explain_object` — why an object belongs to each of its types:
+  one line per typed link with the witnessing neighbours, and which
+  required links are unmet (the object's share of the deficit);
+* :func:`explain_defect` — an itemised, grouped account of a defect
+  report: which labels carry the excess, which requirements make up
+  the deficit;
+* :func:`diff_programs` — what changed between two typing programs
+  (types added/removed, bodies grown/shrunk), for comparing sweeps or
+  rebuilds.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, List, Mapping
+
+from repro.core.defect import DefectReport
+from repro.core.fixpoint import explain_membership
+from repro.core.notation import format_link
+from repro.core.typing_program import TypingProgram
+from repro.graph.database import Database, ObjectId
+
+Assignment = Mapping[ObjectId, AbstractSet[str]]
+
+
+def explain_object(
+    program: TypingProgram,
+    db: Database,
+    assignment: Assignment,
+    obj: ObjectId,
+) -> str:
+    """Why ``obj`` carries each of its assigned types.
+
+    For every type, every typed link of the rule is shown with its
+    witnesses under the assignment; links with no witness are flagged
+    as MISSING (they are the object's contribution to the deficit).
+    """
+    types = sorted(assignment.get(obj, frozenset()))
+    if not types:
+        return f"{obj}: untyped"
+    extents: Dict[str, frozenset] = {}
+    for member, member_types in assignment.items():
+        for name in member_types:
+            extents.setdefault(name, frozenset())
+            extents[name] = extents[name] | {member}
+    lines: List[str] = []
+    for type_name in types:
+        if type_name not in program:
+            lines.append(f"{obj} : {type_name} (type not in program)")
+            continue
+        lines.append(f"{obj} : {type_name}")
+        supports = explain_membership(program, db, extents, obj, type_name)
+        if not supports:
+            lines.append("  (empty body — every object qualifies)")
+        for support in supports:
+            rendered = format_link(support.link)
+            if support.witnesses:
+                witnesses = ", ".join(support.witnesses)
+                lines.append(f"  {rendered:<24} via {witnesses}")
+            else:
+                lines.append(f"  {rendered:<24} MISSING")
+    return "\n".join(lines)
+
+
+def explain_defect(report: DefectReport, limit: int = 10) -> str:
+    """Render a defect report grouped by label / requirement.
+
+    Requires the report to have been computed with ``collect=True``.
+    """
+    lines = [report.summary()]
+    if report.excess.unused_edges:
+        by_label: Dict[str, int] = {}
+        for edge in report.excess.unused_edges:
+            by_label[edge.label] = by_label.get(edge.label, 0) + 1
+        lines.append("excess by label:")
+        for label, count in sorted(
+            by_label.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:limit]:
+            lines.append(f"  {label}: {count} unused edge(s)")
+    if report.deficit.missing:
+        by_requirement: Dict[str, int] = {}
+        for _, link in report.deficit.missing:
+            key = format_link(link)
+            by_requirement[key] = by_requirement.get(key, 0) + 1
+        lines.append("deficit by requirement:")
+        for requirement, count in sorted(
+            by_requirement.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:limit]:
+            lines.append(f"  {requirement}: {count} object(s) missing it")
+    return "\n".join(lines)
+
+
+def diff_programs(
+    before: TypingProgram, after: TypingProgram
+) -> str:
+    """A unified summary of what changed between two programs."""
+    before_names = set(before.type_names())
+    after_names = set(after.type_names())
+    lines: List[str] = []
+    for name in sorted(after_names - before_names):
+        lines.append(f"+ {name} (new type)")
+    for name in sorted(before_names - after_names):
+        lines.append(f"- {name} (removed)")
+    for name in sorted(before_names & after_names):
+        old_body = before.rule(name).body
+        new_body = after.rule(name).body
+        if old_body == new_body:
+            continue
+        added = sorted(format_link(l) for l in new_body - old_body)
+        removed = sorted(format_link(l) for l in old_body - new_body)
+        detail = []
+        if added:
+            detail.append("+" + " +".join(added))
+        if removed:
+            detail.append("-" + " -".join(removed))
+        lines.append(f"~ {name}: {' '.join(detail)}")
+    return "\n".join(lines) if lines else "(no changes)"

@@ -1,0 +1,352 @@
+"""Greatest-fixpoint semantics of typing programs (Section 2).
+
+For a database ``D`` and a typing program ``P``, the semantics of ``P``
+is the *greatest* fixpoint of ``P`` on ``D``: the largest assignment of
+complex objects to types such that every membership is justified by the
+rule body.  (The least fixpoint would classify nothing for recursive
+programs such as the person/firm example.)
+
+Algorithm
+---------
+The immediate-consequence operator ``T_P`` restricted to complex
+objects is monotone, so on the finite lattice of assignments the
+decreasing sequence ``M, T_P(M), T_P(T_P(M)), ...`` converges to the
+GFP whenever the start ``M`` is a *pre-fixpoint* (``T_P(M) ⊆ M``) that
+contains the GFP.  Instead of starting from the top element (every
+object in every type — quadratic in the database), we start from the
+**signature upper bound**: object ``o`` is a candidate for type ``c``
+iff for each typed link in the body of ``c``, ``o`` has an edge of the
+corresponding *kind*, where a kind forgets the target type and only
+remembers ``(direction, label, complex-or-atomic)``.
+
+* It contains the GFP: a membership justified by actual typed objects
+  in particular has edges of each required kind.
+* It is a pre-fixpoint: if ``o ∈ T_P(M0)(c)`` then every typed link in
+  the body of ``c`` is witnessed by an edge, so ``o``'s signature
+  covers the body kinds and ``o ∈ M0(c)``.
+
+Hence downward iteration from the signature bound converges exactly to
+the GFP (the limit is a fixpoint and every fixpoint below the start is
+below the limit; the GFP is below the start).  The iteration itself is
+a worklist over types: when the extent of type ``j`` shrinks, only
+types whose bodies mention ``j`` are rechecked.
+
+The module also provides the naive least fixpoint and membership
+explanations used by the defect reports and the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.typing_program import (
+    ATOMIC,
+    Direction,
+    is_atomic_name,
+    TypedLink,
+    TypeRule,
+    TypingProgram,
+)
+from repro.graph.database import Database, ObjectId
+
+#: An extent map: type name -> set of complex objects.
+Extents = Dict[str, FrozenSet[ObjectId]]
+
+# A signature kind: (direction, label, marker) where the marker is
+# "c" for a complex endpoint, "a" for an atomic endpoint of any sort,
+# or "a:<sort>" for a sorted atomic endpoint (Remark 2.1).  Incoming
+# links always have complex sources.
+_Kind = Tuple[Direction, str, str]
+
+
+def _kind_of(link: TypedLink) -> _Kind:
+    if not link.is_atomic_target:
+        return (link.direction, link.label, "c")
+    sort = link.sort
+    return (link.direction, link.label, "a" if sort is None else f"a:{sort}")
+
+
+def object_signature(db: Database, obj: ObjectId) -> FrozenSet[_Kind]:
+    """The edge-kind signature of a complex object.
+
+    Contains ``(OUT, l, "a")`` (and ``(OUT, l, "a:<sort>")``) when
+    ``obj`` has an outgoing ``l``-edge to an atomic object,
+    ``(OUT, l, "c")`` when it has one to a complex object, and
+    ``(IN, l, "c")`` when it has an incoming ``l``-edge.  Atomic edges
+    emit both the generic and the sorted kind so the signature covers
+    plain and sorted requirements alike.
+    """
+    from repro.core.sorts import sort_of
+
+    kinds: Set[_Kind] = set()
+    for edge in db.out_edges(obj):
+        if db.is_atomic(edge.dst):
+            kinds.add((Direction.OUT, edge.label, "a"))
+            kinds.add(
+                (Direction.OUT, edge.label, f"a:{sort_of(db.value(edge.dst))}")
+            )
+        else:
+            kinds.add((Direction.OUT, edge.label, "c"))
+    for edge in db.in_edges(obj):
+        kinds.add((Direction.IN, edge.label, "c"))
+    return frozenset(kinds)
+
+
+@dataclass(frozen=True)
+class FixpointResult:
+    """Outcome of a fixpoint computation.
+
+    Attributes
+    ----------
+    extents:
+        Type name -> frozen set of member objects.
+    iterations:
+        Number of type re-checks performed (a work measure, not a
+        round count).
+    """
+
+    extents: Extents
+    iterations: int
+
+    def members(self, type_name: str) -> FrozenSet[ObjectId]:
+        """Extent of one type (empty if the type has an empty extent)."""
+        return self.extents.get(type_name, frozenset())
+
+    def types_of(self, obj: ObjectId) -> FrozenSet[str]:
+        """All types containing ``obj``."""
+        return frozenset(
+            name for name, members in self.extents.items() if obj in members
+        )
+
+    def assignment(self) -> Dict[ObjectId, FrozenSet[str]]:
+        """Invert the extents into an object -> types map."""
+        inverted: Dict[ObjectId, Set[str]] = {}
+        for name, members in self.extents.items():
+            for obj in members:
+                inverted.setdefault(obj, set()).add(name)
+        return {obj: frozenset(types) for obj, types in inverted.items()}
+
+    def nonempty_types(self) -> FrozenSet[str]:
+        """Types with at least one member."""
+        return frozenset(n for n, m in self.extents.items() if m)
+
+
+def _satisfies(
+    db: Database,
+    obj: ObjectId,
+    link: TypedLink,
+    extents: Mapping[str, Set[ObjectId]],
+) -> bool:
+    """Whether ``obj`` satisfies one typed link under ``extents``."""
+    if link.direction is Direction.OUT:
+        neighbours = db.targets(obj, link.label)
+        if link.is_atomic_target:
+            sort = link.sort
+            if sort is None:
+                return any(db.is_atomic(n) for n in neighbours)
+            from repro.core.sorts import sort_of
+
+            return any(
+                db.is_atomic(n) and sort_of(db.value(n)) == sort
+                for n in neighbours
+            )
+        members = extents.get(link.target)
+        if not members:
+            return False
+        return any(n in members for n in neighbours)
+    members = extents.get(link.target)
+    if not members:
+        return False
+    return any(n in members for n in db.sources(obj, link.label))
+
+
+def _signature_upper_bound(
+    program: TypingProgram, db: Database
+) -> Dict[str, Set[ObjectId]]:
+    """The pre-fixpoint start assignment described in the module doc."""
+    # Group objects by signature so the superset tests run once per
+    # distinct signature rather than once per object.
+    by_signature: Dict[FrozenSet[_Kind], List[ObjectId]] = {}
+    for obj in db.complex_objects():
+        by_signature.setdefault(object_signature(db, obj), []).append(obj)
+    bound: Dict[str, Set[ObjectId]] = {}
+    for rule in program.rules():
+        required = frozenset(_kind_of(link) for link in rule.body)
+        members: Set[ObjectId] = set()
+        for signature, objs in by_signature.items():
+            if required <= signature:
+                members.update(objs)
+        bound[rule.name] = members
+    return bound
+
+
+def greatest_fixpoint(
+    program: TypingProgram,
+    db: Database,
+    restrict_to: Optional[Mapping[str, Iterable[ObjectId]]] = None,
+) -> FixpointResult:
+    """Compute the greatest fixpoint of ``program`` on ``db``.
+
+    Parameters
+    ----------
+    program:
+        The typing program.  Only complex objects are classified;
+        atomic objects implicitly form ``type_0``.
+    db:
+        The database.
+    restrict_to:
+        Optional per-type upper bounds intersected with the signature
+        bound before iterating.  Must itself contain the intended
+        fixpoint (used by incremental recomputation in Stage 3).
+
+    Returns a :class:`FixpointResult` with the GFP extents.
+    """
+    extents = _signature_upper_bound(program, db)
+    if restrict_to is not None:
+        for name, allowed in restrict_to.items():
+            if name in extents:
+                extents[name] &= set(allowed)
+
+    # dependents[j] = types whose body mentions type j.
+    dependents: Dict[str, List[str]] = {}
+    for rule in program.rules():
+        for target in rule.targets():
+            if not is_atomic_name(target):
+                dependents.setdefault(target, []).append(rule.name)
+
+    queue = deque(extents)
+    queued: Set[str] = set(extents)
+    iterations = 0
+    while queue:
+        name = queue.popleft()
+        queued.discard(name)
+        iterations += 1
+        rule = program.rule(name)
+        members = extents[name]
+        if not members:
+            continue
+        survivors = {
+            obj
+            for obj in members
+            if all(_satisfies(db, obj, link, extents) for link in rule.body)
+        }
+        if len(survivors) != len(members):
+            extents[name] = survivors
+            for dependent in dependents.get(name, ()):
+                if dependent not in queued:
+                    queue.append(dependent)
+                    queued.add(dependent)
+
+    return FixpointResult(
+        extents={name: frozenset(members) for name, members in extents.items()},
+        iterations=iterations,
+    )
+
+
+def greatest_fixpoint_naive(program: TypingProgram, db: Database) -> FixpointResult:
+    """Reference GFP: start from *all* objects in *all* types, iterate rounds.
+
+    Exactly the "straightforward method" of Section 4.1.  Quadratic in
+    the database; kept as the oracle the optimised engine is tested
+    against.
+    """
+    all_objects = set(db.complex_objects())
+    extents: Dict[str, Set[ObjectId]] = {
+        rule.name: set(all_objects) for rule in program.rules()
+    }
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules():
+            iterations += 1
+            survivors = {
+                obj
+                for obj in extents[rule.name]
+                if all(_satisfies(db, obj, link, extents) for link in rule.body)
+            }
+            if survivors != extents[rule.name]:
+                extents[rule.name] = survivors
+                changed = True
+    return FixpointResult(
+        extents={name: frozenset(members) for name, members in extents.items()},
+        iterations=iterations,
+    )
+
+
+def least_fixpoint(program: TypingProgram, db: Database) -> FixpointResult:
+    """Compute the least fixpoint (bottom-up) of ``program`` on ``db``.
+
+    Provided for the Section 2 comparison: for the recursive
+    person/firm program the LFP classifies nothing, while for
+    non-recursive programs (e.g. relational data) LFP equals GFP.
+    """
+    extents: Dict[str, Set[ObjectId]] = {rule.name: set() for rule in program.rules()}
+    complex_objects = list(db.complex_objects())
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules():
+            iterations += 1
+            for obj in complex_objects:
+                if obj in extents[rule.name]:
+                    continue
+                if all(_satisfies(db, obj, link, extents) for link in rule.body):
+                    extents[rule.name].add(obj)
+                    changed = True
+    return FixpointResult(
+        extents={name: frozenset(members) for name, members in extents.items()},
+        iterations=iterations,
+    )
+
+
+@dataclass(frozen=True)
+class LinkSupport:
+    """Why one typed link of a membership holds: the witnessing edges."""
+
+    link: TypedLink
+    witnesses: Tuple[ObjectId, ...]
+
+
+def explain_membership(
+    program: TypingProgram,
+    db: Database,
+    extents: Mapping[str, FrozenSet[ObjectId]],
+    obj: ObjectId,
+    type_name: str,
+) -> List[LinkSupport]:
+    """Justify ``obj ∈ type_name`` under ``extents``.
+
+    Returns one :class:`LinkSupport` per typed link of the rule, listing
+    the neighbour objects that witness it.  A link with no witnesses
+    yields an empty tuple — callers use that to display defects.
+    """
+    rule = program.rule(type_name)
+    supports: List[LinkSupport] = []
+    for link in rule.sorted_body():
+        if link.direction is Direction.OUT:
+            neighbours = db.targets(obj, link.label)
+            if link.is_atomic_target:
+                from repro.core.sorts import sort_of
+
+                witnesses = tuple(
+                    sorted(
+                        n
+                        for n in neighbours
+                        if db.is_atomic(n)
+                        and (link.sort is None or sort_of(db.value(n)) == link.sort)
+                    )
+                )
+            else:
+                members = extents.get(link.target, frozenset())
+                witnesses = tuple(sorted(n for n in neighbours if n in members))
+        else:
+            members = extents.get(link.target, frozenset())
+            witnesses = tuple(
+                sorted(n for n in db.sources(obj, link.label) if n in members)
+            )
+        supports.append(LinkSupport(link, witnesses))
+    return supports

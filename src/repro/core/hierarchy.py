@@ -1,0 +1,119 @@
+"""Subsumption hierarchy between extracted types (Section 4.2).
+
+The typing language has no negation, so an object with *more* typed
+links than a rule requires still satisfies it — the paper calls this
+"the style of ODMG inheritance but somewhat richer".  That makes body
+inclusion a subtype relation:
+
+    body(sub) ⊇ body(super)   ⇒   extent(sub) ⊆ extent(super)
+
+(every object satisfying the richer body satisfies the poorer one).
+This module derives the inheritance view of a typing program:
+
+* :func:`subsumption_pairs` — all ``(sub, super)`` pairs;
+* :func:`hierarchy_edges` — the transitive reduction (the Hasse
+  diagram, which is what you would draw);
+* :func:`roots_and_leaves` — the most general / most specific types;
+* :func:`format_hierarchy` — an indented tree rendering;
+* :func:`hierarchy_to_dot` — Graphviz output.
+
+Presenting the flat extracted program as a hierarchy is how an
+ODMG-flavoured interface would surface it to users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.core.typing_program import TypingProgram
+
+
+def subsumption_pairs(program: TypingProgram) -> FrozenSet[Tuple[str, str]]:
+    """All ``(sub, super)`` pairs with ``body(sub) ⊃ body(super)``.
+
+    Equal bodies (possible only transiently, e.g. mid-clustering) are
+    not reported — they are the same point of the hypercube, not a
+    hierarchy edge.
+    """
+    rules = list(program.rules())
+    pairs: Set[Tuple[str, str]] = set()
+    for sub in rules:
+        for sup in rules:
+            if sub.name != sup.name and sup.body < sub.body:
+                pairs.add((sub.name, sup.name))
+    return frozenset(pairs)
+
+
+def hierarchy_edges(program: TypingProgram) -> FrozenSet[Tuple[str, str]]:
+    """The transitive reduction of the subsumption order.
+
+    ``(sub, super)`` survives iff no intermediate type sits strictly
+    between them — the edges of the Hasse diagram.
+    """
+    pairs = subsumption_pairs(program)
+    supers_of: Dict[str, Set[str]] = {}
+    for sub, sup in pairs:
+        supers_of.setdefault(sub, set()).add(sup)
+    reduced: Set[Tuple[str, str]] = set()
+    for sub, sup in pairs:
+        intermediates = supers_of.get(sub, set())
+        if any(
+            (mid, sup) in pairs for mid in intermediates if mid != sup
+        ):
+            continue
+        reduced.add((sub, sup))
+    return frozenset(reduced)
+
+
+def roots_and_leaves(
+    program: TypingProgram,
+) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """``(most general, most specific)`` types of the hierarchy.
+
+    Roots have no supertype; leaves have no subtype.  A type unrelated
+    to every other is both.
+    """
+    pairs = subsumption_pairs(program)
+    subs = {sub for sub, _ in pairs}
+    sups = {sup for _, sup in pairs}
+    names = set(program.type_names())
+    return frozenset(names - subs), frozenset(names - sups)
+
+
+def format_hierarchy(program: TypingProgram) -> str:
+    """Indented tree rendering of the Hasse diagram.
+
+    Types with several supertypes appear under each (with a ``*``
+    marker after the first occurrence); unrelated types print flat.
+    """
+    edges = hierarchy_edges(program)
+    children: Dict[str, List[str]] = {}
+    for sub, sup in edges:
+        children.setdefault(sup, []).append(sub)
+    roots, _ = roots_and_leaves(program)
+    printed: Set[str] = set()
+    lines: List[str] = []
+
+    def render(name: str, depth: int) -> None:
+        marker = " *" if name in printed else ""
+        lines.append("  " * depth + name + marker)
+        if name in printed:
+            return
+        printed.add(name)
+        for child in sorted(children.get(name, [])):
+            render(child, depth + 1)
+
+    for root in sorted(roots):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def hierarchy_to_dot(program: TypingProgram, name: str = "hierarchy") -> str:
+    """The Hasse diagram as Graphviz DOT (arrows point at supertypes)."""
+    lines = [f'digraph "{name}" {{', "  rankdir=BT;"]
+    for type_name in sorted(program.type_names()):
+        lines.append(f'  "{type_name}" [shape=box, style=rounded];')
+    for sub, sup in sorted(hierarchy_edges(program)):
+        lines.append(f'  "{sub}" -> "{sup}";')
+    lines.append("}")
+    return "\n".join(lines)

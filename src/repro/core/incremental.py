@@ -1,0 +1,179 @@
+"""Maintaining a typing as the database evolves (Section 6).
+
+The paper types new objects against the existing program ("assign the
+new objects to all types that it satisfies completely ... otherwise the
+closest type") and leaves the policy question open: "if we have many
+new objects we may wish to reconsider the current typing program.
+Deciding how many new objects is too many and recomputing efficiently
+the typing program are open problems."
+
+:class:`IncrementalTyper` is a practical answer:
+
+* ``note_new_object`` / ``note_new_link`` / ``note_removed_object``
+  retype exactly the touched objects one-step against the current
+  program (their neighbours' assignments are the reference);
+* every incrementally-typed object that needed the *closest-type
+  fallback* (it satisfied nothing exactly) counts as **drift** — the
+  signal that the program no longer describes the data;
+* ``stale()`` trips once the drift fraction among incremental updates
+  exceeds a threshold, and ``rebuild()`` re-runs the full pipeline at
+  the same ``k`` and resets the counters.
+
+The class never mutates the database — callers mutate it and notify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.core.pipeline import ExtractionResult, SchemaExtractor
+from repro.core.recast import satisfied_types, closest_type
+from repro.core.typing_program import TypingProgram
+from repro.exceptions import RecastError
+from repro.graph.database import Database, ObjectId
+
+
+@dataclass(frozen=True)
+class DriftStats:
+    """How far the data has drifted from the program."""
+
+    updates: int  #: incremental retypings performed.
+    fallbacks: int  #: of those, how many needed the closest-type rule.
+
+    @property
+    def fraction(self) -> float:
+        """Fallback fraction among updates (0 when no updates)."""
+        return self.fallbacks / self.updates if self.updates else 0.0
+
+
+class IncrementalTyper:
+    """Keep an extraction result in sync with a mutating database.
+
+    Parameters
+    ----------
+    db:
+        The live database (mutated by the caller).
+    result:
+        A pipeline result for the database's initial state.
+    drift_threshold:
+        ``stale()`` trips when the fallback fraction among incremental
+        updates exceeds this (default 0.25 — a quarter of arriving
+        objects no longer fit any type exactly).
+    min_updates:
+        Don't declare staleness before at least this many updates.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        result: ExtractionResult,
+        drift_threshold: float = 0.25,
+        min_updates: int = 10,
+    ) -> None:
+        if not 0.0 < drift_threshold <= 1.0:
+            raise RecastError("drift_threshold must be in (0, 1]")
+        self._db = db
+        self._program: TypingProgram = result.program
+        self._assignment: Dict[ObjectId, FrozenSet[str]] = dict(
+            result.assignment
+        )
+        self._k = result.chosen_k
+        self._threshold = drift_threshold
+        self._min_updates = min_updates
+        self._updates = 0
+        self._fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> TypingProgram:
+        """The current typing program."""
+        return self._program
+
+    def types_of(self, obj: ObjectId) -> FrozenSet[str]:
+        """Current types of ``obj`` (empty if unknown/untyped)."""
+        return self._assignment.get(obj, frozenset())
+
+    def assignment(self) -> Dict[ObjectId, FrozenSet[str]]:
+        """A copy of the full current assignment."""
+        return dict(self._assignment)
+
+    def drift(self) -> DriftStats:
+        """Drift counters since the last (re)build."""
+        return DriftStats(updates=self._updates, fallbacks=self._fallbacks)
+
+    def stale(self) -> bool:
+        """Whether the program should be recomputed (see class doc)."""
+        stats = self.drift()
+        return (
+            stats.updates >= self._min_updates
+            and stats.fraction > self._threshold
+        )
+
+    # ------------------------------------------------------------------
+    # Update notifications
+    # ------------------------------------------------------------------
+    def _retype(self, obj: ObjectId) -> FrozenSet[str]:
+        """One-step retyping of ``obj`` against the current program."""
+        satisfied = satisfied_types(
+            self._program, self._db, obj, self._assignment
+        )
+        self._updates += 1
+        if satisfied:
+            types = satisfied
+        else:
+            self._fallbacks += 1
+            if len(self._program) == 0:
+                types = frozenset()
+            else:
+                chosen, _ = closest_type(
+                    self._program, self._db, obj, self._assignment
+                )
+                types = frozenset([chosen])
+        self._assignment[obj] = types
+        return types
+
+    def note_new_object(self, obj: ObjectId) -> FrozenSet[str]:
+        """Type a newly added complex object (Section 6's rule)."""
+        if not self._db.is_complex(obj):
+            raise RecastError(f"{obj!r} is not a complex object of the database")
+        return self._retype(obj)
+
+    def note_new_link(self, src: ObjectId, dst: ObjectId) -> None:
+        """Retype both endpoints after an edge insertion/removal.
+
+        Only the endpoints can change one-step satisfaction; deeper
+        ripples are deliberately deferred to :meth:`rebuild` (the whole
+        point of approximate typing is tolerance to small drift).
+        """
+        for obj in (src, dst):
+            if self._db.is_complex(obj):
+                self._retype(obj)
+
+    def note_removed_object(self, obj: ObjectId) -> None:
+        """Forget an object that was removed from the database."""
+        self._assignment.pop(obj, None)
+
+    # ------------------------------------------------------------------
+    # Rebuild
+    # ------------------------------------------------------------------
+    def rebuild(
+        self, k: Optional[int] = None, **extractor_options
+    ) -> ExtractionResult:
+        """Re-run the full pipeline and adopt its result.
+
+        ``k`` defaults to the previous ``k`` (clamped by the pipeline if
+        the perfect typing shrank below it); extra keyword arguments are
+        forwarded to :class:`~repro.core.pipeline.SchemaExtractor`.
+        """
+        result = SchemaExtractor(self._db, **extractor_options).extract(
+            k=self._k if k is None else k
+        )
+        self._program = result.program
+        self._assignment = dict(result.assignment)
+        self._k = result.chosen_k
+        self._updates = 0
+        self._fallbacks = 0
+        return result

@@ -1,0 +1,356 @@
+"""The end-to-end schema extractor (Section 3, "Method Summary").
+
+:class:`SchemaExtractor` glues the three stages together:
+
+1. **Stage 1** — minimal perfect typing (one home type per object),
+   optionally followed by the multiple-role decomposition;
+2. **Stage 2** — greedy clustering down to ``k`` types (``k`` can be
+   chosen automatically from the sensitivity sweep's knee);
+3. **Stage 3** — recasting all objects into the final types;
+
+and finally measures the defect of the result.  This is the public
+entry point used by the examples, the CLI and the benchmark harnesses:
+
+>>> from repro import SchemaExtractor
+>>> from repro.graph import DatabaseBuilder
+>>> b = DatabaseBuilder()
+>>> for i in range(4):
+...     _ = b.attr(f"p{i}", "name", f"name{i}")
+>>> result = SchemaExtractor(b.build()).extract(k=1)
+>>> result.num_types
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Union
+
+from repro.core.clustering import GreedyMerger, MergePolicy, Stage2Result
+from repro.core.defect import DefectReport, compute_defect
+from repro.core.distance import WeightedDistance, named_distances
+from repro.core.notation import format_program
+from repro.core.perfect import PerfectTyping, minimal_perfect_typing
+from repro.core.prior import PriorKnowledge, combine_with_stage1
+from repro.core.recast import RecastMode, RecastResult, recast
+from repro.core.roles import RoleDecomposition, decompose_roles
+from repro.core.sensitivity import SensitivityResult, sensitivity_sweep
+from repro.core.typing_program import TypingProgram
+from repro.exceptions import ClusteringError
+from repro.graph.database import Database, ObjectId
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """Everything the pipeline produced.
+
+    Attributes
+    ----------
+    program:
+        The final approximate typing program.
+    assignment:
+        Final object -> set-of-types map (Stage 3 output).
+    defect:
+        Defect report of the final assignment against the program.
+    stage1:
+        The minimal perfect typing (kept for inspection; its size is
+        the "Perfect Types" column of Table 1).
+    roles:
+        The role decomposition, when it was requested.
+    stage2:
+        Merge trace and merge map.
+    recast_result:
+        Stage 3 details (fallback / untyped objects).
+    sensitivity:
+        The sweep, when ``k`` was chosen automatically.
+    chosen_k:
+        The ``k`` that was actually used.
+    """
+
+    program: TypingProgram
+    assignment: Dict[ObjectId, FrozenSet[str]]
+    defect: DefectReport
+    stage1: PerfectTyping
+    roles: Optional[RoleDecomposition]
+    stage2: Stage2Result
+    recast_result: RecastResult
+    sensitivity: Optional[SensitivityResult]
+    chosen_k: int
+
+    @property
+    def num_types(self) -> int:
+        """Number of types in the final program."""
+        return len(self.program)
+
+    @property
+    def num_perfect_types(self) -> int:
+        """Number of types in the Stage 1 minimal perfect typing."""
+        return self.stage1.num_types
+
+    def describe(self) -> str:
+        """Multi-line report: sizes, defect and the program itself."""
+        lines = [
+            f"perfect types: {self.num_perfect_types}",
+            f"optimal types: {self.num_types}",
+            self.defect.summary(),
+            "",
+            format_program(self.program),
+        ]
+        return "\n".join(lines)
+
+
+class SchemaExtractor:
+    """Configurable three-stage schema extraction pipeline.
+
+    Parameters
+    ----------
+    db:
+        The semistructured database to type.
+    distance:
+        Stage 2 weighted distance — a callable ``(w1, w2, d) -> cost``
+        or one of the names ``"delta_1"`` .. ``"delta_5"`` (resolved
+        with the Stage 1 hypercube dimension where needed).  Default:
+        ``"delta_2"``, the paper's weighted Manhattan distance.
+    policy:
+        Stage 2 merge policy.
+    use_roles:
+        Run the Section 4.2 multiple-role decomposition between stages
+        1 and 2.
+    allow_empty_type:
+        Allow Stage 2 to move outlier types to the empty type.
+    empty_weight:
+        Weight parameter of the empty type (see :class:`GreedyMerger`).
+    recast_mode, fallback:
+        Stage 3 knobs (see :func:`repro.core.recast.recast`).
+    prior:
+        A-priori typing knowledge (Section 2 extension): known type
+        definitions survive clustering intact and absorb discovered
+        structure — see :mod:`repro.core.prior`.
+    local_rule_fn:
+        Override for Stage 1's local-picture builder; pass
+        :func:`repro.core.sorts.sorted_local_rule` for the Remark 2.1
+        multiple-atomic-sorts refinement.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        distance: Union[str, WeightedDistance] = "delta_2",
+        policy: MergePolicy = MergePolicy.ABSORB,
+        use_roles: bool = False,
+        allow_empty_type: bool = False,
+        empty_weight: Optional[float] = None,
+        recast_mode: RecastMode = RecastMode.HOME_GUIDED,
+        fallback: str = "closest",
+        prior: Optional[PriorKnowledge] = None,
+        local_rule_fn=None,
+    ) -> None:
+        self._db = db
+        self._distance_spec = distance
+        self._policy = policy
+        self._use_roles = use_roles
+        self._allow_empty = allow_empty_type
+        self._empty_weight = empty_weight
+        self._recast_mode = recast_mode
+        self._fallback = fallback
+        self._prior = prior
+        self._local_rule_fn = local_rule_fn
+        self._stage1: Optional[PerfectTyping] = None
+
+    # ------------------------------------------------------------------
+    def stage1(self) -> PerfectTyping:
+        """Stage 1 result (cached across calls)."""
+        if self._stage1 is None:
+            self._stage1 = minimal_perfect_typing(
+                self._db, local_rule_fn=self._local_rule_fn
+            )
+        return self._stage1
+
+    def _resolve_distance(self, stage1: PerfectTyping) -> WeightedDistance:
+        if callable(self._distance_spec):
+            return self._distance_spec
+        dimensions = len(stage1.program.typed_links())
+        table = named_distances(dimensions)
+        try:
+            return table[self._distance_spec]
+        except KeyError:
+            raise ClusteringError(
+                f"unknown distance {self._distance_spec!r}; "
+                f"expected one of {sorted(table)}"
+            ) from None
+
+    def _starting_point(self):
+        """Stage 2 inputs: (program, assignment, weights, frozen, roles).
+
+        Applies the role decomposition and the a-priori knowledge (in
+        that order) on top of the Stage 1 result.
+        """
+        stage1 = self.stage1()
+        roles: Optional[RoleDecomposition] = None
+        if self._use_roles:
+            roles = decompose_roles(stage1)
+            program = roles.program
+            assignment: Mapping[ObjectId, FrozenSet[str]] = roles.assignment
+            weights: Mapping[str, float] = {
+                n: float(w) for n, w in roles.weights.items()
+            }
+        else:
+            program = stage1.program
+            assignment = stage1.assignment()
+            weights = {n: float(w) for n, w in stage1.weights.items()}
+        frozen: FrozenSet[str] = frozenset()
+        if self._prior is not None:
+            combined = combine_with_stage1(
+                stage1,
+                self._prior,
+                base_assignment=assignment,
+                base_weights=weights,
+            )
+            program = combined.program
+            assignment = combined.assignment
+            weights = combined.weights
+            frozen = combined.frozen
+        return program, assignment, weights, frozen, roles
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        min_k: int = 1,
+        step: int = 1,
+    ) -> SensitivityResult:
+        """Run the Figure 6 sensitivity sweep with this pipeline's knobs."""
+        stage1 = self.stage1()
+        program, assignment, weights, frozen, _ = self._starting_point()
+        distance = self._resolve_distance(stage1)
+        # sensitivity_sweep recomputes stage2 from the given program.
+        return sensitivity_sweep(
+            self._db,
+            stage1=_override_program(stage1, program),
+            assignment=assignment,
+            weights=weights,
+            distance=distance,
+            policy=self._policy,
+            allow_empty_type=self._allow_empty,
+            mode=self._recast_mode,
+            min_k=min_k,
+            step=step,
+            frozen=frozen,
+        )
+
+    def extract(
+        self,
+        k: Optional[int] = None,
+        sweep_step: int = 1,
+    ) -> ExtractionResult:
+        """Run the full pipeline.
+
+        ``k=None`` chooses the number of types automatically: the knee
+        of the defect curve from the sensitivity sweep (Section 7.2's
+        recommendation of exploring the sliding scale rather than
+        fixing ``k`` blindly).
+        """
+        stage1 = self.stage1()
+        start_program, assignment, weights, frozen, roles = (
+            self._starting_point()
+        )
+        distance = self._resolve_distance(stage1)
+
+        sensitivity: Optional[SensitivityResult] = None
+        if k is None:
+            sensitivity = sensitivity_sweep(
+                self._db,
+                stage1=_override_program(stage1, start_program),
+                assignment=assignment,
+                weights=weights,
+                distance=distance,
+                policy=self._policy,
+                allow_empty_type=self._allow_empty,
+                mode=self._recast_mode,
+                step=sweep_step,
+                frozen=frozen,
+            )
+            k = sensitivity.knee()
+
+        if k > len(start_program):
+            k = len(start_program)
+        if k < len(frozen):
+            raise ClusteringError(
+                f"k = {k} is below the number of frozen prior types "
+                f"({len(frozen)})"
+            )
+
+        merger = GreedyMerger(
+            start_program,
+            weights,
+            distance=distance,
+            policy=self._policy,
+            allow_empty_type=self._allow_empty,
+            empty_weight=self._empty_weight,
+            frozen=frozen,
+        )
+        stage2 = merger.run_to(k)
+        home = stage2.map_assignment(assignment)
+        recast_result = recast(
+            stage2.program,
+            self._db,
+            home=home,
+            mode=self._recast_mode,
+            fallback=self._fallback,
+        )
+        defect = compute_defect(
+            stage2.program, self._db, recast_result.assignment
+        )
+        return ExtractionResult(
+            program=stage2.program,
+            assignment=recast_result.assignment,
+            defect=defect,
+            stage1=stage1,
+            roles=roles,
+            stage2=stage2,
+            recast_result=recast_result,
+            sensitivity=sensitivity,
+            chosen_k=k,
+        )
+
+    def extract_within_defect(
+        self,
+        max_defect: int,
+        sweep_step: int = 1,
+    ) -> ExtractionResult:
+        """The paper's *dual* problem (Section 1): minimise the size of
+        the typing subject to a defect threshold.
+
+        Runs the sensitivity sweep and picks the **smallest** sampled
+        ``k`` whose measured defect is at most ``max_defect``, then
+        extracts at that ``k``.  The defect curve is not perfectly
+        monotone (merges interact), so "smallest k under the threshold"
+        is taken literally over the sampled points.
+
+        Raises :class:`ClusteringError` when even the perfect typing
+        exceeds the threshold (impossible for a non-negative threshold,
+        since the perfect typing has defect 0 — but a ``max_defect``
+        below 0 is rejected explicitly).
+        """
+        if max_defect < 0:
+            raise ClusteringError("max_defect must be non-negative")
+        sweep = self.sweep(step=sweep_step)
+        eligible = [p.k for p in sweep.points if p.defect <= max_defect]
+        if not eligible:
+            raise ClusteringError(
+                f"no sampled k meets defect <= {max_defect}; smallest "
+                f"observed defect is {min(p.defect for p in sweep.points)}"
+            )
+        return self.extract(k=min(eligible))
+
+
+def _override_program(stage1: PerfectTyping, program: TypingProgram) -> PerfectTyping:
+    """A stage-1 result with its program swapped (for the roles variant)."""
+    if program is stage1.program:
+        return stage1
+    return PerfectTyping(
+        program=program,
+        home_type=stage1.home_type,
+        extents=stage1.extents,
+        weights={name: stage1.weights.get(name, 0) for name in program.type_names()},
+        q_iterations=stage1.q_iterations,
+    )

@@ -1,0 +1,137 @@
+"""A-priori typing knowledge (the Section 2 integration extension).
+
+The paper: "A more intense extension to our framework would be to
+consider some a priori knowledge of the typing.  This may often occur
+in practice for instance if we attempt to integrate data with a known
+structure to semistructured data discovered on the net."
+
+A :class:`PriorKnowledge` bundles *known* type definitions (e.g. the
+schema of a structured source being integrated) and, optionally, the
+objects known to belong to them.  :func:`combine_with_stage1` welds the
+prior onto a Stage 1 result:
+
+* the known rules join the program (their names must not collide with
+  the canonical ``t<i>`` Stage 1 names);
+* known objects gain the known type as an extra home (they keep their
+  discovered home too — integration does not erase discovery);
+* the known types are *frozen* for Stage 2: they may absorb discovered
+  types (that is the point — folding discovered structure into the
+  known schema) but are never absorbed away or untyped.
+
+The pipeline exposes this as ``SchemaExtractor(db, prior=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, FrozenSet, Mapping
+
+from repro.core.perfect import PerfectTyping
+from repro.core.typing_program import TypingProgram
+from repro.exceptions import TypingError
+from repro.graph.database import ObjectId
+
+
+@dataclass(frozen=True)
+class PriorKnowledge:
+    """Known types and (optionally) their known members.
+
+    Attributes
+    ----------
+    program:
+        The known type definitions.  Bodies may reference other known
+        types and the atomic type; they cannot reference discovered
+        types (those do not exist yet when the prior is written).
+    assignment:
+        Optional object -> set-of-known-types map for objects whose
+        classification is already trusted (e.g. rows imported from the
+        structured source).
+    weight_boost:
+        Extra weight added to every known type on top of its known
+        member count.  Known types representing large external sources
+        should be heavy so the asymmetric distance prefers moving
+        discovered types *into* them; the default of 0 trusts the
+        member counts.
+    """
+
+    program: TypingProgram
+    assignment: Mapping[ObjectId, AbstractSet[str]] = field(default_factory=dict)
+    weight_boost: float = 0.0
+
+    def __post_init__(self) -> None:
+        known = set(self.program.type_names())
+        for obj, types in self.assignment.items():
+            stray = set(types) - known
+            if stray:
+                raise TypingError(
+                    f"object {obj!r} assigned to undefined prior "
+                    f"types {sorted(stray)}"
+                )
+        if self.weight_boost < 0:
+            raise TypingError("weight_boost must be non-negative")
+
+    @property
+    def type_names(self) -> FrozenSet[str]:
+        """Names of the known types."""
+        return frozenset(self.program.type_names())
+
+
+@dataclass(frozen=True)
+class CombinedStart:
+    """Stage 2 starting point with the prior welded in."""
+
+    program: TypingProgram
+    assignment: Dict[ObjectId, FrozenSet[str]]
+    weights: Dict[str, float]
+    frozen: FrozenSet[str]
+
+
+def combine_with_stage1(
+    stage1: PerfectTyping,
+    prior: PriorKnowledge,
+    base_assignment: "Mapping[ObjectId, AbstractSet[str]] | None" = None,
+    base_weights: "Mapping[str, float] | None" = None,
+) -> CombinedStart:
+    """Weld a prior onto a Stage 1 result (see module docstring).
+
+    ``base_assignment``/``base_weights`` default to the Stage 1 homes
+    and weights; pass the role-decomposed ones to combine with roles.
+    """
+    if base_assignment is None:
+        base_assignment = stage1.assignment()
+    if base_weights is None:
+        base_weights = {n: float(w) for n, w in stage1.weights.items()}
+
+    collisions = set(prior.type_names) & {
+        rule.name for rule in stage1.program.rules()
+    }
+    if collisions:
+        raise TypingError(
+            f"prior type names collide with discovered types: "
+            f"{sorted(collisions)}"
+        )
+
+    program = stage1.program.with_rules(prior.program.rules())
+
+    assignment: Dict[ObjectId, FrozenSet[str]] = {
+        obj: frozenset(types) for obj, types in base_assignment.items()
+    }
+    for obj, types in prior.assignment.items():
+        assignment[obj] = assignment.get(obj, frozenset()) | frozenset(types)
+
+    weights: Dict[str, float] = {
+        name: float(base_weights.get(name, 0.0))
+        for name in program.type_names()
+    }
+    for name in prior.type_names:
+        known_members = sum(
+            1 for types in prior.assignment.values() if name in types
+        )
+        weights[name] = known_members + prior.weight_boost
+
+    return CombinedStart(
+        program=program,
+        assignment=assignment,
+        weights=weights,
+        frozen=prior.type_names,
+    )

@@ -1,0 +1,280 @@
+"""Stage 3: recasting the data within the chosen types (Section 6).
+
+After Stage 2 the program has ``k`` types, but objects no longer
+necessarily *satisfy* their home types (merging introduced defect), so
+the pure greatest-fixpoint semantics "does not mix well" with the
+clustering output.  This module implements the paper's resolution
+options:
+
+* ``RecastMode.STRICT`` — memberships are the GFP extents of the final
+  program: an object belongs to every type whose predicate it satisfies
+  recursively.  Objects satisfying no type are handled by the fallback.
+* ``RecastMode.HOME_GUIDED`` — objects keep the home type(s) Stage 2
+  assigned them (the defect measure prices the missing links), *plus*
+  every type they satisfy one-step under the home assignment.  This is
+  the paper's "classify objects based on the typed links suggested by
+  their home type".
+
+Fallback: an object with no membership is assigned to the **closest**
+type under the simple Manhattan distance ``d`` between the object's
+local picture and the rule body (Section 6's rule for new objects), or
+left untyped when ``fallback="none"``.  Objects whose Stage 2 home was
+explicitly the empty type stay untyped — that was the point of the
+empty type.
+
+:func:`type_new_object` applies the same rules to a previously unseen
+object, the paper's incremental-typing story.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.distance import manhattan_bodies
+from repro.core.fixpoint import greatest_fixpoint
+from repro.core.typing_program import (
+    Direction,
+    TypedLink,
+    TypeRule,
+    TypingProgram,
+)
+from repro.exceptions import RecastError
+from repro.graph.database import Database, ObjectId
+
+Assignment = Mapping[ObjectId, AbstractSet[str]]
+
+
+class RecastMode(enum.Enum):
+    """Membership policy for Stage 3 (see module docstring)."""
+
+    STRICT = "strict"
+    HOME_GUIDED = "home-guided"
+
+
+@dataclass(frozen=True)
+class RecastResult:
+    """Outcome of Stage 3.
+
+    Attributes
+    ----------
+    assignment:
+        Final object -> set-of-types map (empty set = untyped).
+    extents:
+        The same data inverted: type -> set of member objects.
+    fallback_objects:
+        Objects that satisfied no type and were placed by the
+        closest-type rule.
+    untyped_objects:
+        Objects left with no type at all.
+    """
+
+    assignment: Dict[ObjectId, FrozenSet[str]]
+    extents: Dict[str, FrozenSet[ObjectId]]
+    fallback_objects: FrozenSet[ObjectId]
+    untyped_objects: FrozenSet[ObjectId]
+
+    def types_of(self, obj: ObjectId) -> FrozenSet[str]:
+        """Types assigned to ``obj`` (empty when untyped/unknown)."""
+        return self.assignment.get(obj, frozenset())
+
+
+def object_local_body(
+    db: Database, obj: ObjectId, reference: Assignment,
+    include_sorts: bool = False,
+) -> FrozenSet[TypedLink]:
+    """The object's local picture as typed links, typing neighbours by
+    the ``reference`` assignment.
+
+    Outgoing edges to atomic objects yield ``->l^0``; edges to/from a
+    complex neighbour yield one typed link per type the reference
+    assigns to the neighbour (a neighbour with several roles witnesses
+    several typed links).  Unassigned neighbours contribute nothing —
+    their edges cannot witness any typed link.
+
+    With ``include_sorts`` every atomic edge *additionally* yields its
+    sorted link ``->l^0:<sort>``, so subset tests also work against
+    programs using the Remark 2.1 sort refinement; plain programs keep
+    the exact paper distances by leaving it off.
+    """
+    from repro.core.sorts import sort_of
+    from repro.core.typing_program import atomic_target
+
+    body: Set[TypedLink] = set()
+    empty: FrozenSet[str] = frozenset()
+    for edge in db.out_edges(obj):
+        if db.is_atomic(edge.dst):
+            body.add(TypedLink.to_atomic(edge.label))
+            if include_sorts:
+                body.add(
+                    TypedLink(
+                        Direction.OUT,
+                        edge.label,
+                        atomic_target(sort_of(db.value(edge.dst))),
+                    )
+                )
+        else:
+            for type_name in reference.get(edge.dst, empty):
+                body.add(TypedLink.outgoing(edge.label, type_name))
+    for edge in db.in_edges(obj):
+        for type_name in reference.get(edge.src, empty):
+            body.add(TypedLink.incoming(edge.label, type_name))
+    return frozenset(body)
+
+
+def satisfied_types(
+    program: TypingProgram,
+    db: Database,
+    obj: ObjectId,
+    reference: Assignment,
+) -> FrozenSet[str]:
+    """Types whose body ``obj`` satisfies *one-step* under ``reference``.
+
+    This is the non-fixpoint satisfaction check used by
+    ``HOME_GUIDED`` recasting and by new-object typing: neighbours are
+    typed by the reference assignment rather than recursively.
+    """
+    uses_sorts = any(
+        link.sort is not None for link in program.typed_links()
+    )
+    local = object_local_body(db, obj, reference, include_sorts=uses_sorts)
+    return frozenset(
+        rule.name for rule in program.rules() if rule.body <= local
+    )
+
+
+def closest_type(
+    program: TypingProgram,
+    db: Database,
+    obj: ObjectId,
+    reference: Assignment,
+) -> Tuple[str, int]:
+    """The type minimising ``d(local picture of obj, body)``.
+
+    Ties break toward the smaller body, then the lexicographically
+    smaller name, so results are deterministic.
+    """
+    if len(program) == 0:
+        raise RecastError("cannot pick a closest type from an empty program")
+    uses_sorts = any(
+        link.sort is not None for link in program.typed_links()
+    )
+    local = object_local_body(db, obj, reference, include_sorts=uses_sorts)
+    best: Optional[Tuple[int, int, str]] = None
+    for rule in program.rules():
+        d = manhattan_bodies(local, rule.body)
+        key = (d, len(rule.body), rule.name)
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best[2], best[0]
+
+
+def recast(
+    program: TypingProgram,
+    db: Database,
+    home: Optional[Assignment] = None,
+    mode: RecastMode = RecastMode.HOME_GUIDED,
+    fallback: str = "closest",
+) -> RecastResult:
+    """Run Stage 3 and return the final object-to-types assignment.
+
+    Parameters
+    ----------
+    program:
+        The final (Stage 2) typing program.
+    db:
+        The database to recast.
+    home:
+        The Stage 2 home assignment (object -> set of types; an empty
+        set means "explicitly untyped" and is honoured).  Required for
+        ``HOME_GUIDED`` mode; optional for ``STRICT``.
+    mode:
+        See :class:`RecastMode`.
+    fallback:
+        ``"closest"`` (default) assigns objects that satisfied nothing
+        to the closest type by ``d``; ``"none"`` leaves them untyped.
+    """
+    if fallback not in ("closest", "none"):
+        raise RecastError(f"unknown fallback {fallback!r}")
+    if mode is RecastMode.HOME_GUIDED and home is None:
+        raise RecastError("HOME_GUIDED recasting requires a home assignment")
+
+    assignment: Dict[ObjectId, Set[str]] = {
+        obj: set() for obj in db.complex_objects()
+    }
+
+    if mode is RecastMode.STRICT:
+        fixpoint = greatest_fixpoint(program, db)
+        for type_name, members in fixpoint.extents.items():
+            for obj in members:
+                assignment[obj].add(type_name)
+    else:
+        assert home is not None
+        for obj in assignment:
+            homes = home.get(obj)
+            if homes:
+                assignment[obj].update(t for t in homes if t in program)
+        # Add every type satisfied one-step under the home assignment.
+        for obj in assignment:
+            assignment[obj].update(satisfied_types(program, db, obj, home))
+
+    explicitly_untyped: Set[ObjectId] = set()
+    if home is not None:
+        explicitly_untyped = {
+            obj for obj, homes in home.items() if not homes
+        }
+
+    fallback_objects: Set[ObjectId] = set()
+    if fallback == "closest" and len(program) > 0:
+        reference: Assignment = {
+            obj: frozenset(types) for obj, types in assignment.items()
+        }
+        for obj, types in assignment.items():
+            if types or obj in explicitly_untyped:
+                continue
+            chosen, _ = closest_type(program, db, obj, reference)
+            types.add(chosen)
+            fallback_objects.add(obj)
+
+    final = {obj: frozenset(types) for obj, types in assignment.items()}
+    extents: Dict[str, Set[ObjectId]] = {name: set() for name in program.type_names()}
+    for obj, types in final.items():
+        for type_name in types:
+            extents[type_name].add(obj)
+    return RecastResult(
+        assignment=final,
+        extents={name: frozenset(members) for name, members in extents.items()},
+        fallback_objects=frozenset(fallback_objects),
+        untyped_objects=frozenset(o for o, t in final.items() if not t),
+    )
+
+
+def type_new_object(
+    program: TypingProgram,
+    db: Database,
+    obj: ObjectId,
+    reference: Assignment,
+) -> FrozenSet[str]:
+    """Type an object that was not used to derive the program.
+
+    Section 6: assign the object to every type it satisfies completely;
+    if there is none, assign it to the closest type under ``d``.
+    """
+    satisfied = satisfied_types(program, db, obj, reference)
+    if satisfied:
+        return satisfied
+    if len(program) == 0:
+        return frozenset()
+    chosen, _ = closest_type(program, db, obj, reference)
+    return frozenset([chosen])

@@ -1,0 +1,219 @@
+"""Sensitivity analysis: defect as a function of the number of types.
+
+Section 7.2 argues that instead of fixing ``k`` in advance one should
+sweep it from the size of the minimal perfect typing down to 1 and
+look at the trade-off between the defect and the size of the program
+(Figure 6).  For non-random semistructured data there is usually a
+small *optimal range* of ``k`` — 6–10 for the DBG dataset — where the
+defect curve flattens.
+
+:func:`sensitivity_sweep` drives a :class:`~repro.core.clustering.GreedyMerger`
+one merge at a time, and at every (sampled) ``k`` recasts the data and
+measures the defect, producing the two Figure 6 series:
+
+* ``total distance`` — the cumulative ``delta`` cost of the merges
+  performed so far (monotone non-increasing in ``k``), and
+* ``defect`` — excess + deficit of the recast data at that ``k``.
+
+Knee detection (:func:`find_knee`) uses the standard
+maximum-distance-to-chord rule on the defect curve, and
+:func:`optimal_range` returns the paper's "small range": the ``k``
+values beyond the knee whose extra types buy less than a tolerance
+fraction of the total defect drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.clustering import GreedyMerger, MergePolicy
+from repro.core.defect import compute_defect
+from repro.core.distance import WeightedDistance, delta_2
+from repro.core.perfect import PerfectTyping, minimal_perfect_typing
+from repro.core.recast import RecastMode, recast
+from repro.exceptions import ClusteringError
+from repro.graph.database import Database, ObjectId
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One sample of the Figure 6 curves."""
+
+    k: int  #: number of types.
+    total_distance: float  #: cumulative merge cost down to this ``k``.
+    defect: int  #: excess + deficit after recasting with ``k`` types.
+    excess: int
+    deficit: int
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """The full sweep, sorted by ascending ``k``."""
+
+    points: Tuple[SensitivityPoint, ...]
+
+    def series(self) -> Tuple[List[int], List[float], List[int]]:
+        """``(ks, total_distances, defects)`` as parallel lists."""
+        ks = [p.k for p in self.points]
+        return ks, [p.total_distance for p in self.points], [p.defect for p in self.points]
+
+    def point_at(self, k: int) -> SensitivityPoint:
+        """The sample at exactly ``k`` (raises ``KeyError`` if unsampled)."""
+        for point in self.points:
+            if point.k == k:
+                return point
+        raise KeyError(k)
+
+    def knee(self) -> int:
+        """Convenience wrapper over :func:`find_knee`."""
+        return find_knee(self.points)
+
+    def optimal_range(self, tolerance: float = 0.05) -> Tuple[int, int]:
+        """Convenience wrapper over :func:`optimal_range`."""
+        return optimal_range(self.points, tolerance=tolerance)
+
+
+def find_knee(points: Sequence[SensitivityPoint]) -> int:
+    """The ``k`` of maximum perpendicular distance to the defect chord.
+
+    The chord joins the first (smallest ``k``) and last (largest ``k``)
+    samples of the defect curve; the sample farthest below/above the
+    chord is the knee — the classic "elbow" rule.  With fewer than
+    three samples the smallest ``k`` wins.
+    """
+    if not points:
+        raise ClusteringError("cannot find a knee of an empty sweep")
+    pts = sorted(points, key=lambda p: p.k)
+    if len(pts) < 3:
+        return pts[0].k
+    x0, y0 = float(pts[0].k), float(pts[0].defect)
+    x1, y1 = float(pts[-1].k), float(pts[-1].defect)
+    dx, dy = x1 - x0, y1 - y0
+    norm = (dx * dx + dy * dy) ** 0.5
+    if norm == 0:
+        return pts[0].k
+    best_k, best_dist = pts[0].k, -1.0
+    for point in pts:
+        dist = abs(dy * (point.k - x0) - dx * (point.defect - y0)) / norm
+        if dist > best_dist:
+            best_k, best_dist = point.k, dist
+    return best_k
+
+
+def optimal_range(
+    points: Sequence[SensitivityPoint], tolerance: float = 0.03
+) -> Tuple[int, int]:
+    """The paper's "small range" ``[k_lo, k_hi]`` of near-optimal ``k``.
+
+    ``k_lo`` is the knee.  Walking up from the knee, the range extends
+    while the accumulated defect improvement stays below ``tolerance``
+    times the total defect drop of the curve — i.e. it ends at the
+    first ``k`` whose extra types have bought a material improvement
+    over the knee (on the DBG curve this yields the paper's 6–10 style
+    plateau rather than running to the perfect typing, whose defect is
+    trivially 0).
+    """
+    pts = sorted(points, key=lambda p: p.k)
+    knee_k = find_knee(pts)
+    knee_defect = next(p.defect for p in pts if p.k == knee_k)
+    total_drop = max(p.defect for p in pts) - min(p.defect for p in pts)
+    threshold = tolerance * total_drop
+    k_hi = knee_k
+    for point in pts:
+        if point.k <= knee_k:
+            continue
+        if knee_defect - point.defect >= threshold:
+            break
+        k_hi = point.k
+    return knee_k, k_hi
+
+
+def sensitivity_sweep(
+    db: Database,
+    stage1: Optional[PerfectTyping] = None,
+    assignment: Optional[Mapping[ObjectId, FrozenSet[str]]] = None,
+    weights: Optional[Mapping[str, float]] = None,
+    distance: WeightedDistance = delta_2,
+    policy: MergePolicy = MergePolicy.ABSORB,
+    allow_empty_type: bool = False,
+    mode: RecastMode = RecastMode.HOME_GUIDED,
+    min_k: int = 1,
+    max_k: Optional[int] = None,
+    step: int = 1,
+    frozen: Optional[FrozenSet[str]] = None,
+) -> SensitivityResult:
+    """Sweep ``k`` from the perfect typing size down to ``min_k``.
+
+    Parameters
+    ----------
+    db:
+        The database.
+    stage1:
+        A precomputed Stage 1 result (computed on demand otherwise).
+    assignment, weights:
+        Starting home assignment / weights; default to the Stage 1 home
+        types (pass the role-decomposed ones to sweep with roles).
+    distance, policy, allow_empty_type:
+        Stage 2 knobs (see :class:`GreedyMerger`).
+    mode:
+        Recast mode used when measuring the defect at each ``k``.
+    min_k, max_k:
+        Sweep bounds; ``max_k`` defaults to the Stage 1 type count.
+        With frozen types, ``min_k`` is clamped to their number.
+    step:
+        Sample every ``step``-th ``k`` (1 = every ``k``); the endpoints
+        are always sampled.
+
+    Returns a :class:`SensitivityResult` sorted by ascending ``k``.
+    """
+    if stage1 is None:
+        stage1 = minimal_perfect_typing(db)
+    if assignment is None:
+        assignment = stage1.assignment()
+    if weights is None:
+        weights = {name: float(w) for name, w in stage1.weights.items()}
+
+    merger = GreedyMerger(
+        stage1.program,
+        weights,
+        distance=distance,
+        policy=policy,
+        allow_empty_type=allow_empty_type,
+        frozen=frozen,
+    )
+    n = merger.num_types
+    if max_k is None or max_k > n:
+        max_k = n
+    min_k = max(1, min_k, len(frozen or ()))
+
+    sample_ks = set(range(min_k, max_k + 1, step))
+    sample_ks.add(min_k)
+    sample_ks.add(max_k)
+
+    points: List[SensitivityPoint] = []
+
+    def sample() -> None:
+        snapshot = merger.result()
+        home = snapshot.map_assignment(assignment)
+        recast_result = recast(snapshot.program, db, home=home, mode=mode)
+        report = compute_defect(snapshot.program, db, recast_result.assignment)
+        points.append(
+            SensitivityPoint(
+                k=merger.num_types,
+                total_distance=merger.total_cost,
+                defect=report.total,
+                excess=report.excess.count,
+                deficit=report.deficit.count,
+            )
+        )
+
+    if merger.num_types in sample_ks:
+        sample()
+    while merger.num_types > min_k:
+        merger.step()
+        if merger.num_types in sample_ks:
+            sample()
+
+    points.sort(key=lambda p: p.k)
+    return SensitivityResult(points=tuple(points))

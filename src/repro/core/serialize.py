@@ -1,0 +1,126 @@
+"""Persisting extraction results.
+
+A schema is only useful if it outlives the process that extracted it
+(the paper's QBE-interface and optimizer motivations assume the typing
+is *stored*).  An extraction is saved as a single JSON document with
+three parts:
+
+* the program, in the paper's arrow notation (human-readable and
+  diffable — the same text ``parse_program`` accepts);
+* the object assignment (object -> sorted list of types);
+* metadata: defect numbers, chosen k, library version.
+
+Round-trip: ``load_extraction(dumps_extraction(...))`` restores the
+program and assignment exactly; the defect can be recomputed against
+the database to verify integrity (``verify=True``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.core.defect import compute_defect
+from repro.core.notation import format_program, parse_program
+from repro.core.pipeline import ExtractionResult
+from repro.core.typing_program import TypingProgram
+from repro.exceptions import ReproError
+from repro.graph.database import Database, ObjectId
+
+_FORMAT = "repro-extraction/1"
+
+
+@dataclass(frozen=True)
+class StoredExtraction:
+    """A deserialized extraction: program + assignment + metadata."""
+
+    program: TypingProgram
+    assignment: Dict[ObjectId, FrozenSet[str]]
+    defect_total: int
+    chosen_k: int
+
+    def types_of(self, obj: ObjectId) -> FrozenSet[str]:
+        """Types of one object (empty when unknown)."""
+        return self.assignment.get(obj, frozenset())
+
+
+def dumps_extraction(result: ExtractionResult) -> str:
+    """Serialise an :class:`ExtractionResult` to a JSON string."""
+    from repro import __version__
+
+    document = {
+        "format": _FORMAT,
+        "version": __version__,
+        "chosen_k": result.chosen_k,
+        "defect": {
+            "total": result.defect.total,
+            "excess": result.defect.excess.count,
+            "deficit": result.defect.deficit.count,
+        },
+        "program": format_program(result.program),
+        "assignment": {
+            obj: sorted(types) for obj, types in sorted(result.assignment.items())
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def loads_extraction(text: str) -> StoredExtraction:
+    """Parse a JSON document produced by :func:`dumps_extraction`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed extraction document: {exc}") from exc
+    if document.get("format") != _FORMAT:
+        raise ReproError(
+            f"unsupported extraction format {document.get('format')!r}"
+        )
+    program = parse_program(document["program"])
+    assignment = {
+        obj: frozenset(types)
+        for obj, types in document["assignment"].items()
+    }
+    known = set(program.type_names())
+    for obj, types in assignment.items():
+        stray = types - known
+        if stray:
+            raise ReproError(
+                f"assignment of {obj!r} references unknown types "
+                f"{sorted(stray)}"
+            )
+    return StoredExtraction(
+        program=program,
+        assignment=assignment,
+        defect_total=int(document["defect"]["total"]),
+        chosen_k=int(document["chosen_k"]),
+    )
+
+
+def save_extraction(result: ExtractionResult, path: str) -> None:
+    """Write an extraction to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_extraction(result))
+
+
+def load_extraction(
+    path: str, db: Optional[Database] = None, verify: bool = False
+) -> StoredExtraction:
+    """Read an extraction from ``path``.
+
+    With ``verify=True`` (requires ``db``) the stored defect total is
+    recomputed against the database and a mismatch raises — catching
+    both corrupted files and databases that drifted since extraction.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        stored = loads_extraction(handle.read())
+    if verify:
+        if db is None:
+            raise ReproError("verify=True requires the database")
+        recomputed = compute_defect(stored.program, db, stored.assignment)
+        if recomputed.total != stored.defect_total:
+            raise ReproError(
+                f"stored defect {stored.defect_total} does not match "
+                f"recomputed {recomputed.total}; the database has drifted"
+            )
+    return stored

@@ -1,0 +1,130 @@
+"""Multiple atomic sorts (the Remark 2.1 extension).
+
+The paper assigns *all* atomic objects to ``type_0`` but notes: "In
+practice, however, it is often easy to separate the atomic values into
+different sorts, e.g., integer, string, gif, sound ... It is
+straightforward to extend the framework to handle multiple atomic
+types."
+
+This module is that extension.  A *sort* is a name for a class of
+atomic values; :func:`sort_of` implements a practical default
+classifier (int / float / bool / date / email / url / string / none).
+Sorted typed links carry the sort in their target — ``->age^0:int`` —
+and are recognised by the fixpoint engine, the defect measures and the
+notation, because the target merely *refines* :data:`ATOMIC`:
+``0:int`` still "is" an atomic target (see
+:meth:`repro.core.typing_program.TypedLink.is_atomic_target`).
+
+Stage 1 opts in via ``minimal_perfect_typing_with_sorts`` here (a thin
+wrapper that rewrites local pictures before the usual collapse), and
+any hand-written program may mix plain ``^0`` links with sorted ones —
+a plain atomic link is satisfied by an atomic value of any sort.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, FrozenSet
+
+from repro.core.typing_program import (
+    ATOMIC,
+    Direction,
+    TypedLink,
+    TypeRule,
+    TypingProgram,
+    atomic_target,
+)
+from repro.graph.database import Database, ObjectId
+
+#: Signature of a value classifier.
+SortClassifier = Callable[[Any], str]
+
+_DATE_RE = re.compile(
+    r"^\d{4}-\d{2}-\d{2}$|^\d{1,2}/\d{1,2}/\d{2,4}$"
+)
+_EMAIL_RE = re.compile(r"^[^@\s]+@[^@\s]+\.[^@\s]+$")
+_URL_RE = re.compile(r"^https?://\S+$", re.IGNORECASE)
+
+
+def sort_of(value: Any) -> str:
+    """The default sort of a Python value.
+
+    Sorts: ``none``, ``bool``, ``int``, ``float``, ``date``, ``email``,
+    ``url``, ``string`` (the catch-all).  Strings holding numerals are
+    *not* coerced — a string ``"42"`` is a ``string``; sources that want
+    coercion can pre-process values or supply their own classifier.
+    """
+    if value is None:
+        return "none"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        if _DATE_RE.match(value):
+            return "date"
+        if _EMAIL_RE.match(value):
+            return "email"
+        if _URL_RE.match(value):
+            return "url"
+        return "string"
+    return type(value).__name__
+
+
+def sorted_local_rule(
+    db: Database,
+    obj: ObjectId,
+    classifier: SortClassifier = sort_of,
+) -> TypeRule:
+    """The local picture of ``obj`` with sorted atomic targets.
+
+    Like :func:`repro.core.perfect.local_rule` but every edge to an
+    atomic object yields ``->l^0:<sort>`` instead of ``->l^0``.
+    """
+    from repro.core.perfect import object_type_name
+
+    body = set()
+    for edge in db.out_edges(obj):
+        if db.is_atomic(edge.dst):
+            body.add(
+                TypedLink(
+                    Direction.OUT,
+                    edge.label,
+                    atomic_target(classifier(db.value(edge.dst))),
+                )
+            )
+        else:
+            body.add(TypedLink.outgoing(edge.label, object_type_name(edge.dst)))
+    for edge in db.in_edges(obj):
+        body.add(TypedLink.incoming(edge.label, object_type_name(edge.src)))
+    return TypeRule(object_type_name(obj), frozenset(body))
+
+
+def minimal_perfect_typing_with_sorts(db: Database):
+    """Stage 1 with sorted atomic targets.
+
+    Identical to :func:`repro.core.perfect.minimal_perfect_typing`
+    except that local pictures distinguish atomic sorts, so e.g.
+    objects whose ``year`` is an integer separate from objects whose
+    ``year`` is a string — the refinement Remark 2.1 promises.
+
+    Always uses the default :func:`sort_of` classifier: the fixpoint
+    engine, defect measures and recasting evaluate sorted typed links
+    with that same classifier, so a custom one would silently disagree
+    at evaluation time.  To use custom sorts, pre-process values in the
+    database instead.
+    """
+    from repro.core.perfect import minimal_perfect_typing
+
+    return minimal_perfect_typing(db, local_rule_fn=sorted_local_rule)
+
+
+def sorts_used(program: TypingProgram) -> FrozenSet[str]:
+    """All atomic sorts mentioned by a program's typed links."""
+    out = set()
+    for link in program.typed_links():
+        if link.is_atomic_target and link.target != ATOMIC:
+            out.add(link.target.split(":", 1)[1])
+    return frozenset(out)

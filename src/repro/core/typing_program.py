@@ -1,0 +1,412 @@
+"""The restricted monadic-datalog typing language of Section 2.
+
+A *typing program* has exactly two extensional relations — ``link`` and
+``atomic`` — and only monadic intensional relations (the *types*).
+Every type is defined by a single rule whose body is a conjunction of
+*typed links*; each typed link takes one of three forms::
+
+    link(Y, X, l) & c'(Y)        incoming l-edge from type c'
+    link(X, Y, l) & c'(Y)        outgoing l-edge to type c'
+    link(X, Y, l) & atomic(Y,Z)  outgoing l-edge to an atomic object
+
+where ``X`` is the head variable and ``Y``/``Z`` are fresh per typed
+link.  The paper abbreviates these as a left/right arrow over the label
+with the target type as superscript; atomic targets use the reserved
+superscript ``0`` (all atomic objects live in ``type_0``).
+
+This module defines the immutable AST — :class:`TypedLink`,
+:class:`TypeRule`, :class:`TypingProgram` — together with renaming
+(needed by the Stage 2 "hypercube diagonal projection") and datalog
+rendering.  The arrow notation lives in :mod:`repro.core.notation`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.exceptions import MalformedRuleError, UnknownTypeError
+
+#: Reserved name of the atomic type (the paper's ``type_0``).  It may
+#: appear as a typed-link target but can never be defined by a rule.
+ATOMIC = "0"
+
+_ATOMIC_SORT_PREFIX = ATOMIC + ":"
+
+
+def atomic_target(sort: Optional[str] = None) -> str:
+    """The typed-link target for an atomic object of ``sort``.
+
+    ``None`` yields the plain paper target ``0`` (any atomic value);
+    a sort yields the Remark 2.1 refinement ``0:<sort>`` (see
+    :mod:`repro.core.sorts`).
+    """
+    if sort is None:
+        return ATOMIC
+    if not sort:
+        raise MalformedRuleError("atomic sort must be non-empty")
+    return f"{_ATOMIC_SORT_PREFIX}{sort}"
+
+
+def is_atomic_name(target: str) -> bool:
+    """Whether a typed-link target denotes the atomic type (any sort)."""
+    return target == ATOMIC or target.startswith(_ATOMIC_SORT_PREFIX)
+
+
+def atomic_sort(target: str) -> Optional[str]:
+    """The sort refinement of an atomic target (``None`` when plain)."""
+    if target.startswith(_ATOMIC_SORT_PREFIX):
+        return target[len(_ATOMIC_SORT_PREFIX):]
+    return None
+
+
+class Direction(enum.Enum):
+    """Orientation of a typed link relative to the head variable."""
+
+    IN = "in"  #: ``link(Y, X, l)`` — the edge points *at* the object.
+    OUT = "out"  #: ``link(X, Y, l)`` — the edge leaves the object.
+
+    def __repr__(self) -> str:
+        return f"Direction.{self.name}"
+
+
+@dataclass(frozen=True, order=True)
+class TypedLink:
+    """One conjunct of a type rule.
+
+    Attributes
+    ----------
+    direction:
+        :attr:`Direction.IN` or :attr:`Direction.OUT`.
+    label:
+        The edge label the conjunct requires.
+    target:
+        The type of the object at the far end — a type name, or
+        :data:`ATOMIC` for form 3.  Incoming links cannot have an atomic
+        source (atomic objects have no outgoing edges), so
+        ``(IN, l, ATOMIC)`` is rejected.
+    """
+
+    direction: Direction
+    label: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.direction is Direction.IN and is_atomic_name(self.target):
+            raise MalformedRuleError(
+                f"incoming link {self.label!r} cannot come from an atomic "
+                "object (atomic objects have no outgoing edges)"
+            )
+        if not self.label:
+            raise MalformedRuleError("typed link requires a non-empty label")
+        if not self.target:
+            raise MalformedRuleError("typed link requires a non-empty target")
+
+    @property
+    def is_atomic_target(self) -> bool:
+        """Whether this is form 3 (outgoing edge to an atomic object).
+
+        Covers the plain paper target ``0`` and the sorted refinements
+        ``0:<sort>`` of Remark 2.1 (:mod:`repro.core.sorts`).
+        """
+        return is_atomic_name(self.target)
+
+    @property
+    def sort(self) -> Optional[str]:
+        """The atomic sort required, if any (``None`` for plain ``^0``
+        and for complex targets)."""
+        return atomic_sort(self.target) if is_atomic_name(self.target) else None
+
+    def rename(self, mapping: Mapping[str, str]) -> "TypedLink":
+        """Replace the target type according to ``mapping`` (if present)."""
+        new_target = mapping.get(self.target, self.target)
+        if new_target == self.target:
+            return self
+        return TypedLink(self.direction, self.label, new_target)
+
+    @staticmethod
+    def incoming(label: str, source_type: str) -> "TypedLink":
+        """Form 1: ``link(Y, X, label) & source_type(Y)``."""
+        return TypedLink(Direction.IN, label, source_type)
+
+    @staticmethod
+    def outgoing(label: str, target_type: str) -> "TypedLink":
+        """Form 2: ``link(X, Y, label) & target_type(Y)``."""
+        return TypedLink(Direction.OUT, label, target_type)
+
+    @staticmethod
+    def to_atomic(label: str) -> "TypedLink":
+        """Form 3: ``link(X, Y, label) & atomic(Y, Z)``."""
+        return TypedLink(Direction.OUT, label, ATOMIC)
+
+    def __str__(self) -> str:
+        arrow = "<-" if self.direction is Direction.IN else "->"
+        return f"{arrow}{self.label}^{self.target}"
+
+
+@dataclass(frozen=True)
+class TypeRule:
+    """A single type definition: head name plus a set of typed links.
+
+    The body is a *set* — repeated conjuncts are meaningless in the
+    language (fresh variables per conjunct) and the hypercube embedding
+    of Stage 2 relies on set semantics.
+    """
+
+    name: str
+    body: FrozenSet[TypedLink] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MalformedRuleError("type rule requires a non-empty name")
+        if self.name == ATOMIC:
+            raise MalformedRuleError(
+                f"the atomic type {ATOMIC!r} cannot be defined by a rule"
+            )
+        object.__setattr__(self, "body", frozenset(self.body))
+
+    @property
+    def size(self) -> int:
+        """Number of typed links in the body (the rule's hypercube point
+        has exactly this many coordinates set)."""
+        return len(self.body)
+
+    def targets(self) -> FrozenSet[str]:
+        """All type names referenced by the body (including ``ATOMIC``)."""
+        return frozenset(link.target for link in self.body)
+
+    def rename_targets(self, mapping: Mapping[str, str]) -> "TypeRule":
+        """Rewrite body targets; used when Stage 2 coalesces types.
+
+        Duplicate typed links created by the renaming collapse (set
+        semantics), which is exactly the paper's "projection on the
+        hypercube diagonals".
+        """
+        return TypeRule(self.name, frozenset(l.rename(mapping) for l in self.body))
+
+    def with_name(self, name: str) -> "TypeRule":
+        """The same body under a different head name."""
+        return TypeRule(name, self.body)
+
+    def sorted_body(self) -> List[TypedLink]:
+        """Body in a stable display order: outgoing first, then label."""
+        return sorted(
+            self.body, key=lambda l: (l.direction is Direction.IN, l.label, l.target)
+        )
+
+    def to_datalog(self) -> str:
+        """Render as a datalog rule with explicit ``link``/``atomic`` atoms."""
+        conjuncts: List[str] = []
+        fresh = 0
+        for link in self.sorted_body():
+            fresh += 1
+            y = f"Y{fresh}"
+            if link.direction is Direction.IN:
+                conjuncts.append(f"link({y}, X, {link.label}) & type_{link.target}({y})")
+            elif link.is_atomic_target:
+                conjuncts.append(f"link(X, {y}, {link.label}) & atomic({y}, Z{fresh})")
+            else:
+                conjuncts.append(f"link(X, {y}, {link.label}) & type_{link.target}({y})")
+        body = " & ".join(conjuncts) if conjuncts else "true"
+        return f"type_{self.name}(X) :- {body}."
+
+    def __str__(self) -> str:
+        body = ", ".join(str(l) for l in self.sorted_body())
+        return f"{self.name} = {body if body else '<empty>'}"
+
+
+class TypingProgram:
+    """An immutable collection of type rules, one per type.
+
+    The program is valid when every complex target referenced in a body
+    is defined by some rule (``ATOMIC`` is always available).
+
+    Example
+    -------
+    >>> person = TypeRule("person", {
+    ...     TypedLink.outgoing("is-manager-of", "firm"),
+    ...     TypedLink.to_atomic("name"),
+    ... })
+    >>> firm = TypeRule("firm", {
+    ...     TypedLink.outgoing("is-managed-by", "person"),
+    ...     TypedLink.to_atomic("name"),
+    ... })
+    >>> program = TypingProgram([person, firm])
+    >>> sorted(program.type_names())
+    ['firm', 'person']
+    """
+
+    def __init__(self, rules: Iterable[TypeRule], check: bool = True) -> None:
+        self._rules: Dict[str, TypeRule] = {}
+        for rule in rules:
+            if rule.name in self._rules:
+                raise MalformedRuleError(
+                    f"type {rule.name!r} defined by more than one rule"
+                )
+            self._rules[rule.name] = rule
+        if check:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`UnknownTypeError` on dangling target references."""
+        for rule in self._rules.values():
+            for target in rule.targets():
+                if not is_atomic_name(target) and target not in self._rules:
+                    raise UnknownTypeError(
+                        f"rule for {rule.name!r} references undefined "
+                        f"type {target!r}"
+                    )
+
+    def type_names(self) -> Iterator[str]:
+        """Names of the defined types (insertion order)."""
+        return iter(self._rules)
+
+    def rules(self) -> Iterator[TypeRule]:
+        """The rules (insertion order)."""
+        return iter(self._rules.values())
+
+    def rule(self, name: str) -> TypeRule:
+        """The rule defining ``name``."""
+        try:
+            return self._rules[name]
+        except KeyError:
+            raise UnknownTypeError(f"no rule for type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypingProgram):
+            return NotImplemented
+        return self._rules == other._rules
+
+    def __repr__(self) -> str:
+        return f"TypingProgram({len(self._rules)} types)"
+
+    def typed_links(self) -> FrozenSet[TypedLink]:
+        """All distinct typed links used by any rule.
+
+        Its cardinality is the paper's ``L`` — the dimensionality of the
+        hypercube on which Stage 2 clusters.
+        """
+        links: set = set()
+        for rule in self._rules.values():
+            links.update(rule.body)
+        return frozenset(links)
+
+    def is_recursive(self) -> bool:
+        """Whether the type-dependency graph has a cycle.
+
+        For non-recursive programs the greatest and least fixpoints
+        coincide (Section 4.1, "Computational Efficiency").
+        """
+        # Kahn's algorithm on the dependency graph (edges rule -> target).
+        dependents: Dict[str, List[str]] = {name: [] for name in self._rules}
+        indegree: Dict[str, int] = {name: 0 for name in self._rules}
+        for rule in self._rules.values():
+            for target in rule.targets():
+                if is_atomic_name(target):
+                    continue
+                dependents[target].append(rule.name)
+                indegree[rule.name] += 1
+        queue = [name for name, deg in indegree.items() if deg == 0]
+        visited = 0
+        while queue:
+            name = queue.pop()
+            visited += 1
+            for dependent in dependents[name]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    queue.append(dependent)
+        return visited != len(self._rules)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_rules(self, rules: Iterable[TypeRule]) -> "TypingProgram":
+        """A new program with ``rules`` added or replacing same-name rules."""
+        merged = dict(self._rules)
+        for rule in rules:
+            merged[rule.name] = rule
+        return TypingProgram(merged.values())
+
+    def without(self, names: AbstractSet[str]) -> "TypingProgram":
+        """A new program with the named types dropped.
+
+        References to dropped types from surviving bodies are dangling
+        and therefore rejected — rename first if that is not intended.
+        """
+        return TypingProgram(
+            [r for r in self._rules.values() if r.name not in names]
+        )
+
+    def rename_types(self, mapping: Mapping[str, str]) -> "TypingProgram":
+        """Rename types in heads and bodies simultaneously.
+
+        Multiple old names may map to the same new name; their rules
+        must agree after renaming (otherwise the merge is ambiguous and
+        a :class:`MalformedRuleError` is raised).  This is the primitive
+        both Stage 1 (equivalence-class collapse) and Stage 2
+        (coalescing) are built on.
+        """
+        if any(is_atomic_name(name) for name in mapping):
+            raise MalformedRuleError(f"the atomic type {ATOMIC!r} cannot be renamed")
+        new_rules: Dict[str, TypeRule] = {}
+        for rule in self._rules.values():
+            renamed = rule.rename_targets(mapping).with_name(
+                mapping.get(rule.name, rule.name)
+            )
+            existing = new_rules.get(renamed.name)
+            if existing is not None and existing.body != renamed.body:
+                raise MalformedRuleError(
+                    f"renaming maps distinct rules onto {renamed.name!r}"
+                )
+            new_rules[renamed.name] = renamed
+        return TypingProgram(new_rules.values())
+
+    def to_datalog(self) -> str:
+        """Render the whole program as datalog text."""
+        return "\n".join(rule.to_datalog() for rule in self._rules.values())
+
+    @staticmethod
+    def empty() -> "TypingProgram":
+        """A program defining no types."""
+        return TypingProgram([])
+
+
+def make_rule(
+    name: str,
+    outgoing: Optional[Iterable[Tuple[str, str]]] = None,
+    incoming: Optional[Iterable[Tuple[str, str]]] = None,
+    atomic: Optional[Iterable[str]] = None,
+) -> TypeRule:
+    """Convenience constructor used heavily by tests and examples.
+
+    ``outgoing``/``incoming`` are ``(label, type)`` pairs; ``atomic``
+    is a list of labels of atomic-valued attributes.
+    """
+    body: set = set()
+    for label, target in outgoing or ():
+        body.add(TypedLink.outgoing(label, target))
+    for label, source in incoming or ():
+        body.add(TypedLink.incoming(label, source))
+    for label in atomic or ():
+        body.add(TypedLink.to_atomic(label))
+    return TypeRule(name, frozenset(body))

@@ -1,0 +1,41 @@
+"""A small general datalog engine (Section 2's formal substrate).
+
+The typing language is a restricted fragment of monadic datalog; this
+subpackage implements the unrestricted substrate so the restricted
+engine in :mod:`repro.core.fixpoint` can be cross-checked against an
+independent implementation:
+
+* :mod:`repro.datalog.ast` — terms, atoms, rules, programs;
+* :mod:`repro.datalog.evaluation` — naive and semi-naive least
+  fixpoints, and the downward greatest fixpoint for positive programs;
+* :mod:`repro.datalog.translate` — lower a
+  :class:`~repro.core.typing_program.TypingProgram` plus a database
+  into a generic program and EDB;
+* :mod:`repro.datalog.fo2` — the FO² rendering of typing rules
+  (the paper notes the language embeds into two-variable first-order
+  logic, which is decidable).
+"""
+
+from repro.datalog.ast import Atom, Constant, Program, Rule, Variable
+from repro.datalog.evaluation import (
+    evaluate_gfp,
+    evaluate_naive,
+    evaluate_seminaive,
+)
+from repro.datalog.fo2 import rule_to_fo2, uses_two_variables
+from repro.datalog.translate import database_to_edb, typing_program_to_datalog
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Program",
+    "Rule",
+    "Variable",
+    "database_to_edb",
+    "evaluate_gfp",
+    "evaluate_naive",
+    "evaluate_seminaive",
+    "rule_to_fo2",
+    "typing_program_to_datalog",
+    "uses_two_variables",
+]

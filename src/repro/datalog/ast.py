@@ -1,0 +1,157 @@
+"""Abstract syntax for positive datalog.
+
+Terms are variables or constants; atoms apply a predicate to terms;
+rules have one head atom and a conjunctive body.  A program is a set of
+rules plus the declared EDB predicates.  Negation is deliberately
+absent — the paper's typing language is positive, and positivity is
+what makes both fixpoints well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple, Union
+
+from repro.exceptions import DatalogError
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A datalog variable (conventionally capitalised)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A datalog constant."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(term, ...)``."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicate:
+            raise DatalogError("atom requires a predicate name")
+
+    @property
+    def arity(self) -> int:
+        """Number of terms."""
+        return len(self.terms)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Variables occurring in the atom."""
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body_1 & ... & body_n``.
+
+    Safety: every head variable must occur in the body (range
+    restriction), so bottom-up evaluation only produces ground facts.
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        unbound = self.head.variables() - frozenset(
+            v for atom in self.body for v in atom.variables()
+        )
+        if unbound:
+            names = ", ".join(sorted(v.name for v in unbound))
+            raise DatalogError(
+                f"unsafe rule: head variables {names} not bound in body"
+            )
+
+    def __str__(self) -> str:
+        body = " & ".join(str(a) for a in self.body) if self.body else "true"
+        return f"{self.head} :- {body}."
+
+
+class Program:
+    """A set of rules with declared extensional predicates.
+
+    IDB predicates are those appearing in some head; they must not also
+    be declared extensional.  All rules for the same IDB predicate must
+    agree on arity.
+    """
+
+    def __init__(self, rules: Iterable[Rule], edb: Iterable[str]) -> None:
+        self._rules: List[Rule] = list(rules)
+        self._edb: FrozenSet[str] = frozenset(edb)
+        arities: Dict[str, int] = {}
+        for rule in self._rules:
+            pred = rule.head.predicate
+            if pred in self._edb:
+                raise DatalogError(
+                    f"predicate {pred!r} is extensional but has a rule"
+                )
+            if arities.setdefault(pred, rule.head.arity) != rule.head.arity:
+                raise DatalogError(f"inconsistent arity for {pred!r}")
+        self._idb_arity = arities
+        for rule in self._rules:
+            for atom in rule.body:
+                if (
+                    atom.predicate not in self._edb
+                    and atom.predicate not in self._idb_arity
+                ):
+                    raise DatalogError(
+                        f"body predicate {atom.predicate!r} is neither "
+                        "extensional nor defined by a rule"
+                    )
+
+    def rules(self) -> Iterator[Rule]:
+        """All rules, in declaration order."""
+        return iter(self._rules)
+
+    def rules_for(self, predicate: str) -> List[Rule]:
+        """Rules whose head predicate is ``predicate``."""
+        return [r for r in self._rules if r.head.predicate == predicate]
+
+    @property
+    def edb_predicates(self) -> FrozenSet[str]:
+        """Declared extensional predicates."""
+        return self._edb
+
+    @property
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by rules."""
+        return frozenset(self._idb_arity)
+
+    def idb_arity(self, predicate: str) -> int:
+        """Arity of an IDB predicate."""
+        try:
+            return self._idb_arity[predicate]
+        except KeyError:
+            raise DatalogError(f"unknown IDB predicate {predicate!r}") from None
+
+    def is_monadic(self) -> bool:
+        """Whether every IDB predicate is unary (the paper's setting)."""
+        return all(arity == 1 for arity in self._idb_arity.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self._rules)

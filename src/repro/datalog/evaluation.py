@@ -1,0 +1,223 @@
+"""Bottom-up evaluation of positive datalog programs.
+
+Three evaluators over the same :class:`~repro.datalog.ast.Program`:
+
+* :func:`evaluate_naive` — iterate the immediate-consequence operator
+  ``T_P`` from the empty IDB until fixpoint (the least fixpoint);
+* :func:`evaluate_seminaive` — the classic differential optimisation:
+  a rule only refires when one of its body atoms can be matched
+  against a *newly* derived fact;
+* :func:`evaluate_gfp` — downward iteration from the top element
+  (every IDB predicate filled with the full cartesian power of the
+  active domain).  For positive programs ``T_P`` is monotone and
+  ``T_P(top) ⊆ top``, so the sequence decreases to the greatest
+  fixpoint — the semantics Section 2 gives typing programs.
+
+Facts are tuples of strings; the EDB is a predicate -> set-of-tuples
+mapping.  Rule bodies are matched with straightforward backtracking
+joins, ordering body atoms greedily by boundness; adequate for the
+monadic, laptop-scale programs this library evaluates (the specialised
+engine in :mod:`repro.core.fixpoint` exists for speed — this one exists
+for trust).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.datalog.ast import Atom, Constant, Program, Rule, Variable
+from repro.exceptions import DatalogError
+
+Fact = Tuple[str, ...]
+Relation = Set[Fact]
+DatabaseMap = Dict[str, Relation]
+
+
+def _match_atom(
+    atom: Atom,
+    relation: Iterable[Fact],
+    binding: Dict[Variable, str],
+) -> Iterable[Dict[Variable, str]]:
+    """All extensions of ``binding`` matching ``atom`` against facts."""
+    for fact in relation:
+        if len(fact) != atom.arity:
+            continue
+        extended = dict(binding)
+        ok = True
+        for term, value in zip(atom.terms, fact):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                bound = extended.get(term)
+                if bound is None:
+                    extended[term] = value
+                elif bound != value:
+                    ok = False
+                    break
+        if ok:
+            yield extended
+
+
+def _order_body(rule: Rule) -> List[Atom]:
+    """Greedy join order: prefer atoms sharing variables with earlier ones."""
+    remaining = list(rule.body)
+    ordered: List[Atom] = []
+    bound: Set[Variable] = set()
+    while remaining:
+        best_index = 0
+        best_score = -1
+        for index, atom in enumerate(remaining):
+            score = len(atom.variables() & bound)
+            if score > best_score:
+                best_index, best_score = index, score
+        atom = remaining.pop(best_index)
+        ordered.append(atom)
+        bound |= atom.variables()
+    return ordered
+
+
+def _fire_rule(
+    rule: Rule,
+    relations: Mapping[str, Relation],
+    required_delta: Optional[Tuple[str, Relation]] = None,
+) -> Relation:
+    """All head facts derivable from ``relations`` by ``rule``.
+
+    With ``required_delta = (pred, delta)``, at least one body atom
+    over ``pred`` must match a fact of ``delta`` (semi-naive firing).
+    """
+    derived: Relation = set()
+    body = _order_body(rule)
+
+    def emit(binding: Mapping[Variable, str]) -> None:
+        values: List[str] = []
+        for term in rule.head.terms:
+            if isinstance(term, Constant):
+                values.append(term.value)
+            else:
+                values.append(binding[term])
+        derived.add(tuple(values))
+
+    def search(index: int, binding: Dict[Variable, str], used_delta: bool) -> None:
+        if index == len(body):
+            if required_delta is None or used_delta:
+                emit(binding)
+            return
+        atom = body[index]
+        relation = relations.get(atom.predicate, set())
+        for extended in _match_atom(atom, relation, binding):
+            search(index + 1, extended, used_delta)
+        if required_delta is not None and atom.predicate == required_delta[0]:
+            # Also try the delta explicitly (facts already in relation,
+            # but marking the branch as delta-using).
+            for extended in _match_atom(atom, required_delta[1], binding):
+                search(index + 1, extended, True)
+
+    search(0, {}, False)
+    return derived
+
+
+def _check_edb(program: Program, edb: Mapping[str, Iterable[Fact]]) -> DatabaseMap:
+    relations: DatabaseMap = {pred: set() for pred in program.edb_predicates}
+    for pred, facts in edb.items():
+        if pred not in program.edb_predicates:
+            raise DatalogError(f"unexpected EDB predicate {pred!r}")
+        relations[pred] = {tuple(fact) for fact in facts}
+    return relations
+
+
+def evaluate_naive(
+    program: Program, edb: Mapping[str, Iterable[Fact]]
+) -> DatabaseMap:
+    """Least fixpoint by naive iteration of ``T_P``."""
+    relations = _check_edb(program, edb)
+    for pred in program.idb_predicates:
+        relations[pred] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules():
+            new_facts = _fire_rule(rule, relations)
+            before = len(relations[rule.head.predicate])
+            relations[rule.head.predicate] |= new_facts
+            if len(relations[rule.head.predicate]) != before:
+                changed = True
+    return relations
+
+
+def evaluate_seminaive(
+    program: Program, edb: Mapping[str, Iterable[Fact]]
+) -> DatabaseMap:
+    """Least fixpoint with semi-naive (differential) rule firing."""
+    relations = _check_edb(program, edb)
+    deltas: Dict[str, Relation] = {}
+    for pred in program.idb_predicates:
+        relations[pred] = set()
+    # Round 0: fire every rule once from the EDB alone.
+    for rule in program.rules():
+        new_facts = _fire_rule(rule, relations) - relations[rule.head.predicate]
+        relations[rule.head.predicate] |= new_facts
+        deltas[rule.head.predicate] = (
+            deltas.get(rule.head.predicate, set()) | new_facts
+        )
+    while any(deltas.values()):
+        new_deltas: Dict[str, Relation] = {}
+        for rule in program.rules():
+            fired: Relation = set()
+            for pred, delta in deltas.items():
+                if not delta:
+                    continue
+                if any(atom.predicate == pred for atom in rule.body):
+                    fired |= _fire_rule(rule, relations, (pred, delta))
+            fresh = fired - relations[rule.head.predicate]
+            if fresh:
+                relations[rule.head.predicate] |= fresh
+                new_deltas[rule.head.predicate] = (
+                    new_deltas.get(rule.head.predicate, set()) | fresh
+                )
+        deltas = new_deltas
+    return relations
+
+
+def active_domain(edb: Mapping[str, Iterable[Fact]]) -> FrozenSet[str]:
+    """All constants occurring in the EDB."""
+    values: Set[str] = set()
+    for facts in edb.values():
+        for fact in facts:
+            values.update(fact)
+    return frozenset(values)
+
+
+def evaluate_gfp(
+    program: Program,
+    edb: Mapping[str, Iterable[Fact]],
+    domain: Optional[Iterable[str]] = None,
+) -> DatabaseMap:
+    """Greatest fixpoint by downward iteration from the top element.
+
+    ``domain`` defaults to the active domain of the EDB; IDB predicates
+    start as the full ``domain^arity`` and shrink each round to the
+    facts ``T_P`` rederives.  Beware: non-monadic predicates make the
+    top element quadratic or worse — this evaluator exists to validate
+    :mod:`repro.core.fixpoint`, not to race it.
+    """
+    relations = _check_edb(program, edb)
+    dom = sorted(domain) if domain is not None else sorted(active_domain(edb))
+    for pred in program.idb_predicates:
+        arity = program.idb_arity(pred)
+        relations[pred] = set(itertools.product(dom, repeat=arity))
+    changed = True
+    while changed:
+        changed = False
+        derived: Dict[str, Relation] = {p: set() for p in program.idb_predicates}
+        for rule in program.rules():
+            derived[rule.head.predicate] |= _fire_rule(rule, relations)
+        for pred in program.idb_predicates:
+            shrunk = relations[pred] & derived[pred]
+            if shrunk != relations[pred]:
+                relations[pred] = shrunk
+                changed = True
+    return relations

@@ -1,0 +1,131 @@
+"""A textual frontend for the generic datalog engine.
+
+Accepts the classic notation used throughout the paper's references::
+
+    # facts are ground atoms ending in a period
+    edge(a, b).
+    edge(b, c).
+
+    # rules: head :- conjunctive body (separated by '&' or ',')
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- edge(X, Y) & tc(Y, Z).
+
+Conventions: identifiers starting with an upper-case letter are
+variables, anything else is a constant; constants may also be quoted
+(``'New York'``) to include spaces or capitals.  Predicates that only
+ever occur in facts and rule bodies are extensional; predicates with
+rules are intensional (a predicate cannot be both — the engine's
+restriction).
+
+:func:`parse_datalog` returns the :class:`~repro.datalog.ast.Program`
+together with the extensional facts, ready for the evaluators.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from repro.datalog.ast import Atom, Constant, Program, Rule, Term, Variable
+from repro.exceptions import DatalogError
+
+Fact = Tuple[str, ...]
+
+_ATOM_RE = re.compile(r"\s*([a-zA-Z_][\w$-]*)\s*\(([^()]*)\)\s*")
+_QUOTED_RE = re.compile(r"^'(.*)'$")
+
+
+def _parse_term(token: str) -> Term:
+    token = token.strip()
+    if not token:
+        raise DatalogError("empty term")
+    quoted = _QUOTED_RE.match(token)
+    if quoted:
+        return Constant(quoted.group(1))
+    if token[0].isupper():
+        return Variable(token)
+    return Constant(token)
+
+
+def _parse_atom(text: str) -> Atom:
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise DatalogError(f"malformed atom: {text.strip()!r}")
+    predicate, args = match.groups()
+    terms = tuple(
+        _parse_term(part) for part in args.split(",") if part.strip()
+    )
+    return Atom(predicate, terms)
+
+
+def _split_conjuncts(body: str) -> List[str]:
+    """Split on '&' or ',' at paren depth zero."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char in "&," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return [part for part in parts if part.strip()]
+
+
+def parse_datalog(text: str) -> Tuple[Program, Dict[str, Set[Fact]]]:
+    """Parse datalog text into a program plus its extensional facts.
+
+    Raises :class:`DatalogError` with the line number on bad input.
+    """
+    rules: List[Rule] = []
+    facts: Dict[str, Set[Fact]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        if not line.endswith("."):
+            raise DatalogError(f"line {lineno}: missing final period")
+        line = line[:-1]
+        try:
+            if ":-" in line:
+                head_text, body_text = line.split(":-", 1)
+                head = _parse_atom(head_text)
+                body = tuple(
+                    _parse_atom(part) for part in _split_conjuncts(body_text)
+                )
+                if not body:
+                    raise DatalogError("rules need a non-empty body")
+                rules.append(Rule(head=head, body=body))
+            else:
+                atom = _parse_atom(line)
+                values: List[str] = []
+                for term in atom.terms:
+                    if isinstance(term, Variable):
+                        raise DatalogError(
+                            f"fact {line.strip()!r} contains a variable"
+                        )
+                    values.append(term.value)
+                facts.setdefault(atom.predicate, set()).add(tuple(values))
+        except DatalogError as exc:
+            raise DatalogError(f"line {lineno}: {exc}") from exc
+
+    idb = {rule.head.predicate for rule in rules}
+    overlap = idb & set(facts)
+    if overlap:
+        raise DatalogError(
+            f"predicates {sorted(overlap)} have both facts and rules; "
+            "the engine keeps EDB and IDB disjoint"
+        )
+    edb: Set[str] = set(facts)
+    for rule in rules:
+        for atom in rule.body:
+            if atom.predicate not in idb:
+                edb.add(atom.predicate)
+    for predicate in edb:
+        facts.setdefault(predicate, set())
+    return Program(rules, edb=edb), facts

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to discriminate on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class DatabaseError(ReproError):
+    """Base class for errors concerning the semistructured database."""
+
+
+class IntegrityError(DatabaseError):
+    """An operation would violate a database invariant.
+
+    The invariants are the two restrictions of Section 2 of the paper:
+
+    * each atomic object has exactly one value (``Obj`` is a key of the
+      ``atomic`` relation), and
+    * atomic objects have no outgoing edges (the first projections of
+      ``link`` and ``atomic`` are disjoint).
+
+    plus the model restriction that for a given label there is at most
+    one edge with that label between two given objects.
+    """
+
+
+class UnknownObjectError(DatabaseError):
+    """An operation referenced an object that is not in the database."""
+
+
+class TypingError(ReproError):
+    """Base class for errors concerning typing programs."""
+
+
+class MalformedRuleError(TypingError):
+    """A type rule violates the restricted monadic-datalog syntax."""
+
+
+class UnknownTypeError(TypingError):
+    """A rule or query referenced a type that the program does not define."""
+
+
+class NotationError(TypingError):
+    """The arrow-notation parser encountered invalid input."""
+
+
+class ClusteringError(ReproError):
+    """Stage 2 clustering was asked to do something impossible.
+
+    Examples: requesting more clusters than there are types, or merging
+    a type that has already been merged away.
+    """
+
+
+class RecastError(ReproError):
+    """Stage 3 recasting failed (e.g. unknown mode or empty program)."""
+
+
+class GenerationError(ReproError):
+    """Synthetic data generation received an inconsistent specification."""
+
+
+class QueryError(ReproError):
+    """A path query is syntactically or semantically invalid."""
+
+
+class DatalogError(ReproError):
+    """The generic datalog engine rejected a program or evaluation."""

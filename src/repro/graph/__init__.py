@@ -1,0 +1,64 @@
+"""Semistructured-data substrate: the labeled directed graph store.
+
+This subpackage implements the data model of Section 2 of the paper:
+objects connected by labeled edges, stored as the two relations
+``link(FromObj, ToObj, Label)`` and ``atomic(Obj, Value)``, plus
+builders, codecs (JSON, relational, OEM text) and traversal helpers.
+"""
+
+from repro.graph.builder import DatabaseBuilder
+from repro.graph.dot import database_to_dot, program_to_dot
+from repro.graph.csv_codec import from_csv, to_csv
+from repro.graph.database import Database, Edge
+from repro.graph.json_codec import from_json, to_json
+from repro.graph.oem import dumps_oem, loads_oem
+from repro.graph.relational import from_relations, to_relations
+from repro.graph.statistics import DatabaseStatistics, describe
+from repro.graph.subgraph import induced_subgraph, neighborhood, sample_objects
+from repro.graph.transform import (
+    drop_labels,
+    lift_ranges,
+    lift_values,
+    rename_labels,
+)
+from repro.graph.traversal import (
+    breadth_first_order,
+    connected_components,
+    depth_first_order,
+    is_bipartite_complex_atomic,
+    reachable_from,
+    roots,
+    sinks,
+)
+
+__all__ = [
+    "Database",
+    "DatabaseBuilder",
+    "DatabaseStatistics",
+    "Edge",
+    "breadth_first_order",
+    "database_to_dot",
+    "connected_components",
+    "depth_first_order",
+    "describe",
+    "drop_labels",
+    "dumps_oem",
+    "from_csv",
+    "from_json",
+    "from_relations",
+    "induced_subgraph",
+    "lift_ranges",
+    "lift_values",
+    "is_bipartite_complex_atomic",
+    "loads_oem",
+    "neighborhood",
+    "program_to_dot",
+    "rename_labels",
+    "reachable_from",
+    "roots",
+    "sample_objects",
+    "sinks",
+    "to_csv",
+    "to_json",
+    "to_relations",
+]

@@ -1,0 +1,379 @@
+"""The semistructured database: objects, labeled edges, atomic values.
+
+The model follows Section 2 of the paper exactly.  A database is an
+instance over the two relations
+
+* ``link(FromObj, ToObj, Label)`` — the edge information, and
+* ``atomic(Obj, Value)`` — the value information,
+
+subject to three restrictions:
+
+1. each atomic object has exactly one value (``Obj`` is a key of
+   ``atomic``);
+2. atomic objects have no outgoing edges (the first projections of
+   ``link`` and ``atomic`` are disjoint);
+3. for a given label, there is at most one edge with that label between
+   two given objects (``link`` is a set of triples).
+
+Objects are identified by strings.  Complex (non-atomic) objects are
+registered explicitly or implicitly when an edge mentions them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import IntegrityError, UnknownObjectError
+
+ObjectId = str
+Label = str
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """A single ``link(src, dst, label)`` fact."""
+
+    src: ObjectId
+    dst: ObjectId
+    label: Label
+
+    def __str__(self) -> str:
+        return f"link({self.src}, {self.dst}, {self.label})"
+
+
+class Database:
+    """A labeled directed graph with atomic sink values.
+
+    The class maintains adjacency indexes in both directions keyed by
+    label, so that the fixpoint engine's typed-link checks
+    (:mod:`repro.core.fixpoint`) are dictionary lookups rather than
+    scans.
+
+    Example
+    -------
+    >>> db = Database()
+    >>> db.add_atomic("gn", "Gates")
+    >>> db.add_atomic("mn", "Microsoft")
+    >>> for src, dst, label in [("g", "m", "is-manager-of"),
+    ...                         ("g", "gn", "name"),
+    ...                         ("m", "g", "is-managed-by"),
+    ...                         ("m", "mn", "name")]:
+    ...     _ = db.add_link(src, dst, label)
+    >>> sorted(db.complex_objects())
+    ['g', 'm']
+    """
+
+    def __init__(self) -> None:
+        self._atomic: Dict[ObjectId, Any] = {}
+        self._complex: Set[ObjectId] = set()
+        # out[src][label] -> set of dst ; inc[dst][label] -> set of src
+        self._out: Dict[ObjectId, Dict[Label, Set[ObjectId]]] = {}
+        self._inc: Dict[ObjectId, Dict[Label, Set[ObjectId]]] = {}
+        self._num_links = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_complex(self, obj: ObjectId) -> None:
+        """Register ``obj`` as a complex object (idempotent)."""
+        if obj in self._atomic:
+            raise IntegrityError(f"object {obj!r} is already atomic")
+        self._complex.add(obj)
+
+    def add_atomic(self, obj: ObjectId, value: Any) -> None:
+        """Register ``obj`` as an atomic object carrying ``value``.
+
+        Raises :class:`IntegrityError` if ``obj`` is already a complex
+        object, already has a *different* value, or has outgoing edges.
+        """
+        if obj in self._complex:
+            raise IntegrityError(f"object {obj!r} is already complex")
+        if obj in self._atomic and self._atomic[obj] != value:
+            raise IntegrityError(
+                f"atomic object {obj!r} already has value {self._atomic[obj]!r}"
+            )
+        if self._out.get(obj):
+            raise IntegrityError(f"object {obj!r} has outgoing edges")
+        self._atomic[obj] = value
+
+    def add_link(self, src: ObjectId, dst: ObjectId, label: Label) -> bool:
+        """Add the fact ``link(src, dst, label)``.
+
+        Unregistered endpoints are implicitly registered: ``src`` always
+        as complex (atomic objects cannot have outgoing edges), ``dst``
+        as complex unless it is already atomic.
+
+        Returns ``True`` if the edge was new, ``False`` if it was
+        already present (the relation is a set).
+        """
+        if src in self._atomic:
+            raise IntegrityError(
+                f"atomic object {src!r} cannot have outgoing edges"
+            )
+        self._complex.add(src)
+        if dst not in self._atomic:
+            self._complex.add(dst)
+        targets = self._out.setdefault(src, {}).setdefault(label, set())
+        if dst in targets:
+            return False
+        targets.add(dst)
+        self._inc.setdefault(dst, {}).setdefault(label, set()).add(src)
+        self._num_links += 1
+        return True
+
+    def remove_link(self, src: ObjectId, dst: ObjectId, label: Label) -> None:
+        """Remove the fact ``link(src, dst, label)``.
+
+        Raises :class:`UnknownObjectError` if the edge is not present.
+        Endpoints stay registered even if they become isolated.
+        """
+        try:
+            self._out[src][label].remove(dst)
+            self._inc[dst][label].remove(src)
+        except KeyError:
+            raise UnknownObjectError(
+                f"no edge link({src!r}, {dst!r}, {label!r})"
+            ) from None
+        if not self._out[src][label]:
+            del self._out[src][label]
+        if not self._inc[dst][label]:
+            del self._inc[dst][label]
+        self._num_links -= 1
+
+    def remove_object(self, obj: ObjectId) -> None:
+        """Remove ``obj`` and every edge incident to it."""
+        if obj not in self._complex and obj not in self._atomic:
+            raise UnknownObjectError(f"unknown object {obj!r}")
+        for edge in list(self.out_edges(obj)):
+            self.remove_link(edge.src, edge.dst, edge.label)
+        for edge in list(self.in_edges(obj)):
+            self.remove_link(edge.src, edge.dst, edge.label)
+        self._complex.discard(obj)
+        self._atomic.pop(obj, None)
+        self._out.pop(obj, None)
+        self._inc.pop(obj, None)
+
+    # ------------------------------------------------------------------
+    # Object-level queries
+    # ------------------------------------------------------------------
+    def is_atomic(self, obj: ObjectId) -> bool:
+        """Whether ``obj`` is a registered atomic object."""
+        return obj in self._atomic
+
+    def is_complex(self, obj: ObjectId) -> bool:
+        """Whether ``obj`` is a registered complex object."""
+        return obj in self._complex
+
+    def __contains__(self, obj: ObjectId) -> bool:
+        return obj in self._complex or obj in self._atomic
+
+    def value(self, obj: ObjectId) -> Any:
+        """The value of atomic object ``obj``."""
+        try:
+            return self._atomic[obj]
+        except KeyError:
+            raise UnknownObjectError(f"{obj!r} is not an atomic object") from None
+
+    def objects(self) -> Iterator[ObjectId]:
+        """All objects, complex then atomic (no guaranteed inner order)."""
+        yield from self._complex
+        yield from self._atomic
+
+    def complex_objects(self) -> Iterator[ObjectId]:
+        """All complex objects."""
+        return iter(self._complex)
+
+    def atomic_objects(self) -> Iterator[ObjectId]:
+        """All atomic objects."""
+        return iter(self._atomic)
+
+    def atomic_items(self) -> Iterator[Tuple[ObjectId, Any]]:
+        """All ``(object, value)`` pairs of the ``atomic`` relation."""
+        return iter(self._atomic.items())
+
+    # ------------------------------------------------------------------
+    # Edge-level queries
+    # ------------------------------------------------------------------
+    def has_link(self, src: ObjectId, dst: ObjectId, label: Label) -> bool:
+        """Whether the fact ``link(src, dst, label)`` is present."""
+        return dst in self._out.get(src, {}).get(label, ())
+
+    def edges(self) -> Iterator[Edge]:
+        """All ``link`` facts."""
+        for src, by_label in self._out.items():
+            for label, targets in by_label.items():
+                for dst in targets:
+                    yield Edge(src, dst, label)
+
+    def out_edges(self, obj: ObjectId) -> Iterator[Edge]:
+        """All edges leaving ``obj``."""
+        for label, targets in self._out.get(obj, {}).items():
+            for dst in targets:
+                yield Edge(obj, dst, label)
+
+    def in_edges(self, obj: ObjectId) -> Iterator[Edge]:
+        """All edges entering ``obj``."""
+        for label, sources in self._inc.get(obj, {}).items():
+            for src in sources:
+                yield Edge(src, obj, label)
+
+    def targets(self, obj: ObjectId, label: Label) -> FrozenSet[ObjectId]:
+        """Objects reached from ``obj`` by an edge labeled ``label``."""
+        return frozenset(self._out.get(obj, {}).get(label, ()))
+
+    def sources(self, obj: ObjectId, label: Label) -> FrozenSet[ObjectId]:
+        """Objects with an edge labeled ``label`` into ``obj``."""
+        return frozenset(self._inc.get(obj, {}).get(label, ()))
+
+    def out_labels(self, obj: ObjectId) -> FrozenSet[Label]:
+        """Labels on the outgoing edges of ``obj``."""
+        return frozenset(self._out.get(obj, {}))
+
+    def in_labels(self, obj: ObjectId) -> FrozenSet[Label]:
+        """Labels on the incoming edges of ``obj``."""
+        return frozenset(self._inc.get(obj, {}))
+
+    def out_degree(self, obj: ObjectId) -> int:
+        """Number of edges leaving ``obj``."""
+        return sum(len(t) for t in self._out.get(obj, {}).values())
+
+    def in_degree(self, obj: ObjectId) -> int:
+        """Number of edges entering ``obj``."""
+        return sum(len(s) for s in self._inc.get(obj, {}).values())
+
+    def labels(self) -> FrozenSet[Label]:
+        """Every label that appears on some edge."""
+        found: Set[Label] = set()
+        for by_label in self._out.values():
+            found.update(by_label)
+        return frozenset(found)
+
+    # ------------------------------------------------------------------
+    # Size & comparison
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        """Total number of objects (complex + atomic)."""
+        return len(self._complex) + len(self._atomic)
+
+    @property
+    def num_complex(self) -> int:
+        """Number of complex objects."""
+        return len(self._complex)
+
+    @property
+    def num_atomic(self) -> int:
+        """Number of atomic objects."""
+        return len(self._atomic)
+
+    @property
+    def num_links(self) -> int:
+        """Number of ``link`` facts."""
+        return self._num_links
+
+    def __len__(self) -> int:
+        return self.num_objects
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return (
+            self._complex == other._complex
+            and self._atomic == other._atomic
+            and set(self.edges()) == set(other.edges())
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, unhashable
+        raise TypeError("Database is mutable and therefore unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(complex={len(self._complex)}, "
+            f"atomic={len(self._atomic)}, links={self._num_links})"
+        )
+
+    def copy(self) -> "Database":
+        """A deep, independent copy of this database."""
+        clone = Database()
+        clone._atomic = dict(self._atomic)
+        clone._complex = set(self._complex)
+        clone._out = {
+            src: {label: set(t) for label, t in by_label.items()}
+            for src, by_label in self._out.items()
+        }
+        clone._inc = {
+            dst: {label: set(s) for label, s in by_label.items()}
+            for dst, by_label in self._inc.items()
+        }
+        clone._num_links = self._num_links
+        return clone
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every invariant; raise :class:`IntegrityError` on failure.
+
+        The mutation methods preserve the invariants, so this is mostly
+        useful after deserialisation or in tests.
+        """
+        overlap = self._complex & set(self._atomic)
+        if overlap:
+            raise IntegrityError(f"objects both complex and atomic: {overlap}")
+        for src in self._out:
+            if src in self._atomic and self._out[src]:
+                raise IntegrityError(f"atomic object {src!r} has outgoing edges")
+            if src not in self._complex and src not in self._atomic:
+                raise IntegrityError(f"edge source {src!r} is unregistered")
+        count = 0
+        for src, by_label in self._out.items():
+            for label, targets in by_label.items():
+                for dst in targets:
+                    count += 1
+                    if dst not in self:
+                        raise IntegrityError(f"edge target {dst!r} is unregistered")
+                    if src not in self._inc.get(dst, {}).get(label, ()):
+                        raise IntegrityError(
+                            f"index mismatch for link({src!r}, {dst!r}, {label!r})"
+                        )
+        if count != self._num_links:
+            raise IntegrityError(
+                f"link count mismatch: cached {self._num_links}, actual {count}"
+            )
+        reverse_count = sum(
+            len(sources)
+            for by_label in self._inc.values()
+            for sources in by_label.values()
+        )
+        if reverse_count != count:
+            raise IntegrityError(
+                f"reverse index size mismatch: {reverse_count} != {count}"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_links(
+        cls,
+        links: Iterable[Tuple[ObjectId, ObjectId, Label]],
+        atomics: Optional[Dict[ObjectId, Any]] = None,
+    ) -> "Database":
+        """Build a database from raw ``link`` triples and ``atomic`` pairs.
+
+        Atomic registrations are applied first so that edge targets that
+        are atomic are recognised as such.
+        """
+        db = cls()
+        for obj, val in (atomics or {}).items():
+            db.add_atomic(obj, val)
+        for src, dst, label in links:
+            db.add_link(src, dst, label)
+        return db
+
+    def to_facts(self) -> Tuple[List[Tuple[str, str, str]], List[Tuple[str, Any]]]:
+        """Export as plain ``(link_triples, atomic_pairs)`` lists, sorted."""
+        links = sorted((e.src, e.dst, e.label) for e in self.edges())
+        atomics = sorted(self._atomic.items(), key=lambda kv: kv[0])
+        return links, atomics

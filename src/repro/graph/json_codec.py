@@ -1,0 +1,148 @@
+"""Conversion between JSON-like nested data and the graph model.
+
+Semistructured data very often arrives as nested dictionaries/lists
+(JSON, OEM exports, scraped records).  ``from_json`` lowers such a
+value into ``link``/``atomic`` facts; ``to_json`` raises a graph back
+into nested data (for acyclic databases).
+
+Mapping
+-------
+* a dict becomes a complex object with one outgoing edge per key;
+* a list under key ``k`` becomes several ``k``-labeled edges (the model
+  has no collections, matching the paper's explicit exclusion of
+  lists/bags);
+* a scalar becomes an atomic object.
+
+Shared sub-objects can be expressed with the ``{"$ref": <id>}`` marker
+and an ``{"$id": <id>, ...}`` key on the referenced dict, which is how
+cyclic and DAG-shaped datasets are written in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.exceptions import DatabaseError
+from repro.graph.database import Database, ObjectId
+
+JsonValue = Union[None, bool, int, float, str, Dict[str, Any], List[Any]]
+
+_ID_KEY = "$id"
+_REF_KEY = "$ref"
+
+
+class _Lowering:
+    """State for a single ``from_json`` run (fresh-id counters, refs)."""
+
+    def __init__(self, db: Database, prefix: str) -> None:
+        self.db = db
+        self.prefix = prefix
+        self.counter = 0
+        self.by_ref: Dict[str, ObjectId] = {}
+
+    def fresh(self, kind: str) -> ObjectId:
+        self.counter += 1
+        return f"{self.prefix}{kind}{self.counter}"
+
+    def lower(self, value: JsonValue, explicit_id: Optional[str] = None) -> ObjectId:
+        if isinstance(value, dict):
+            return self._lower_dict(value, explicit_id)
+        if isinstance(value, list):
+            raise DatabaseError(
+                "bare lists have no object identity; lists are only "
+                "supported as values under a dictionary key"
+            )
+        obj = explicit_id or self.fresh("a")
+        self.db.add_atomic(obj, value)
+        return obj
+
+    def _lower_dict(self, value: Dict[str, Any], explicit_id: Optional[str]) -> ObjectId:
+        if set(value) == {_REF_KEY}:
+            ref = value[_REF_KEY]
+            if ref not in self.by_ref:
+                # Forward reference: reserve the object now.
+                self.by_ref[ref] = self.fresh("o")
+                self.db.add_complex(self.by_ref[ref])
+            return self.by_ref[ref]
+        declared = value.get(_ID_KEY)
+        if declared is not None and declared in self.by_ref:
+            obj = self.by_ref[declared]
+        else:
+            obj = explicit_id or self.fresh("o")
+            if declared is not None:
+                self.by_ref[declared] = obj
+        self.db.add_complex(obj)
+        for key, sub in value.items():
+            if key == _ID_KEY:
+                continue
+            children = sub if isinstance(sub, list) else [sub]
+            for child in children:
+                self.db.add_link(obj, self.lower(child), key)
+        return obj
+
+
+def from_json(
+    value: JsonValue,
+    db: Optional[Database] = None,
+    root_id: str = "root",
+    prefix: str = "j",
+) -> Database:
+    """Lower a JSON-like value into a database.
+
+    Parameters
+    ----------
+    value:
+        The nested data.  The top level must be a dict (the root
+        complex object).
+    db:
+        Optional existing database to extend; a new one by default.
+    root_id:
+        Identifier given to the root object.
+    prefix:
+        Prefix for generated object identifiers.
+
+    Returns the database (the same instance as ``db`` when given).
+    """
+    if not isinstance(value, dict):
+        raise DatabaseError("top-level JSON value must be an object (dict)")
+    target = db if db is not None else Database()
+    _Lowering(target, prefix).lower(value, explicit_id=root_id)
+    target.validate()
+    return target
+
+
+def to_json(db: Database, root: ObjectId) -> JsonValue:
+    """Raise the subgraph reachable from ``root`` back into nested data.
+
+    Objects with several parents are emitted once with an ``$id`` key
+    and referenced with ``{"$ref": ...}`` afterwards, so DAGs round-trip
+    losslessly.  A cycle back to an object *currently being emitted* is
+    also rendered as a ``$ref``.
+    """
+    emitted: Set[ObjectId] = set()
+    in_progress: Set[ObjectId] = set()
+
+    def raise_obj(obj: ObjectId) -> JsonValue:
+        if db.is_atomic(obj):
+            return db.value(obj)
+        if obj in emitted or obj in in_progress:
+            return {_REF_KEY: obj}
+        in_progress.add(obj)
+        out: Dict[str, Any] = {}
+        multi_parent = db.in_degree(obj) > 1
+        if multi_parent or obj == root:
+            out[_ID_KEY] = obj
+        by_label: Dict[str, List[ObjectId]] = {}
+        for edge in db.out_edges(obj):
+            by_label.setdefault(edge.label, []).append(edge.dst)
+        for label in sorted(by_label):
+            targets = sorted(by_label[label])
+            values = [raise_obj(t) for t in targets]
+            out[label] = values[0] if len(values) == 1 else values
+        in_progress.discard(obj)
+        emitted.add(obj)
+        return out
+
+    if root not in db:
+        raise DatabaseError(f"unknown root object {root!r}")
+    return raise_obj(root)

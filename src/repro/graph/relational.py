@@ -1,0 +1,101 @@
+"""Conversion between relational tables and the graph model.
+
+Section 2 of the paper justifies the typing language by showing that
+relational data, represented "in the natural way", is typed perfectly
+with one type per relation:
+
+* every table cell becomes an atomic object,
+* every tuple becomes a complex object,
+* attribute names become edge labels.
+
+``from_relations`` implements exactly that natural representation;
+``to_relations`` inverts it for databases that happen to be
+relational-shaped (bipartite with functional labels).  The round-trip
+is exercised by ``examples/relational_roundtrip.py`` and the
+integration tests, which also verify the paper's claim that stage 1
+recovers one type per relation when no two relations share their
+attribute set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import DatabaseError
+from repro.graph.database import Database, ObjectId
+
+Row = Mapping[str, Any]
+
+
+def from_relations(
+    relations: Mapping[str, Sequence[Row]],
+    db: "Database | None" = None,
+) -> Tuple[Database, Dict[str, List[ObjectId]]]:
+    """Lower named relations into a database.
+
+    Parameters
+    ----------
+    relations:
+        Maps relation name to a sequence of rows (attribute -> value
+        mappings).  ``None`` values model SQL NULLs and produce no edge,
+        which is precisely the kind of irregularity the paper's
+        motivation describes.
+    db:
+        Optional database to extend.
+
+    Returns
+    -------
+    (database, tuple_ids):
+        ``tuple_ids[rel]`` lists the complex object created for each
+        row of ``rel`` in order, so callers can relate extracted types
+        back to source relations.
+    """
+    target = db if db is not None else Database()
+    tuple_ids: Dict[str, List[ObjectId]] = {}
+    for rel_name, rows in relations.items():
+        ids: List[ObjectId] = []
+        for index, row in enumerate(rows):
+            tuple_id = f"{rel_name}#{index}"
+            target.add_complex(tuple_id)
+            for attr, value in row.items():
+                if value is None:
+                    continue
+                cell_id = f"{tuple_id}.{attr}"
+                target.add_atomic(cell_id, value)
+                target.add_link(tuple_id, cell_id, attr)
+            ids.append(tuple_id)
+        tuple_ids[rel_name] = ids
+    target.validate()
+    return target, tuple_ids
+
+
+def to_relations(
+    db: Database, groups: Mapping[str, Iterable[ObjectId]]
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Raise groups of complex objects back into relational rows.
+
+    ``groups`` maps a relation name to the objects forming its extent
+    (typically the extent of an extracted type).  Every grouped object
+    must be relational-shaped: all outgoing edges lead to atomic
+    objects and labels are functional (at most one edge per label).
+    """
+    out: Dict[str, List[Dict[str, Any]]] = {}
+    for rel_name, members in groups.items():
+        rows: List[Dict[str, Any]] = []
+        for obj in sorted(members):
+            row: Dict[str, Any] = {}
+            for edge in db.out_edges(obj):
+                if not db.is_atomic(edge.dst):
+                    raise DatabaseError(
+                        f"object {obj!r} has a complex-valued attribute "
+                        f"{edge.label!r}; not relational-shaped"
+                    )
+                if edge.label in row:
+                    raise DatabaseError(
+                        f"object {obj!r} has several {edge.label!r} edges; "
+                        "labels must be functional for relational export"
+                    )
+                row[edge.label] = db.value(edge.dst)
+            rows.append(row)
+        out[rel_name] = rows
+    return out

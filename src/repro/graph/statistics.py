@@ -1,0 +1,85 @@
+"""Summary statistics of a semistructured database.
+
+``describe`` computes the figures reported per dataset in Table 1 of
+the paper (objects, links, bipartiteness) plus degree and label
+distributions that the synthetic-data generator uses to validate its
+output against the published dataset shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.graph.database import Database
+from repro.graph.traversal import is_bipartite_complex_atomic
+
+
+@dataclass(frozen=True)
+class DatabaseStatistics:
+    """Aggregate description of a database.
+
+    Attributes
+    ----------
+    num_objects, num_complex, num_atomic, num_links:
+        Raw sizes (``num_objects`` counts both complex and atomic).
+    num_labels:
+        Number of distinct edge labels.
+    bipartite:
+        True when every edge goes from a complex to an atomic object
+        (the "Bipartite?" column of Table 1).
+    max_out_degree, max_in_degree:
+        Degree extremes over all objects.
+    mean_out_degree:
+        Average out-degree of complex objects.
+    label_counts:
+        Edge count per label, as a sorted tuple of ``(label, count)``.
+    """
+
+    num_objects: int
+    num_complex: int
+    num_atomic: int
+    num_links: int
+    num_labels: int
+    bipartite: bool
+    max_out_degree: int
+    max_in_degree: int
+    mean_out_degree: float
+    label_counts: Tuple[Tuple[str, int], ...] = field(default=())
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"objects:  {self.num_objects} "
+            f"({self.num_complex} complex, {self.num_atomic} atomic)",
+            f"links:    {self.num_links} over {self.num_labels} labels",
+            f"bipartite: {'yes' if self.bipartite else 'no'}",
+            f"degrees:  out max {self.max_out_degree} "
+            f"(mean {self.mean_out_degree:.2f}), in max {self.max_in_degree}",
+        ]
+        return "\n".join(lines)
+
+
+def describe(db: Database) -> DatabaseStatistics:
+    """Compute :class:`DatabaseStatistics` for ``db``."""
+    label_counts: Dict[str, int] = {}
+    for edge in db.edges():
+        label_counts[edge.label] = label_counts.get(edge.label, 0) + 1
+    complex_objs = list(db.complex_objects())
+    out_degrees = [db.out_degree(o) for o in db.objects()]
+    in_degrees = [db.in_degree(o) for o in db.objects()]
+    complex_out = [db.out_degree(o) for o in complex_objs]
+    return DatabaseStatistics(
+        num_objects=db.num_objects,
+        num_complex=db.num_complex,
+        num_atomic=db.num_atomic,
+        num_links=db.num_links,
+        num_labels=len(label_counts),
+        bipartite=is_bipartite_complex_atomic(db),
+        max_out_degree=max(out_degrees, default=0),
+        max_in_degree=max(in_degrees, default=0),
+        mean_out_degree=(
+            sum(complex_out) / len(complex_out) if complex_out else 0.0
+        ),
+        label_counts=tuple(sorted(label_counts.items())),
+    )

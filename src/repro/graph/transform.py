@@ -1,0 +1,148 @@
+"""Database transformations feeding the typing extensions.
+
+Section 2 closes with three proposed extensions; two of them are most
+naturally realised as *preprocessing* of the database:
+
+* "one may want to use in the typing specific atomic values or ranges
+  of atomic values.  This would for instance allow to classify
+  differently objects with values 'Male' or 'Female' in a sex
+  subobject" — :func:`lift_values` rewrites the label of selected
+  atomic edges to include the value (``sex`` becomes ``sex=Male``), so
+  the ordinary machinery distinguishes them;
+* value *ranges* — :func:`lift_ranges` does the same with
+  user-supplied numeric buckets (``age`` becomes ``age=30-39``).
+
+Both return a rewritten copy plus the inverse label map so results can
+be presented in the original vocabulary.  :func:`rename_labels` and
+:func:`drop_labels` are the generic building blocks.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.exceptions import DatabaseError
+from repro.graph.database import Database, Label
+
+
+def rename_labels(
+    db: Database, mapping: Mapping[Label, Label]
+) -> Database:
+    """A copy of ``db`` with edge labels renamed via ``mapping``.
+
+    Labels absent from the mapping are kept.  Renaming two labels onto
+    one merges the edge sets (duplicates collapse).
+    """
+    out = Database()
+    for obj, value in db.atomic_items():
+        out.add_atomic(obj, value)
+    for obj in db.complex_objects():
+        out.add_complex(obj)
+    for edge in db.edges():
+        out.add_link(edge.src, edge.dst, mapping.get(edge.label, edge.label))
+    out.validate()
+    return out
+
+
+def drop_labels(db: Database, labels: Iterable[Label]) -> Database:
+    """A copy of ``db`` without edges carrying the given labels.
+
+    Objects are all kept (even if isolated) so assignments computed on
+    the original database remain meaningful.
+    """
+    doomed = set(labels)
+    out = Database()
+    for obj, value in db.atomic_items():
+        out.add_atomic(obj, value)
+    for obj in db.complex_objects():
+        out.add_complex(obj)
+    for edge in db.edges():
+        if edge.label not in doomed:
+            out.add_link(edge.src, edge.dst, edge.label)
+    out.validate()
+    return out
+
+
+def lift_values(
+    db: Database,
+    labels: Iterable[Label],
+    formatter: Optional[Callable[[Any], str]] = None,
+) -> Tuple[Database, Dict[Label, Label]]:
+    """Fold atomic values of the given labels into the edge label.
+
+    Every edge ``link(o, a, l)`` with ``l`` in ``labels`` and ``a``
+    atomic becomes ``link(o, a, "l=<value>")``; edges to complex
+    objects keep their label (there is no value to lift).  Returns the
+    rewritten database and the inverse map (new label -> old label).
+
+    >>> from repro.graph import DatabaseBuilder
+    >>> db = DatabaseBuilder().attr("p", "sex", "Male").build()
+    >>> lifted, inverse = lift_values(db, ["sex"])
+    >>> sorted(lifted.labels())
+    ['sex=Male']
+    >>> inverse["sex=Male"]
+    'sex'
+    """
+    render = formatter if formatter is not None else str
+    chosen = set(labels)
+    out = Database()
+    inverse: Dict[Label, Label] = {}
+    for obj, value in db.atomic_items():
+        out.add_atomic(obj, value)
+    for obj in db.complex_objects():
+        out.add_complex(obj)
+    for edge in db.edges():
+        label = edge.label
+        if label in chosen and db.is_atomic(edge.dst):
+            label = f"{edge.label}={render(db.value(edge.dst))}"
+            previous = inverse.setdefault(label, edge.label)
+            if previous != edge.label:
+                raise DatabaseError(
+                    f"lifted label collision: {label!r} arises from both "
+                    f"{previous!r} and {edge.label!r}"
+                )
+        out.add_link(edge.src, edge.dst, label)
+    out.validate()
+    return out, inverse
+
+
+def lift_ranges(
+    db: Database,
+    label: Label,
+    bounds: Sequence[float],
+) -> Tuple[Database, Dict[Label, Label]]:
+    """Fold numeric values of ``label`` into range-bucketed labels.
+
+    ``bounds`` are the interior bucket boundaries in ascending order;
+    a value ``v`` lands in the bucket of the first bound exceeding it.
+    ``age`` with bounds ``[18, 65]`` produces labels ``age=<18``,
+    ``age=18-65`` and ``age=>=65``.  Non-numeric values raise.
+    """
+    if list(bounds) != sorted(bounds) or not bounds:
+        raise DatabaseError("bounds must be a non-empty ascending sequence")
+
+    def bucket(value: Any) -> str:
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            raise DatabaseError(
+                f"non-numeric value {value!r} under ranged label {label!r}"
+            ) from None
+        if number < bounds[0]:
+            return f"<{bounds[0]:g}"
+        for low, high in zip(bounds, bounds[1:]):
+            if low <= number < high:
+                return f"{low:g}-{high:g}"
+        return f">={bounds[-1]:g}"
+
+    return lift_values(db, [label], formatter=bucket)

@@ -1,0 +1,41 @@
+"""Schema-guided path queries (the paper's motivating application).
+
+The introduction motivates schema extraction with query formulation
+and optimization: "performance is greatly improved by taking advantage
+of the existing structure".  This subpackage provides a minimal
+label-path query language over the graph plus two evaluators — a naive
+one that scans every object, and a schema-guided one that uses an
+extracted typing to prune the search to the extents of types that can
+possibly start the path — so the benefit is measurable
+(``benchmarks/bench_queries.py``).
+"""
+
+from repro.query.evaluator import QueryStats, evaluate_path
+from repro.query.optimizer import (
+    evaluate_select_with_schema,
+    evaluate_with_schema,
+    schema_starters,
+)
+from repro.query.path import PathQuery, parse_path
+from repro.query.select import (
+    Condition,
+    SelectQuery,
+    SelectResult,
+    evaluate_select,
+    parse_select,
+)
+
+__all__ = [
+    "Condition",
+    "PathQuery",
+    "SelectQuery",
+    "SelectResult",
+    "QueryStats",
+    "evaluate_path",
+    "evaluate_select",
+    "evaluate_select_with_schema",
+    "evaluate_with_schema",
+    "parse_path",
+    "parse_select",
+    "schema_starters",
+]

@@ -1,0 +1,90 @@
+"""Naive path-query evaluation.
+
+Without a schema, the only way to evaluate ``a.b.c`` over
+self-describing data is to try every complex object as a starting
+point and follow edges.  The evaluator counts the objects it touches
+(:class:`QueryStats`) so the schema-guided variant can demonstrate its
+pruning quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Set
+
+from repro.graph.database import Database, ObjectId
+from repro.query.path import WILDCARD, PathQuery, base_label, is_starred
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Work performed by one evaluation."""
+
+    starts_considered: int  #: candidate start objects.
+    objects_visited: int  #: total (object, step) expansions.
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Result set plus work statistics."""
+
+    objects: FrozenSet[ObjectId]
+    stats: QueryStats
+
+    def values(self, db: Database) -> FrozenSet:
+        """Atomic values among the result objects."""
+        return frozenset(
+            db.value(obj) for obj in self.objects if db.is_atomic(obj)
+        )
+
+
+def follow_path(
+    db: Database, starts: Iterable[ObjectId], query: PathQuery
+) -> QueryResult:
+    """Follow ``query`` from the given start objects."""
+    frontier: Set[ObjectId] = set(starts)
+    starts_considered = len(frontier)
+    visited = 0
+
+    def expand(objects: Set[ObjectId], label: str) -> Set[ObjectId]:
+        nonlocal visited
+        out: Set[ObjectId] = set()
+        for obj in objects:
+            if db.is_atomic(obj):
+                continue
+            visited += 1
+            if label == WILDCARD:
+                out.update(e.dst for e in db.out_edges(obj))
+            else:
+                out.update(db.targets(obj, label))
+        return out
+
+    for step in query.steps:
+        label = base_label(step)
+        if is_starred(step):
+            # Reflexive-transitive closure under the label.
+            closure: Set[ObjectId] = set(frontier)
+            wave = set(frontier)
+            while wave:
+                wave = expand(wave, label) - closure
+                closure |= wave
+            frontier = closure
+        else:
+            frontier = expand(frontier, label)
+    return QueryResult(
+        objects=frozenset(frontier),
+        stats=QueryStats(
+            starts_considered=starts_considered, objects_visited=visited
+        ),
+    )
+
+
+def evaluate_path(
+    db: Database,
+    query: PathQuery,
+    starts: Optional[Iterable[ObjectId]] = None,
+) -> QueryResult:
+    """Naive evaluation: start from every complex object (or ``starts``)."""
+    if starts is None:
+        starts = list(db.complex_objects())
+    return follow_path(db, starts, query)

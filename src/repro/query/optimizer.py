@@ -1,0 +1,165 @@
+"""Schema-guided path-query evaluation.
+
+Given an extracted typing (program + extents), a path ``a.b.c`` can
+only start at objects of types whose rules can *chain* along the path:
+the first step needs a type with an ``->a^t`` (or ``->a^0``) typed
+link, the second step needs ``t`` to offer ``->b^...``, and so on.
+Starting the naive evaluator from the union of those extents instead
+of all objects is exactly the index-style pruning the paper's
+introduction promises from recovered structure.
+
+Because the typing is *approximate*, pruning may miss objects whose
+``a``-edge is part of the typing's excess; ``evaluate_with_schema``
+therefore reports both the pruned result and, on request, the naive
+result for a recall check (the query benchmarks print both).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Mapping, Set
+
+from repro.core.typing_program import Direction, TypingProgram
+from repro.graph.database import Database, ObjectId
+from repro.query.evaluator import QueryResult, follow_path
+from repro.query.path import WILDCARD, PathQuery
+
+
+def _types_offering(program: TypingProgram, label: str) -> FrozenSet[str]:
+    """Types whose rule has an outgoing typed link labeled ``label``."""
+    out: Set[str] = set()
+    for rule in program.rules():
+        for link in rule.body:
+            if link.direction is Direction.OUT and (
+                label == WILDCARD or link.label == label
+            ):
+                out.add(rule.name)
+                break
+    return frozenset(out)
+
+
+def schema_starters(
+    program: TypingProgram,
+    query: PathQuery,
+) -> FrozenSet[str]:
+    """Types that can start the whole path, chaining through targets.
+
+    Works backwards: a type can realise the suffix starting at step
+    ``i`` if it offers step ``i`` via a typed link whose target can
+    realise the suffix at ``i + 1`` (atomic targets and wildcards only
+    terminate/continue appropriately).  A conservative approximation:
+    a step into an atomic target must be the last step.
+    """
+    from repro.query.path import base_label, is_starred
+
+    # realizable[i] = set of types that can produce steps[i:].
+    realizable: Dict[int, FrozenSet[str]] = {
+        query.length: frozenset(program.type_names())
+    }
+    for index in range(query.length - 1, -1, -1):
+        step = query.steps[index]
+        label = base_label(step)
+        # An edge into an atomic object can satisfy this step iff the
+        # rest of the path can be empty from there: every later step is
+        # starred (zero applications).  This covers both the plain last
+        # step and suffixes like "a.b*.c*".
+        suffix_can_vanish = all(
+            is_starred(s) for s in query.steps[index + 1 :]
+        )
+
+        def one_step(successors: AbstractSet[str]) -> Set[str]:
+            survivors: Set[str] = set()
+            for rule in program.rules():
+                for link in rule.body:
+                    if link.direction is not Direction.OUT:
+                        continue
+                    if label != WILDCARD and link.label != label:
+                        continue
+                    if link.is_atomic_target:
+                        if suffix_can_vanish:
+                            survivors.add(rule.name)
+                            break
+                    elif link.target in successors:
+                        survivors.add(rule.name)
+                        break
+            return survivors
+
+        if is_starred(step):
+            # Zero-or-more: least fixpoint above the suffix starters.
+            closure: Set[str] = set(realizable[index + 1])
+            while True:
+                extra = one_step(closure) - closure
+                if not extra:
+                    break
+                closure |= extra
+            realizable[index] = frozenset(closure)
+        else:
+            realizable[index] = frozenset(one_step(realizable[index + 1]))
+    return realizable[0]
+
+
+def evaluate_with_schema(
+    db: Database,
+    query: PathQuery,
+    program: TypingProgram,
+    extents: Mapping[str, AbstractSet[ObjectId]],
+) -> QueryResult:
+    """Evaluate ``query`` starting only from schema-eligible objects."""
+    starters = schema_starters(program, query)
+    candidates: Set[ObjectId] = set()
+    for type_name in starters:
+        candidates.update(extents.get(type_name, ()))
+    return follow_path(db, candidates, query)
+
+
+def evaluate_select_with_schema(
+    db: Database,
+    query,
+    program: TypingProgram,
+    extents: Mapping[str, AbstractSet[ObjectId]],
+):
+    """Schema-guided select-from-where evaluation.
+
+    Candidate objects must be able (per the typing) to start the
+    ``select`` path *and* every ``where`` path — the intersection of
+    the respective starter extents.  An explicit ``from`` clause
+    narrows further to that type's extent.  Because the typing is
+    approximate, objects whose relevant edges are excess may be
+    missed; the query benchmarks measure the actual recall.
+    """
+    from repro.query.select import SelectQuery, SelectResult
+
+    if not isinstance(query, SelectQuery):
+        raise TypeError(f"expected a SelectQuery, got {type(query).__name__}")
+
+    def starter_objects(path: PathQuery) -> Set[ObjectId]:
+        out: Set[ObjectId] = set()
+        for type_name in schema_starters(program, path):
+            out.update(extents.get(type_name, ()))
+        return out
+
+    eligible: "Set[ObjectId] | None" = None
+    for path in [query.select] + [c.path for c in query.where]:
+        objects = starter_objects(path)
+        eligible = objects if eligible is None else (eligible & objects)
+    if query.from_type is not None:
+        eligible = (eligible or set()) & set(
+            extents.get(query.from_type, ())
+        )
+
+    survivors = [
+        obj
+        for obj in sorted(eligible or ())
+        if all(condition.matches(db, obj) for condition in query.where)
+    ]
+    result = follow_path(db, survivors, query.select)
+    values = tuple(
+        sorted(
+            (db.value(o) for o in result.objects if db.is_atomic(o)),
+            key=repr,
+        )
+    )
+    return SelectResult(
+        values=values,
+        objects=result.objects,
+        candidates_considered=len(survivors),
+    )

@@ -1,0 +1,75 @@
+"""Label-path queries.
+
+A path query is a dot-separated sequence of steps.  A step is a label,
+the single-step wildcard ``%``, or either with a trailing ``*`` for
+Kleene closure (zero or more traversals)::
+
+    project.member.name      objects reached by project -> member -> name
+    %.email                  e-mail attributes one step below anything
+    part*.name               names of a part and all its sub...sub-parts
+
+The result of a query is the set of objects at the end of the path
+(atomic objects included — their values are what users usually want).
+This tiny language is a fragment of Lorel-style path expressions [16],
+just enough to demonstrate schema-guided pruning.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import QueryError
+
+#: The one-step wildcard.
+WILDCARD = "%"
+
+#: Suffix marking Kleene closure of a step.
+STAR = "*"
+
+_STEP_RE = re.compile(r"^[^\s.*]+\*?$")
+
+
+def is_starred(step: str) -> bool:
+    """Whether the step carries the Kleene ``*`` suffix."""
+    return step.endswith(STAR)
+
+
+def base_label(step: str) -> str:
+    """The step's label with any ``*`` suffix removed."""
+    return step[:-1] if step.endswith(STAR) else step
+
+
+@dataclass(frozen=True)
+class PathQuery:
+    """A parsed path query: a tuple of steps."""
+
+    steps: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise QueryError("a path query needs at least one step")
+        for step in self.steps:
+            if not _STEP_RE.match(step):
+                raise QueryError(f"malformed step {step!r}")
+
+    @property
+    def length(self) -> int:
+        """Number of steps."""
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        return ".".join(self.steps)
+
+
+def parse_path(text: str) -> PathQuery:
+    """Parse ``"a.b.c"`` into a :class:`PathQuery`.
+
+    >>> parse_path("project.member.name").length
+    3
+    """
+    text = text.strip()
+    if not text:
+        raise QueryError("empty path query")
+    return PathQuery(tuple(part.strip() for part in text.split(".")))

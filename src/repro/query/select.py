@@ -1,0 +1,225 @@
+"""A small select-from-where query language over the graph.
+
+The paper motivates schema extraction with query *formulation*: users
+of self-describing data need the schema to know what can be asked.
+This module provides the query surface that consumes the extracted
+schema — a deliberately small Lorel-flavoured [16] language::
+
+    select name from person where works.name = 'Acme'
+    select publication.conference from db-person where email exists
+    select name where age > 30          -- from every object
+
+Grammar (case-insensitive keywords)::
+
+    query      := 'select' path ['from' type] ['where' condition
+                  ('and' condition)*]
+    condition  := path op literal | path 'exists'
+    op         := '=' | '!=' | '<' | '<=' | '>' | '>='
+    literal    := 'quoted string' | number | bare-word
+
+Semantics: the ``from`` type restricts candidate objects to its extent
+(requiring a typing); each condition evaluates its path from the
+candidate and succeeds if **some** reached atomic value satisfies the
+comparison (existential semantics, the semistructured convention);
+the ``select`` path is then followed and atomic values are returned.
+Comparisons between incomparable values (e.g. ``'abc' < 5``) are
+false rather than errors — irregular data is the normal case here.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Any,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.exceptions import QueryError
+from repro.graph.database import Database, ObjectId
+from repro.query.evaluator import follow_path
+from repro.query.path import PathQuery, parse_path
+
+_OPS = ("!=", "<=", ">=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One where-clause conjunct."""
+
+    path: PathQuery
+    op: str  #: comparison operator, or ``"exists"``.
+    value: Any = None
+
+    def matches(self, db: Database, obj: ObjectId) -> bool:
+        """Existential check: some value reached by the path satisfies."""
+        reached = follow_path(db, [obj], self.path).objects
+        values = [db.value(o) for o in reached if db.is_atomic(o)]
+        if self.op == "exists":
+            return bool(reached)
+        return any(_compare(value, self.op, self.value) for value in values)
+
+
+def _compare(left: Any, op: str, right: Any) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise QueryError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed select-from-where query."""
+
+    select: PathQuery
+    from_type: Optional[str] = None
+    where: Tuple[Condition, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        parts = [f"select {self.select}"]
+        if self.from_type:
+            parts.append(f"from {self.from_type}")
+        if self.where:
+            rendered = " and ".join(
+                f"{c.path} {c.op}"
+                + (f" {c.value!r}" if c.op != "exists" else "")
+                for c in self.where
+            )
+            parts.append(f"where {rendered}")
+        return " ".join(parts)
+
+
+_LITERAL_RE = re.compile(r"'([^']*)'|(-?\d+\.\d+)|(-?\d+)|(\S+)")
+
+
+def _parse_literal(token: str) -> Any:
+    match = _LITERAL_RE.fullmatch(token.strip())
+    if not match:
+        raise QueryError(f"malformed literal {token!r}")
+    quoted, floating, integer, bare = match.groups()
+    if quoted is not None:
+        return quoted
+    if floating is not None:
+        return float(floating)
+    if integer is not None:
+        return int(integer)
+    return bare
+
+
+def _parse_condition(text: str) -> Condition:
+    text = text.strip()
+    if text.lower().endswith(" exists"):
+        return Condition(path=parse_path(text[: -len(" exists")]), op="exists")
+    for op in _OPS:
+        # Find the operator outside quotes; paths cannot contain ops.
+        index = text.find(op)
+        if index > 0:
+            path_text = text[:index].strip()
+            literal_text = text[index + len(op):].strip()
+            if not literal_text:
+                raise QueryError(f"missing literal in condition {text!r}")
+            return Condition(
+                path=parse_path(path_text),
+                op=op,
+                value=_parse_literal(literal_text),
+            )
+    raise QueryError(f"malformed condition {text!r}")
+
+
+def parse_select(text: str) -> SelectQuery:
+    """Parse a select-from-where query string.
+
+    >>> q = parse_select("select name from person where age > 30")
+    >>> (str(q.select), q.from_type, q.where[0].op, q.where[0].value)
+    ('name', 'person', '>', 30)
+    """
+    pattern = re.compile(
+        r"^\s*select\s+(?P<select>.+?)"
+        r"(?:\s+from\s+(?P<from>\S+))?"
+        r"(?:\s+where\s+(?P<where>.+))?\s*$",
+        re.IGNORECASE | re.DOTALL,
+    )
+    match = pattern.match(text)
+    if not match:
+        raise QueryError(f"malformed select query: {text!r}")
+    select_path = parse_path(match.group("select"))
+    from_type = match.group("from")
+    conditions: List[Condition] = []
+    where = match.group("where")
+    if where:
+        for part in re.split(r"\s+and\s+", where, flags=re.IGNORECASE):
+            conditions.append(_parse_condition(part))
+    return SelectQuery(
+        select=select_path,
+        from_type=from_type,
+        where=tuple(conditions),
+    )
+
+
+@dataclass(frozen=True)
+class SelectResult:
+    """Values and supporting objects of a select evaluation."""
+
+    values: Tuple[Any, ...]
+    objects: FrozenSet[ObjectId]
+    candidates_considered: int
+
+
+def evaluate_select(
+    db: Database,
+    query: SelectQuery,
+    extents: Optional[Mapping[str, AbstractSet[ObjectId]]] = None,
+) -> SelectResult:
+    """Evaluate a select query.
+
+    ``extents`` (type -> objects, e.g. from an extraction) is required
+    when the query has a ``from`` clause; without one the candidates
+    are all complex objects.
+    """
+    if query.from_type is not None:
+        if extents is None:
+            raise QueryError(
+                f"query has 'from {query.from_type}' but no extents "
+                "were provided"
+            )
+        if query.from_type not in extents:
+            raise QueryError(f"unknown type {query.from_type!r} in 'from'")
+        candidates: Iterable[ObjectId] = extents[query.from_type]
+    else:
+        candidates = list(db.complex_objects())
+
+    survivors = [
+        obj
+        for obj in candidates
+        if all(condition.matches(db, obj) for condition in query.where)
+    ]
+    result = follow_path(db, survivors, query.select)
+    values = tuple(
+        sorted(
+            (db.value(o) for o in result.objects if db.is_atomic(o)),
+            key=repr,
+        )
+    )
+    return SelectResult(
+        values=values,
+        objects=result.objects,
+        candidates_considered=len(survivors),
+    )

@@ -1,0 +1,40 @@
+"""Synthetic semistructured data (Section 7.1).
+
+The paper generates data from "type definitions with probability
+attached to their typed links" (Example 7.1).  This subpackage
+implements that generator plus the perturbation procedure ("delete
+randomly a few links in the graph and then add some randomly labeled
+links") and the concrete dataset recipes behind Table 1 and the
+DBG-like dataset behind Figures 1 and 6.
+"""
+
+from repro.synth.datasets import (
+    DBG_COMMENTS,
+    carto_spec,
+    make_carto,
+    SyntheticConfig,
+    dbg_intended_spec,
+    make_dbg,
+    make_table1_database,
+    table1_configs,
+)
+from repro.synth.generator import generate
+from repro.synth.perturb import PerturbationStats, perturb
+from repro.synth.spec import DatasetSpec, LinkSpec, TypeSpec
+
+__all__ = [
+    "DBG_COMMENTS",
+    "DatasetSpec",
+    "LinkSpec",
+    "PerturbationStats",
+    "SyntheticConfig",
+    "TypeSpec",
+    "carto_spec",
+    "dbg_intended_spec",
+    "make_carto",
+    "generate",
+    "make_dbg",
+    "make_table1_database",
+    "perturb",
+    "table1_configs",
+]

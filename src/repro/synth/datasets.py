@@ -1,0 +1,319 @@
+"""Concrete dataset recipes behind the paper's evaluation.
+
+Two families:
+
+* :func:`table1_configs` — the eight synthetic databases of Table 1
+  (four base configurations crossing bipartite x overlap, each with a
+  perturbed twin).  The paper's exact generator parameters were not
+  published; the recipes here are engineered to match the published
+  per-dataset statistics (intended types, object counts, link counts)
+  and, through them, the published *shape*: ~30/19 perfect types for
+  the bipartite datasets, hundreds for the non-bipartite ones, and a
+  perturbation-driven blow-up of the perfect typing.
+* :func:`make_dbg` — a DBG-like dataset (the Stanford Database Group
+  site used in Figures 1 and 6): six intended concepts wired exactly
+  as the Figure 1 program, with per-link presence probabilities
+  providing the irregularity that makes its perfect typing an order of
+  magnitude larger than the 6-type optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.typing_program import ATOMIC, TypingProgram
+from repro.graph.database import Database
+from repro.synth.generator import generate
+from repro.synth.perturb import PerturbationStats, perturb
+from repro.synth.spec import DatasetSpec, LinkSpec, TypeSpec
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """One Table 1 row: a recipe plus an optional perturbation."""
+
+    db_no: int
+    spec: DatasetSpec
+    seed: int
+    perturb_delete: int = 0
+    perturb_add: int = 0
+
+    @property
+    def perturbed(self) -> bool:
+        """The "Perturb?" column."""
+        return self.perturb_delete > 0 or self.perturb_add > 0
+
+    @property
+    def bipartite(self) -> bool:
+        """The "Bipartite?" column."""
+        return self.spec.is_bipartite()
+
+    @property
+    def overlap(self) -> bool:
+        """The "Overlap?" column."""
+        return self.spec.has_overlap()
+
+    @property
+    def intended_types(self) -> int:
+        """The "Intended Types" column."""
+        return self.spec.num_types
+
+    def build(self) -> Tuple[Database, Optional[PerturbationStats]]:
+        """Generate (and perturb) the database deterministically."""
+        db = generate(self.spec, seed=self.seed)
+        if not self.perturbed:
+            return db, None
+        perturbed_db, stats = perturb(
+            db, delete=self.perturb_delete, add=self.perturb_add,
+            seed=self.seed + 1,
+        )
+        return perturbed_db, stats
+
+
+def _atomic_links(prefix: str, probabilities: Tuple[float, ...]) -> Tuple[LinkSpec, ...]:
+    labels = "abcdefgh"
+    return tuple(
+        LinkSpec(f"{prefix}-{labels[i]}", ATOMIC, p)
+        for i, p in enumerate(probabilities)
+    )
+
+
+def _bipartite_disjoint_spec() -> DatasetSpec:
+    """DB 1/2: bipartite, disjoint attribute sets, 10 types, 1500 objects.
+
+    Per type: one mandatory attribute, one very common, one rare —
+    about three observed attribute combinations per type, reproducing
+    the paper's ~30 perfect types and ~1.94 links/object (2909 links).
+    """
+    types = tuple(
+        TypeSpec(f"r{i}", 150, _atomic_links(f"r{i}", (1.0, 0.9, 0.04)))
+        for i in range(10)
+    )
+    return DatasetSpec("bipartite-disjoint", types)
+
+
+def _bipartite_overlap_spec() -> DatasetSpec:
+    """DB 3/4: bipartite with a shared ``name`` attribute, 6 types,
+    950 objects, ~2.54 links/object (2409 links)."""
+    shared = LinkSpec("name", ATOMIC, 1.0)
+    types = []
+    counts = (159, 159, 158, 158, 158, 158)  # 950 total
+    for i, count in enumerate(counts):
+        own = _atomic_links(f"s{i}", (1.0, 0.5, 0.04))
+        types.append(TypeSpec(f"s{i}", count, (shared,) + own))
+    return DatasetSpec("bipartite-overlap", tuple(types))
+
+
+def _graph_disjoint_spec() -> DatasetSpec:
+    """DB 5/6: non-bipartite, disjoint typed links, 5 types, 400 objects.
+
+    A small organisational schema with inter-type references and a
+    self-referential type; randomized fan-in gives nearly every object
+    a unique recursive picture, reproducing the paper's ~317 perfect
+    types for 400 objects (~1.8 links/object, 726 links)."""
+    types = (
+        TypeSpec("dept", 80, (
+            LinkSpec("dept-name", ATOMIC, 1.0),
+            LinkSpec("member", "emp", 0.95, fanout=2),
+        )),
+        TypeSpec("emp", 80, (
+            LinkSpec("emp-name", ATOMIC, 0.9),
+            LinkSpec("works-on", "proj", 0.7),
+        )),
+        TypeSpec("proj", 80, (
+            LinkSpec("proj-title", ATOMIC, 1.0),
+            LinkSpec("ref", "proj", 0.3),
+        )),
+        TypeSpec("tool", 80, (
+            LinkSpec("tool-name", ATOMIC, 0.8),
+            LinkSpec("used-in", "proj", 0.7),
+        )),
+        TypeSpec("lead", 80, (
+            LinkSpec("lead-name", ATOMIC, 1.0),
+            LinkSpec("heads", "dept", 0.55),
+        )),
+    )
+    return DatasetSpec("graph-disjoint", types)
+
+
+def _graph_overlap_spec() -> DatasetSpec:
+    """DB 7/8: non-bipartite with shared typed links (every type has a
+    ``name`` attribute and two types reference ``doc`` via the same
+    label), 5 types, 400 objects, ~775 links."""
+    types = (
+        TypeSpec("author", 80, (
+            LinkSpec("name", ATOMIC, 1.0),
+            LinkSpec("wrote", "doc", 0.85, fanout=2),
+        )),
+        TypeSpec("editor", 80, (
+            LinkSpec("name", ATOMIC, 1.0),
+            LinkSpec("wrote", "doc", 0.45),
+            LinkSpec("edits", "journal", 0.7),
+        )),
+        TypeSpec("doc", 80, (
+            LinkSpec("name", ATOMIC, 0.9),
+            LinkSpec("cites", "doc", 0.35),
+        )),
+        TypeSpec("journal", 80, (
+            LinkSpec("name", ATOMIC, 1.0),
+            LinkSpec("contains", "doc", 0.6),
+        )),
+        TypeSpec("group", 80, (
+            LinkSpec("name", ATOMIC, 0.95),
+            LinkSpec("has", "author", 0.55),
+        )),
+    )
+    return DatasetSpec("graph-overlap", types)
+
+
+def table1_configs() -> List[SyntheticConfig]:
+    """The eight Table 1 rows, in paper order (DB No 1-8).
+
+    Odd rows are unperturbed; each even row perturbs the previous one
+    with a few deletions and slightly more random-label additions so
+    the link counts grow a little, exactly as in the paper
+    (2909 -> 2958, 2409 -> 2442, 726 -> 749, 775 -> 795)."""
+    return [
+        SyntheticConfig(1, _bipartite_disjoint_spec(), seed=11),
+        SyntheticConfig(2, _bipartite_disjoint_spec(), seed=11,
+                        perturb_delete=20, perturb_add=69),
+        SyntheticConfig(3, _bipartite_overlap_spec(), seed=13),
+        SyntheticConfig(4, _bipartite_overlap_spec(), seed=13,
+                        perturb_delete=12, perturb_add=45),
+        SyntheticConfig(5, _graph_disjoint_spec(), seed=17),
+        SyntheticConfig(6, _graph_disjoint_spec(), seed=17,
+                        perturb_delete=8, perturb_add=31),
+        SyntheticConfig(7, _graph_overlap_spec(), seed=19),
+        SyntheticConfig(8, _graph_overlap_spec(), seed=19,
+                        perturb_delete=10, perturb_add=30),
+    ]
+
+
+def make_table1_database(db_no: int) -> Tuple[Database, SyntheticConfig]:
+    """Build one Table 1 database by its paper number (1-8)."""
+    for config in table1_configs():
+        if config.db_no == db_no:
+            db, _ = config.build()
+            return db, config
+    raise KeyError(f"Table 1 has databases 1-8, got {db_no}")
+
+
+def carto_spec(
+    num_records: int = 400,
+    num_properties: int = 120,
+    num_kinds: int = 8,
+    fill: float = 0.06,
+) -> DatasetSpec:
+    """The introduction's cartographic-server shape.
+
+    "These typically have thousands of records with hundreds of
+    properties, most of which are null for any given object."  Each of
+    the ``num_kinds`` feature kinds (think: road, river, city, ...)
+    draws from its own slice of the property space with a low fill
+    factor plus a few mandatory core properties, producing exactly the
+    sparse, wide, bipartite records the paper motivates with.
+    """
+    per_kind = max(1, num_properties // num_kinds)
+    types = []
+    counts = num_records // num_kinds
+    for kind in range(num_kinds):
+        links = [
+            LinkSpec(f"prop{kind * per_kind}", ATOMIC, 1.0),
+            LinkSpec(f"prop{kind * per_kind + 1}", ATOMIC, 0.9),
+        ]
+        for offset in range(2, per_kind):
+            links.append(
+                LinkSpec(f"prop{kind * per_kind + offset}", ATOMIC, fill)
+            )
+        types.append(TypeSpec(f"kind{kind}", counts, tuple(links)))
+    return DatasetSpec("carto", tuple(types))
+
+
+def make_carto(seed: int = 77, **kwargs) -> Database:
+    """Generate the cartographic dataset deterministically."""
+    return generate(carto_spec(**kwargs), seed=seed)
+
+
+# ----------------------------------------------------------------------
+# The DBG-like dataset (Figures 1 and 6)
+# ----------------------------------------------------------------------
+
+#: Intuitive meaning of the six DBG concepts, used when printing the
+#: Figure 1 program.
+DBG_COMMENTS: Dict[str, str] = {
+    "project": "project: a research project of the group",
+    "publication": "publication: a paper with authors and a conference",
+    "db-person": "db-person: a full group member",
+    "student": "student: a student member with an advisor",
+    "birthday": "birthday: a member's date of birth",
+    "degree": "degree: a member's academic degree",
+}
+
+
+def dbg_intended_spec() -> DatasetSpec:
+    """The DBG recipe: six concepts wired exactly as Figure 1.
+
+    Reciprocal labels realise the two-way project membership and
+    publication authorship; the probabilities encode the irregularity
+    of real member home-pages (missing e-mails, optional interests,
+    students without advisors, ...), which is what inflates the perfect
+    typing to dozens of types while the intended program has six.
+    """
+    types = (
+        TypeSpec("project", 6, (
+            LinkSpec("name", ATOMIC, 1.0),
+            LinkSpec("home_page", ATOMIC, 0.8),
+        )),
+        TypeSpec("publication", 42, (
+            LinkSpec("name", ATOMIC, 1.0),
+            LinkSpec("conference", ATOMIC, 0.8),
+            LinkSpec("postscript", ATOMIC, 0.7),
+        )),
+        TypeSpec("db-person", 16, (
+            LinkSpec("name", ATOMIC, 1.0),
+            LinkSpec("email", ATOMIC, 1.0),
+            LinkSpec("home_page", ATOMIC, 1.0),
+            LinkSpec("title", ATOMIC, 0.9),
+            LinkSpec("years_at_stanford", ATOMIC, 0.85),
+            LinkSpec("original_home", ATOMIC, 0.3),
+            LinkSpec("personal_interest", ATOMIC, 0.4),
+            LinkSpec("research_interest", ATOMIC, 0.8),
+            LinkSpec("project", "project", 0.95, reciprocal="project_member"),
+            LinkSpec("publication", "publication", 0.9, reciprocal="author",
+                     fanout=3),
+            LinkSpec("birthday", "birthday", 0.8),
+            LinkSpec("degree", "degree", 0.75, fanout=2),
+        )),
+        TypeSpec("student", 26, (
+            LinkSpec("name", ATOMIC, 1.0),
+            LinkSpec("email", ATOMIC, 0.95),
+            LinkSpec("nickname", ATOMIC, 0.4),
+            LinkSpec("title", ATOMIC, 0.25),
+            LinkSpec("home_page", ATOMIC, 0.9),
+            LinkSpec("project", "project", 0.9, reciprocal="project_member"),
+            LinkSpec("advisor", "db-person", 0.9),
+        )),
+        TypeSpec("birthday", 14, (
+            LinkSpec("month", ATOMIC, 1.0),
+            LinkSpec("day", ATOMIC, 1.0),
+            LinkSpec("year", ATOMIC, 0.85),
+        )),
+        TypeSpec("degree", 22, (
+            LinkSpec("major", ATOMIC, 0.9),
+            LinkSpec("school", ATOMIC, 1.0),
+            LinkSpec("name", ATOMIC, 0.6),
+            LinkSpec("year", ATOMIC, 0.8),
+        )),
+    )
+    return DatasetSpec("dbg", types)
+
+
+def make_dbg(seed: int = 1998) -> Database:
+    """Generate the DBG-like dataset deterministically."""
+    return generate(dbg_intended_spec(), seed=seed)
+
+
+def dbg_intended_program() -> TypingProgram:
+    """The six-type ground-truth program (the Figure 1 shape)."""
+    return dbg_intended_spec().intended_program()

@@ -1,0 +1,194 @@
+"""Probabilistic dataset specifications (Example 7.1).
+
+A :class:`TypeSpec` declares how many objects a type has and which
+outgoing links its objects *may* carry: each :class:`LinkSpec` fires
+independently per object with its probability, producing an edge to a
+fresh atomic object or to a random object of the target type.
+Reciprocal labels model the paper's two-way relationships (manager /
+managed-by, project / project-member) so non-bipartite datasets have
+meaningful incoming structure.
+
+A :class:`DatasetSpec` bundles the types and can derive the *intended*
+typing program — the ground truth the Table 1 harness compares the
+extracted schema against: every link spec contributes its outgoing
+typed link to the owner and (for complex targets) the corresponding
+incoming typed link to the target, matching what Stage 1 sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.typing_program import (
+    ATOMIC,
+    TypedLink,
+    TypeRule,
+    TypingProgram,
+)
+from repro.exceptions import GenerationError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One probabilistic outgoing link of a type.
+
+    Attributes
+    ----------
+    label:
+        The edge label.
+    target:
+        Target type name, or :data:`repro.core.ATOMIC` for an atomic
+        attribute (a fresh atomic object is created per edge).
+    probability:
+        Per-object probability that the link is present.
+    reciprocal:
+        Optional label of a reverse edge generated together with the
+        forward edge (e.g. ``project_member`` back-edges for
+        ``project`` links).  Only meaningful for complex targets.
+    fanout:
+        Number of independent draws — ``fanout=3`` with probability
+        0.5 yields between 0 and 3 links (to distinct targets where
+        possible).
+    """
+
+    label: str
+    target: str
+    probability: float
+    reciprocal: Optional[str] = None
+    fanout: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise GenerationError(
+                f"probability of {self.label!r} must be in (0, 1], "
+                f"got {self.probability}"
+            )
+        if self.fanout < 1:
+            raise GenerationError(f"fanout must be >= 1, got {self.fanout}")
+        if self.reciprocal is not None and self.target == ATOMIC:
+            raise GenerationError(
+                f"link {self.label!r}: atomic targets cannot have "
+                "reciprocal edges"
+            )
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """A type: object count plus probabilistic links."""
+
+    name: str
+    count: int
+    links: Tuple[LinkSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise GenerationError(f"count of {self.name!r} must be >= 0")
+        if self.name == ATOMIC:
+            raise GenerationError(f"{ATOMIC!r} is reserved for the atomic type")
+        seen: Set[Tuple[str, str]] = set()
+        for link in self.links:
+            key = (link.label, link.target)
+            if key in seen:
+                raise GenerationError(
+                    f"type {self.name!r} declares ({link.label!r}, "
+                    f"{link.target!r}) twice"
+                )
+            seen.add(key)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A complete dataset recipe."""
+
+    name: str
+    types: Tuple[TypeSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.types]
+        if len(set(names)) != len(names):
+            raise GenerationError(f"duplicate type names in {self.name!r}")
+        defined = set(names)
+        for type_spec in self.types:
+            for link in type_spec.links:
+                if link.target != ATOMIC and link.target not in defined:
+                    raise GenerationError(
+                        f"type {type_spec.name!r} links to undefined "
+                        f"type {link.target!r}"
+                    )
+
+    @property
+    def num_types(self) -> int:
+        """The "Intended Types" count of Table 1."""
+        return len(self.types)
+
+    def type_spec(self, name: str) -> TypeSpec:
+        """Look up one type spec by name."""
+        for type_spec in self.types:
+            if type_spec.name == name:
+                return type_spec
+        raise GenerationError(f"unknown type {name!r} in {self.name!r}")
+
+    def is_bipartite(self) -> bool:
+        """Whether every declared link targets an atomic object."""
+        return all(
+            link.target == ATOMIC
+            for type_spec in self.types
+            for link in type_spec.links
+        )
+
+    def has_overlap(self) -> bool:
+        """Whether two types share a typed link (the "Overlap?" column)."""
+        seen: Set[Tuple[str, str]] = set()
+        for type_spec in self.types:
+            for link in type_spec.links:
+                key = (link.label, link.target)
+                if key in seen:
+                    return True
+                seen.add(key)
+        return False
+
+    def intended_program(self, include_incoming: bool = True) -> TypingProgram:
+        """The ground-truth typing program of the recipe.
+
+        Every link spec contributes ``->label^target`` to its owner;
+        with ``include_incoming`` (default), complex targets also get
+        ``<-label^owner`` and reciprocal labels contribute their two
+        typed links — this mirrors exactly the local pictures Stage 1
+        derives from fully-regular instances.
+        """
+        bodies: Dict[str, Set[TypedLink]] = {t.name: set() for t in self.types}
+        for type_spec in self.types:
+            for link in type_spec.links:
+                if link.target == ATOMIC:
+                    bodies[type_spec.name].add(TypedLink.to_atomic(link.label))
+                    continue
+                bodies[type_spec.name].add(
+                    TypedLink.outgoing(link.label, link.target)
+                )
+                if include_incoming:
+                    bodies[link.target].add(
+                        TypedLink.incoming(link.label, type_spec.name)
+                    )
+                if link.reciprocal is not None:
+                    bodies[link.target].add(
+                        TypedLink.outgoing(link.reciprocal, type_spec.name)
+                    )
+                    if include_incoming:
+                        bodies[type_spec.name].add(
+                            TypedLink.incoming(link.reciprocal, link.target)
+                        )
+        return TypingProgram(
+            [TypeRule(name, frozenset(body)) for name, body in bodies.items()]
+        )
+
+    def expected_links(self) -> float:
+        """Expected number of generated edges (reciprocals included)."""
+        total = 0.0
+        for type_spec in self.types:
+            for link in type_spec.links:
+                per_object = link.probability * link.fanout
+                if link.reciprocal is not None:
+                    per_object *= 2
+                total += type_spec.count * per_object
+        return total

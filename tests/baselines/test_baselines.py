@@ -1,0 +1,97 @@
+"""Unit tests for the DataGuide and representative-object baselines."""
+
+import pytest
+
+from repro.baselines.dataguide import build_dataguide
+from repro.baselines.representative import build_representative_objects
+from repro.graph.builder import DatabaseBuilder
+
+
+@pytest.fixture
+def tree_db():
+    builder = DatabaseBuilder()
+    builder.link("root", "p1", "person")
+    builder.link("root", "p2", "person")
+    builder.attr("p1", "name", "A")
+    builder.attr("p2", "name", "B")
+    builder.attr("p2", "email", "b@x")
+    return builder.build()
+
+
+class TestDataGuide:
+    def test_root_is_source_set(self, tree_db):
+        guide = build_dataguide(tree_db)
+        assert guide.root == {"root"}
+
+    def test_target_sets(self, tree_db):
+        guide = build_dataguide(tree_db)
+        assert guide.target_set(["person"]) == {"p1", "p2"}
+        assert guide.target_set(["person", "email"]) != frozenset()
+        assert guide.target_set(["nope"]) == frozenset()
+
+    def test_label_paths(self, tree_db):
+        guide = build_dataguide(tree_db)
+        paths = guide.label_paths(max_depth=3)
+        assert ("person",) in paths
+        assert ("person", "name") in paths
+        assert ("person", "email") in paths
+
+    def test_deterministic_summary_is_smaller_than_data(self, tree_db):
+        guide = build_dataguide(tree_db)
+        # root set, {p1,p2}, the name target set, the email target set.
+        assert guide.num_nodes == 4
+        assert guide.num_edges == 3
+
+    def test_explicit_roots(self, figure2_db):
+        guide = build_dataguide(figure2_db, roots=["g"])
+        assert guide.target_set(["is-manager-of"]) == {"m"}
+        # Cycle g -> m -> g: determinization still terminates.
+        assert guide.target_set(
+            ["is-manager-of", "is-managed-by", "is-manager-of"]
+        ) == {"m"}
+
+    def test_rootless_cycle_gives_trivial_guide(self, figure2_db):
+        guide = build_dataguide(figure2_db)
+        assert guide.root == frozenset()
+        assert guide.num_nodes == 1
+
+    def test_powerset_blowup_possible(self):
+        """Distinct subsets of targets become distinct guide nodes."""
+        builder = DatabaseBuilder()
+        builder.link("r", "s1", "a").link("r", "s2", "b")
+        builder.link("s1", "x", "c").link("s2", "x", "c").link("s1", "y", "c")
+        builder.attr("x", "v", 1)
+        builder.attr("y", "v", 2)
+        guide = build_dataguide(builder.build())
+        node_sets = set(guide.nodes)
+        assert frozenset({"x", "y"}) in node_sets
+        assert frozenset({"x"}) in node_sets
+
+
+class TestRepresentativeObjects:
+    def test_degree_one_groups_by_labels(self, tree_db):
+        ro = build_representative_objects(tree_db, 1)
+        # p1 {name} and p2 {name, email} differ; root differs from both.
+        assert ro.num_classes == 3
+
+    def test_common_vs_optional(self):
+        builder = DatabaseBuilder()
+        for i in range(3):
+            builder.attr(f"p{i}", "name", f"n{i}")
+        builder.attr("p0", "email", "e")
+        db = builder.build()
+        ro = build_representative_objects(db, 0)
+        (name,) = ro.blocks.keys()
+        assert ro.common_labels[name] == {"name"}
+        assert ro.optional_labels[name] == {"email"}
+
+    def test_higher_degree_refines(self, figure4_db):
+        sizes = [
+            build_representative_objects(figure4_db, k).num_classes
+            for k in range(4)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_describe_output(self, tree_db):
+        text = build_representative_objects(tree_db, 1).describe()
+        assert "objects" in text

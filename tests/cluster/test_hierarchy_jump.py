@@ -1,0 +1,100 @@
+"""Unit tests for agglomerative clustering and the jump function."""
+
+import pytest
+
+from repro.cluster.hierarchy import agglomerate
+from repro.cluster.jump import (
+    attribute_support,
+    defining_attributes,
+    jump_threshold,
+)
+from repro.exceptions import ClusteringError
+
+POSITIONS = [0.0, 1.0, 2.0, 10.0, 11.0]
+
+
+def dist(i: int, j: int) -> float:
+    return abs(POSITIONS[i] - POSITIONS[j])
+
+
+class TestAgglomerate:
+    def test_two_clusters(self):
+        result = agglomerate(5, 2, dist)
+        assert {frozenset(c) for c in result.clusters} == {
+            frozenset({0, 1, 2}),
+            frozenset({3, 4}),
+        }
+
+    def test_merge_history_length(self):
+        result = agglomerate(5, 2, dist)
+        assert len(result.merges) == 3
+        assert result.k == 2
+
+    def test_assignment(self):
+        result = agglomerate(5, 1, dist)
+        assignment = result.assignment()
+        assert set(assignment) == {0, 1, 2, 3, 4}
+        assert len(set(assignment.values())) == 1
+
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "weighted"])
+    def test_all_linkages_run(self, linkage):
+        result = agglomerate(5, 2, dist, linkage=linkage)
+        assert result.k == 2
+
+    def test_single_vs_complete_differ_on_chain(self):
+        # A chain of equally-spaced points: single linkage chains them,
+        # complete linkage balances.
+        chain = [0.0, 1.0, 2.0, 3.0]
+
+        def d(i, j):
+            return abs(chain[i] - chain[j])
+
+        single = agglomerate(4, 2, d, linkage="single")
+        complete = agglomerate(4, 2, d, linkage="complete")
+        assert {frozenset(c) for c in complete.clusters} == {
+            frozenset({0, 1}), frozenset({2, 3}),
+        }
+        assert single.k == complete.k == 2
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            agglomerate(0, 1, dist)
+        with pytest.raises(ClusteringError):
+            agglomerate(5, 6, dist)
+        with pytest.raises(ClusteringError):
+            agglomerate(5, 2, dist, linkage="bogus")
+
+
+class TestJump:
+    MEMBERS = [
+        ({"a", "b"}, 10.0),
+        ({"a", "b", "c"}, 10.0),
+        ({"a", "b"}, 10.0),
+        ({"a", "z"}, 1.0),
+    ]
+
+    def test_support(self):
+        support = attribute_support(self.MEMBERS)
+        assert support["a"] == pytest.approx(1.0)
+        assert support["b"] == pytest.approx(30 / 31)
+        assert support["z"] == pytest.approx(1 / 31)
+
+    def test_threshold_between_plateau_and_tail(self):
+        support = attribute_support(self.MEMBERS)
+        threshold = jump_threshold(support.values())
+        assert support["z"] <= threshold < support["b"]
+
+    def test_defining_attributes(self):
+        assert defining_attributes(self.MEMBERS) == {"a", "b"}
+
+    def test_uniform_supports_keep_everything(self):
+        members = [({"a"}, 1.0), ({"b"}, 1.0)]
+        assert defining_attributes(members) == {"a", "b"}
+
+    def test_single_value_no_jump(self):
+        assert jump_threshold([0.5, 0.5, 0.5]) == 0.0
+        assert jump_threshold([]) == 0.0
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ClusteringError):
+            attribute_support([({"a"}, 0.0)])

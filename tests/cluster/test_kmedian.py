@@ -1,0 +1,93 @@
+"""Unit tests for the k-median heuristics."""
+
+import pytest
+
+from repro.cluster.kmedian import (
+    exact_k_median,
+    greedy_k_median,
+    local_search_k_median,
+)
+from repro.exceptions import ClusteringError
+
+# Two tight groups on a line: {0, 1, 2} and {10, 11, 12}.
+POSITIONS = [0.0, 1.0, 2.0, 10.0, 11.0, 12.0]
+WEIGHTS = [1.0] * 6
+
+
+def line_distance(i: int, j: int) -> float:
+    return abs(POSITIONS[i] - POSITIONS[j])
+
+
+class TestGreedy:
+    def test_two_obvious_clusters(self):
+        result = greedy_k_median(WEIGHTS, 2, line_distance)
+        assert result.k == 2
+        groups = {}
+        for point, median in result.assignment.items():
+            groups.setdefault(median, set()).add(point)
+        assert {frozenset(g) for g in groups.values()} == {
+            frozenset({0, 1, 2}),
+            frozenset({3, 4, 5}),
+        }
+
+    def test_k_equals_n_costs_zero(self):
+        result = greedy_k_median(WEIGHTS, 6, line_distance)
+        assert result.cost == 0
+
+    def test_weights_pull_medians(self):
+        heavy = [100.0, 1.0, 1.0]
+        result = greedy_k_median(heavy, 1, lambda i, j: abs(i - j))
+        assert result.medians == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            greedy_k_median(WEIGHTS, 0, line_distance)
+        with pytest.raises(ClusteringError):
+            greedy_k_median(WEIGHTS, 7, line_distance)
+        with pytest.raises(ClusteringError):
+            greedy_k_median([], 1, line_distance)
+
+
+class TestLocalSearch:
+    def test_improves_bad_initial(self):
+        bad_initial = [0, 1]  # both medians in the left group
+        result = local_search_k_median(
+            WEIGHTS, 2, line_distance, initial=bad_initial
+        )
+        optimal = exact_k_median(WEIGHTS, 2, line_distance)
+        assert result.cost == pytest.approx(optimal.cost)
+
+    def test_defaults_to_greedy_start(self):
+        result = local_search_k_median(WEIGHTS, 2, line_distance)
+        assert result.cost <= greedy_k_median(WEIGHTS, 2, line_distance).cost
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ClusteringError):
+            local_search_k_median(WEIGHTS, 2, line_distance, initial=[0])
+
+
+class TestExact:
+    def test_matches_brute_force_intuition(self):
+        result = exact_k_median(WEIGHTS, 2, line_distance)
+        assert result.cost == pytest.approx(4.0)  # 1+1 on each side
+
+    def test_size_guard(self):
+        with pytest.raises(ClusteringError):
+            exact_k_median([1.0] * 30, 2, lambda i, j: 0.0)
+
+    def test_heuristics_near_optimal_on_random_instances(self, rng):
+        for _ in range(5):
+            n = 10
+            positions = [rng.uniform(0, 100) for _ in range(n)]
+            weights = [rng.uniform(0.5, 5.0) for _ in range(n)]
+
+            def dist(i, j):
+                return abs(positions[i] - positions[j])
+
+            best = exact_k_median(weights, 3, dist).cost
+            greedy = greedy_k_median(weights, 3, dist).cost
+            swapped = local_search_k_median(weights, 3, dist).cost
+            assert greedy >= best - 1e-9
+            assert swapped >= best - 1e-9
+            # Local search should be close to optimal on tiny instances.
+            assert swapped <= best * 1.5 + 1e-9

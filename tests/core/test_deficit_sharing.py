@@ -1,0 +1,102 @@
+"""Unit tests for the fact-sharing deficit bound."""
+
+import pytest
+
+from repro.core.defect import compute_deficit
+from repro.core.deficit_sharing import compute_deficit_with_sharing
+from repro.core.notation import parse_program
+from repro.graph.builder import DatabaseBuilder
+from repro.graph.database import Database
+
+
+class TestSharing:
+    def test_example_22_unchanged(self, figure3_db, example22_program):
+        """Example 2.2's single missing requirement cannot be shared."""
+        tau1 = {"o1": {"type1"}, "o2": {"type2"},
+                "o3": {"type3"}, "o4": {"type2"}}
+        simple = compute_deficit(example22_program, figure3_db, tau1)
+        shared = compute_deficit_with_sharing(
+            example22_program, figure3_db, tau1
+        )
+        assert simple.count == shared.count == 1
+
+    def test_one_fact_repairs_two_requirements(self):
+        """o needs ->a^u; p needs <-a^t; t(o), u(p): one invented
+        link(o, p, a) repairs both -> shared deficit is 1, not 2."""
+        db = Database()
+        db.add_complex("o")
+        db.add_complex("p")
+        program = parse_program("t = ->a^u\nu = <-a^t")
+        assignment = {"o": {"t"}, "p": {"u"}}
+        simple = compute_deficit(program, db, assignment)
+        shared = compute_deficit_with_sharing(program, db, assignment)
+        assert simple.count == 2
+        assert shared.count == 1
+
+    def test_incompatible_labels_not_shared(self):
+        db = Database()
+        db.add_complex("o")
+        db.add_complex("p")
+        program = parse_program("t = ->a^u\nu = <-b^t")
+        assignment = {"o": {"t"}, "p": {"u"}}
+        shared = compute_deficit_with_sharing(program, db, assignment)
+        assert shared.count == 2  # different labels: no sharing
+
+    def test_type_mismatch_not_shared(self):
+        """The IN requirement wants the source to be of type x, which
+        the OUT-side object does not have."""
+        db = Database()
+        db.add_complex("o")
+        db.add_complex("p")
+        program = parse_program("t = ->a^u\nu = <-a^x\nx = <empty>")
+        assignment = {"o": {"t"}, "p": {"u"}}
+        shared = compute_deficit_with_sharing(program, db, assignment)
+        assert shared.count == 2
+
+    def test_atomic_requirements_never_shared(self):
+        db = Database()
+        db.add_complex("o")
+        program = parse_program("t = ->a^0\nu = <-a^t")
+        assignment = {"o": {"t", "u"}}
+        shared = compute_deficit_with_sharing(program, db, assignment)
+        # ->a^0 needs a fresh atomic; <-a^t needs an incoming edge.
+        assert shared.count == 2
+
+    def test_matching_is_one_to_one(self):
+        """Two OUT requirements cannot share the same IN requirement."""
+        db = Database()
+        for obj in ("o1", "o2", "p"):
+            db.add_complex(obj)
+        program = parse_program("t = ->a^u\nu = <-a^t")
+        assignment = {"o1": {"t"}, "o2": {"t"}, "p": {"u"}}
+        simple = compute_deficit(program, db, assignment)
+        shared = compute_deficit_with_sharing(program, db, assignment)
+        assert simple.count == 3  # two OUT, one IN
+        assert shared.count == 2  # one pairing only
+
+    def test_shared_never_exceeds_simple(self):
+        """Sharing is a refinement: always <= the simple count."""
+        builder = DatabaseBuilder()
+        builder.attr("x", "name", "X")
+        builder.link("x", "y", "knows")
+        db = builder.build()
+        program = parse_program(
+            "t = ->name^0, ->knows^u, <-knows^u\nu = <-knows^t"
+        )
+        for assignment in (
+            {"x": {"t"}, "y": {"u"}},
+            {"x": {"t", "u"}, "y": {"t"}},
+            {"x": set(), "y": {"u"}},
+        ):
+            simple = compute_deficit(program, db, assignment)
+            shared = compute_deficit_with_sharing(program, db, assignment)
+            assert 0 <= shared.count <= simple.count
+
+    def test_zero_deficit_stays_zero(self, figure2_db, p0_program):
+        from repro.core.fixpoint import greatest_fixpoint
+
+        assignment = greatest_fixpoint(p0_program, figure2_db).assignment()
+        shared = compute_deficit_with_sharing(
+            p0_program, figure2_db, assignment
+        )
+        assert shared.count == 0

@@ -1,0 +1,115 @@
+"""Unit tests for the type distances (Section 5.2)."""
+
+import pytest
+
+from repro.core.distance import (
+    check_properties,
+    delta_1,
+    delta_2,
+    delta_3,
+    delta_4,
+    delta_5,
+    manhattan,
+    manhattan_bodies,
+    named_distances,
+)
+from repro.core.typing_program import make_rule
+
+
+class TestManhattan:
+    def test_example_52(self):
+        """Example 5.2: d(t1,t2)=2, d(t1,t3)=3, d(t2,t3)=3."""
+        t1 = make_rule("t1", atomic=["a"], outgoing=[("b", "t2")])
+        t2 = make_rule("t2", atomic=["a"], outgoing=[("b", "t1")])
+        t3 = make_rule(
+            "t3", outgoing=[("b", "t1"), ("b", "t2"), ("b", "t3")]
+        )
+        assert manhattan(t1, t2) == 2
+        assert manhattan(t1, t3) == 3
+        assert manhattan(t2, t3) == 3
+
+    def test_identity(self):
+        rule = make_rule("t", atomic=["a", "b"])
+        assert manhattan(rule, rule) == 0
+
+    def test_symmetry(self):
+        t1 = make_rule("t1", atomic=["a", "b"])
+        t2 = make_rule("t2", atomic=["b", "c"])
+        assert manhattan(t1, t2) == manhattan(t2, t1) == 2
+
+    def test_triangle_inequality_on_samples(self):
+        rules = [
+            make_rule("r1", atomic=["a"]),
+            make_rule("r2", atomic=["a", "b"]),
+            make_rule("r3", atomic=["c"]),
+        ]
+        for x in rules:
+            for y in rules:
+                for z in rules:
+                    assert manhattan(x, z) <= manhattan(x, y) + manhattan(y, z)
+
+    def test_bodies_variant(self):
+        t1 = make_rule("t1", atomic=["a"])
+        t2 = make_rule("t2", atomic=["b"])
+        assert manhattan_bodies(t1.body, t2.body) == 2
+
+
+class TestWeightedDistances:
+    def test_delta_2_is_weighted_manhattan(self):
+        assert delta_2(100, 10, 3) == 30
+        assert delta_2(1, 10, 0) == 0
+
+    def test_delta_1_values(self):
+        delta = delta_1(dimensions=10)
+        assert delta(1, 1, 1) == 10
+        assert delta(10, 10, 1) == pytest.approx(0.1)
+        assert delta(5, 5, 0) == 0
+
+    def test_delta_3_zero_at_d0(self):
+        assert delta_3(100, 100, 0) == 0
+        assert delta_3(100, 100, 1) == 10000
+        assert delta_3(100, 100, 2) == pytest.approx(100)
+
+    def test_delta_4_values(self):
+        delta = delta_4(dimensions=10)
+        assert delta(7, 3, 2) == 300
+        assert delta(7, 3, 0) == 0
+
+    def test_delta_5_ratio(self):
+        assert delta_5(100, 10, 1) == pytest.approx(0.1)
+        assert delta_5(10, 100, 1) == pytest.approx(10)
+        assert delta_5(10, 100, 0) == 0
+
+    def test_named_distances_complete(self):
+        table = named_distances(12)
+        assert set(table) == {f"delta_{i}" for i in range(1, 6)}
+        for delta in table.values():
+            assert delta(10, 10, 1) >= 0
+
+
+class TestProperties:
+    """Section 5.2 lists three desirable monotonicity properties and
+    admits that not every candidate satisfies all of them."""
+
+    def test_delta_2_satisfies_all(self):
+        report = check_properties(delta_2)
+        assert report.satisfies_all
+
+    def test_delta_4_satisfies_all(self):
+        report = check_properties(delta_4(dimensions=8))
+        assert report.satisfies_all
+
+    def test_delta_1_violates_w2_monotonicity(self):
+        report = check_properties(delta_1(dimensions=8))
+        assert report.increasing_in_d
+        assert report.decreasing_in_w1
+        assert not report.increasing_in_w2
+
+    def test_delta_3_violates_d_monotonicity(self):
+        report = check_properties(delta_3)
+        assert not report.increasing_in_d
+
+    def test_delta_5_is_w1_decreasing_and_w2_increasing(self):
+        report = check_properties(delta_5)
+        assert report.decreasing_in_w1
+        assert report.increasing_in_w2

@@ -1,0 +1,86 @@
+"""Unit tests for the explanation renderers."""
+
+import pytest
+
+from repro.core.defect import compute_defect
+from repro.core.explain import diff_programs, explain_defect, explain_object
+from repro.core.fixpoint import greatest_fixpoint
+from repro.core.notation import parse_program
+
+
+class TestExplainObject:
+    def test_witnesses_shown(self, figure2_db, p0_program):
+        assignment = greatest_fixpoint(p0_program, figure2_db).assignment()
+        text = explain_object(p0_program, figure2_db, assignment, "g")
+        assert "g : person" in text
+        assert "->is-manager-of^firm" in text
+        assert "via m" in text
+        assert "MISSING" not in text
+
+    def test_missing_links_flagged(self, figure3_db, example22_program):
+        tau1 = {"o1": {"type1"}, "o2": {"type2"},
+                "o3": {"type3"}, "o4": {"type2"}}
+        text = explain_object(example22_program, figure3_db, tau1, "o4")
+        assert "o4 : type2" in text
+        assert "MISSING" in text  # the invented <-a^type1
+
+    def test_untyped_object(self, figure2_db, p0_program):
+        text = explain_object(p0_program, figure2_db, {}, "g")
+        assert text == "g: untyped"
+
+    def test_type_not_in_program(self, figure2_db, p0_program):
+        text = explain_object(
+            p0_program, figure2_db, {"g": {"merged-away"}}, "g"
+        )
+        assert "not in program" in text
+
+    def test_empty_body_type(self, figure2_db):
+        program = parse_program("anything = <empty>")
+        text = explain_object(
+            program, figure2_db, {"g": {"anything"}}, "g"
+        )
+        assert "every object qualifies" in text
+
+
+class TestExplainDefect:
+    def test_grouped_rendering(self, figure3_db, example22_program):
+        tau1 = {"o1": {"type1"}, "o2": {"type2"},
+                "o3": {"type3"}, "o4": {"type2"}}
+        report = compute_defect(
+            example22_program, figure3_db, tau1, collect=True
+        )
+        text = explain_defect(report)
+        assert "defect 2" in text
+        assert "excess by label:" in text
+        assert "d: 1 unused edge(s)" in text
+        assert "deficit by requirement:" in text
+        assert "<-a^type1: 1 object(s)" in text
+
+    def test_zero_defect_is_terse(self, figure2_db, p0_program):
+        assignment = greatest_fixpoint(p0_program, figure2_db).assignment()
+        report = compute_defect(
+            p0_program, figure2_db, assignment, collect=True
+        )
+        text = explain_defect(report)
+        assert "defect 0" in text
+        assert "excess by label" not in text
+
+
+class TestDiffPrograms:
+    def test_no_changes(self, p0_program):
+        assert diff_programs(p0_program, p0_program) == "(no changes)"
+
+    def test_added_and_removed_types(self):
+        before = parse_program("a = ->x^0\nb = ->y^0")
+        after = parse_program("a = ->x^0\nc = ->z^0")
+        text = diff_programs(before, after)
+        assert "+ c (new type)" in text
+        assert "- b (removed)" in text
+
+    def test_body_changes(self):
+        before = parse_program("a = ->x^0, ->y^0")
+        after = parse_program("a = ->x^0, ->z^0")
+        text = diff_programs(before, after)
+        assert "~ a:" in text
+        assert "+->z^0" in text
+        assert "-->y^0" in text

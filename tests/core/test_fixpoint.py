@@ -1,0 +1,139 @@
+"""Unit tests for the greatest/least fixpoint engine."""
+
+import pytest
+
+from repro.core.fixpoint import (
+    explain_membership,
+    greatest_fixpoint,
+    greatest_fixpoint_naive,
+    least_fixpoint,
+    object_signature,
+)
+from repro.core.notation import parse_program
+from repro.core.typing_program import Direction, TypingProgram, make_rule
+from repro.graph.builder import DatabaseBuilder
+
+
+class TestPaperSemantics:
+    def test_p0_greatest_fixpoint(self, figure2_db, p0_program):
+        """Section 2: GFP of P0 is {person(g), person(j), firm(a), firm(m)}."""
+        result = greatest_fixpoint(p0_program, figure2_db)
+        assert result.members("person") == {"g", "j"}
+        assert result.members("firm") == {"a", "m"}
+
+    def test_p0_least_fixpoint_classifies_nothing(self, figure2_db, p0_program):
+        """Section 2: "a least fixpoint semantics would fail to classify
+        any object" for the recursive P0."""
+        result = least_fixpoint(p0_program, figure2_db)
+        assert result.members("person") == frozenset()
+        assert result.members("firm") == frozenset()
+
+    def test_nonrecursive_gfp_equals_lfp(self, regular_people_db):
+        """Section 4.1: for non-recursive programs GFP == LFP."""
+        program = TypingProgram([make_rule("person", atomic=["name", "email"])])
+        assert not program.is_recursive()
+        gfp = greatest_fixpoint(program, regular_people_db)
+        lfp = least_fixpoint(program, regular_people_db)
+        assert gfp.extents == lfp.extents
+        assert len(gfp.members("person")) == 10
+
+    def test_atomic_objects_never_typed(self, figure2_db, p0_program):
+        result = greatest_fixpoint(p0_program, figure2_db)
+        for members in result.extents.values():
+            assert all(figure2_db.is_complex(o) for o in members)
+
+
+class TestEngineAgreement:
+    def test_optimised_matches_naive(self, figure2_db, p0_program):
+        fast = greatest_fixpoint(p0_program, figure2_db)
+        slow = greatest_fixpoint_naive(p0_program, figure2_db)
+        assert fast.extents == slow.extents
+
+    def test_agreement_on_figure4(self, figure4_db):
+        program = parse_program(
+            """
+            t1 = ->a^t2
+            t2 = ->b^0, <-a^t1
+            t3 = ->b^0, ->c^0, <-a^t1
+            """
+        )
+        fast = greatest_fixpoint(program, figure4_db)
+        slow = greatest_fixpoint_naive(program, figure4_db)
+        assert fast.extents == slow.extents
+        assert fast.members("t2") == {"o2", "o3", "o4"}
+        assert fast.members("t3") == {"o4"}
+
+    def test_agreement_on_self_recursive(self):
+        db = (
+            DatabaseBuilder()
+            .link("a", "b", "next")
+            .link("b", "c", "next")
+            .link("c", "a", "next")  # cycle
+            .link("x", "y", "next")  # chain that dies out
+            .build()
+        )
+        program = TypingProgram([make_rule("node", outgoing=[("next", "node")])])
+        fast = greatest_fixpoint(program, db)
+        slow = greatest_fixpoint_naive(program, db)
+        assert fast.extents == slow.extents
+        # Only the cycle members can be 'node' forever.
+        assert fast.members("node") == {"a", "b", "c"}
+
+
+class TestMechanics:
+    def test_empty_body_contains_all_complex(self, figure2_db):
+        program = TypingProgram([make_rule("anything")])
+        result = greatest_fixpoint(program, figure2_db)
+        assert result.members("anything") == set(figure2_db.complex_objects())
+
+    def test_empty_program(self, figure2_db):
+        result = greatest_fixpoint(TypingProgram.empty(), figure2_db)
+        assert result.extents == {}
+
+    def test_restrict_to(self, figure2_db, p0_program):
+        result = greatest_fixpoint(
+            p0_program, figure2_db, restrict_to={"person": ["g"]}
+        )
+        assert result.members("person") == {"g"}
+        # The restriction cascades: a is managed by j, who is no longer
+        # a person, so a drops out of firm; m (managed by g) survives.
+        assert result.members("firm") == {"m"}
+
+    def test_types_of_and_assignment(self, figure2_db, p0_program):
+        result = greatest_fixpoint(p0_program, figure2_db)
+        assert result.types_of("g") == {"person"}
+        assignment = result.assignment()
+        assert assignment["m"] == {"firm"}
+        assert "gn" not in assignment  # atomic
+
+    def test_nonempty_types(self, figure2_db):
+        program = parse_program("ghost = ->no-such-label^0\nreal = ->name^0")
+        result = greatest_fixpoint(program, figure2_db)
+        assert result.nonempty_types() == {"real"}
+
+    def test_object_signature(self, figure2_db):
+        sig = object_signature(figure2_db, "g")
+        assert (Direction.OUT, "name", "a") in sig
+        assert (Direction.OUT, "name", "a:string") in sig  # sorted kind
+        assert (Direction.OUT, "is-manager-of", "c") in sig
+        assert (Direction.IN, "is-managed-by", "c") in sig
+
+
+class TestExplanations:
+    def test_explain_witnesses(self, figure2_db, p0_program):
+        result = greatest_fixpoint(p0_program, figure2_db)
+        supports = explain_membership(
+            p0_program, figure2_db, result.extents, "g", "person"
+        )
+        by_label = {s.link.label: s.witnesses for s in supports}
+        assert by_label["is-manager-of"] == ("m",)
+        assert by_label["name"] == ("gn",)
+
+    def test_explain_missing_support(self, figure2_db, p0_program):
+        # Pretend firms do not exist: person's manager link has no witness.
+        fake_extents = {"person": frozenset({"g"}), "firm": frozenset()}
+        supports = explain_membership(
+            p0_program, figure2_db, fake_extents, "g", "person"
+        )
+        by_label = {s.link.label: s.witnesses for s in supports}
+        assert by_label["is-manager-of"] == ()

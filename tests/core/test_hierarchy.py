@@ -1,0 +1,97 @@
+"""Unit tests for the subsumption hierarchy view."""
+
+import pytest
+
+from repro.core.fixpoint import greatest_fixpoint
+from repro.core.hierarchy import (
+    format_hierarchy,
+    hierarchy_edges,
+    hierarchy_to_dot,
+    roots_and_leaves,
+    subsumption_pairs,
+)
+from repro.core.notation import parse_program
+
+
+@pytest.fixture
+def diamond_program():
+    """named <- {player, actor} <- star (a diamond)."""
+    return parse_program(
+        """
+        named = ->name^0
+        player = ->name^0, ->team^0
+        actor = ->name^0, ->movie^0
+        star = ->name^0, ->team^0, ->movie^0
+        """
+    )
+
+
+class TestSubsumption:
+    def test_pairs(self, diamond_program):
+        pairs = subsumption_pairs(diamond_program)
+        assert ("player", "named") in pairs
+        assert ("actor", "named") in pairs
+        assert ("star", "named") in pairs
+        assert ("star", "player") in pairs
+        assert ("star", "actor") in pairs
+        assert ("player", "actor") not in pairs
+        assert len(pairs) == 5
+
+    def test_extent_containment_follows(self, diamond_program):
+        """The semantic guarantee: sub extent ⊆ super extent."""
+        from repro.graph.builder import DatabaseBuilder
+
+        builder = DatabaseBuilder()
+        builder.attr("s", "name", "Cantona")
+        builder.attr("s", "team", "MU")
+        builder.attr("s", "movie", "Le Bonheur")
+        builder.attr("p", "name", "Scholes")
+        builder.attr("p", "team", "MU2")
+        db = builder.build()
+        extents = greatest_fixpoint(diamond_program, db).extents
+        for sub, sup in subsumption_pairs(diamond_program):
+            assert extents[sub] <= extents[sup]
+
+    def test_equal_bodies_not_related(self):
+        program = parse_program("a = ->x^0\nb = ->x^0")
+        assert subsumption_pairs(program) == frozenset()
+
+
+class TestHasseDiagram:
+    def test_transitive_edge_removed(self, diamond_program):
+        edges = hierarchy_edges(diamond_program)
+        assert ("star", "named") not in edges  # goes via player/actor
+        assert ("star", "player") in edges
+        assert ("player", "named") in edges
+
+    def test_roots_and_leaves(self, diamond_program):
+        roots, leaves = roots_and_leaves(diamond_program)
+        assert roots == {"named"}
+        assert leaves == {"star"}
+
+    def test_unrelated_type_is_root_and_leaf(self):
+        program = parse_program("a = ->x^0\nb = ->y^0")
+        roots, leaves = roots_and_leaves(program)
+        assert roots == leaves == {"a", "b"}
+
+
+class TestRendering:
+    def test_tree_rendering(self, diamond_program):
+        text = format_hierarchy(diamond_program)
+        lines = text.splitlines()
+        assert lines[0] == "named"
+        assert "  actor" in lines
+        assert "    star" in lines
+        # star appears twice (two supertypes), second time marked.
+        assert sum(1 for l in lines if "star" in l) == 2
+        assert any(l.endswith("star *") for l in lines)
+
+    def test_flat_program_renders_flat(self):
+        program = parse_program("a = ->x^0\nb = ->y^0")
+        assert format_hierarchy(program) == "a\nb"
+
+    def test_dot_output(self, diamond_program):
+        text = hierarchy_to_dot(diamond_program)
+        assert '"star" -> "player";' in text
+        assert '"star" -> "named";' not in text
+        assert "rankdir=BT" in text

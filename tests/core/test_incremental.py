@@ -1,0 +1,109 @@
+"""Unit tests for incremental typing maintenance."""
+
+import pytest
+
+from repro.core.incremental import IncrementalTyper
+from repro.core.pipeline import SchemaExtractor
+from repro.exceptions import RecastError
+from repro.graph.builder import DatabaseBuilder
+
+
+def person_firm_db():
+    builder = DatabaseBuilder()
+    for i in range(5):
+        builder.attr(f"p{i}", "name", f"n{i}")
+        builder.attr(f"p{i}", "email", f"e{i}")
+    for i in range(4):
+        builder.attr(f"f{i}", "fname", f"fn{i}")
+        builder.attr(f"f{i}", "ticker", f"t{i}")
+    return builder.build()
+
+
+@pytest.fixture
+def typer():
+    db = person_firm_db()
+    result = SchemaExtractor(db).extract(k=2)
+    return db, IncrementalTyper(db, result, min_updates=3)
+
+
+class TestNewObjects:
+    def test_fitting_object_typed_without_drift(self, typer):
+        db, inc = typer
+        db.add_atomic("nn", "New")
+        db.add_atomic("ne", "new@e")
+        db.add_link("pnew", "nn", "name")
+        db.add_link("pnew", "ne", "email")
+        types = inc.note_new_object("pnew")
+        assert types == inc.types_of("p0")
+        assert inc.drift().fallbacks == 0
+
+    def test_misfit_uses_fallback_and_counts_drift(self, typer):
+        db, inc = typer
+        db.add_atomic("w", 1)
+        db.add_link("weird", "w", "strangeness")
+        types = inc.note_new_object("weird")
+        assert len(types) == 1  # closest type chosen
+        assert inc.drift().fallbacks == 1
+
+    def test_unknown_object_rejected(self, typer):
+        _, inc = typer
+        with pytest.raises(RecastError):
+            inc.note_new_object("ghost")
+
+    def test_bad_threshold_rejected(self, typer):
+        db, inc = typer
+        result = SchemaExtractor(db).extract(k=2)
+        with pytest.raises(RecastError):
+            IncrementalTyper(db, result, drift_threshold=0.0)
+
+
+class TestLinkUpdates:
+    def test_new_link_retypes_endpoints(self, typer):
+        db, inc = typer
+        person_type = inc.types_of("p0")
+        # p0 loses its email: remove the edge and notify.
+        email_edge = next(e for e in db.out_edges("p0") if e.label == "email")
+        db.remove_link(email_edge.src, email_edge.dst, email_edge.label)
+        inc.note_new_link("p0", email_edge.dst)
+        # p0 no longer satisfies the person type exactly -> fallback.
+        assert inc.drift().fallbacks >= 1
+        assert inc.types_of("p0") <= person_type  # still closest = person
+
+    def test_removed_object_forgotten(self, typer):
+        db, inc = typer
+        db.remove_object("p4")
+        inc.note_removed_object("p4")
+        assert inc.types_of("p4") == frozenset()
+
+
+class TestStalenessAndRebuild:
+    def test_drift_trips_staleness(self, typer):
+        db, inc = typer
+        assert not inc.stale()
+        for i in range(5):
+            db.add_atomic(f"g{i}", i)
+            db.add_link(f"gadget{i}", f"g{i}", "serial")
+            inc.note_new_object(f"gadget{i}")
+        assert inc.drift().fallbacks == 5
+        assert inc.stale()
+
+    def test_rebuild_resets_and_adopts(self, typer):
+        db, inc = typer
+        for i in range(6):
+            db.add_atomic(f"g{i}", i)
+            db.add_link(f"gadget{i}", f"g{i}", "serial")
+            inc.note_new_object(f"gadget{i}")
+        assert inc.stale()
+        result = inc.rebuild(k=3)
+        assert not inc.stale()
+        assert inc.drift().updates == 0
+        assert len(result.program) == 3
+        # Gadgets now have a genuine type of their own.
+        gadget_types = inc.types_of("gadget0")
+        assert gadget_types == inc.types_of("gadget5")
+        assert gadget_types != inc.types_of("p0")
+
+    def test_rebuild_defaults_to_previous_k(self, typer):
+        db, inc = typer
+        result = inc.rebuild()
+        assert len(result.program) == 2

@@ -1,0 +1,123 @@
+"""Unit tests for typing metrics and extraction persistence."""
+
+import pytest
+
+from repro.core.metrics import (
+    compression_ratio,
+    coverage,
+    defect_rate,
+    program_size,
+    typing_report,
+)
+from repro.core.notation import parse_program
+from repro.core.pipeline import SchemaExtractor
+from repro.core.serialize import (
+    dumps_extraction,
+    load_extraction,
+    loads_extraction,
+    save_extraction,
+)
+from repro.core.typing_program import TypingProgram
+from repro.exceptions import ReproError
+from repro.graph.builder import DatabaseBuilder
+
+
+@pytest.fixture
+def small_db():
+    builder = DatabaseBuilder()
+    for i in range(6):
+        builder.attr(f"p{i}", "name", f"n{i}")
+        builder.attr(f"p{i}", "email", f"e{i}")
+    for i in range(3):
+        builder.attr(f"f{i}", "ticker", f"t{i}")
+    return builder.build()
+
+
+@pytest.fixture
+def extraction(small_db):
+    return SchemaExtractor(small_db).extract(k=2)
+
+
+class TestMetrics:
+    def test_program_size(self):
+        program = parse_program("a = ->x^0, ->y^0\nb = ->z^0")
+        assert program_size(program) == 5
+        assert program_size(TypingProgram.empty()) == 0
+
+    def test_compression_ratio(self, small_db, extraction):
+        ratio = compression_ratio(extraction.program, small_db)
+        # 15 links + 15 atomics over a tiny program.
+        assert ratio > 3
+        assert compression_ratio(TypingProgram.empty(), small_db) == float("inf")
+
+    def test_defect_rate_zero_for_perfect(self, small_db, extraction):
+        assert defect_rate(
+            extraction.program, small_db, extraction.assignment
+        ) == 0.0
+
+    def test_defect_rate_positive_when_defective(self, small_db):
+        result = SchemaExtractor(small_db).extract(k=1)
+        rate = defect_rate(result.program, small_db, result.assignment)
+        assert 0 < rate <= 1
+
+    def test_coverage(self, small_db, extraction):
+        assert coverage(extraction.assignment, small_db) == 1.0
+        assert coverage({}, small_db) == 0.0
+
+    def test_typing_report(self, small_db, extraction):
+        report = typing_report(
+            extraction.program, small_db, extraction.assignment
+        )
+        assert report.num_types == 2
+        assert report.defect == 0
+        text = report.summary()
+        assert "compression" in text and "coverage" in text
+
+
+class TestSerialization:
+    def test_roundtrip(self, extraction):
+        stored = loads_extraction(dumps_extraction(extraction))
+        assert stored.program == extraction.program
+        assert stored.assignment == extraction.assignment
+        assert stored.chosen_k == extraction.chosen_k
+        assert stored.defect_total == extraction.defect.total
+
+    def test_file_roundtrip(self, tmp_path, small_db, extraction):
+        path = str(tmp_path / "schema.json")
+        save_extraction(extraction, path)
+        stored = load_extraction(path, db=small_db, verify=True)
+        assert stored.types_of("p0") == extraction.assignment["p0"]
+
+    def test_verify_detects_drift(self, tmp_path, small_db, extraction):
+        path = str(tmp_path / "schema.json")
+        save_extraction(extraction, path)
+        # Mutate the database: a person loses its email.
+        edge = next(e for e in small_db.out_edges("p0") if e.label == "email")
+        small_db.remove_link(edge.src, edge.dst, edge.label)
+        with pytest.raises(ReproError, match="drifted"):
+            load_extraction(path, db=small_db, verify=True)
+
+    def test_verify_requires_db(self, tmp_path, extraction):
+        path = str(tmp_path / "schema.json")
+        save_extraction(extraction, path)
+        with pytest.raises(ReproError):
+            load_extraction(path, verify=True)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ReproError):
+            loads_extraction("not json at all {")
+        with pytest.raises(ReproError):
+            loads_extraction('{"format": "something-else"}')
+
+    def test_unknown_types_in_assignment_rejected(self, extraction):
+        import json
+
+        document = json.loads(dumps_extraction(extraction))
+        document["assignment"]["p0"] = ["ghost-type"]
+        with pytest.raises(ReproError, match="unknown types"):
+            loads_extraction(json.dumps(document))
+
+    def test_document_is_human_readable(self, extraction):
+        text = dumps_extraction(extraction)
+        # The program appears in arrow notation inside the JSON.
+        assert "->name^0" in text

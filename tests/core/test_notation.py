@@ -1,0 +1,103 @@
+"""Unit tests for the arrow notation printer/parser."""
+
+import pytest
+
+from repro.core.notation import (
+    format_link,
+    format_program,
+    format_rule,
+    parse_link,
+    parse_program,
+    parse_rule,
+)
+from repro.core.typing_program import TypedLink, TypeRule, make_rule
+from repro.exceptions import NotationError
+
+
+class TestFormatting:
+    def test_link_ascii(self):
+        assert format_link(TypedLink.outgoing("l", "c")) == "->l^c"
+        assert format_link(TypedLink.incoming("l", "c")) == "<-l^c"
+        assert format_link(TypedLink.to_atomic("name")) == "->name^0"
+
+    def test_link_unicode(self):
+        assert format_link(TypedLink.outgoing("l", "c"), unicode_arrows=True) == "→l^c"
+        assert format_link(TypedLink.incoming("l", "c"), unicode_arrows=True) == "←l^c"
+
+    def test_rule_empty_body(self):
+        assert format_rule(TypeRule("t")) == "t = <empty>"
+
+    def test_program_sorted_with_comments(self):
+        program = parse_program("b = ->x^0\na = ->y^0")
+        text = format_program(program, comments={"a": "the a type"})
+        lines = text.splitlines()
+        assert lines[0] == "# the a type"
+        assert lines[1].startswith("a")
+        assert lines[2].startswith("b")
+
+    def test_name_alignment(self):
+        program = parse_program("long_name = ->x^0\nab = ->y^0")
+        text = format_program(program)
+        equals_columns = {line.index("=") for line in text.splitlines()}
+        assert len(equals_columns) == 1
+
+
+class TestParsing:
+    def test_parse_link_forms(self):
+        assert parse_link("->a^c") == TypedLink.outgoing("a", "c")
+        assert parse_link("<-a^c") == TypedLink.incoming("a", "c")
+        assert parse_link("->a^0") == TypedLink.to_atomic("a")
+
+    def test_parse_unicode_arrows(self):
+        assert parse_link("→a^c") == TypedLink.outgoing("a", "c")
+        assert parse_link("←a^c") == TypedLink.incoming("a", "c")
+
+    def test_parse_link_rejects_garbage(self):
+        for bad in ("a^c", "->a", "->^c", "-> a^c x", ""):
+            with pytest.raises(NotationError):
+                parse_link(bad)
+
+    def test_incoming_atomic_rejected(self):
+        with pytest.raises(NotationError):
+            parse_link("<-a^0")
+
+    def test_parse_rule_both_separators(self):
+        assert parse_rule("t = ->a^0") == parse_rule("t :- ->a^0")
+
+    def test_parse_rule_empty_marker(self):
+        assert parse_rule("t = <empty>").size == 0
+
+    def test_parse_rule_rejects_noise(self):
+        with pytest.raises(NotationError):
+            parse_rule("just words")
+
+    def test_labels_with_dashes(self):
+        link = parse_link("->is-manager-of^firm")
+        assert link.label == "is-manager-of"
+
+    def test_program_line_numbers_in_errors(self):
+        with pytest.raises(NotationError, match="line 3"):
+            parse_program("a = ->x^0\n\nbad line !!! ^^\n")
+
+    def test_comments_ignored(self):
+        program = parse_program("# comment\na = ->x^0\n")
+        assert len(program) == 1
+
+
+class TestRoundTrip:
+    def test_roundtrip_p0(self, p0_program):
+        assert parse_program(format_program(p0_program)) == p0_program
+
+    def test_roundtrip_all_forms(self):
+        rule = make_rule(
+            "t",
+            outgoing=[("out-label", "t")],
+            incoming=[("in-label", "t")],
+            atomic=["attr"],
+        )
+        program = parse_program(format_program(parse_program(format_rule(rule))))
+        assert program.rule("t").body == rule.body
+
+    def test_roundtrip_unicode(self, p0_program):
+        text = format_program(p0_program, unicode_arrows=True)
+        assert parse_program(text) == p0_program

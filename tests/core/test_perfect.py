@@ -1,0 +1,149 @@
+"""Unit tests for Stage 1 (minimal perfect typing)."""
+
+import pytest
+
+from repro.core.fixpoint import greatest_fixpoint
+from repro.core.perfect import (
+    build_object_program,
+    equivalent_by_membership,
+    local_rule,
+    minimal_perfect_typing,
+    object_type_name,
+    signature_partition,
+    verify_perfect,
+)
+from repro.core.typing_program import Direction
+from repro.graph.builder import DatabaseBuilder
+
+
+class TestLocalRules:
+    def test_local_rule_covers_all_edges(self, figure2_db):
+        rule = local_rule(figure2_db, "g")
+        labels = {(l.direction, l.label) for l in rule.body}
+        assert labels == {
+            (Direction.OUT, "is-manager-of"),
+            (Direction.OUT, "name"),
+            (Direction.IN, "is-managed-by"),
+        }
+
+    def test_atomic_edges_use_type0(self, figure2_db):
+        rule = local_rule(figure2_db, "g")
+        name_link = next(l for l in rule.body if l.label == "name")
+        assert name_link.is_atomic_target
+
+    def test_object_program_size(self, figure2_db):
+        program = build_object_program(figure2_db)
+        assert len(program) == figure2_db.num_complex
+
+
+class TestFigure2:
+    def test_two_classes(self, figure2_db):
+        result = minimal_perfect_typing(figure2_db)
+        assert result.num_types == 2
+        # Persons g, j share a home type; firms m, a share the other.
+        assert result.home_type["g"] == result.home_type["j"]
+        assert result.home_type["m"] == result.home_type["a"]
+        assert result.home_type["g"] != result.home_type["m"]
+
+    def test_weights(self, figure2_db):
+        result = minimal_perfect_typing(figure2_db)
+        assert sorted(result.weights.values()) == [2, 2]
+
+    def test_perfectness(self, figure2_db):
+        result = minimal_perfect_typing(figure2_db)
+        assert verify_perfect(result, figure2_db)
+
+
+class TestExample42:
+    """Figure 4: the worked Stage 1 example."""
+
+    def test_three_classes(self, figure4_db):
+        result = minimal_perfect_typing(figure4_db)
+        assert result.num_types == 3
+
+    def test_homes_match_paper(self, figure4_db):
+        result = minimal_perfect_typing(figure4_db)
+        assert result.home_type["o2"] == result.home_type["o3"]
+        assert result.home_type["o4"] != result.home_type["o2"]
+        assert result.home_type["o1"] not in (
+            result.home_type["o2"],
+            result.home_type["o4"],
+        )
+
+    def test_extents_overlap(self, figure4_db):
+        """M(tau2) = {o2, o3, o4}: o4 satisfies tau2 too (no negation)."""
+        result = minimal_perfect_typing(figure4_db)
+        tau2 = result.home_type["o2"]
+        assert result.extents[tau2] == {"o2", "o3", "o4"}
+        tau3 = result.home_type["o4"]
+        assert result.extents[tau3] == {"o4"}
+
+    def test_remark_41_equivalence(self, figure4_db):
+        """Remark 4.1's pairwise test agrees with extent equality."""
+        fixpoint = greatest_fixpoint(
+            build_object_program(figure4_db), figure4_db
+        )
+        result = minimal_perfect_typing(figure4_db)
+        objects = sorted(figure4_db.complex_objects())
+        for oi in objects:
+            for oj in objects:
+                same_extent = (
+                    fixpoint.members(object_type_name(oi))
+                    == fixpoint.members(object_type_name(oj))
+                )
+                assert same_extent == equivalent_by_membership(fixpoint, oi, oj)
+                same_home = result.home_type[oi] == result.home_type[oj]
+                assert same_extent == same_home
+
+
+class TestGeneralProperties:
+    def test_every_object_in_own_type(self, figure2_db, figure4_db):
+        """The identity assignment is a fixpoint, so o_k is always in
+        the GFP of its own per-object type."""
+        for db in (figure2_db, figure4_db):
+            fixpoint = greatest_fixpoint(build_object_program(db), db)
+            for obj in db.complex_objects():
+                assert obj in fixpoint.members(object_type_name(obj))
+
+    def test_regular_data_collapses_to_one_type(self, regular_people_db):
+        result = minimal_perfect_typing(regular_people_db)
+        assert result.num_types == 1
+        assert result.weights[result.home_type["p0"]] == 10
+
+    def test_canonical_names_are_stable(self, figure4_db):
+        r1 = minimal_perfect_typing(figure4_db)
+        r2 = minimal_perfect_typing(figure4_db.copy())
+        assert r1.home_type == r2.home_type
+        assert r1.program == r2.program
+
+    def test_perfect_typing_refines_signature_partition(self, figure4_db):
+        signatures = signature_partition(figure4_db)
+        result = minimal_perfect_typing(figure4_db)
+        # Objects in the same home class always share a signature block.
+        sig_block = {}
+        for name, members in signatures.items():
+            for obj in members:
+                sig_block[obj] = name
+        for type_name in result.program.type_names():
+            blocks = {sig_block[o] for o in result.home_members(type_name)}
+            assert len(blocks) == 1
+
+    def test_empty_database(self):
+        db = DatabaseBuilder().build()
+        result = minimal_perfect_typing(db)
+        assert result.num_types == 0
+
+    def test_isolated_complex_object(self):
+        db = DatabaseBuilder().complex("island").build()
+        result = minimal_perfect_typing(db)
+        assert result.num_types == 1
+        assert result.program.rule(result.home_type["island"]).size == 0
+
+    def test_defect_free_against_home_assignment(self, figure4_db):
+        from repro.core.defect import compute_defect
+
+        result = minimal_perfect_typing(figure4_db)
+        report = compute_defect(
+            result.program, figure4_db, result.assignment()
+        )
+        assert report.total == 0

@@ -1,0 +1,145 @@
+"""Unit tests for the end-to-end SchemaExtractor pipeline."""
+
+import pytest
+
+from repro.core.clustering import MergePolicy
+from repro.core.pipeline import SchemaExtractor
+from repro.core.recast import RecastMode
+from repro.exceptions import ClusteringError
+from repro.graph.builder import DatabaseBuilder
+
+
+@pytest.fixture
+def three_group_db():
+    builder = DatabaseBuilder()
+    for i in range(8):
+        builder.attr(f"p{i}", "name", f"n{i}")
+        builder.attr(f"p{i}", "email", f"e{i}")
+    for i in range(6):
+        builder.attr(f"f{i}", "fname", f"fn{i}")
+        builder.attr(f"f{i}", "ticker", f"t{i}")
+    for i in range(4):
+        builder.attr(f"x{i}", "serial", i)
+    return builder.build()
+
+
+class TestExtraction:
+    def test_exact_k(self, three_group_db):
+        result = SchemaExtractor(three_group_db).extract(k=3)
+        assert result.num_types == 3
+        assert result.chosen_k == 3
+        assert result.defect.total == 0  # three clean groups
+
+    def test_every_object_assigned(self, three_group_db):
+        result = SchemaExtractor(three_group_db).extract(k=3)
+        assert set(result.assignment) == set(
+            three_group_db.complex_objects()
+        )
+        assert all(result.assignment.values())
+
+    def test_auto_k_picks_near_three(self, three_group_db):
+        """With only three perfect types the sweep has three samples and
+        the chord rule lands on 2 or 3 — both defensible knees."""
+        result = SchemaExtractor(three_group_db).extract()
+        assert result.sensitivity is not None
+        assert result.chosen_k in (2, 3)
+
+    def test_k_above_perfect_is_clamped(self, three_group_db):
+        result = SchemaExtractor(three_group_db).extract(k=50)
+        assert result.num_types == result.num_perfect_types == 3
+
+    def test_k1_merges_everything(self, three_group_db):
+        result = SchemaExtractor(three_group_db).extract(k=1)
+        assert result.num_types == 1
+        assert result.defect.total > 0
+
+    def test_describe_output(self, three_group_db):
+        text = SchemaExtractor(three_group_db).extract(k=3).describe()
+        assert "perfect types: 3" in text
+        assert "optimal types: 3" in text
+        assert "defect 0" in text
+
+
+class TestOptions:
+    def test_named_distance_resolution(self, three_group_db):
+        for name in ("delta_1", "delta_2", "delta_3", "delta_4", "delta_5"):
+            result = SchemaExtractor(three_group_db, distance=name).extract(k=2)
+            assert result.num_types == 2
+
+    def test_unknown_distance_rejected(self, three_group_db):
+        with pytest.raises(ClusteringError):
+            SchemaExtractor(three_group_db, distance="delta_9").extract(k=2)
+
+    def test_callable_distance(self, three_group_db):
+        calls = []
+
+        def spy(w1, w2, d):
+            calls.append((w1, w2, d))
+            return d * w2
+
+        SchemaExtractor(three_group_db, distance=spy).extract(k=2)
+        assert calls
+
+    def test_policies(self, three_group_db):
+        for policy in MergePolicy:
+            result = SchemaExtractor(three_group_db, policy=policy).extract(k=2)
+            assert result.num_types == 2
+
+    def test_strict_mode(self, three_group_db):
+        result = SchemaExtractor(
+            three_group_db, recast_mode=RecastMode.STRICT
+        ).extract(k=3)
+        assert result.defect.total == 0
+
+    def test_empty_type_option(self, three_group_db):
+        result = SchemaExtractor(
+            three_group_db, allow_empty_type=True, empty_weight=1.0
+        ).extract(k=2)
+        assert result.num_types <= 2
+
+    def test_roles_option_runs(self, soccer_movie_db):
+        result = SchemaExtractor(soccer_movie_db, use_roles=True).extract(k=2)
+        assert result.roles is not None
+        assert result.roles.num_removed == 1
+        assert result.num_types == 2
+        # Cantona keeps both roles through the pipeline.
+        assert len(result.assignment["o2"]) == 2
+
+    def test_stage1_cached(self, three_group_db):
+        extractor = SchemaExtractor(three_group_db)
+        assert extractor.stage1() is extractor.stage1()
+
+
+class TestSweepApi:
+    def test_sweep_matches_extract_defect(self, three_group_db):
+        extractor = SchemaExtractor(three_group_db)
+        sweep = extractor.sweep()
+        result = extractor.extract(k=2)
+        assert sweep.point_at(2).defect == result.defect.total
+
+
+class TestDualProblem:
+    """The paper's dual formulation: smallest typing under a defect cap."""
+
+    def test_zero_budget_returns_perfect_size_or_less(self, three_group_db):
+        result = SchemaExtractor(three_group_db).extract_within_defect(0)
+        assert result.defect.total == 0
+        # Three clean groups: k = 3 is the smallest zero-defect typing.
+        assert result.num_types == 3
+
+    def test_generous_budget_shrinks_program(self, three_group_db):
+        tight = SchemaExtractor(three_group_db).extract_within_defect(0)
+        loose = SchemaExtractor(three_group_db).extract_within_defect(10**6)
+        assert loose.num_types <= tight.num_types
+        assert loose.num_types == 1
+
+    def test_budget_respected(self, three_group_db):
+        extractor = SchemaExtractor(three_group_db)
+        sweep = extractor.sweep()
+        mid = sorted(p.defect for p in sweep.points)[1]
+        result = extractor.extract_within_defect(mid)
+        assert result.defect.total <= mid
+
+    def test_negative_budget_rejected(self, three_group_db):
+        with pytest.raises(ClusteringError):
+            SchemaExtractor(three_group_db).extract_within_defect(-1)

@@ -1,0 +1,157 @@
+"""Unit tests for a-priori typing knowledge and frozen clustering."""
+
+import pytest
+
+from repro.core.clustering import GreedyMerger
+from repro.core.notation import parse_program
+from repro.core.pipeline import SchemaExtractor
+from repro.core.prior import PriorKnowledge, combine_with_stage1
+from repro.core.perfect import minimal_perfect_typing
+from repro.exceptions import ClusteringError, TypingError
+from repro.graph.builder import DatabaseBuilder
+
+
+@pytest.fixture
+def integration_db():
+    """A structured source (clean employees) plus discovered web data."""
+    builder = DatabaseBuilder()
+    # Imported rows — structure known a priori.
+    for i in range(6):
+        builder.attr(f"emp{i}", "name", f"E{i}")
+        builder.attr(f"emp{i}", "salary", 100 + i)
+    # Discovered pages — employee-ish but ragged.
+    builder.attr("web0", "name", "W0")
+    builder.attr("web1", "name", "W1")
+    builder.attr("web1", "salary", 99)
+    builder.attr("web1", "homepage", "https://w1.example")
+    # Something else entirely.
+    for i in range(3):
+        builder.attr(f"gadget{i}", "serial", i)
+    return builder.build()
+
+
+@pytest.fixture
+def employee_prior():
+    return PriorKnowledge(
+        program=parse_program("employee = ->name^0, ->salary^0"),
+        assignment={f"emp{i}": {"employee"} for i in range(6)},
+    )
+
+
+class TestPriorKnowledge:
+    def test_assignment_must_use_defined_types(self):
+        with pytest.raises(TypingError):
+            PriorKnowledge(
+                program=parse_program("a = ->x^0"),
+                assignment={"o": {"ghost"}},
+            )
+
+    def test_negative_boost_rejected(self):
+        with pytest.raises(TypingError):
+            PriorKnowledge(
+                program=parse_program("a = ->x^0"), weight_boost=-1
+            )
+
+    def test_combine_welds_program_and_assignment(
+        self, integration_db, employee_prior
+    ):
+        stage1 = minimal_perfect_typing(integration_db)
+        combined = combine_with_stage1(stage1, employee_prior)
+        assert "employee" in combined.program
+        assert combined.frozen == {"employee"}
+        # Imported objects have both the discovered and the known home.
+        assert "employee" in combined.assignment["emp0"]
+        assert len(combined.assignment["emp0"]) == 2
+        assert combined.weights["employee"] == 6
+
+    def test_weight_boost(self, integration_db):
+        prior = PriorKnowledge(
+            program=parse_program("employee = ->name^0, ->salary^0"),
+            weight_boost=1000,
+        )
+        stage1 = minimal_perfect_typing(integration_db)
+        combined = combine_with_stage1(stage1, prior)
+        assert combined.weights["employee"] == 1000
+
+    def test_name_collision_rejected(self, integration_db):
+        stage1 = minimal_perfect_typing(integration_db)
+        taken = next(iter(stage1.program.type_names()))
+        prior = PriorKnowledge(program=parse_program(f"{taken} = ->name^0"))
+        with pytest.raises(TypingError):
+            combine_with_stage1(stage1, prior)
+
+
+class TestFrozenClustering:
+    def test_frozen_never_absorbed(self):
+        program = parse_program(
+            "known = ->a^0\nd1 = ->a^0, ->b^0\nd2 = ->a^0, ->c^0"
+        )
+        merger = GreedyMerger(
+            program, {"known": 1, "d1": 100, "d2": 100}, frozen={"known"}
+        )
+        result = merger.run_to(1)
+        assert set(result.program.type_names()) == {"known"}
+        assert result.merge_map["d1"] == "known"
+
+    def test_frozen_body_survives_every_policy(self):
+        from repro.core.clustering import MergePolicy
+
+        for policy in MergePolicy:
+            program = parse_program("known = ->a^0\nd = ->x^0, ->y^0, ->z^0")
+            merger = GreedyMerger(
+                program, {"known": 5, "d": 1}, policy=policy,
+                frozen={"known"},
+            )
+            merger.run_to(1)
+            (rule,) = merger.current_program().rules()
+            assert rule.name == "known"
+            assert {str(l) for l in rule.body} == {"->a^0"}
+
+    def test_frozen_never_emptied(self):
+        program = parse_program("known = ->a^0, ->b^0, ->c^0\nd = ->a^0")
+        merger = GreedyMerger(
+            program, {"known": 1, "d": 1000},
+            allow_empty_type=True, empty_weight=1.0, frozen={"known"},
+        )
+        result = merger.run_to(1)
+        assert result.merge_map["known"] == "known"
+
+    def test_unknown_frozen_rejected(self):
+        program = parse_program("a = ->x^0")
+        with pytest.raises(ClusteringError):
+            GreedyMerger(program, {}, frozen={"ghost"})
+
+
+class TestPipelineWithPrior:
+    def test_known_type_survives_and_absorbs(
+        self, integration_db, employee_prior
+    ):
+        extractor = SchemaExtractor(integration_db, prior=employee_prior)
+        result = extractor.extract(k=2)
+        assert "employee" in result.program
+        # The known body is untouched.
+        assert {str(l) for l in result.program.rule("employee").body} == {
+            "->name^0", "->salary^0",
+        }
+        # Ragged web pages were folded into the known type.
+        assert "employee" in result.assignment["web1"]
+        # The gadgets form the other type.
+        gadget_types = result.assignment["gadget0"]
+        assert "employee" not in gadget_types
+
+    def test_k_below_frozen_rejected(self, integration_db, employee_prior):
+        extractor = SchemaExtractor(integration_db, prior=employee_prior)
+        prior2 = PriorKnowledge(
+            program=parse_program("ka = ->name^0\nkb = ->serial^0")
+        )
+        extractor2 = SchemaExtractor(integration_db, prior=prior2)
+        with pytest.raises(ClusteringError):
+            extractor2.extract(k=1)
+
+    def test_sweep_clamped_to_frozen(self, integration_db, employee_prior):
+        extractor = SchemaExtractor(integration_db, prior=employee_prior)
+        sweep = extractor.sweep()
+        assert min(p.k for p in sweep.points) >= 1
+        # All sampled programs keep the frozen type; smallest k >= 1.
+        result = extractor.extract()
+        assert "employee" in result.program

@@ -1,0 +1,164 @@
+"""Unit tests for Stage 3 (recasting)."""
+
+import pytest
+
+from repro.core.notation import parse_program
+from repro.core.recast import (
+    RecastMode,
+    closest_type,
+    object_local_body,
+    recast,
+    satisfied_types,
+    type_new_object,
+)
+from repro.core.typing_program import TypingProgram
+from repro.exceptions import RecastError
+from repro.graph.builder import DatabaseBuilder
+
+
+@pytest.fixture
+def two_type_program():
+    return parse_program(
+        """
+        person = ->name^0, ->email^0
+        firm = ->ticker^0, ->exchange^0
+        """
+    )
+
+
+@pytest.fixture
+def mixed_db():
+    builder = DatabaseBuilder()
+    builder.attr("p1", "name", "A").attr("p1", "email", "a@x")
+    builder.attr("p2", "name", "B").attr("p2", "email", "b@x")
+    builder.attr("f1", "ticker", "ACM").attr("f1", "exchange", "NYSE")
+    # p3 is defective: only a name.
+    builder.attr("p3", "name", "C")
+    return builder.build()
+
+
+class TestLocalBody:
+    def test_neighbour_types_resolved(self, figure2_db, p0_program):
+        reference = {"m": {"firm"}, "g": {"person"}}
+        body = object_local_body(figure2_db, "g", reference)
+        assert {str(l) for l in body} == {
+            "->is-manager-of^firm",
+            "->name^0",
+            "<-is-managed-by^firm",
+        }
+
+    def test_unassigned_neighbours_contribute_nothing(self, figure2_db):
+        body = object_local_body(figure2_db, "g", {})
+        assert {str(l) for l in body} == {"->name^0"}
+
+    def test_multi_role_neighbour_multiplies_links(self):
+        db = DatabaseBuilder().link("a", "b", "l").build()
+        body = object_local_body(db, "a", {"b": {"t1", "t2"}})
+        assert {str(l) for l in body} == {"->l^t1", "->l^t2"}
+
+
+class TestSatisfactionAndClosest:
+    def test_satisfied_types(self, mixed_db, two_type_program):
+        assert satisfied_types(two_type_program, mixed_db, "p1", {}) == {
+            "person"
+        }
+        assert satisfied_types(two_type_program, mixed_db, "p3", {}) == frozenset()
+
+    def test_closest_type(self, mixed_db, two_type_program):
+        name, distance = closest_type(two_type_program, mixed_db, "p3", {})
+        assert name == "person"  # shares 'name'; firm shares nothing
+        assert distance == 1
+
+    def test_closest_on_empty_program(self, mixed_db):
+        with pytest.raises(RecastError):
+            closest_type(TypingProgram.empty(), mixed_db, "p3", {})
+
+
+class TestRecastStrict:
+    def test_strict_uses_gfp(self, mixed_db, two_type_program):
+        result = recast(
+            two_type_program, mixed_db, mode=RecastMode.STRICT,
+            fallback="none",
+        )
+        assert result.types_of("p1") == {"person"}
+        assert result.types_of("f1") == {"firm"}
+        assert result.types_of("p3") == frozenset()
+        assert result.untyped_objects == {"p3"}
+
+    def test_strict_with_fallback(self, mixed_db, two_type_program):
+        result = recast(two_type_program, mixed_db, mode=RecastMode.STRICT)
+        assert result.types_of("p3") == {"person"}
+        assert result.fallback_objects == {"p3"}
+        assert result.untyped_objects == frozenset()
+
+    def test_extents_inverted(self, mixed_db, two_type_program):
+        result = recast(two_type_program, mixed_db, mode=RecastMode.STRICT)
+        assert result.extents["person"] == {"p1", "p2", "p3"}
+        assert result.extents["firm"] == {"f1"}
+
+
+class TestRecastHomeGuided:
+    def test_home_kept_despite_defect(self, mixed_db, two_type_program):
+        home = {"p1": {"person"}, "p2": {"person"}, "p3": {"person"},
+                "f1": {"firm"}}
+        result = recast(
+            two_type_program, mixed_db, home=home,
+            mode=RecastMode.HOME_GUIDED, fallback="none",
+        )
+        assert result.types_of("p3") == {"person"}
+        assert result.fallback_objects == frozenset()
+
+    def test_satisfied_types_added_on_top(self, mixed_db, two_type_program):
+        # f1 is homed as person (wrongly); it still also satisfies firm.
+        home = {"f1": {"person"}}
+        result = recast(
+            two_type_program, mixed_db, home=home,
+            mode=RecastMode.HOME_GUIDED,
+        )
+        assert result.types_of("f1") == {"person", "firm"}
+
+    def test_requires_home(self, mixed_db, two_type_program):
+        with pytest.raises(RecastError):
+            recast(two_type_program, mixed_db, mode=RecastMode.HOME_GUIDED)
+
+    def test_explicitly_untyped_respected(self, mixed_db, two_type_program):
+        home = {"p3": frozenset()}
+        result = recast(
+            two_type_program, mixed_db, home=home,
+            mode=RecastMode.HOME_GUIDED,
+        )
+        assert result.types_of("p3") == frozenset()
+        assert "p3" in result.untyped_objects
+
+    def test_home_types_absent_from_program_dropped(self, mixed_db, two_type_program):
+        home = {"p1": {"person", "merged-away"}}
+        result = recast(
+            two_type_program, mixed_db, home=home,
+            mode=RecastMode.HOME_GUIDED,
+        )
+        assert result.types_of("p1") == {"person"}
+
+    def test_unknown_fallback_rejected(self, mixed_db, two_type_program):
+        with pytest.raises(RecastError):
+            recast(two_type_program, mixed_db, home={}, fallback="wat")
+
+
+class TestNewObjects:
+    def test_satisfying_object_gets_all_types(self, two_type_program):
+        db = (
+            DatabaseBuilder()
+            .attr("new", "name", "N").attr("new", "email", "n@x")
+            .attr("new", "ticker", "NEW").attr("new", "exchange", "NYSE")
+            .build()
+        )
+        types = type_new_object(two_type_program, db, "new", {})
+        assert types == {"person", "firm"}
+
+    def test_defective_object_gets_closest(self, two_type_program):
+        db = DatabaseBuilder().attr("new", "ticker", "NEW").build()
+        types = type_new_object(two_type_program, db, "new", {})
+        assert types == {"firm"}
+
+    def test_empty_program_returns_nothing(self):
+        db = DatabaseBuilder().complex("new").build()
+        assert type_new_object(TypingProgram.empty(), db, "new", {}) == frozenset()

@@ -1,0 +1,108 @@
+"""Unit tests for the sensitivity sweep (Figure 6 machinery)."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    SensitivityPoint,
+    find_knee,
+    optimal_range,
+    sensitivity_sweep,
+)
+from repro.exceptions import ClusteringError
+from repro.graph.builder import DatabaseBuilder
+
+
+def _point(k, defect, distance=0.0):
+    return SensitivityPoint(
+        k=k, total_distance=distance, defect=defect, excess=defect, deficit=0
+    )
+
+
+class TestKnee:
+    def test_clean_elbow(self):
+        points = [
+            _point(1, 100), _point(2, 50), _point(3, 12), _point(4, 10),
+            _point(5, 9), _point(6, 8), _point(7, 7), _point(8, 0),
+        ]
+        assert find_knee(points) == 3
+
+    def test_two_points_returns_smallest(self):
+        assert find_knee([_point(1, 10), _point(5, 0)]) == 1
+
+    def test_flat_curve(self):
+        points = [_point(k, 5) for k in range(1, 6)]
+        assert find_knee(points) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            find_knee([])
+
+
+class TestOptimalRange:
+    def test_plateau_detected(self):
+        points = (
+            [_point(1, 100), _point(2, 60), _point(3, 30)]
+            + [_point(k, 28 - (k - 4)) for k in range(4, 10)]  # slow drift
+            + [_point(k, 0) for k in range(10, 13)]  # perfect region
+        )
+        lo, hi = optimal_range(points, tolerance=0.1)
+        assert lo == 3
+        assert 3 <= hi < 10
+
+    def test_range_never_below_knee(self):
+        points = [_point(1, 100), _point(2, 10), _point(3, 0)]
+        lo, hi = optimal_range(points)
+        assert lo <= hi
+
+
+class TestSweep:
+    @pytest.fixture
+    def small_db(self):
+        builder = DatabaseBuilder()
+        for i in range(6):
+            builder.attr(f"p{i}", "name", f"n{i}")
+            builder.attr(f"p{i}", "email", f"e{i}")
+        for i in range(4):
+            builder.attr(f"f{i}", "name", f"fn{i}")
+            builder.attr(f"f{i}", "ticker", f"t{i}")
+        builder.attr("odd", "weird", 1)
+        return builder.build()
+
+    def test_sweep_covers_all_k(self, small_db):
+        result = sensitivity_sweep(small_db)
+        ks = [p.k for p in result.points]
+        assert ks == sorted(ks)
+        assert ks[0] == 1
+        assert ks[-1] == 3  # three perfect types
+
+    def test_perfect_k_has_zero_defect(self, small_db):
+        result = sensitivity_sweep(small_db)
+        assert result.points[-1].defect == 0
+        assert result.points[-1].total_distance == 0.0
+
+    def test_distance_monotone_in_k(self, small_db):
+        result = sensitivity_sweep(small_db)
+        distances = [p.total_distance for p in result.points]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_defect_positive_at_k1(self, small_db):
+        result = sensitivity_sweep(small_db)
+        assert result.point_at(1).defect > 0
+
+    def test_step_sampling(self, small_db):
+        result = sensitivity_sweep(small_db, step=2)
+        ks = {p.k for p in result.points}
+        assert 1 in ks and 3 in ks
+
+    def test_point_at_missing_k(self, small_db):
+        result = sensitivity_sweep(small_db)
+        with pytest.raises(KeyError):
+            result.point_at(999)
+
+    def test_series_parallel(self, small_db):
+        ks, distances, defects = sensitivity_sweep(small_db).series()
+        assert len(ks) == len(distances) == len(defects)
+
+    def test_min_k_bound(self, small_db):
+        result = sensitivity_sweep(small_db, min_k=2)
+        assert min(p.k for p in result.points) == 2

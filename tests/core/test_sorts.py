@@ -1,0 +1,163 @@
+"""Unit tests for the multiple-atomic-sorts extension (Remark 2.1)."""
+
+import pytest
+
+from repro.core.defect import compute_defect, compute_deficit, compute_excess
+from repro.core.fixpoint import greatest_fixpoint
+from repro.core.notation import format_program, parse_link, parse_program
+from repro.core.recast import satisfied_types
+from repro.core.sorts import (
+    minimal_perfect_typing_with_sorts,
+    sort_of,
+    sorted_local_rule,
+    sorts_used,
+)
+from repro.core.typing_program import (
+    ATOMIC,
+    TypedLink,
+    atomic_sort,
+    atomic_target,
+    is_atomic_name,
+)
+from repro.exceptions import MalformedRuleError, NotationError
+from repro.graph.builder import DatabaseBuilder
+
+
+class TestSortClassifier:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, "none"),
+            (True, "bool"),
+            (7, "int"),
+            (3.14, "float"),
+            ("hello", "string"),
+            ("42", "string"),  # no numeric coercion
+            ("2020-01-31", "date"),
+            ("1/2/98", "date"),
+            ("a@b.org", "email"),
+            ("https://example.org/x", "url"),
+            ("http://example.org", "url"),
+            (b"raw", "bytes"),
+        ],
+    )
+    def test_sort_of(self, value, expected):
+        assert sort_of(value) == expected
+
+
+class TestAtomicTargets:
+    def test_atomic_target_construction(self):
+        assert atomic_target() == ATOMIC
+        assert atomic_target("int") == "0:int"
+        with pytest.raises(MalformedRuleError):
+            atomic_target("")
+
+    def test_is_atomic_name(self):
+        assert is_atomic_name("0")
+        assert is_atomic_name("0:date")
+        assert not is_atomic_name("t0")
+        assert not is_atomic_name("person")
+
+    def test_atomic_sort_extraction(self):
+        assert atomic_sort("0:date") == "date"
+        assert atomic_sort("0") is None
+
+    def test_typed_link_sort_property(self):
+        sorted_link = TypedLink.outgoing("age", "0:int")
+        assert sorted_link.is_atomic_target
+        assert sorted_link.sort == "int"
+        plain = TypedLink.to_atomic("age")
+        assert plain.sort is None
+        complex_link = TypedLink.outgoing("l", "person")
+        assert complex_link.sort is None
+
+    def test_incoming_sorted_atomic_rejected(self):
+        with pytest.raises(MalformedRuleError):
+            TypedLink.incoming("l", "0:int")
+
+
+class TestNotation:
+    def test_sorted_links_roundtrip(self):
+        program = parse_program("t = ->age^0:int, ->name^0")
+        assert parse_program(format_program(program)) == program
+        rule = program.rule("t")
+        sorts = {l.sort for l in rule.body}
+        assert sorts == {"int", None}
+
+    def test_incoming_sorted_rejected(self):
+        with pytest.raises(NotationError):
+            parse_link("<-age^0:int")
+
+
+class TestFixpointWithSorts:
+    @pytest.fixture
+    def db(self):
+        builder = DatabaseBuilder()
+        builder.attr("p1", "name", "Ann").attr("p1", "age", 34)
+        builder.attr("p2", "name", "Bob").attr("p2", "age", "old")
+        return builder.build()
+
+    def test_sorted_requirement_filters(self, db):
+        program = parse_program("aged = ->name^0, ->age^0:int")
+        result = greatest_fixpoint(program, db)
+        assert result.members("aged") == {"p1"}
+
+    def test_plain_requirement_matches_any_sort(self, db):
+        program = parse_program("person = ->name^0, ->age^0")
+        result = greatest_fixpoint(program, db)
+        assert result.members("person") == {"p1", "p2"}
+
+    def test_stage1_with_sorts_refines(self, db):
+        plain = minimal_perfect_typing_with_sorts(db)
+        assert plain.num_types == 2  # int-age vs string-age
+        from repro.core.perfect import minimal_perfect_typing
+
+        assert minimal_perfect_typing(db).num_types == 1
+
+    def test_sorted_stage1_is_perfect(self, db):
+        result = minimal_perfect_typing_with_sorts(db)
+        report = compute_defect(result.program, db, result.assignment())
+        assert report.total == 0
+
+    def test_sorts_used(self, db):
+        result = minimal_perfect_typing_with_sorts(db)
+        assert sorts_used(result.program) == {"int", "string"}
+
+    def test_sorted_local_rule(self, db):
+        rule = sorted_local_rule(db, "p1")
+        assert {str(l) for l in rule.body} == {
+            "->name^0:string", "->age^0:int",
+        }
+
+
+class TestDefectWithSorts:
+    @pytest.fixture
+    def db(self):
+        builder = DatabaseBuilder()
+        builder.attr("p", "age", "not-a-number")
+        return builder.build()
+
+    def test_sorted_requirement_unmet_is_deficit(self, db):
+        program = parse_program("t = ->age^0:int")
+        report = compute_deficit(program, db, {"p": {"t"}})
+        assert report.count == 1
+
+    def test_wrong_sort_edge_is_excess(self, db):
+        program = parse_program("t = ->age^0:int")
+        report = compute_excess(program, db, {"p": {"t"}})
+        # The string-valued age edge cannot be used by the int link.
+        assert report.count == 1
+
+    def test_plain_program_unaffected(self, db):
+        program = parse_program("t = ->age^0")
+        report = compute_defect(program, db, {"p": {"t"}})
+        assert report.total == 0
+
+
+class TestRecastWithSorts:
+    def test_satisfied_types_with_sorted_program(self):
+        builder = DatabaseBuilder()
+        builder.attr("p", "age", 3)
+        db = builder.build()
+        program = parse_program("t = ->age^0:int\nu = ->age^0:string")
+        assert satisfied_types(program, db, "p", {}) == {"t"}

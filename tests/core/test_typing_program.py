@@ -1,0 +1,180 @@
+"""Unit tests for the typing-language AST."""
+
+import pytest
+
+from repro.core.typing_program import (
+    ATOMIC,
+    Direction,
+    TypedLink,
+    TypeRule,
+    TypingProgram,
+    make_rule,
+)
+from repro.exceptions import MalformedRuleError, UnknownTypeError
+
+
+class TestTypedLink:
+    def test_three_forms(self):
+        incoming = TypedLink.incoming("l", "c")
+        outgoing = TypedLink.outgoing("l", "c")
+        atomic = TypedLink.to_atomic("l")
+        assert incoming.direction is Direction.IN
+        assert outgoing.direction is Direction.OUT
+        assert atomic.is_atomic_target
+        assert not outgoing.is_atomic_target
+
+    def test_incoming_from_atomic_rejected(self):
+        with pytest.raises(MalformedRuleError):
+            TypedLink(Direction.IN, "l", ATOMIC)
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(MalformedRuleError):
+            TypedLink.outgoing("", "c")
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(MalformedRuleError):
+            TypedLink(Direction.OUT, "l", "")
+
+    def test_rename(self):
+        link = TypedLink.outgoing("l", "old")
+        assert link.rename({"old": "new"}).target == "new"
+        assert link.rename({"other": "new"}) is link
+
+    def test_hashable_and_ordered(self):
+        links = {TypedLink.outgoing("l", "c"), TypedLink.outgoing("l", "c")}
+        assert len(links) == 1
+        assert sorted([TypedLink.to_atomic("b"), TypedLink.to_atomic("a")])
+
+    def test_str(self):
+        assert str(TypedLink.incoming("l", "c")) == "<-l^c"
+        assert str(TypedLink.to_atomic("l")) == "->l^0"
+
+
+class TestTypeRule:
+    def test_body_is_set(self):
+        rule = TypeRule("t", [TypedLink.to_atomic("a"), TypedLink.to_atomic("a")])
+        assert rule.size == 1
+
+    def test_atomic_name_rejected(self):
+        with pytest.raises(MalformedRuleError):
+            TypeRule(ATOMIC, frozenset())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MalformedRuleError):
+            TypeRule("", frozenset())
+
+    def test_targets(self):
+        rule = make_rule("t", outgoing=[("l", "c")], atomic=["a"])
+        assert rule.targets() == {"c", ATOMIC}
+
+    def test_rename_collapses_duplicates(self):
+        """Renaming two targets onto one is the hypercube projection."""
+        rule = make_rule("t", outgoing=[("l", "c1"), ("l", "c2")])
+        renamed = rule.rename_targets({"c1": "c", "c2": "c"})
+        assert renamed.size == 1
+
+    def test_sorted_body_out_before_in(self):
+        rule = make_rule("t", outgoing=[("z", "c")], incoming=[("a", "c")])
+        kinds = [l.direction for l in rule.sorted_body()]
+        assert kinds == [Direction.OUT, Direction.IN]
+
+    def test_to_datalog_forms(self):
+        rule = make_rule(
+            "t", outgoing=[("o", "c")], incoming=[("i", "c")], atomic=["a"]
+        )
+        text = rule.to_datalog()
+        assert "type_t(X) :-" in text
+        assert "link(X, Y1, a) & atomic(Y1," in text
+        assert "type_c" in text
+
+    def test_empty_body_datalog(self):
+        assert TypeRule("t").to_datalog() == "type_t(X) :- true."
+
+
+class TestTypingProgram:
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(MalformedRuleError):
+            TypingProgram([TypeRule("t"), TypeRule("t")])
+
+    def test_dangling_target_rejected(self):
+        with pytest.raises(UnknownTypeError):
+            TypingProgram([make_rule("t", outgoing=[("l", "ghost")])])
+
+    def test_atomic_target_always_available(self):
+        TypingProgram([make_rule("t", atomic=["a"])])
+
+    def test_rule_lookup(self):
+        program = TypingProgram([TypeRule("t")])
+        assert program.rule("t").name == "t"
+        with pytest.raises(UnknownTypeError):
+            program.rule("missing")
+
+    def test_typed_links_dimension(self):
+        program = TypingProgram(
+            [
+                make_rule("t1", atomic=["a", "b"]),
+                make_rule("t2", atomic=["b", "c"]),
+            ]
+        )
+        assert len(program.typed_links()) == 3  # a, b, c (b shared)
+
+    def test_recursion_detection(self, p0_program):
+        assert p0_program.is_recursive()
+        flat = TypingProgram([make_rule("t", atomic=["a"])])
+        assert not flat.is_recursive()
+
+    def test_recursion_self_loop(self):
+        program = TypingProgram([make_rule("t", outgoing=[("l", "t")])])
+        assert program.is_recursive()
+
+    def test_rename_types(self):
+        program = TypingProgram(
+            [
+                make_rule("a", outgoing=[("l", "b")]),
+                make_rule("b", atomic=["x"]),
+            ]
+        )
+        renamed = program.rename_types({"b": "c"})
+        assert "c" in renamed and "b" not in renamed
+        assert renamed.rule("a").targets() == {"c"}
+
+    def test_rename_merge_requires_agreement(self):
+        program = TypingProgram(
+            [make_rule("a", atomic=["x"]), make_rule("b", atomic=["y"])]
+        )
+        with pytest.raises(MalformedRuleError):
+            program.rename_types({"a": "m", "b": "m"})
+        # Identical bodies may merge.
+        same = TypingProgram(
+            [make_rule("a", atomic=["x"]), make_rule("b", atomic=["x"])]
+        )
+        merged = same.rename_types({"a": "m", "b": "m"})
+        assert len(merged) == 1
+
+    def test_rename_atomic_rejected(self, p0_program):
+        with pytest.raises(MalformedRuleError):
+            p0_program.rename_types({ATOMIC: "zero"})
+
+    def test_without(self):
+        program = TypingProgram(
+            [make_rule("a", atomic=["x"]), make_rule("b", atomic=["y"])]
+        )
+        assert len(program.without({"b"})) == 1
+
+    def test_without_leaves_dangling_rejected(self):
+        program = TypingProgram(
+            [make_rule("a", outgoing=[("l", "b")]), make_rule("b")]
+        )
+        with pytest.raises(UnknownTypeError):
+            program.without({"b"})
+
+    def test_with_rules_replaces(self):
+        program = TypingProgram([make_rule("a", atomic=["x"])])
+        updated = program.with_rules([make_rule("a", atomic=["y"])])
+        assert updated.rule("a").body == make_rule("a", atomic=["y"]).body
+
+    def test_equality(self):
+        p1 = TypingProgram([make_rule("a", atomic=["x"])])
+        p2 = TypingProgram([make_rule("a", atomic=["x"])])
+        assert p1 == p2
+        assert p1 != TypingProgram.empty()

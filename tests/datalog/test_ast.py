@@ -1,0 +1,72 @@
+"""Unit tests for the generic datalog AST."""
+
+import pytest
+
+from repro.datalog.ast import Atom, Constant, Program, Rule, Variable
+from repro.exceptions import DatalogError
+
+X, Y = Variable("X"), Variable("Y")
+
+
+def test_atom_basics():
+    atom = Atom("p", (X, Constant("c")))
+    assert atom.arity == 2
+    assert atom.variables() == {X}
+    assert str(atom) == "p(X, 'c')"
+
+
+def test_empty_predicate_rejected():
+    with pytest.raises(DatalogError):
+        Atom("", (X,))
+
+
+def test_unsafe_rule_rejected():
+    with pytest.raises(DatalogError, match="unsafe"):
+        Rule(head=Atom("p", (X, Y)), body=(Atom("e", (X,)),))
+
+
+def test_safe_rule_accepted():
+    rule = Rule(head=Atom("p", (X,)), body=(Atom("e", (X, Y)),))
+    assert "p(X) :- e(X, Y)." == str(rule)
+
+
+def test_program_classification():
+    rule = Rule(head=Atom("p", (X,)), body=(Atom("e", (X, Y)),))
+    program = Program([rule], edb=["e"])
+    assert program.idb_predicates == {"p"}
+    assert program.edb_predicates == {"e"}
+    assert program.idb_arity("p") == 1
+    assert program.is_monadic()
+
+
+def test_edb_with_rule_rejected():
+    rule = Rule(head=Atom("e", (X,)), body=(Atom("f", (X,)),))
+    with pytest.raises(DatalogError):
+        Program([rule], edb=["e", "f"])
+
+
+def test_arity_conflict_rejected():
+    r1 = Rule(head=Atom("p", (X,)), body=(Atom("e", (X,)),))
+    r2 = Rule(head=Atom("p", (X, Y)), body=(Atom("e", (X,)), Atom("e", (Y,))))
+    with pytest.raises(DatalogError):
+        Program([r1, r2], edb=["e"])
+
+
+def test_undefined_body_predicate_rejected():
+    rule = Rule(head=Atom("p", (X,)), body=(Atom("ghost", (X,)),))
+    with pytest.raises(DatalogError):
+        Program([rule], edb=["e"])
+
+
+def test_rules_for():
+    r1 = Rule(head=Atom("p", (X,)), body=(Atom("e", (X,)),))
+    r2 = Rule(head=Atom("q", (X,)), body=(Atom("e", (X,)),))
+    program = Program([r1, r2], edb=["e"])
+    assert program.rules_for("p") == [r1]
+    assert len(program) == 2
+
+
+def test_non_monadic_detected():
+    rule = Rule(head=Atom("p", (X, Y)), body=(Atom("e", (X, Y)),))
+    program = Program([rule], edb=["e"])
+    assert not program.is_monadic()

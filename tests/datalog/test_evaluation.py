@@ -1,0 +1,107 @@
+"""Unit tests for the generic datalog evaluators."""
+
+import pytest
+
+from repro.datalog.ast import Atom, Constant, Program, Rule, Variable
+from repro.datalog.evaluation import (
+    active_domain,
+    evaluate_gfp,
+    evaluate_naive,
+    evaluate_seminaive,
+)
+from repro.exceptions import DatalogError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def transitive_closure_program():
+    return Program(
+        [
+            Rule(Atom("tc", (X, Y)), (Atom("edge", (X, Y)),)),
+            Rule(Atom("tc", (X, Z)), (Atom("edge", (X, Y)), Atom("tc", (Y, Z)))),
+        ],
+        edb=["edge"],
+    )
+
+
+EDGES = {"edge": {("a", "b"), ("b", "c"), ("c", "d")}}
+CLOSURE = {
+    ("a", "b"), ("b", "c"), ("c", "d"),
+    ("a", "c"), ("b", "d"), ("a", "d"),
+}
+
+
+class TestLeastFixpoint:
+    def test_naive_transitive_closure(self):
+        result = evaluate_naive(transitive_closure_program(), EDGES)
+        assert result["tc"] == CLOSURE
+
+    def test_seminaive_matches_naive(self):
+        program = transitive_closure_program()
+        assert evaluate_seminaive(program, EDGES) == evaluate_naive(
+            program, EDGES
+        )
+
+    def test_seminaive_on_cycle(self):
+        program = transitive_closure_program()
+        edb = {"edge": {("a", "b"), ("b", "a")}}
+        result = evaluate_seminaive(program, edb)
+        assert result["tc"] == {
+            ("a", "b"), ("b", "a"), ("a", "a"), ("b", "b"),
+        }
+
+    def test_constants_in_rules(self):
+        program = Program(
+            [
+                Rule(
+                    Atom("from_a", (Y,)),
+                    (Atom("edge", (Constant("a"), Y)),),
+                )
+            ],
+            edb=["edge"],
+        )
+        result = evaluate_naive(program, EDGES)
+        assert result["from_a"] == {("b",)}
+
+    def test_unexpected_edb_rejected(self):
+        with pytest.raises(DatalogError):
+            evaluate_naive(transitive_closure_program(), {"bogus": set()})
+
+    def test_empty_edb(self):
+        result = evaluate_naive(transitive_closure_program(), {"edge": set()})
+        assert result["tc"] == set()
+
+
+class TestGreatestFixpoint:
+    def test_gfp_of_recursive_monadic(self):
+        """alive(X) :- edge(X, Y) & alive(Y): GFP keeps exactly the
+        objects with an infinite outgoing path (the cycle + its feeders)."""
+        program = Program(
+            [Rule(Atom("alive", (X,)), (Atom("edge", (X, Y)), Atom("alive", (Y,))))],
+            edb=["edge"],
+        )
+        edb = {"edge": {("a", "b"), ("b", "a"), ("c", "a"), ("d", "e")}}
+        result = evaluate_gfp(program, edb)
+        assert result["alive"] == {("a",), ("b",), ("c",)}
+
+    def test_gfp_equals_lfp_for_nonrecursive(self):
+        program = Program(
+            [Rule(Atom("src", (X,)), (Atom("edge", (X, Y)),))],
+            edb=["edge"],
+        )
+        gfp = evaluate_gfp(program, EDGES)
+        lfp = evaluate_naive(program, EDGES)
+        assert gfp["src"] == lfp["src"]
+
+    def test_explicit_domain(self):
+        program = Program(
+            [Rule(Atom("self", (X,)), (Atom("eq", (X, X)),))],
+            edb=["eq"],
+        )
+        result = evaluate_gfp(
+            program, {"eq": {("a", "a")}}, domain=["a", "b"]
+        )
+        assert result["self"] == {("a",)}
+
+    def test_active_domain(self):
+        assert active_domain(EDGES) == {"a", "b", "c", "d"}

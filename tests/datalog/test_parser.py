@@ -1,0 +1,90 @@
+"""Unit tests for the datalog text frontend."""
+
+import pytest
+
+from repro.datalog.evaluation import evaluate_gfp, evaluate_seminaive
+from repro.datalog.parser import parse_datalog
+from repro.exceptions import DatalogError
+
+TC_SOURCE = """
+# transitive closure
+edge(a, b).
+edge(b, c).
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y) & tc(Y, Z).
+"""
+
+
+class TestParsing:
+    def test_rules_and_facts_separated(self):
+        program, facts = parse_datalog(TC_SOURCE)
+        assert len(program) == 2
+        assert facts["edge"] == {("a", "b"), ("b", "c")}
+        assert program.edb_predicates == {"edge"}
+        assert program.idb_predicates == {"tc"}
+
+    def test_evaluation_of_parsed_program(self):
+        program, facts = parse_datalog(TC_SOURCE)
+        result = evaluate_seminaive(program, facts)
+        assert result["tc"] == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_comma_separator(self):
+        program, facts = parse_datalog(
+            "p(X) :- e(X, Y), f(Y).\ne(a, b).\nf(b)."
+        )
+        result = evaluate_seminaive(program, facts)
+        assert result["p"] == {("a",)}
+
+    def test_quoted_constants(self):
+        _, facts = parse_datalog("city('New York', usa).")
+        assert facts["city"] == {("New York", "usa")}
+
+    def test_uppercase_means_variable(self):
+        program, _ = parse_datalog("p(X) :- e(X, something).\ne(a, b).")
+        (rule,) = list(program.rules())
+        assert rule.head.variables() == {next(iter(rule.head.variables()))}
+
+    def test_zero_arity_edb_from_body(self):
+        program, facts = parse_datalog("p(X) :- e(X).")
+        assert "e" in program.edb_predicates
+        assert facts["e"] == set()
+
+    def test_comment_styles(self):
+        program, facts = parse_datalog("# hash\n% percent\ne(a, b).")
+        assert facts["edge" if "edge" in facts else "e"]
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(DatalogError, match="line 1"):
+            parse_datalog("e(a, b)")
+
+    def test_variable_in_fact(self):
+        with pytest.raises(DatalogError, match="variable"):
+            parse_datalog("e(X, b).")
+
+    def test_fact_and_rule_conflict(self):
+        with pytest.raises(DatalogError, match="both facts and rules"):
+            parse_datalog("p(a).\np(X) :- e(X).\ne(b).")
+
+    def test_empty_body(self):
+        with pytest.raises(DatalogError):
+            parse_datalog("p(X) :- .")
+
+    def test_malformed_atom(self):
+        with pytest.raises(DatalogError, match="line 1"):
+            parse_datalog("this is not datalog.")
+
+
+class TestGfpViaText:
+    def test_alive_example(self):
+        source = """
+        edge(a, b).
+        edge(b, a).
+        edge(c, a).
+        edge(d, e).
+        alive(X) :- edge(X, Y) & alive(Y).
+        """
+        program, facts = parse_datalog(source)
+        result = evaluate_gfp(program, facts)
+        assert result["alive"] == {("a",), ("b",), ("c",)}

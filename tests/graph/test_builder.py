@@ -1,0 +1,58 @@
+"""Unit tests for the fluent database builder."""
+
+import pytest
+
+from repro.exceptions import IntegrityError
+from repro.graph.builder import DatabaseBuilder
+
+
+def test_chained_construction():
+    db = (
+        DatabaseBuilder()
+        .link("a", "b", "l")
+        .attr("a", "name", "A")
+        .complex("lonely")
+        .build()
+    )
+    assert db.is_complex("lonely")
+    assert db.num_links == 2
+    assert db.value(next(iter(db.targets("a", "name")))) == "A"
+
+
+def test_attr_with_explicit_atomic_id():
+    db = DatabaseBuilder().attr("a", "name", "A", atomic_id="an").build()
+    assert db.value("an") == "A"
+
+
+def test_fresh_atomic_ids_are_unique():
+    builder = DatabaseBuilder()
+    ids = {builder.fresh_atomic_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_fresh_id_skips_taken_names():
+    builder = DatabaseBuilder(atomic_prefix="x")
+    builder.atomic("x0", 1)
+    assert builder.fresh_atomic_id() == "x1"
+
+
+def test_links_bulk():
+    db = DatabaseBuilder().links([("a", "b", "l"), ("b", "c", "m")]).build()
+    assert db.num_links == 2
+
+
+def test_build_validates_by_default():
+    builder = DatabaseBuilder()
+    builder.link("a", "b", "l")
+    builder._db._num_links = 9  # corrupt deliberately
+    with pytest.raises(IntegrityError):
+        builder.build()
+    # But validation can be skipped.
+    builder.build(validate=False)
+
+
+def test_custom_prefix():
+    builder = DatabaseBuilder(atomic_prefix="atom-")
+    builder.attr("a", "name", "A")
+    db = builder.build()
+    assert any(obj.startswith("atom-") for obj in db.atomic_objects())

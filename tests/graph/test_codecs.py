@@ -1,0 +1,146 @@
+"""Unit tests for the JSON, relational and OEM codecs."""
+
+import pytest
+
+from repro.exceptions import DatabaseError
+from repro.graph.database import Database
+from repro.graph.json_codec import from_json, to_json
+from repro.graph.oem import dumps_oem, loads_oem
+from repro.graph.relational import from_relations, to_relations
+
+
+class TestJsonCodec:
+    def test_simple_object(self):
+        db = from_json({"name": "Alice", "age": 30})
+        assert db.num_complex == 1
+        assert db.num_atomic == 2
+        assert {db.value(o) for o in db.atomic_objects()} == {"Alice", 30}
+
+    def test_nested_objects(self):
+        db = from_json({"person": {"name": "A"}}, root_id="r")
+        assert db.num_complex == 2
+        child = next(iter(db.targets("r", "person")))
+        assert db.is_complex(child)
+
+    def test_lists_become_repeated_edges(self):
+        db = from_json({"movie": ["Bleu", "Damage"]}, root_id="r")
+        assert len(db.targets("r", "movie")) == 2
+
+    def test_bare_list_rejected(self):
+        with pytest.raises(DatabaseError):
+            from_json({"k": [[1, 2]]})
+
+    def test_non_dict_top_level_rejected(self):
+        with pytest.raises(DatabaseError):
+            from_json([1, 2])  # type: ignore[arg-type]
+
+    def test_refs_share_objects(self):
+        data = {
+            "a": {"$id": "shared", "name": "S"},
+            "b": {"$ref": "shared"},
+        }
+        db = from_json(data, root_id="r")
+        assert db.targets("r", "a") == db.targets("r", "b")
+
+    def test_forward_ref(self):
+        data = {
+            "a": {"$ref": "later"},
+            "b": {"$id": "later", "name": "L"},
+        }
+        db = from_json(data, root_id="r")
+        assert db.targets("r", "a") == db.targets("r", "b")
+
+    def test_roundtrip_tree(self):
+        data = {"person": {"name": "A", "tags": ["x", "y"]}}
+        db = from_json(data, root_id="r")
+        raised = to_json(db, "r")
+        assert raised["person"]["name"] == "A"
+        assert sorted(raised["person"]["tags"]) == ["x", "y"]
+
+    def test_to_json_handles_cycles(self, figure2_db):
+        raised = to_json(figure2_db, "g")
+        # The cycle g -> m -> g must come back as a $ref.
+        assert raised["is-manager-of"]["is-managed-by"] == {"$ref": "g"}
+
+    def test_to_json_unknown_root(self):
+        with pytest.raises(DatabaseError):
+            to_json(Database(), "nope")
+
+
+class TestRelationalCodec:
+    RELATIONS = {
+        "emp": [
+            {"name": "A", "dept": "X"},
+            {"name": "B", "dept": None},  # SQL NULL -> missing edge
+        ],
+        "dept": [{"dname": "X"}],
+    }
+
+    def test_from_relations_shapes(self):
+        db, ids = from_relations(self.RELATIONS)
+        assert len(ids["emp"]) == 2
+        assert db.out_labels(ids["emp"][0]) == {"name", "dept"}
+        assert db.out_labels(ids["emp"][1]) == {"name"}  # NULL skipped
+
+    def test_roundtrip(self):
+        db, ids = from_relations({"t": [{"a": 1, "b": 2}]})
+        back = to_relations(db, {"t": ids["t"]})
+        assert back == {"t": [{"a": 1, "b": 2}]}
+
+    def test_non_relational_shape_rejected(self, figure2_db):
+        with pytest.raises(DatabaseError):
+            to_relations(figure2_db, {"t": ["g"]})
+
+    def test_multi_valued_label_rejected(self):
+        db = Database.from_links(
+            [("o", "a1", "tag"), ("o", "a2", "tag")],
+            {"a1": 1, "a2": 2},
+        )
+        with pytest.raises(DatabaseError):
+            to_relations(db, {"t": ["o"]})
+
+
+class TestOemCodec:
+    def test_roundtrip(self, figure2_db):
+        text = dumps_oem(figure2_db)
+        assert loads_oem(text) == figure2_db
+
+    def test_roundtrip_isolated_complex(self):
+        db = Database()
+        db.add_complex("island")
+        assert loads_oem(dumps_oem(db)) == db
+
+    def test_values_survive_types(self):
+        db = Database()
+        db.add_atomic("a", 42)
+        db.add_atomic("b", "text")
+        db.add_atomic("c", True)
+        db.add_atomic("d", None)
+        db.add_link("o", "a", "x")
+        loaded = loads_oem(dumps_oem(db))
+        assert loaded.value("a") == 42
+        assert loaded.value("b") == "text"
+        assert loaded.value("c") is True
+        assert loaded.value("d") is None
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# hello\n\natomic a 1\nlink o a x\n"
+        db = loads_oem(text)
+        assert db.num_links == 1
+
+    def test_malformed_line_reports_lineno(self):
+        with pytest.raises(DatabaseError, match="line 2"):
+            loads_oem("atomic a 1\nbogus stuff here\n")
+
+    def test_bad_json_value_rejected(self):
+        with pytest.raises(DatabaseError):
+            loads_oem("atomic a {not-json}\n")
+
+    def test_links_applied_after_atomics(self):
+        # atomic declared after the link that targets it
+        text = "link o a x\natomic a 5\n"
+        db = loads_oem(text)
+        assert db.is_atomic("a")
+
+    def test_deterministic_output(self, figure2_db):
+        assert dumps_oem(figure2_db) == dumps_oem(figure2_db.copy())

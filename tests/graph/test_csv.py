@@ -1,0 +1,90 @@
+"""Unit tests for the CSV codec."""
+
+import pytest
+
+from repro.core.perfect import minimal_perfect_typing
+from repro.core.sorts import minimal_perfect_typing_with_sorts
+from repro.exceptions import DatabaseError
+from repro.graph.csv_codec import from_csv, to_csv
+
+CSV_TEXT = """name,age,city
+Ada,36,London
+Bob,,Paris
+Cyn,45,
+"""
+
+
+class TestFromCsv:
+    def test_rows_and_cells(self):
+        db, rows = from_csv(CSV_TEXT)
+        assert len(rows) == 3
+        assert db.out_labels(rows[0]) == {"name", "age", "city"}
+        assert db.out_labels(rows[1]) == {"name", "city"}  # empty age
+        assert db.out_labels(rows[2]) == {"name", "age"}  # empty city
+
+    def test_coercion(self):
+        db, rows = from_csv(CSV_TEXT)
+        (age,) = db.targets(rows[0], "age")
+        assert db.value(age) == 36
+
+    def test_no_coercion(self):
+        db, rows = from_csv(CSV_TEXT, coerce=False)
+        (age,) = db.targets(rows[0], "age")
+        assert db.value(age) == "36"
+
+    def test_tsv(self):
+        db, rows = from_csv("a\tb\n1\t2\n", delimiter="\t")
+        assert db.out_labels(rows[0]) == {"a", "b"}
+
+    def test_validation(self):
+        with pytest.raises(DatabaseError):
+            from_csv("")
+        with pytest.raises(DatabaseError):
+            from_csv("a,,c\n1,2,3\n")  # empty column name
+        with pytest.raises(DatabaseError):
+            from_csv("a,a\n1,2\n")  # duplicate columns
+        with pytest.raises(DatabaseError):
+            from_csv("a,b\n1,2,3\n")  # too many cells
+
+    def test_multiple_tables_one_db(self):
+        db, people = from_csv("name\nA\n", relation="person")
+        db, firms = from_csv("fname\nAcme\n", relation="firm", db=db)
+        assert db.num_complex == 2
+        assert people[0] != firms[0]
+
+    def test_nulls_fracture_then_heal(self):
+        """The full story: NULL-y CSV -> fractured perfect typing ->
+        single approximate type."""
+        from repro.core.pipeline import SchemaExtractor
+
+        db, _ = from_csv(CSV_TEXT)
+        assert minimal_perfect_typing(db).num_types == 3
+        result = SchemaExtractor(db).extract(k=1)
+        assert result.num_types == 1
+
+    def test_sorts_split_mixed_column(self):
+        mixed = "code\n1\n2\nX9\n"
+        db, _ = from_csv(mixed)
+        assert minimal_perfect_typing(db).num_types == 1
+        assert minimal_perfect_typing_with_sorts(db).num_types == 2
+
+
+class TestToCsv:
+    def test_roundtrip(self):
+        db, rows = from_csv(CSV_TEXT)
+        out = to_csv(db, rows)
+        db2, rows2 = from_csv(out)
+        for r1, r2 in zip(rows, rows2):
+            assert db.out_labels(r1) == db2.out_labels(r2)
+
+    def test_missing_cells_rendered_empty(self):
+        db, rows = from_csv(CSV_TEXT)
+        out = to_csv(db, rows)
+        # Columns render sorted (age, city, name); Bob has no age.
+        assert out.splitlines()[0] == "age,city,name"
+        assert ",Paris,Bob" in out
+        assert "45,,Cyn" in out
+
+    def test_non_relational_rejected(self, figure2_db):
+        with pytest.raises(DatabaseError):
+            to_csv(figure2_db, ["g"])

@@ -1,0 +1,204 @@
+"""Unit tests for the core graph store."""
+
+import pytest
+
+from repro.exceptions import IntegrityError, UnknownObjectError
+from repro.graph.database import Database, Edge
+
+
+class TestRegistration:
+    def test_add_complex_is_idempotent(self):
+        db = Database()
+        db.add_complex("o")
+        db.add_complex("o")
+        assert db.is_complex("o")
+        assert db.num_complex == 1
+
+    def test_add_atomic_records_value(self):
+        db = Database()
+        db.add_atomic("a", 42)
+        assert db.is_atomic("a")
+        assert db.value("a") == 42
+
+    def test_atomic_value_is_keyed(self):
+        db = Database()
+        db.add_atomic("a", 1)
+        with pytest.raises(IntegrityError):
+            db.add_atomic("a", 2)
+
+    def test_atomic_same_value_is_idempotent(self):
+        db = Database()
+        db.add_atomic("a", 1)
+        db.add_atomic("a", 1)
+        assert db.num_atomic == 1
+
+    def test_object_cannot_be_both(self):
+        db = Database()
+        db.add_complex("o")
+        with pytest.raises(IntegrityError):
+            db.add_atomic("o", 1)
+        db.add_atomic("a", 1)
+        with pytest.raises(IntegrityError):
+            db.add_complex("a")
+
+    def test_contains(self):
+        db = Database()
+        db.add_complex("o")
+        db.add_atomic("a", 1)
+        assert "o" in db and "a" in db and "x" not in db
+
+
+class TestLinks:
+    def test_add_link_registers_endpoints(self):
+        db = Database()
+        assert db.add_link("x", "y", "l")
+        assert db.is_complex("x") and db.is_complex("y")
+        assert db.has_link("x", "y", "l")
+
+    def test_add_link_to_atomic_target(self):
+        db = Database()
+        db.add_atomic("a", 1)
+        db.add_link("x", "a", "l")
+        assert db.is_atomic("a")
+
+    def test_duplicate_link_is_noop(self):
+        db = Database()
+        assert db.add_link("x", "y", "l") is True
+        assert db.add_link("x", "y", "l") is False
+        assert db.num_links == 1
+
+    def test_parallel_labels_allowed(self):
+        """Several edges between the same objects, different labels."""
+        db = Database()
+        db.add_link("x", "y", "l1")
+        db.add_link("x", "y", "l2")
+        assert db.num_links == 2
+
+    def test_atomic_source_rejected(self):
+        db = Database()
+        db.add_atomic("a", 1)
+        with pytest.raises(IntegrityError):
+            db.add_link("a", "x", "l")
+
+    def test_remove_link(self):
+        db = Database()
+        db.add_link("x", "y", "l")
+        db.remove_link("x", "y", "l")
+        assert db.num_links == 0
+        assert not db.has_link("x", "y", "l")
+
+    def test_remove_missing_link_raises(self):
+        db = Database()
+        with pytest.raises(UnknownObjectError):
+            db.remove_link("x", "y", "l")
+
+    def test_remove_object_cleans_edges(self):
+        db = Database()
+        db.add_link("x", "y", "l")
+        db.add_link("y", "z", "m")
+        db.remove_object("y")
+        assert db.num_links == 0
+        assert "y" not in db
+        db.validate()
+
+    def test_remove_unknown_object_raises(self):
+        db = Database()
+        with pytest.raises(UnknownObjectError):
+            db.remove_object("ghost")
+
+
+class TestQueries:
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.add_atomic("n1", "Alice")
+        db.add_link("p1", "p2", "knows")
+        db.add_link("p2", "p1", "knows")
+        db.add_link("p1", "n1", "name")
+        return db
+
+    def test_targets_and_sources(self, db):
+        assert db.targets("p1", "knows") == {"p2"}
+        assert db.sources("p1", "knows") == {"p2"}
+        assert db.targets("p1", "name") == {"n1"}
+        assert db.targets("p1", "missing") == frozenset()
+
+    def test_labels(self, db):
+        assert db.labels() == {"knows", "name"}
+        assert db.out_labels("p1") == {"knows", "name"}
+        assert db.in_labels("p1") == {"knows"}
+
+    def test_degrees(self, db):
+        assert db.out_degree("p1") == 2
+        assert db.in_degree("p1") == 1
+        assert db.out_degree("n1") == 0
+
+    def test_edge_iteration(self, db):
+        assert set(db.edges()) == {
+            Edge("p1", "p2", "knows"),
+            Edge("p2", "p1", "knows"),
+            Edge("p1", "n1", "name"),
+        }
+        assert set(db.out_edges("p1")) == {
+            Edge("p1", "p2", "knows"),
+            Edge("p1", "n1", "name"),
+        }
+        assert set(db.in_edges("p1")) == {Edge("p2", "p1", "knows")}
+
+    def test_value_of_complex_raises(self, db):
+        with pytest.raises(UnknownObjectError):
+            db.value("p1")
+
+
+class TestCopyEqualityExport:
+    def test_copy_is_deep(self):
+        db = Database()
+        db.add_link("x", "y", "l")
+        clone = db.copy()
+        clone.add_link("x", "z", "l")
+        assert db.num_links == 1
+        assert clone.num_links == 2
+        assert db != clone
+
+    def test_equality(self):
+        db1 = Database.from_links([("x", "y", "l")], {"a": 1})
+        db2 = Database.from_links([("x", "y", "l")], {"a": 1})
+        assert db1 == db2
+
+    def test_from_links_respects_atomics(self):
+        db = Database.from_links([("x", "a", "v")], {"a": "hello"})
+        assert db.is_atomic("a")
+        assert db.value("a") == "hello"
+
+    def test_to_facts_roundtrip(self):
+        db = Database.from_links(
+            [("x", "y", "l"), ("x", "a", "v")], {"a": 3}
+        )
+        links, atomics = db.to_facts()
+        rebuilt = Database.from_links(links, dict(atomics))
+        assert rebuilt == db
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Database())
+
+    def test_repr_mentions_sizes(self):
+        db = Database.from_links([("x", "y", "l")])
+        assert "links=1" in repr(db)
+
+
+class TestValidation:
+    def test_valid_database_passes(self, figure2_db):
+        figure2_db.validate()
+
+    def test_corrupted_count_detected(self):
+        db = Database.from_links([("x", "y", "l")])
+        db._num_links = 7  # simulate corruption
+        with pytest.raises(IntegrityError):
+            db.validate()
+
+    def test_corrupted_index_detected(self):
+        db = Database.from_links([("x", "y", "l")])
+        db._inc["y"]["l"].discard("x")  # simulate corruption
+        with pytest.raises(IntegrityError):
+            db.validate()

@@ -1,0 +1,45 @@
+"""Unit tests for database statistics."""
+
+from repro.graph.database import Database
+from repro.graph.statistics import describe
+
+
+def test_counts(figure2_db):
+    stats = describe(figure2_db)
+    assert stats.num_complex == 4
+    assert stats.num_atomic == 4
+    assert stats.num_links == 8
+    assert stats.num_labels == 3
+    assert not stats.bipartite
+
+
+def test_bipartite_flag(regular_people_db):
+    assert describe(regular_people_db).bipartite
+
+
+def test_degrees(figure2_db):
+    stats = describe(figure2_db)
+    assert stats.max_out_degree == 2
+    assert stats.max_in_degree == 1
+    assert stats.mean_out_degree == 2.0
+
+
+def test_label_counts(figure2_db):
+    stats = describe(figure2_db)
+    assert dict(stats.label_counts) == {
+        "is-manager-of": 2,
+        "is-managed-by": 2,
+        "name": 4,
+    }
+
+
+def test_empty_database():
+    stats = describe(Database())
+    assert stats.num_objects == 0
+    assert stats.mean_out_degree == 0.0
+    assert stats.max_out_degree == 0
+
+
+def test_summary_mentions_sizes(figure2_db):
+    text = describe(figure2_db).summary()
+    assert "8" in text and "bipartite: no" in text

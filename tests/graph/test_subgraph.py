@@ -1,0 +1,101 @@
+"""Unit tests for subgraph extraction and sampling."""
+
+import pytest
+
+from repro.exceptions import DatabaseError
+from repro.graph.subgraph import induced_subgraph, neighborhood, sample_objects
+from repro.synth.datasets import make_dbg
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, figure2_db):
+        sub = induced_subgraph(figure2_db, ["g", "m", "gn"])
+        assert sub.has_link("g", "m", "is-manager-of")
+        assert sub.has_link("g", "gn", "name")
+        assert not sub.has_link("j", "a", "is-manager-of")
+        assert sub.num_complex == 2 and sub.num_atomic == 1
+
+    def test_atomic_values_carried(self, figure2_db):
+        sub = induced_subgraph(figure2_db, ["gn"])
+        assert sub.value("gn") == "Gates"
+
+    def test_unknown_object_rejected(self, figure2_db):
+        with pytest.raises(DatabaseError):
+            induced_subgraph(figure2_db, ["ghost"])
+
+    def test_empty_selection(self, figure2_db):
+        sub = induced_subgraph(figure2_db, [])
+        assert sub.num_objects == 0
+
+
+class TestNeighborhood:
+    def test_zero_hops_is_just_seeds(self, figure2_db):
+        sub = neighborhood(figure2_db, ["g"], hops=0)
+        assert set(sub.objects()) == {"g"}
+
+    def test_one_hop_includes_both_directions(self, figure2_db):
+        sub = neighborhood(figure2_db, ["g"], hops=1)
+        # g's out: m, gn; g's in: m (is-managed-by).
+        assert set(sub.objects()) == {"g", "m", "gn"}
+        assert sub.has_link("m", "g", "is-managed-by")
+
+    def test_everything_eventually_reached(self, figure2_db):
+        sub = neighborhood(figure2_db, ["g"], hops=10)
+        # j/a are a separate component: never reached.
+        assert "j" not in sub
+        assert set(sub.objects()) == {"g", "m", "gn", "mn"}
+
+    def test_negative_hops_rejected(self, figure2_db):
+        with pytest.raises(DatabaseError):
+            neighborhood(figure2_db, ["g"], hops=-1)
+
+    def test_unknown_seed_rejected(self, figure2_db):
+        with pytest.raises(DatabaseError):
+            neighborhood(figure2_db, ["ghost"], hops=1)
+
+
+class TestSampling:
+    def test_fraction_respected(self):
+        db = make_dbg(seed=3)
+        sub = sample_objects(db, 0.25, seed=1, with_attributes=False)
+        assert sub.num_complex == round(0.25 * db.num_complex)
+        assert sub.num_atomic == 0
+
+    def test_attributes_kept(self):
+        db = make_dbg(seed=3)
+        sub = sample_objects(db, 0.25, seed=1)
+        # Every sampled complex object keeps its atomic attributes.
+        for obj in sub.complex_objects():
+            expected = {
+                e.dst for e in db.out_edges(obj) if db.is_atomic(e.dst)
+            }
+            actual = {
+                e.dst for e in sub.out_edges(obj) if sub.is_atomic(e.dst)
+            }
+            assert actual == expected
+
+    def test_deterministic(self):
+        db = make_dbg(seed=3)
+        s1 = sample_objects(db, 0.3, seed=7)
+        s2 = sample_objects(db, 0.3, seed=7)
+        assert s1 == s2
+
+    def test_sample_schema_resembles_full_schema(self):
+        """Typing a 50% sample finds the same concept count regime."""
+        from repro.core.pipeline import SchemaExtractor
+
+        db = make_dbg(seed=3)
+        sub = sample_objects(db, 0.5, seed=2)
+        full = SchemaExtractor(db).extract(k=6)
+        sampled = SchemaExtractor(sub).extract(k=6)
+        assert sampled.num_types == full.num_types == 6
+
+    def test_bad_fraction_rejected(self, figure2_db):
+        with pytest.raises(DatabaseError):
+            sample_objects(figure2_db, 0.0)
+        with pytest.raises(DatabaseError):
+            sample_objects(figure2_db, 1.5)
+
+    def test_full_fraction_with_attributes_loses_nothing_complex(self, figure2_db):
+        sub = sample_objects(figure2_db, 1.0, seed=0)
+        assert set(sub.complex_objects()) == set(figure2_db.complex_objects())

@@ -1,0 +1,143 @@
+"""Unit tests for database transforms and DOT export."""
+
+import pytest
+
+from repro.core.notation import parse_program
+from repro.core.perfect import minimal_perfect_typing
+from repro.exceptions import DatabaseError
+from repro.graph.builder import DatabaseBuilder
+from repro.graph.dot import database_to_dot, program_to_dot
+from repro.graph.transform import (
+    drop_labels,
+    lift_ranges,
+    lift_values,
+    rename_labels,
+)
+
+
+class TestRenameDrop:
+    def test_rename(self, figure2_db):
+        renamed = rename_labels(figure2_db, {"is-manager-of": "runs"})
+        assert "runs" in renamed.labels()
+        assert "is-manager-of" not in renamed.labels()
+        assert renamed.num_links == figure2_db.num_links
+
+    def test_rename_merging_labels(self):
+        db = (
+            DatabaseBuilder()
+            .link("a", "b", "x")
+            .link("a", "b", "y")
+            .build()
+        )
+        merged = rename_labels(db, {"y": "x"})
+        assert merged.num_links == 1  # duplicates collapse
+
+    def test_drop(self, figure2_db):
+        dropped = drop_labels(figure2_db, ["name"])
+        assert "name" not in dropped.labels()
+        assert dropped.num_links == 4
+        # Objects stay registered, even newly isolated atomics.
+        assert dropped.num_atomic == figure2_db.num_atomic
+
+    def test_original_untouched(self, figure2_db):
+        before = figure2_db.num_links
+        drop_labels(figure2_db, ["name"])
+        rename_labels(figure2_db, {"name": "label"})
+        assert figure2_db.num_links == before
+
+
+class TestLiftValues:
+    @pytest.fixture
+    def people_db(self):
+        builder = DatabaseBuilder()
+        for i, sex in enumerate(["Male", "Female", "Male", "Female"]):
+            builder.attr(f"p{i}", "name", f"n{i}")
+            builder.attr(f"p{i}", "sex", sex)
+        return builder.build()
+
+    def test_sex_example(self, people_db):
+        """The paper's example: classify differently by 'Male'/'Female'."""
+        lifted, inverse = lift_values(people_db, ["sex"])
+        assert {"sex=Male", "sex=Female"} <= lifted.labels()
+        assert inverse == {"sex=Male": "sex", "sex=Female": "sex"}
+
+    def test_lifting_splits_perfect_typing(self, people_db):
+        before = minimal_perfect_typing(people_db)
+        assert before.num_types == 1
+        lifted, _ = lift_values(people_db, ["sex"])
+        after = minimal_perfect_typing(lifted)
+        assert after.num_types == 2
+
+    def test_untouched_labels_kept(self, people_db):
+        lifted, _ = lift_values(people_db, ["sex"])
+        assert "name" in lifted.labels()
+
+    def test_complex_targets_not_lifted(self):
+        db = DatabaseBuilder().link("a", "b", "knows").build()
+        lifted, inverse = lift_values(db, ["knows"])
+        assert lifted.labels() == {"knows"}
+        assert inverse == {}
+
+
+class TestLiftRanges:
+    @pytest.fixture
+    def ages_db(self):
+        builder = DatabaseBuilder()
+        for i, age in enumerate([5, 17, 30, 64, 70]):
+            builder.attr(f"p{i}", "age", age)
+        return builder.build()
+
+    def test_buckets(self, ages_db):
+        lifted, _ = lift_ranges(ages_db, "age", [18, 65])
+        assert lifted.labels() == {"age=<18", "age=18-65", "age=>=65"}
+
+    def test_non_numeric_rejected(self):
+        db = DatabaseBuilder().attr("p", "age", "old").build()
+        with pytest.raises(DatabaseError):
+            lift_ranges(db, "age", [18])
+
+    def test_bad_bounds_rejected(self, ages_db):
+        with pytest.raises(DatabaseError):
+            lift_ranges(ages_db, "age", [])
+        with pytest.raises(DatabaseError):
+            lift_ranges(ages_db, "age", [65, 18])
+
+
+class TestDot:
+    def test_database_dot_contains_objects_and_edges(self, figure2_db):
+        text = database_to_dot(figure2_db)
+        assert text.startswith("digraph")
+        assert '"g" [shape=box];' in text
+        assert '"g" -> "m" [label="is-manager-of"];' in text
+        assert "Gates" in text
+
+    def test_long_values_truncated(self):
+        db = DatabaseBuilder().attr("o", "bio", "x" * 100).build()
+        text = database_to_dot(db, max_value_length=10)
+        assert "x" * 100 not in text
+        assert "..." in text
+
+    def test_extent_colouring(self, figure2_db):
+        text = database_to_dot(
+            figure2_db, extents={"person": {"g", "j"}, "firm": {"m", "a"}}
+        )
+        assert "fillcolor=" in text
+        assert "// type colours:" in text
+
+    def test_program_dot(self):
+        program = parse_program(
+            "person = ->name^0, ->works^firm\nfirm = <-works^person"
+        )
+        text = program_to_dot(program)
+        assert '"person" -> "type_0" [label="name"];' in text
+        assert '"person" -> "firm" [label="works"];' in text
+        assert "style=dashed" in text  # the incoming link
+
+    def test_program_dot_sorted_links(self):
+        program = parse_program("t = ->age^0:int")
+        assert 'label="age:int"' in program_to_dot(program)
+
+    def test_quote_escaping(self):
+        db = DatabaseBuilder().attr("o", "says", 'he said "hi"').build()
+        text = database_to_dot(db)
+        assert '\\"hi\\"' in text

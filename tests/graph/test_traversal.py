@@ -1,0 +1,107 @@
+"""Unit tests for graph traversal helpers."""
+
+from repro.graph.builder import DatabaseBuilder
+from repro.graph.database import Database
+from repro.graph.traversal import (
+    breadth_first_order,
+    connected_components,
+    depth_first_order,
+    is_bipartite_complex_atomic,
+    label_paths_from,
+    reachable_from,
+    roots,
+    sinks,
+)
+
+
+def _chain() -> Database:
+    return (
+        DatabaseBuilder()
+        .link("r", "m", "child")
+        .link("m", "l", "child")
+        .attr("l", "value", 1)
+        .build()
+    )
+
+
+def test_roots_and_sinks():
+    db = _chain()
+    assert roots(db) == {"r"}
+    atomic = next(iter(db.atomic_objects()))
+    assert atomic in sinks(db)
+    assert "r" not in sinks(db)
+
+
+def test_roots_empty_on_cycle(figure2_db):
+    assert roots(figure2_db) == frozenset()
+
+
+def test_reachable_forward():
+    db = _chain()
+    reached = reachable_from(db, ["m"])
+    assert "l" in reached and "r" not in reached
+
+
+def test_reachable_undirected():
+    db = _chain()
+    reached = reachable_from(db, ["m"], follow_incoming=True)
+    assert "r" in reached and "l" in reached
+
+
+def test_bfs_vs_dfs_order():
+    db = (
+        DatabaseBuilder()
+        .link("r", "a", "x")
+        .link("r", "b", "x")
+        .link("a", "c", "x")
+        .build()
+    )
+    assert breadth_first_order(db, "r") == ["r", "a", "b", "c"]
+    assert depth_first_order(db, "r") == ["r", "a", "c", "b"]
+
+
+def test_connected_components():
+    db = DatabaseBuilder().link("a", "b", "l").link("c", "d", "l").build()
+    components = connected_components(db)
+    assert len(components) == 2
+    assert {frozenset(c) for c in components} == {
+        frozenset({"a", "b"}),
+        frozenset({"c", "d"}),
+    }
+
+
+def test_components_sorted_largest_first():
+    db = (
+        DatabaseBuilder()
+        .link("a", "b", "l")
+        .link("b", "c", "l")
+        .link("x", "y", "l")
+        .build()
+    )
+    components = connected_components(db)
+    assert len(components[0]) == 3
+
+
+def test_bipartite_detection(regular_people_db, figure2_db):
+    assert is_bipartite_complex_atomic(regular_people_db)
+    assert not is_bipartite_complex_atomic(figure2_db)
+
+
+def test_label_paths_counts():
+    db = (
+        DatabaseBuilder()
+        .link("r", "a", "member")
+        .link("r", "b", "member")
+        .attr("a", "name", "A")
+        .attr("b", "name", "B")
+        .build()
+    )
+    counts = label_paths_from(db, "r", max_depth=3)
+    assert counts["member"] == 2
+    assert counts["member.name"] == 2
+
+
+def test_label_paths_respects_depth():
+    db = _chain()
+    counts = label_paths_from(db, "r", max_depth=1)
+    assert "child.child" not in counts

@@ -1,0 +1,122 @@
+"""Integration tests replaying every worked example in the paper."""
+
+import pytest
+
+from repro.core.defect import compute_defect
+from repro.core.fixpoint import greatest_fixpoint, least_fixpoint
+from repro.core.notation import format_program, parse_program
+from repro.core.perfect import minimal_perfect_typing
+from repro.core.roles import decompose_roles
+from repro.graph.builder import DatabaseBuilder
+
+
+class TestSection2Figure2:
+    """The person/firm running example."""
+
+    def test_gfp_classification(self, figure2_db, p0_program):
+        result = greatest_fixpoint(p0_program, figure2_db)
+        assert result.members("person") == {"g", "j"}
+        assert result.members("firm") == {"m", "a"}
+
+    def test_lfp_fails(self, figure2_db, p0_program):
+        result = least_fixpoint(p0_program, figure2_db)
+        assert not result.members("person") and not result.members("firm")
+
+    def test_p0_is_defect_free(self, figure2_db, p0_program):
+        assignment = greatest_fixpoint(p0_program, figure2_db).assignment()
+        assert compute_defect(p0_program, figure2_db, assignment).total == 0
+
+
+class TestSection2RelationalJustification:
+    """Relational data typed with one type per relation is perfect,
+    provided no two relations share their attribute set."""
+
+    def test_one_type_per_relation(self):
+        from repro.graph.relational import from_relations
+
+        db, ids = from_relations({
+            "emp": [{"name": f"e{i}", "salary": i} for i in range(5)],
+            "dept": [{"dname": f"d{i}", "budget": i} for i in range(3)],
+        })
+        stage1 = minimal_perfect_typing(db)
+        assert stage1.num_types == 2
+        emp_homes = {stage1.home_type[o] for o in ids["emp"]}
+        dept_homes = {stage1.home_type[o] for o in ids["dept"]}
+        assert len(emp_homes) == len(dept_homes) == 1
+        assert emp_homes != dept_homes
+
+    def test_shared_attributes_become_indistinguishable(self):
+        """The paper's caveat: relations with the same attribute set
+        collapse into one type."""
+        from repro.graph.relational import from_relations
+
+        db, _ = from_relations({
+            "r1": [{"a": 1, "b": 2}],
+            "r2": [{"a": 3, "b": 4}],
+        })
+        assert minimal_perfect_typing(db).num_types == 1
+
+
+class TestExample22:
+    def test_both_assignments(self, figure3_db, example22_program):
+        tau1 = {"o1": {"type1"}, "o2": {"type2"},
+                "o3": {"type3"}, "o4": {"type2"}}
+        tau2 = {"o1": {"type1"}, "o2": {"type2"},
+                "o3": {"type3"}, "o4": {"type3"}}
+        r1 = compute_defect(example22_program, figure3_db, tau1)
+        r2 = compute_defect(example22_program, figure3_db, tau2)
+        assert (r1.excess.count, r1.deficit.count) == (1, 1)
+        assert (r2.excess.count, r2.deficit.count) == (1, 0)
+        assert r2.total < r1.total  # tau2 is the better assignment
+
+
+class TestExample42:
+    def test_program_pd_matches_paper(self, figure4_db):
+        stage1 = minimal_perfect_typing(figure4_db)
+        text = format_program(stage1.program)
+        tau1 = stage1.home_type["o1"]
+        tau2 = stage1.home_type["o2"]
+        tau3 = stage1.home_type["o4"]
+        expected = parse_program(
+            f"""
+            {tau1} = ->a^{tau2}, ->a^{tau3}
+            {tau2} = ->b^0, <-a^{tau1}
+            {tau3} = ->b^0, ->c^0, <-a^{tau1}
+            """
+        )
+        assert parse_program(text) == expected
+
+
+class TestExample43SoccerMovie:
+    def test_type2_removal_leaves_o2_covered(self, soccer_movie_db):
+        """Deleting the conjunction type still leaves every object with
+        at least one type; o2 gets two home types."""
+        stage1 = minimal_perfect_typing(soccer_movie_db)
+        roles = decompose_roles(stage1)
+        fixpoint = greatest_fixpoint(roles.program, soccer_movie_db)
+        for obj in soccer_movie_db.complex_objects():
+            assert fixpoint.types_of(obj), f"{obj} lost all types"
+        assert len(fixpoint.types_of("o2")) == 2
+
+
+class TestExample51Coalescing:
+    def test_order_of_first_merge_does_not_matter(self):
+        """Example 5.1: coalescing tau1/tau2 or tau3/tau4 both leave the
+        remaining pair identical."""
+        from repro.core.clustering import GreedyMerger
+
+        source = """
+        p1 = ->a^0, ->b^p3
+        p2 = ->a^0, ->b^p4
+        p3 = ->a^0, ->b^p1
+        p4 = ->a^0, ->b^p2
+        """
+        program = parse_program(source)
+        merger = GreedyMerger(program, {n: 1 for n in program.type_names()})
+        result = merger.run_to(2)
+        bodies = [rule.body for rule in result.program.rules()]
+        # After two merges the two survivors reference each other (or
+        # themselves) symmetrically with identical shapes.
+        sizes = sorted(len(b) for b in bodies)
+        assert sizes == [2, 2]
+        assert merger.total_cost <= 2  # second merge was free

@@ -1,0 +1,140 @@
+"""Integration tests replaying realistic end-to-end user workflows."""
+
+import pytest
+
+from repro import (
+    IncrementalTyper,
+    PriorKnowledge,
+    SchemaExtractor,
+    parse_program,
+)
+from repro.core.explain import explain_defect, explain_object
+from repro.core.metrics import typing_report
+from repro.core.defect import compute_defect
+from repro.core.serialize import load_extraction, save_extraction
+from repro.core.sorts import sorted_local_rule
+from repro.graph import DatabaseBuilder, lift_values
+from repro.graph.json_codec import from_json
+from repro.query import (
+    evaluate_select,
+    evaluate_select_with_schema,
+    parse_select,
+)
+from repro.synth.datasets import make_dbg
+
+
+class TestArchiveAndReuseWorkflow:
+    """Extract -> persist -> reload in a 'new process' -> query."""
+
+    def test_full_cycle(self, tmp_path):
+        db = make_dbg(seed=1998)
+        result = SchemaExtractor(db).extract(k=6)
+        path = str(tmp_path / "dbg-schema.json")
+        save_extraction(result, path)
+
+        stored = load_extraction(path, db=db, verify=True)
+        extents = {
+            name: frozenset(
+                obj for obj, types in stored.assignment.items()
+                if name in types
+            )
+            for name in stored.program.type_names()
+        }
+        query = parse_select("select conference where postscript exists")
+        naive = evaluate_select(db, query)
+        guided = evaluate_select_with_schema(
+            db, query, stored.program, extents
+        )
+        assert set(guided.values) == set(naive.values)
+        assert guided.values  # the dataset has publications
+
+
+class TestMonitoringWorkflow:
+    """Extract -> monitor quality -> data drifts -> rebuild."""
+
+    def test_metrics_then_drift_then_rebuild(self):
+        builder = DatabaseBuilder()
+        for i in range(10):
+            builder.attr(f"p{i}", "name", f"n{i}")
+            builder.attr(f"p{i}", "email", f"e{i}")
+        db = builder.build()
+        result = SchemaExtractor(db).extract(k=1)
+        report = typing_report(result.program, db, result.assignment)
+        assert report.defect == 0 and report.covered == 1.0
+
+        typer = IncrementalTyper(db, result, min_updates=4)
+        for i in range(6):
+            db.add_atomic(f"s{i}", i)
+            db.add_link(f"sensor{i}", f"s{i}", "reading")
+            typer.note_new_object(f"sensor{i}")
+        assert typer.stale()
+        rebuilt = typer.rebuild(k=2)
+        report_after = typing_report(
+            rebuilt.program, db, rebuilt.assignment
+        )
+        assert report_after.num_types == 2
+        assert report_after.defect == 0
+
+
+class TestIntegrationWithPriorAndSorts:
+    """JSON ingest + value lifting + prior + sorts, then explanations."""
+
+    def test_pipeline_with_all_extensions(self):
+        data = {
+            "members": [
+                {"name": "A", "joined": "1996-01-01", "status": "active"},
+                {"name": "B", "joined": "1997-05-05", "status": "active"},
+                {"name": "C", "joined": "long ago", "status": "retired"},
+            ],
+        }
+        db = from_json(data, root_id="site")
+        for edge in list(db.out_edges("site")):
+            db.remove_link(edge.src, edge.dst, edge.label)
+        db.remove_object("site")
+        db, _ = lift_values(db, ["status"])
+
+        prior = PriorKnowledge(
+            program=parse_program("member = ->name^0, ->joined^0"),
+        )
+        extractor = SchemaExtractor(
+            db, prior=prior, local_rule_fn=sorted_local_rule
+        )
+        result = extractor.extract(k=2)
+        assert "member" in result.program
+        # Every page ends up a member (the prior absorbed them).
+        for obj, types in result.assignment.items():
+            assert "member" in types
+
+        # Explanations render without error and mention witnesses.
+        some_obj = next(iter(result.assignment))
+        text = explain_object(
+            result.program, db, result.assignment, some_obj
+        )
+        assert "member" in text
+
+        report = compute_defect(
+            result.program, db, result.assignment, collect=True
+        )
+        rendered = explain_defect(report)
+        assert "defect" in rendered
+
+
+class TestSortsChangeExtractionOutcome:
+    def test_sorts_split_types_end_to_end(self):
+        builder = DatabaseBuilder()
+        for i in range(6):
+            builder.attr(f"a{i}", "label", f"L{i}")
+            builder.attr(f"a{i}", "code", i)  # int codes
+        for i in range(6):
+            builder.attr(f"b{i}", "label", f"M{i}")
+            builder.attr(f"b{i}", "code", f"X{i}")  # string codes
+        db = builder.build()
+
+        plain = SchemaExtractor(db)
+        assert plain.stage1().num_types == 1
+
+        sorted_extractor = SchemaExtractor(db, local_rule_fn=sorted_local_rule)
+        assert sorted_extractor.stage1().num_types == 2
+        result = sorted_extractor.extract(k=2)
+        assert result.defect.total == 0
+        assert result.assignment["a0"] != result.assignment["b0"]

@@ -1,0 +1,60 @@
+"""Property tests: splitter-queue refinement agrees with the naive engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bisim.hopcroft import refine_hopcroft
+from repro.bisim.partition import refine_partition
+from repro.graph.database import Database
+
+labels = st.sampled_from(["a", "b", "c"])
+objects = st.sampled_from([f"o{i}" for i in range(7)])
+
+
+@st.composite
+def databases(draw):
+    db = Database()
+    db.add_atomic("leaf1", 1)
+    db.add_atomic("leaf2", 2)
+    for _ in range(draw(st.integers(1, 16))):
+        src = draw(objects)
+        dst = draw(st.one_of(objects, st.sampled_from(["leaf1", "leaf2"])))
+        if src == dst:
+            continue
+        db.add_link(src, dst, draw(labels))
+    if db.num_complex == 0:
+        db.add_complex("o0")
+    return db
+
+
+@given(databases())
+@settings(max_examples=80, deadline=None)
+def test_forward_agrees_with_naive(db):
+    fast = refine_hopcroft(db, use_outgoing=True, use_incoming=False)
+    slow = refine_partition(db, use_outgoing=True, use_incoming=False)
+    assert fast == slow
+
+
+@given(databases())
+@settings(max_examples=80, deadline=None)
+def test_both_directions_agree_with_naive(db):
+    fast = refine_hopcroft(db, use_outgoing=True, use_incoming=True)
+    slow = refine_partition(db, use_outgoing=True, use_incoming=True)
+    assert fast == slow
+
+
+@given(databases())
+@settings(max_examples=40, deadline=None)
+def test_backward_only_agrees_with_naive(db):
+    fast = refine_hopcroft(db, use_outgoing=False, use_incoming=True)
+    slow = refine_partition(db, use_outgoing=False, use_incoming=True)
+    assert fast == slow
+
+
+@given(databases())
+@settings(max_examples=40, deadline=None)
+def test_result_is_stable(db):
+    """Refining the Hopcroft result once more changes nothing."""
+    partition = refine_hopcroft(db, use_outgoing=True, use_incoming=True)
+    again = refine_partition(db, initial=partition)
+    assert partition == again

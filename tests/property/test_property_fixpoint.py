@@ -1,0 +1,136 @@
+"""Property-based tests for the fixpoint engine and Stage 1.
+
+The central invariants:
+
+* the optimised GFP engine agrees with the naive top-down oracle and
+  with the generic datalog engine on random databases and programs;
+* the GFP is a fixpoint (applying one more round changes nothing) and
+  dominates the LFP;
+* Stage 1 always yields a perfect (zero-defect) typing whose home
+  extents partition the complex objects.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.defect import compute_defect
+from repro.core.fixpoint import (
+    greatest_fixpoint,
+    greatest_fixpoint_naive,
+    least_fixpoint,
+)
+from repro.core.perfect import minimal_perfect_typing, verify_perfect
+from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
+from repro.datalog.evaluation import evaluate_gfp
+from repro.datalog.translate import (
+    database_to_edb,
+    extents_from_relations,
+    typing_program_to_datalog,
+)
+from repro.graph.database import Database
+
+labels = st.sampled_from(["a", "b", "c"])
+objects = st.sampled_from([f"o{i}" for i in range(6)])
+
+
+@st.composite
+def databases(draw):
+    db = Database()
+    db.add_atomic("leaf", 0)
+    for _ in range(draw(st.integers(1, 12))):
+        src = draw(objects)
+        dst = draw(st.one_of(objects, st.just("leaf")))
+        if src == dst:
+            continue
+        db.add_link(src, dst, draw(labels))
+    if db.num_complex == 0:
+        db.add_complex("o0")
+    return db
+
+
+@st.composite
+def programs(draw):
+    """Random 1-3 type programs over labels a/b/c."""
+    names = [f"t{i}" for i in range(draw(st.integers(1, 3)))]
+    rules = []
+    for name in names:
+        body = set()
+        for _ in range(draw(st.integers(0, 3))):
+            form = draw(st.integers(0, 2))
+            label = draw(labels)
+            target = draw(st.sampled_from(names))
+            if form == 0:
+                body.add(TypedLink.to_atomic(label))
+            elif form == 1:
+                body.add(TypedLink.outgoing(label, target))
+            else:
+                body.add(TypedLink.incoming(label, target))
+        rules.append(TypeRule(name, frozenset(body)))
+    return TypingProgram(rules)
+
+
+@given(databases(), programs())
+@settings(max_examples=60, deadline=None)
+def test_gfp_engines_agree(db, program):
+    fast = greatest_fixpoint(program, db)
+    slow = greatest_fixpoint_naive(program, db)
+    assert fast.extents == slow.extents
+
+
+@given(databases(), programs())
+@settings(max_examples=30, deadline=None)
+def test_gfp_matches_generic_datalog(db, program):
+    ours = greatest_fixpoint(program, db).extents
+    generic = extents_from_relations(
+        program,
+        evaluate_gfp(typing_program_to_datalog(program), database_to_edb(db)),
+    )
+    assert {k: set(v) for k, v in ours.items()} == {
+        k: set(v) for k, v in generic.items()
+    }
+
+
+@given(databases(), programs())
+@settings(max_examples=60, deadline=None)
+def test_gfp_is_a_fixpoint(db, program):
+    result = greatest_fixpoint(program, db)
+    again = greatest_fixpoint(
+        program, db, restrict_to={k: set(v) for k, v in result.extents.items()}
+    )
+    assert again.extents == result.extents
+
+
+@given(databases(), programs())
+@settings(max_examples=60, deadline=None)
+def test_lfp_below_gfp(db, program):
+    gfp = greatest_fixpoint(program, db)
+    lfp = least_fixpoint(program, db)
+    for name in program.type_names():
+        assert lfp.members(name) <= gfp.members(name)
+
+
+@given(databases())
+@settings(max_examples=50, deadline=None)
+def test_stage1_is_always_perfect(db):
+    stage1 = minimal_perfect_typing(db)
+    assert verify_perfect(stage1, db)
+    report = compute_defect(stage1.program, db, stage1.assignment())
+    assert report.total == 0
+
+
+@given(databases())
+@settings(max_examples=50, deadline=None)
+def test_stage1_homes_partition_objects(db):
+    stage1 = minimal_perfect_typing(db)
+    assert set(stage1.home_type) == set(db.complex_objects())
+    assert sum(stage1.weights.values()) == db.num_complex
+    # Every home type has at least one home object.
+    assert all(w > 0 for w in stage1.weights.values())
+
+
+@given(databases())
+@settings(max_examples=50, deadline=None)
+def test_stage1_home_inside_extent(db):
+    stage1 = minimal_perfect_typing(db)
+    for obj, home in stage1.home_type.items():
+        assert obj in stage1.extents[home]

@@ -1,0 +1,112 @@
+"""Property-based tests for the graph store and codecs."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.database import Database
+from repro.graph.oem import dumps_oem, loads_oem
+from repro.graph.statistics import describe
+
+# Small alphabets keep examples readable and collisions frequent.
+obj_ids = st.text(alphabet="abcde", min_size=1, max_size=3)
+labels = st.text(alphabet="xyz", min_size=1, max_size=2)
+values = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(alphabet="pqr ", max_size=5),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def databases(draw):
+    """Random valid databases: atomics first, then links avoiding them
+    as sources."""
+    db = Database()
+    atomic_names = draw(
+        st.lists(obj_ids.map(lambda s: f"at_{s}"), max_size=5, unique=True)
+    )
+    for name in atomic_names:
+        db.add_atomic(name, draw(values))
+    num_links = draw(st.integers(0, 15))
+    for _ in range(num_links):
+        src = draw(obj_ids)
+        to_atomic = atomic_names and draw(st.booleans())
+        dst = draw(st.sampled_from(atomic_names)) if to_atomic else draw(obj_ids)
+        if dst == src:
+            continue
+        db.add_link(src, dst, draw(labels))
+    return db
+
+
+@given(databases())
+@settings(max_examples=60)
+def test_generated_databases_are_valid(db):
+    db.validate()
+
+
+@given(databases())
+@settings(max_examples=60)
+def test_oem_roundtrip(db):
+    assert loads_oem(dumps_oem(db)) == db
+
+
+@given(databases())
+@settings(max_examples=60)
+def test_copy_equals_original(db):
+    assert db.copy() == db
+
+
+@given(databases())
+@settings(max_examples=60)
+def test_edge_count_consistency(db):
+    assert db.num_links == sum(1 for _ in db.edges())
+    assert db.num_links == sum(db.out_degree(o) for o in db.objects())
+    assert db.num_links == sum(db.in_degree(o) for o in db.objects())
+
+
+@given(databases())
+@settings(max_examples=60)
+def test_statistics_are_consistent(db):
+    stats = describe(db)
+    assert stats.num_objects == db.num_objects
+    assert sum(c for _, c in stats.label_counts) == db.num_links
+
+
+@given(databases())
+@settings(max_examples=60)
+def test_remove_all_links_leaves_no_edges(db):
+    clone = db.copy()
+    for edge in list(clone.edges()):
+        clone.remove_link(edge.src, edge.dst, edge.label)
+    assert clone.num_links == 0
+    clone.validate()
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=120)
+def test_oem_parser_never_crashes_unexpectedly(text):
+    """Fuzz: loads_oem raises DatabaseError (or succeeds), never
+    anything else."""
+    from repro.exceptions import DatabaseError
+    from repro.graph.oem import loads_oem
+
+    try:
+        loads_oem(text)
+    except DatabaseError:
+        pass
+
+
+@given(st.text(alphabet="abc,^=<->0 \n*%.", max_size=120))
+@settings(max_examples=120)
+def test_notation_parser_never_crashes_unexpectedly(text):
+    """Fuzz: parse_program raises a typed error or succeeds."""
+    from repro.core.notation import parse_program
+    from repro.exceptions import ReproError
+
+    try:
+        parse_program(text)
+    except ReproError:
+        pass

@@ -1,0 +1,104 @@
+"""Property-based tests for the arrow notation and program algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.notation import format_program, format_rule, parse_program, parse_rule
+from repro.core.typing_program import (
+    ATOMIC,
+    TypedLink,
+    TypeRule,
+    TypingProgram,
+    atomic_target,
+)
+
+# Identifier alphabet without the notation's reserved characters.
+idents = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-_0123456789",
+    min_size=1,
+    max_size=8,
+).filter(lambda s: not s[0].isdigit() and s not in ("0",))
+
+sorts = st.sampled_from(["int", "string", "date", "email"])
+
+
+@st.composite
+def typed_links(draw, type_names):
+    form = draw(st.integers(0, 3))
+    label = draw(idents)
+    if form == 0:
+        return TypedLink.to_atomic(label)
+    if form == 1:
+        return TypedLink.outgoing(label, atomic_target(draw(sorts)))
+    target = draw(st.sampled_from(type_names))
+    if form == 2:
+        return TypedLink.outgoing(label, target)
+    return TypedLink.incoming(label, target)
+
+
+@st.composite
+def typing_programs(draw):
+    names = draw(st.lists(idents, min_size=1, max_size=4, unique=True))
+    rules = []
+    for name in names:
+        body = draw(
+            st.sets(typed_links(names), max_size=5)
+        )
+        rules.append(TypeRule(name, frozenset(body)))
+    return TypingProgram(rules)
+
+
+@given(typing_programs())
+@settings(max_examples=100)
+def test_program_roundtrip(program):
+    assert parse_program(format_program(program)) == program
+
+
+@given(typing_programs())
+@settings(max_examples=60)
+def test_unicode_roundtrip(program):
+    text = format_program(program, unicode_arrows=True)
+    assert parse_program(text) == program
+
+
+@given(typing_programs())
+@settings(max_examples=60)
+def test_rule_roundtrip(program):
+    for rule in program.rules():
+        assert parse_rule(format_rule(rule)) == rule
+
+
+@given(typing_programs(), st.data())
+@settings(max_examples=60)
+def test_rename_roundtrip(program, data):
+    """Renaming to fresh names and back is the identity."""
+    names = list(program.type_names())
+    fresh = {name: f"fresh-{i}" for i, name in enumerate(names)}
+    back = {v: k for k, v in fresh.items()}
+    assert program.rename_types(fresh).rename_types(back) == program
+
+
+@given(typing_programs())
+@settings(max_examples=60)
+def test_typed_links_union_of_bodies(program):
+    links = program.typed_links()
+    for rule in program.rules():
+        assert rule.body <= links
+    assert links == frozenset().union(*(r.body for r in program.rules()))
+
+
+@given(typing_programs())
+@settings(max_examples=60)
+def test_datalog_rendering_mentions_every_type(program):
+    text = program.to_datalog()
+    for rule in program.rules():
+        assert f"type_{rule.name}(X) :-" in text
+
+
+@given(typing_programs())
+@settings(max_examples=60)
+def test_fo2_property_holds_for_all_rules(program):
+    from repro.datalog.fo2 import rule_to_fo2, uses_two_variables
+
+    for rule in program.rules():
+        assert uses_two_variables(rule_to_fo2(rule))

@@ -1,0 +1,83 @@
+"""Property tests for the query substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.perfect import minimal_perfect_typing
+from repro.graph.database import Database
+from repro.query.evaluator import evaluate_path
+from repro.query.optimizer import evaluate_with_schema
+from repro.query.path import PathQuery
+
+labels = st.sampled_from(["a", "b", "c"])
+objects = st.sampled_from([f"o{i}" for i in range(6)])
+
+
+@st.composite
+def databases(draw):
+    db = Database()
+    db.add_atomic("leaf", 0)
+    for _ in range(draw(st.integers(1, 14))):
+        src = draw(objects)
+        dst = draw(st.one_of(objects, st.just("leaf")))
+        if src == dst:
+            continue
+        db.add_link(src, dst, draw(labels))
+    if db.num_complex == 0:
+        db.add_complex("o0")
+    return db
+
+
+@st.composite
+def path_queries(draw):
+    steps = []
+    for _ in range(draw(st.integers(1, 3))):
+        step = draw(st.one_of(labels, st.just("%")))
+        if draw(st.booleans()):
+            step += "*"
+        steps.append(step)
+    return PathQuery(tuple(steps))
+
+
+@given(databases(), path_queries())
+@settings(max_examples=100, deadline=None)
+def test_evaluation_terminates_and_stays_in_db(db, query):
+    result = evaluate_path(db, query)
+    for obj in result.objects:
+        assert obj in db
+
+
+@given(databases(), path_queries())
+@settings(max_examples=60, deadline=None)
+def test_star_result_contains_plain_result(db, query):
+    """Adding a star to the first step can only grow the result."""
+    if query.steps[0].endswith("*"):
+        return
+    starred = PathQuery((query.steps[0] + "*",) + query.steps[1:])
+    plain = evaluate_path(db, query).objects
+    with_star = evaluate_path(db, starred).objects
+    assert plain <= with_star
+
+
+@given(databases(), path_queries())
+@settings(max_examples=50, deadline=None)
+def test_schema_guided_is_sound_on_perfect_typing(db, query):
+    """With the (perfect) Stage 1 typing and its full GFP extents, the
+    guided evaluation finds exactly the naive answers whose start
+    objects the typing covers — with a perfect typing that is all of
+    them, so the results coincide."""
+    stage1 = minimal_perfect_typing(db)
+    naive = evaluate_path(db, query)
+    guided = evaluate_with_schema(db, query, stage1.program, stage1.extents)
+    assert guided.objects == naive.objects
+
+
+@given(databases(), path_queries())
+@settings(max_examples=60, deadline=None)
+def test_guided_never_considers_more_starts(db, query):
+    stage1 = minimal_perfect_typing(db)
+    naive = evaluate_path(db, query)
+    guided = evaluate_with_schema(db, query, stage1.program, stage1.extents)
+    assert guided.stats.starts_considered <= max(
+        naive.stats.starts_considered, 1
+    )

@@ -1,0 +1,151 @@
+"""Property-based tests for defect measures and Stage 3 invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.defect import compute_defect, compute_deficit, compute_excess
+from repro.core.fixpoint import greatest_fixpoint
+from repro.core.perfect import minimal_perfect_typing
+from repro.core.recast import RecastMode, recast, satisfied_types
+from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
+from repro.graph.database import Database
+
+labels = st.sampled_from(["a", "b", "c"])
+objects = st.sampled_from([f"o{i}" for i in range(6)])
+
+
+@st.composite
+def databases(draw):
+    db = Database()
+    db.add_atomic("leaf", 0)
+    for _ in range(draw(st.integers(1, 12))):
+        src = draw(objects)
+        dst = draw(st.one_of(objects, st.just("leaf")))
+        if src == dst:
+            continue
+        db.add_link(src, dst, draw(labels))
+    if db.num_complex == 0:
+        db.add_complex("o0")
+    return db
+
+
+@st.composite
+def programs(draw):
+    names = [f"t{i}" for i in range(draw(st.integers(1, 3)))]
+    rules = []
+    for name in names:
+        body = set()
+        for _ in range(draw(st.integers(0, 3))):
+            form = draw(st.integers(0, 2))
+            label = draw(labels)
+            target = draw(st.sampled_from(names))
+            if form == 0:
+                body.add(TypedLink.to_atomic(label))
+            elif form == 1:
+                body.add(TypedLink.outgoing(label, target))
+            else:
+                body.add(TypedLink.incoming(label, target))
+        rules.append(TypeRule(name, frozenset(body)))
+    return TypingProgram(rules)
+
+
+@st.composite
+def assignments(draw, db, program):
+    names = list(program.type_names())
+    out = {}
+    for obj in db.complex_objects():
+        chosen = draw(
+            st.sets(st.sampled_from(names), max_size=len(names))
+            if names
+            else st.just(set())
+        )
+        out[obj] = frozenset(chosen)
+    return out
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_defect_bounds(data):
+    db = data.draw(databases())
+    program = data.draw(programs())
+    assignment = data.draw(assignments(db, program))
+    excess = compute_excess(program, db, assignment)
+    deficit = compute_deficit(program, db, assignment)
+    # Excess is bounded by the number of links; deficit by the total
+    # number of (object, typed-link) requirements.
+    assert 0 <= excess.count <= db.num_links
+    max_requirements = sum(
+        len(
+            {
+                link
+                for name in types
+                if name in program
+                for link in program.rule(name).body
+            }
+        )
+        for types in assignment.values()
+    )
+    assert 0 <= deficit.count <= max_requirements
+    report = compute_defect(program, db, assignment)
+    assert report.total == excess.count + deficit.count
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_gfp_assignment_never_has_deficit(data):
+    """Section 2: the GFP semantics cannot yield deficit."""
+    db = data.draw(databases())
+    program = data.draw(programs())
+    assignment = greatest_fixpoint(program, db).assignment()
+    assert compute_deficit(program, db, assignment).count == 0
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_empty_assignment_excess_is_all_links(data):
+    db = data.draw(databases())
+    program = data.draw(programs())
+    assert compute_excess(program, db, {}).count == db.num_links
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_strict_recast_memberships_satisfy_one_step(data):
+    """Every STRICT membership is one-step satisfiable under itself."""
+    db = data.draw(databases())
+    program = data.draw(programs())
+    result = recast(program, db, mode=RecastMode.STRICT, fallback="none")
+    for obj, types in result.assignment.items():
+        sat = satisfied_types(program, db, obj, result.assignment)
+        assert types <= sat
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_recast_extents_invert_assignment(data):
+    db = data.draw(databases())
+    program = data.draw(programs())
+    result = recast(program, db, mode=RecastMode.STRICT)
+    for type_name, members in result.extents.items():
+        for obj in members:
+            assert type_name in result.assignment[obj]
+    for obj, types in result.assignment.items():
+        for type_name in types:
+            assert obj in result.extents[type_name]
+
+
+@given(databases())
+@settings(max_examples=40, deadline=None)
+def test_full_pipeline_invariants(db):
+    """End-to-end on random data: k respected, everyone assigned, and
+    the defect at the perfect typing is zero."""
+    from repro.core.pipeline import SchemaExtractor
+
+    extractor = SchemaExtractor(db)
+    stage1 = extractor.stage1()
+    full = extractor.extract(k=stage1.num_types)
+    assert full.num_types == stage1.num_types
+    assert full.defect.total == 0
+    small = extractor.extract(k=1)
+    assert small.num_types == 1
+    assert set(small.assignment) == set(db.complex_objects())

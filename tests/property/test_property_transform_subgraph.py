@@ -1,0 +1,87 @@
+"""Property tests for the database transforms and subgraph helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.database import Database
+from repro.graph.subgraph import induced_subgraph, neighborhood, sample_objects
+from repro.graph.transform import drop_labels, lift_values, rename_labels
+
+labels = st.sampled_from(["a", "b", "c"])
+objects = st.sampled_from([f"o{i}" for i in range(6)])
+values = st.sampled_from(["x", "y", 1, 2])
+
+
+@st.composite
+def databases(draw):
+    db = Database()
+    num_atoms = draw(st.integers(1, 4))
+    for i in range(num_atoms):
+        db.add_atomic(f"at{i}", draw(values))
+    for _ in range(draw(st.integers(1, 14))):
+        src = draw(objects)
+        dst = draw(
+            st.one_of(objects, st.sampled_from([f"at{i}" for i in range(num_atoms)]))
+        )
+        if src == dst:
+            continue
+        db.add_link(src, dst, draw(labels))
+    if db.num_complex == 0:
+        db.add_complex("o0")
+    return db
+
+
+@given(databases())
+@settings(max_examples=60, deadline=None)
+def test_rename_preserves_edge_count_up_to_merges(db):
+    renamed = rename_labels(db, {"a": "b"})
+    renamed.validate()
+    assert renamed.num_links <= db.num_links
+    assert "a" not in renamed.labels()
+
+
+@given(databases())
+@settings(max_examples=60, deadline=None)
+def test_drop_then_remaining_labels_disjoint(db):
+    dropped = drop_labels(db, ["a"])
+    dropped.validate()
+    assert "a" not in dropped.labels()
+    assert dropped.num_objects == db.num_objects
+
+
+@given(databases())
+@settings(max_examples=60, deadline=None)
+def test_lift_values_preserves_counts(db):
+    lifted, inverse = lift_values(db, ["a"])
+    lifted.validate()
+    assert lifted.num_links == db.num_links
+    assert lifted.num_objects == db.num_objects
+    # Inverse maps every new label back to 'a'.
+    assert set(inverse.values()) <= {"a"}
+    # Unlifted labels survive untouched.
+    for label in db.labels() - {"a"}:
+        assert label in lifted.labels()
+
+
+@given(databases())
+@settings(max_examples=60, deadline=None)
+def test_induced_subgraph_of_everything_is_identity(db):
+    assert induced_subgraph(db, list(db.objects())) == db
+
+
+@given(databases(), st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_neighborhood_monotone_in_hops(db, hops):
+    seed = sorted(db.complex_objects())[0]
+    smaller = set(neighborhood(db, [seed], hops).objects())
+    bigger = set(neighborhood(db, [seed], hops + 1).objects())
+    assert smaller <= bigger
+
+
+@given(databases(), st.floats(0.1, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_sample_is_valid_and_bounded(db, fraction):
+    sample = sample_objects(db, fraction, seed=1)
+    sample.validate()
+    assert sample.num_complex <= db.num_complex
+    assert set(sample.complex_objects()) <= set(db.complex_objects())

@@ -1,0 +1,111 @@
+"""Unit tests for path queries and schema-guided pruning."""
+
+import pytest
+
+from repro.core.notation import parse_program
+from repro.exceptions import QueryError
+from repro.graph.builder import DatabaseBuilder
+from repro.query.evaluator import evaluate_path
+from repro.query.optimizer import evaluate_with_schema, schema_starters
+from repro.query.path import parse_path
+
+
+@pytest.fixture
+def group_db():
+    builder = DatabaseBuilder()
+    builder.link("proj", "alice", "member")
+    builder.link("proj", "bob", "member")
+    builder.attr("proj", "title", "DB Group")
+    builder.attr("alice", "name", "Alice")
+    builder.attr("bob", "name", "Bob")
+    # Unrelated noise objects.
+    for i in range(10):
+        builder.attr(f"noise{i}", "serial", i)
+    return builder.build()
+
+
+GROUP_PROGRAM = parse_program(
+    """
+    project = ->member^person, ->title^0
+    person = ->name^0, <-member^project
+    junk = ->serial^0
+    """
+)
+
+GROUP_EXTENTS = {
+    "project": {"proj"},
+    "person": {"alice", "bob"},
+    "junk": {f"noise{i}" for i in range(10)},
+}
+
+
+class TestParsing:
+    def test_parse(self):
+        query = parse_path("a.b.c")
+        assert query.steps == ("a", "b", "c")
+        assert str(query) == "a.b.c"
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            parse_path("")
+        with pytest.raises(QueryError):
+            parse_path("a..b")
+
+
+class TestNaiveEvaluation:
+    def test_path_values(self, group_db):
+        result = evaluate_path(group_db, parse_path("member.name"))
+        assert result.values(group_db) == {"Alice", "Bob"}
+
+    def test_wildcard(self, group_db):
+        result = evaluate_path(group_db, parse_path("member.%"))
+        assert result.values(group_db) == {"Alice", "Bob"}
+
+    def test_no_match(self, group_db):
+        result = evaluate_path(group_db, parse_path("ghost.name"))
+        assert result.objects == frozenset()
+
+    def test_explicit_starts(self, group_db):
+        result = evaluate_path(
+            group_db, parse_path("name"), starts=["alice"]
+        )
+        assert result.values(group_db) == {"Alice"}
+
+    def test_stats_counted(self, group_db):
+        result = evaluate_path(group_db, parse_path("member.name"))
+        assert result.stats.starts_considered == group_db.num_complex
+        assert result.stats.objects_visited > 0
+
+
+class TestSchemaGuided:
+    def test_starters_chain_through_types(self):
+        assert schema_starters(GROUP_PROGRAM, parse_path("member.name")) == {
+            "project"
+        }
+        assert schema_starters(GROUP_PROGRAM, parse_path("name")) == {"person"}
+        assert schema_starters(GROUP_PROGRAM, parse_path("ghost")) == frozenset()
+
+    def test_atomic_step_must_be_last(self):
+        # 'title.name' cannot chain: title ends at an atomic object.
+        assert schema_starters(GROUP_PROGRAM, parse_path("title.name")) == frozenset()
+
+    def test_wildcard_starters(self):
+        starters = schema_starters(GROUP_PROGRAM, parse_path("%"))
+        assert starters == {"project", "person", "junk"}
+
+    def test_same_answers_fewer_visits(self, group_db):
+        query = parse_path("member.name")
+        naive = evaluate_path(group_db, query)
+        guided = evaluate_with_schema(
+            group_db, query, GROUP_PROGRAM, GROUP_EXTENTS
+        )
+        assert guided.objects == naive.objects
+        assert guided.stats.starts_considered < naive.stats.starts_considered
+        assert guided.stats.objects_visited <= naive.stats.objects_visited
+
+    def test_pruning_magnitude(self, group_db):
+        query = parse_path("member.name")
+        guided = evaluate_with_schema(
+            group_db, query, GROUP_PROGRAM, GROUP_EXTENTS
+        )
+        assert guided.stats.starts_considered == 1  # just the project

@@ -1,0 +1,200 @@
+"""Unit tests for the select-from-where language."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph.builder import DatabaseBuilder
+from repro.query.select import (
+    Condition,
+    evaluate_select,
+    parse_select,
+)
+
+
+@pytest.fixture
+def staff_db():
+    builder = DatabaseBuilder()
+    people = [
+        ("ada", "Ada", 36, "eng"),
+        ("bob", "Bob", 25, "eng"),
+        ("cyn", "Cyn", 45, "sci"),
+    ]
+    for obj, name, age, dept in people:
+        builder.attr(obj, "name", name)
+        builder.attr(obj, "age", age)
+        builder.link(obj, dept, "works")
+    builder.attr("eng", "dname", "Engineering")
+    builder.attr("sci", "dname", "Science")
+    # A person with no age (irregular data).
+    builder.attr("dan", "name", "Dan")
+    builder.link("dan", "eng", "works")
+    return builder.build()
+
+
+EXTENTS = {
+    "person": {"ada", "bob", "cyn", "dan"},
+    "dept": {"eng", "sci"},
+}
+
+
+class TestParsing:
+    def test_full_query(self):
+        query = parse_select(
+            "select works.dname from person where age > 30 and name != 'Bob'"
+        )
+        assert str(query.select) == "works.dname"
+        assert query.from_type == "person"
+        assert [c.op for c in query.where] == [">", "!="]
+        assert query.where[1].value == "Bob"
+
+    def test_minimal_query(self):
+        query = parse_select("select name")
+        assert query.from_type is None
+        assert query.where == ()
+
+    def test_exists_condition(self):
+        query = parse_select("select name where age exists")
+        assert query.where[0].op == "exists"
+
+    def test_literals(self):
+        assert parse_select("select x where y = 3").where[0].value == 3
+        assert parse_select("select x where y = 3.5").where[0].value == 3.5
+        assert parse_select("select x where y = 'a b'").where[0].value == "a b"
+        assert parse_select("select x where y = word").where[0].value == "word"
+
+    def test_case_insensitive_keywords(self):
+        query = parse_select("SELECT name FROM person WHERE age > 1")
+        assert query.from_type == "person"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(QueryError):
+            parse_select("find everything")
+        with pytest.raises(QueryError):
+            parse_select("select name where age ~ 3")
+        with pytest.raises(QueryError):
+            parse_select("select name where age >")
+
+    def test_str_roundtrip_parses(self):
+        query = parse_select("select a.b from t where c = 'x' and d exists")
+        assert parse_select(str(query)) == query
+
+
+class TestEvaluation:
+    def test_projection(self, staff_db):
+        result = evaluate_select(staff_db, parse_select("select name"))
+        assert set(result.values) == {"Ada", "Bob", "Cyn", "Dan"}
+
+    def test_numeric_filter(self, staff_db):
+        result = evaluate_select(
+            staff_db, parse_select("select name where age > 30")
+        )
+        assert set(result.values) == {"Ada", "Cyn"}
+
+    def test_path_in_where(self, staff_db):
+        result = evaluate_select(
+            staff_db,
+            parse_select("select name where works.dname = 'Engineering'"),
+        )
+        assert set(result.values) == {"Ada", "Bob", "Dan"}
+
+    def test_conjunction(self, staff_db):
+        result = evaluate_select(
+            staff_db,
+            parse_select(
+                "select name where works.dname = 'Engineering' and age < 30"
+            ),
+        )
+        assert set(result.values) == {"Bob"}
+
+    def test_exists(self, staff_db):
+        result = evaluate_select(
+            staff_db, parse_select("select name where age exists")
+        )
+        assert "Dan" not in result.values
+
+    def test_from_restricts_candidates(self, staff_db):
+        result = evaluate_select(
+            staff_db, parse_select("select dname from dept"), EXTENTS
+        )
+        assert set(result.values) == {"Engineering", "Science"}
+        assert result.candidates_considered == 2
+
+    def test_from_requires_extents(self, staff_db):
+        with pytest.raises(QueryError):
+            evaluate_select(staff_db, parse_select("select name from person"))
+        with pytest.raises(QueryError):
+            evaluate_select(
+                staff_db, parse_select("select name from ghost"), EXTENTS
+            )
+
+    def test_incomparable_values_are_false_not_errors(self, staff_db):
+        result = evaluate_select(
+            staff_db, parse_select("select name where name > 30")
+        )
+        assert result.values == ()
+
+    def test_select_path_through_graph(self, staff_db):
+        result = evaluate_select(
+            staff_db,
+            parse_select("select works.dname where age >= 45"),
+        )
+        assert set(result.values) == {"Science"}
+
+    def test_condition_matches_direct(self, staff_db):
+        from repro.query.path import parse_path
+
+        condition = Condition(path=parse_path("age"), op=">=", value=36)
+        assert condition.matches(staff_db, "ada")
+        assert not condition.matches(staff_db, "bob")
+
+
+class TestSchemaGuidedSelect:
+    PROGRAM_TEXT = """
+    person = ->name^0, ->age^0, ->works^dept
+    dept = ->dname^0, <-works^person
+    """
+
+    def test_guided_matches_naive(self, staff_db):
+        from repro.core.notation import parse_program
+        from repro.query.optimizer import evaluate_select_with_schema
+
+        program = parse_program(self.PROGRAM_TEXT)
+        extents = {"person": {"ada", "bob", "cyn"}, "dept": {"eng", "sci"}}
+        query = parse_select("select name where age > 30")
+        naive = evaluate_select(staff_db, query)
+        guided = evaluate_select_with_schema(staff_db, query, program, extents)
+        assert set(guided.values) == set(naive.values)
+        # Dan (no age) and the depts never become candidates.
+        assert guided.candidates_considered <= naive.candidates_considered
+
+    def test_guided_intersects_condition_paths(self, staff_db):
+        from repro.core.notation import parse_program
+        from repro.query.optimizer import evaluate_select_with_schema
+
+        program = parse_program(self.PROGRAM_TEXT)
+        extents = {"person": {"ada", "bob", "cyn"}, "dept": {"eng", "sci"}}
+        query = parse_select(
+            "select name where works.dname = 'Science' and age exists"
+        )
+        guided = evaluate_select_with_schema(staff_db, query, program, extents)
+        assert set(guided.values) == {"Cyn"}
+
+    def test_guided_respects_from(self, staff_db):
+        from repro.core.notation import parse_program
+        from repro.query.optimizer import evaluate_select_with_schema
+
+        program = parse_program(self.PROGRAM_TEXT)
+        extents = {"person": {"ada", "bob", "cyn"}, "dept": {"eng", "sci"}}
+        query = parse_select("select dname from dept")
+        guided = evaluate_select_with_schema(staff_db, query, program, extents)
+        assert set(guided.values) == {"Engineering", "Science"}
+
+    def test_wrong_type_rejected(self, staff_db):
+        from repro.core.notation import parse_program
+        from repro.query.optimizer import evaluate_select_with_schema
+
+        program = parse_program(self.PROGRAM_TEXT)
+        with pytest.raises(TypeError):
+            evaluate_select_with_schema(
+                staff_db, "select name", program, {}
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for Kleene-star path steps."""
+
+import pytest
+
+from repro.core.notation import parse_program
+from repro.exceptions import QueryError
+from repro.graph.builder import DatabaseBuilder
+from repro.query.evaluator import evaluate_path
+from repro.query.optimizer import evaluate_with_schema, schema_starters
+from repro.query.path import base_label, is_starred, parse_path
+
+
+@pytest.fixture
+def parts_db():
+    builder = DatabaseBuilder()
+    builder.link("car", "engine", "part")
+    builder.link("engine", "piston", "part")
+    builder.link("piston", "ring", "part")
+    for obj in ("car", "engine", "piston", "ring"):
+        builder.attr(obj, "name", obj.upper())
+    builder.attr("unrelated", "serial", 1)
+    return builder.build()
+
+
+class TestParsing:
+    def test_star_steps(self):
+        query = parse_path("part*.name")
+        assert is_starred(query.steps[0])
+        assert base_label(query.steps[0]) == "part"
+        assert not is_starred(query.steps[1])
+
+    def test_wildcard_star(self):
+        query = parse_path("%*")
+        assert is_starred(query.steps[0])
+        assert base_label(query.steps[0]) == "%"
+
+    def test_bare_star_rejected(self):
+        with pytest.raises(QueryError):
+            parse_path("*")
+        with pytest.raises(QueryError):
+            parse_path("a**")
+
+
+class TestEvaluation:
+    def test_zero_or_more(self, parts_db):
+        result = evaluate_path(
+            parts_db, parse_path("part*.name"), starts=["car"]
+        )
+        assert result.values(parts_db) == {
+            "CAR", "ENGINE", "PISTON", "RING",
+        }
+
+    def test_zero_applications_included(self, parts_db):
+        result = evaluate_path(parts_db, parse_path("part*"), starts=["car"])
+        assert "car" in result.objects
+
+    def test_star_on_cycle_terminates(self, figure2_db):
+        result = evaluate_path(
+            figure2_db, parse_path("is-manager-of*"), starts=["g"]
+        )
+        assert result.objects == {"g", "m"} or "g" in result.objects
+
+    def test_wildcard_star_reaches_everything(self, parts_db):
+        result = evaluate_path(parts_db, parse_path("%*"), starts=["car"])
+        assert {"car", "engine", "piston", "ring"} <= result.objects
+
+
+class TestOptimizerWithStar:
+    PROGRAM = parse_program(
+        """
+        assembly = ->part^assembly, ->name^0
+        leaf = ->name^0
+        junk = ->serial^0
+        """
+    )
+
+    def test_star_starters_include_zero_case(self):
+        starters = schema_starters(self.PROGRAM, parse_path("part*.name"))
+        # Zero applications: anything that can do '.name' qualifies.
+        assert "leaf" in starters
+        assert "assembly" in starters
+        assert "junk" not in starters
+
+    def test_guided_star_matches_naive(self, parts_db):
+        program = parse_program(
+            "assembly = ->part^assembly, ->name^0\nleaf = ->name^0, <-part^assembly\njunk = ->serial^0"
+        )
+        extents = {
+            "assembly": {"car", "engine", "piston"},
+            "leaf": {"ring"},
+            "junk": {"unrelated"},
+        }
+        query = parse_path("part*.name")
+        naive = evaluate_path(parts_db, query)
+        guided = evaluate_with_schema(parts_db, query, program, extents)
+        assert guided.objects == naive.objects
+        assert guided.stats.starts_considered <= naive.stats.starts_considered

@@ -1,0 +1,101 @@
+"""Unit tests for extraction-quality evaluation against intended schemas."""
+
+import pytest
+
+from repro.core.pipeline import SchemaExtractor
+from repro.core.typing_program import ATOMIC
+from repro.synth.evaluation import (
+    home_extents,
+    intended_members,
+    match_extraction,
+)
+from repro.synth.generator import generate
+from repro.synth.spec import DatasetSpec, LinkSpec, TypeSpec
+
+
+@pytest.fixture
+def two_type_spec():
+    return DatasetSpec("eval", (
+        TypeSpec("a", 20, (LinkSpec("x", ATOMIC, 1.0),)),
+        TypeSpec("b", 10, (LinkSpec("y", ATOMIC, 1.0),)),
+    ))
+
+
+class TestIntendedMembers:
+    def test_counts(self, two_type_spec):
+        members = intended_members(two_type_spec)
+        assert len(members["a"]) == 20
+        assert len(members["b"]) == 10
+        assert "a_0" in members["a"]
+
+
+class TestMatching:
+    def test_perfect_match(self, two_type_spec):
+        extents = {
+            "t1": intended_members(two_type_spec)["a"],
+            "t2": intended_members(two_type_spec)["b"],
+        }
+        report = match_extraction(two_type_spec, extents)
+        assert report.macro_f1 == pytest.approx(1.0)
+        assert not report.unmatched_extracted
+        assert not report.unmatched_intended
+
+    def test_partial_overlap_scores_between(self, two_type_spec):
+        truth = intended_members(two_type_spec)
+        half_a = frozenset(sorted(truth["a"])[:10])
+        report = match_extraction(two_type_spec, {"t1": half_a})
+        (match,) = report.matches
+        assert match.intended == "a"
+        assert match.precision == pytest.approx(1.0)
+        assert match.recall == pytest.approx(0.5)
+        assert report.unmatched_intended == {"b"}
+        assert 0 < report.macro_f1 < 1
+
+    def test_greedy_prefers_biggest_overlap(self, two_type_spec):
+        truth = intended_members(two_type_spec)
+        mixed = frozenset(list(truth["a"])[:15]) | frozenset(
+            list(truth["b"])[:2]
+        )
+        report = match_extraction(
+            two_type_spec, {"t1": mixed, "t2": truth["b"]}
+        )
+        by_extracted = {m.extracted: m.intended for m in report.matches}
+        assert by_extracted["t1"] == "a"
+        assert by_extracted["t2"] == "b"
+
+    def test_disjoint_extent_unmatched(self, two_type_spec):
+        report = match_extraction(two_type_spec, {"junk": {"nobody"}})
+        assert report.unmatched_extracted == {"junk"}
+        assert report.macro_f1 == 0.0
+
+    def test_empty_everything(self):
+        spec = DatasetSpec("empty", ())
+        report = match_extraction(spec, {})
+        assert report.macro_f1 == 1.0
+
+    def test_summary_output(self, two_type_spec):
+        truth = intended_members(two_type_spec)
+        report = match_extraction(two_type_spec, {"t1": truth["a"]})
+        text = report.summary()
+        assert "t1 ~ a" in text
+        assert "macro-F1" in text
+        assert "unmatched intended: b" in text
+
+
+class TestEndToEndAgreement:
+    def test_pipeline_recovers_intended_types(self, two_type_spec):
+        db = generate(two_type_spec, seed=4)
+        result = SchemaExtractor(db).extract(k=2)
+        home = result.stage2.map_assignment(result.stage1.assignment())
+        report = match_extraction(two_type_spec, home_extents(home))
+        assert report.macro_f1 == pytest.approx(1.0)
+
+    def test_home_extents_inversion(self):
+        extents = home_extents({
+            "o1": frozenset({"a"}),
+            "o2": frozenset({"a", "b"}),
+        })
+        assert extents == {
+            "a": frozenset({"o1", "o2"}),
+            "b": frozenset({"o2"}),
+        }

@@ -1,0 +1,259 @@
+"""Unit tests for the synthetic-data substrate."""
+
+import pytest
+
+from repro.core.typing_program import ATOMIC
+from repro.exceptions import GenerationError
+from repro.graph.traversal import is_bipartite_complex_atomic
+from repro.synth.datasets import (
+    dbg_intended_spec,
+    make_dbg,
+    make_table1_database,
+    table1_configs,
+)
+from repro.synth.generator import generate, object_id
+from repro.synth.perturb import perturb
+from repro.synth.spec import DatasetSpec, LinkSpec, TypeSpec
+
+
+@pytest.fixture
+def simple_spec():
+    """Example 7.1's two-type specification."""
+    return DatasetSpec(
+        "example-7-1",
+        (
+            TypeSpec("t1", 50, (
+                LinkSpec("a", ATOMIC, 0.9),
+                LinkSpec("b", ATOMIC, 0.5),
+            )),
+            TypeSpec("t2", 50, (
+                LinkSpec("c", "t1", 0.8),
+                LinkSpec("b", ATOMIC, 0.9),
+            )),
+        ),
+    )
+
+
+class TestSpecs:
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            LinkSpec("l", ATOMIC, 0.0)
+        with pytest.raises(GenerationError):
+            LinkSpec("l", ATOMIC, 1.5)
+        with pytest.raises(GenerationError):
+            LinkSpec("l", ATOMIC, 0.5, fanout=0)
+        with pytest.raises(GenerationError):
+            LinkSpec("l", ATOMIC, 0.5, reciprocal="r")
+        with pytest.raises(GenerationError):
+            TypeSpec("t", -1)
+        with pytest.raises(GenerationError):
+            TypeSpec(ATOMIC, 1)
+
+    def test_duplicate_links_rejected(self):
+        with pytest.raises(GenerationError):
+            TypeSpec("t", 1, (
+                LinkSpec("l", ATOMIC, 0.5),
+                LinkSpec("l", ATOMIC, 0.9),
+            ))
+
+    def test_dangling_target_rejected(self):
+        with pytest.raises(GenerationError):
+            DatasetSpec("bad", (
+                TypeSpec("t", 1, (LinkSpec("l", "ghost", 0.5),)),
+            ))
+
+    def test_flags(self, simple_spec):
+        assert not simple_spec.is_bipartite()  # t2 links to t1
+        assert simple_spec.has_overlap()  # both declare ->b^0
+
+    def test_intended_program(self, simple_spec):
+        program = simple_spec.intended_program()
+        t1 = program.rule("t1")
+        assert {str(l) for l in t1.body} == {"->a^0", "->b^0", "<-c^t2"}
+        t2 = program.rule("t2")
+        assert {str(l) for l in t2.body} == {"->c^t1", "->b^0"}
+
+    def test_intended_program_reciprocal(self):
+        spec = DatasetSpec("r", (
+            TypeSpec("p", 1, (LinkSpec("proj", "q", 0.9, reciprocal="member"),)),
+            TypeSpec("q", 1),
+        ))
+        program = spec.intended_program()
+        assert {str(l) for l in program.rule("p").body} == {
+            "->proj^q", "<-member^q",
+        }
+        assert {str(l) for l in program.rule("q").body} == {
+            "->member^p", "<-proj^p",
+        }
+
+    def test_expected_links(self, simple_spec):
+        assert simple_spec.expected_links() == pytest.approx(
+            50 * (0.9 + 0.5) + 50 * (0.8 + 0.9)
+        )
+
+
+class TestGenerator:
+    def test_deterministic(self, simple_spec):
+        assert generate(simple_spec, seed=3) == generate(simple_spec, seed=3)
+
+    def test_different_seeds_differ(self, simple_spec):
+        assert generate(simple_spec, seed=1) != generate(simple_spec, seed=2)
+
+    def test_object_counts(self, simple_spec):
+        db = generate(simple_spec, seed=0)
+        assert db.num_complex == 100
+        assert db.validate() is None
+
+    def test_link_count_near_expectation(self, simple_spec):
+        db = generate(simple_spec, seed=0)
+        expected = simple_spec.expected_links()
+        assert abs(db.num_links - expected) < 0.25 * expected
+
+    def test_complex_targets_hit_right_pool(self, simple_spec):
+        db = generate(simple_spec, seed=0)
+        t1_ids = {object_id("t1", i) for i in range(50)}
+        for src_i in range(50):
+            for dst in db.targets(object_id("t2", src_i), "c"):
+                assert dst in t1_ids
+
+    def test_reciprocal_edges(self):
+        spec = DatasetSpec("r", (
+            TypeSpec("p", 10, (LinkSpec("proj", "q", 1.0, reciprocal="member"),)),
+            TypeSpec("q", 3),
+        ))
+        db = generate(spec, seed=0)
+        for i in range(10):
+            src = object_id("p", i)
+            (dst,) = db.targets(src, "proj")
+            assert db.has_link(dst, src, "member")
+
+    def test_empty_target_pool_rejected(self):
+        spec = DatasetSpec("bad", (
+            TypeSpec("p", 1, (LinkSpec("l", "q", 1.0),)),
+            TypeSpec("q", 0),
+        ))
+        with pytest.raises(GenerationError):
+            generate(spec, seed=0)
+
+
+class TestPerturb:
+    def test_counts(self, simple_spec):
+        db = generate(simple_spec, seed=0)
+        before = db.num_links
+        out, stats = perturb(db, delete=5, add=9, seed=1)
+        assert stats.num_deleted == 5 and stats.num_added == 9
+        assert out.num_links == before + 4
+        assert db.num_links == before  # original untouched
+
+    def test_in_place(self, simple_spec):
+        db = generate(simple_spec, seed=0)
+        before = db.num_links
+        out, _ = perturb(db, delete=1, add=0, in_place=True)
+        assert out is db
+        assert db.num_links == before - 1
+
+    def test_bipartite_preserved(self):
+        spec = DatasetSpec("b", (
+            TypeSpec("t", 40, (LinkSpec("x", ATOMIC, 0.9),)),
+        ))
+        db = generate(spec, seed=0)
+        out, _ = perturb(db, delete=3, add=10, seed=2)
+        assert is_bipartite_complex_atomic(out)
+
+    def test_validation(self, simple_spec):
+        db = generate(simple_spec, seed=0)
+        with pytest.raises(GenerationError):
+            perturb(db, delete=-1, add=0)
+        with pytest.raises(GenerationError):
+            perturb(db, delete=db.num_links + 1, add=0)
+
+    def test_deterministic(self, simple_spec):
+        db = generate(simple_spec, seed=0)
+        out1, _ = perturb(db, delete=3, add=3, seed=9)
+        out2, _ = perturb(db, delete=3, add=3, seed=9)
+        assert out1 == out2
+
+
+class TestPaperDatasets:
+    def test_table1_has_eight_rows(self):
+        configs = table1_configs()
+        assert [c.db_no for c in configs] == list(range(1, 9))
+        flags = [(c.bipartite, c.overlap, c.perturbed) for c in configs]
+        assert flags == [
+            (True, False, False), (True, False, True),
+            (True, True, False), (True, True, True),
+            (False, False, False), (False, False, True),
+            (False, True, False), (False, True, True),
+        ]
+
+    def test_table1_sizes_match_paper_scale(self):
+        for config in table1_configs():
+            db, _ = config.build()
+            paper_objects = {1: 1500, 2: 1500, 3: 950, 4: 950,
+                             5: 400, 6: 400, 7: 400, 8: 400}
+            assert db.num_complex == paper_objects[config.db_no]
+
+    def test_make_table1_database(self):
+        db, config = make_table1_database(3)
+        assert config.db_no == 3
+        with pytest.raises(KeyError):
+            make_table1_database(9)
+
+    def test_dbg_six_intended_types(self):
+        spec = dbg_intended_spec()
+        assert spec.num_types == 6
+        program = spec.intended_program()
+        person = program.rule("db-person")
+        assert {str(l) for l in person.body} >= {
+            "->project^project",
+            "<-project_member^project",
+            "->birthday^birthday",
+            "<-advisor^student",
+        }
+
+    def test_dbg_generates(self):
+        db = make_dbg(seed=5)
+        db.validate()
+        assert db.num_complex > 100
+        assert not is_bipartite_complex_atomic(db)
+
+
+class TestCartoDataset:
+    """The introduction's cartographic-server motivation: wide, sparse
+    records where most properties are null."""
+
+    def test_shape(self):
+        from repro.synth.datasets import make_carto
+
+        db = make_carto()
+        from repro.graph.statistics import describe
+
+        stats = describe(db)
+        assert stats.bipartite
+        assert stats.num_labels > 100
+        # Sparse: mean out-degree far below the property count.
+        assert stats.mean_out_degree < 0.1 * stats.num_labels
+
+    def test_extraction_recovers_kinds(self):
+        from repro.synth.datasets import carto_spec, make_carto
+        from repro.core.pipeline import SchemaExtractor
+        from repro.synth.evaluation import home_extents, match_extraction
+
+        spec = carto_spec(num_records=200, num_properties=60, num_kinds=4)
+        from repro.synth.generator import generate
+
+        db = generate(spec, seed=9)
+        result = SchemaExtractor(db).extract(k=4)
+        home = result.stage2.map_assignment(result.stage1.assignment())
+        report = match_extraction(spec, home_extents(home))
+        assert report.macro_f1 > 0.9
+
+    def test_perfect_typing_explodes_on_sparse_data(self):
+        from repro.synth.datasets import make_carto
+        from repro.core.perfect import minimal_perfect_typing
+
+        db = make_carto(num_records=200)
+        stage1 = minimal_perfect_typing(db)
+        # Low fill factors make nearly every attribute combination rare,
+        # the pathology the introduction describes.
+        assert stage1.num_types > 25

@@ -1,0 +1,152 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.oem import dump_oem, load_oem
+from repro.graph.builder import DatabaseBuilder
+
+
+@pytest.fixture
+def oem_file(tmp_path):
+    builder = DatabaseBuilder()
+    for i in range(6):
+        builder.attr(f"p{i}", "name", f"n{i}")
+        builder.attr(f"p{i}", "email", f"e{i}")
+    for i in range(4):
+        builder.attr(f"f{i}", "fname", f"fn{i}")
+        builder.attr(f"f{i}", "ticker", f"t{i}")
+    path = tmp_path / "data.oem"
+    dump_oem(builder.build(), str(path))
+    return str(path)
+
+
+def test_extract_with_k(oem_file, capsys):
+    assert main(["extract", oem_file, "-k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "perfect types: 2" in out
+    assert "optimal types: 2" in out
+    assert "->name^0" in out
+
+
+def test_extract_auto_k(oem_file, capsys):
+    assert main(["extract", oem_file]) == 0
+    assert "optimal types:" in capsys.readouterr().out
+
+
+def test_extract_options(oem_file, capsys):
+    assert main([
+        "extract", oem_file, "-k", "1", "--distance", "delta_4",
+        "--roles", "--empty-type",
+    ]) == 0
+    assert "optimal types: 1" in capsys.readouterr().out
+
+
+def test_sweep_csv(oem_file, capsys):
+    assert main(["sweep", oem_file]) == 0
+    captured = capsys.readouterr()
+    lines = captured.out.strip().splitlines()
+    assert lines[0] == "k,total_distance,defect,excess,deficit"
+    assert len(lines) == 3  # header + k=1 + k=2
+    assert "knee=" in captured.err
+
+
+def test_generate_dbg_roundtrips(tmp_path, capsys):
+    out_file = tmp_path / "dbg.oem"
+    assert main(["generate", "dbg", "-o", str(out_file), "--seed", "3"]) == 0
+    db = load_oem(str(out_file))
+    assert db.num_complex > 100
+
+
+def test_generate_to_stdout(capsys):
+    assert main(["generate", "table1-5"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith(("atomic", "link", "complex", "#")) or "link " in out
+
+
+def test_generate_unknown_dataset(capsys):
+    assert main(["generate", "wat"]) == 2
+    assert "unknown dataset" in capsys.readouterr().err
+
+
+def test_describe(oem_file, capsys):
+    assert main(["describe", oem_file]) == 0
+    out = capsys.readouterr().out
+    assert "bipartite: yes" in out
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_extract_with_sorts(oem_file, capsys):
+    assert main(["extract", oem_file, "-k", "2", "--sorts"]) == 0
+    out = capsys.readouterr().out
+    assert "^0:string" in out
+
+
+def test_dot_data(oem_file, capsys):
+    assert main(["dot", oem_file]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "shape=box" in out
+
+
+def test_dot_schema(oem_file, capsys):
+    assert main(["dot", oem_file, "--schema", "-k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert '"type_0" [shape=ellipse' in out
+
+
+def test_query_without_from(oem_file, capsys):
+    assert main(["query", oem_file, "select name"]) == 0
+    captured = capsys.readouterr()
+    assert "n0" in captured.out
+    assert "value(s)" in captured.err
+
+
+def test_query_with_from(oem_file, capsys):
+    # Which canonical name (t1/t2) the firm group gets depends on the
+    # extraction; accept an answer, an empty result, or a clean
+    # unknown-type message — never a traceback.
+    code = main([
+        "query", oem_file, "select ticker from t2 where fname exists",
+        "-k", "2",
+    ])
+    captured = capsys.readouterr()
+    assert code in (0, 2)
+    if code == 0:
+        assert "value(s)" in captured.err
+    else:
+        assert "not in the extracted schema" in captured.err
+
+
+def test_query_with_from_answers(oem_file, capsys):
+    # Querying both canonical names, exactly one returns the tickers.
+    values = set()
+    for type_name in ("t1", "t2"):
+        main(["query", oem_file,
+              f"select ticker from {type_name}", "-k", "2"])
+        captured = capsys.readouterr()
+        values.update(captured.out.split())
+    assert {"t0", "t1", "t2", "t3"} <= values
+
+
+def test_explain_object(oem_file, capsys):
+    assert main(["explain", oem_file, "p0", "-k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "p0 :" in out
+    assert "->name^0" in out
+
+
+def test_explain_unknown_object(oem_file, capsys):
+    assert main(["explain", oem_file, "ghost"]) == 2
+    assert "unknown object" in capsys.readouterr().err
+
+
+def test_dot_hierarchy(oem_file, capsys):
+    assert main(["dot", oem_file, "--hierarchy", "-k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "rankdir=BT" in out
