@@ -30,6 +30,8 @@ Quickstart
 1
 """
 
+import logging as _logging
+
 from repro.core import (
     ATOMIC,
     DefectReport,
@@ -58,14 +60,31 @@ from repro.core import (
     sensitivity_sweep,
 )
 from repro.graph import Database, DatabaseBuilder
+from repro.runtime import (
+    Budget,
+    CancellationToken,
+    Checkpoint,
+    DegradationReport,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+#: Library convention: the package logs under the ``repro`` hierarchy and
+#: stays silent unless the application configures handlers (the CLI's
+#: ``-v`` does).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ATOMIC",
+    "Budget",
+    "CancellationToken",
+    "Checkpoint",
     "Database",
     "DatabaseBuilder",
     "DefectReport",
+    "DegradationReport",
     "Direction",
     "ExtractionResult",
     "FixpointResult",
@@ -85,9 +104,11 @@ __all__ = [
     "format_program",
     "greatest_fixpoint",
     "least_fixpoint",
+    "load_checkpoint",
     "minimal_perfect_typing",
     "minimal_perfect_typing_with_sorts",
     "parse_program",
     "recast",
+    "save_checkpoint",
     "sensitivity_sweep",
 ]

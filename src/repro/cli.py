@@ -23,6 +23,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -30,15 +31,48 @@ from repro.core.explain import explain_object
 from repro.core.hierarchy import hierarchy_to_dot
 from repro.core.sorts import sorted_local_rule
 from repro.core.pipeline import SchemaExtractor
+from repro.exceptions import ReproError
 from repro.graph.dot import database_to_dot, program_to_dot
 from repro.graph.oem import dumps_oem, load_oem
+from repro.graph.sanitize import load_oem_sanitized
 from repro.graph.statistics import describe
 from repro.query.select import evaluate_select, parse_select
+from repro.runtime.budget import Budget
 from repro.synth.datasets import make_dbg, make_table1_database
 
 
+def _load_database(args: argparse.Namespace):
+    """Load the input OEM file, honouring ``--repair`` where present.
+
+    Without ``--repair`` the strict loader is used, so a corrupted file
+    raises a :class:`~repro.exceptions.DatabaseError` that the
+    :func:`main` wrapper turns into a one-line message and exit code 2.
+    """
+    if getattr(args, "repair", False):
+        db, report = load_oem_sanitized(args.file, policy="repair")
+        if not report.clean:
+            print(report.describe(), file=sys.stderr)
+        return db
+    return load_oem(args.file)
+
+
+def _make_budget(args: argparse.Namespace) -> Optional[Budget]:
+    """A :class:`Budget` from ``--timeout``/``--max-iterations``, if set."""
+    timeout = getattr(args, "timeout", None)
+    max_iterations = getattr(args, "max_iterations", None)
+    if timeout is None and max_iterations is None:
+        return None
+    if timeout is not None and timeout <= 0:
+        raise ReproError("--timeout must be positive")
+    if max_iterations is not None and max_iterations <= 0:
+        raise ReproError("--max-iterations must be positive")
+    return Budget(timeout=timeout, max_iterations=max_iterations)
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
-    db = load_oem(args.file)
+    if args.resume and args.max_defect is not None:
+        raise ReproError("--resume and --max-defect are mutually exclusive")
+    db = _load_database(args)
     extractor = SchemaExtractor(
         db,
         distance=args.distance,
@@ -46,15 +80,26 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         allow_empty_type=args.empty_type,
         local_rule_fn=sorted_local_rule if args.sorts else None,
     )
-    result = extractor.extract(k=args.k)
+    budget = _make_budget(args)
+    if args.max_defect is not None:
+        result = extractor.extract_within_defect(args.max_defect, budget=budget)
+    else:
+        result = extractor.extract(
+            k=args.k,
+            budget=budget,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume,
+        )
     print(result.describe())
+    if result.is_partial:
+        print(f"warning: {result.degradation.summary()}", file=sys.stderr)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    db = load_oem(args.file)
+    db = _load_database(args)
     extractor = SchemaExtractor(db, distance=args.distance)
-    sweep = extractor.sweep(step=args.step)
+    sweep = extractor.sweep(step=args.step, budget=_make_budget(args))
     print("k,total_distance,defect,excess,deficit")
     for point in sweep.points:
         print(
@@ -63,6 +108,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     knee_lo, knee_hi = sweep.optimal_range()
     print(f"# knee={sweep.knee()} optimal_range={knee_lo}-{knee_hi}", file=sys.stderr)
+    if sweep.exhausted:
+        print("warning: budget exhausted; the series is partial", file=sys.stderr)
     return 0
 
 
@@ -149,6 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Schema extraction from semistructured data "
         "(Nestorov, Abiteboul, Motwani; SIGMOD 1998).",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log pipeline progress to stderr "
+                        "(-v INFO, -vv DEBUG)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_extract = sub.add_parser("extract", help="extract a typing program")
@@ -163,6 +213,23 @@ def build_parser() -> argparse.ArgumentParser:
                            help="allow moving outlier types to the empty type")
     p_extract.add_argument("--sorts", action="store_true",
                            help="distinguish atomic sorts (Remark 2.1)")
+    p_extract.add_argument("--max-defect", type=int, default=None,
+                           help="solve the dual problem: smallest schema "
+                           "with defect at most N (overrides -k)")
+    p_extract.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                           help="wall-clock budget; on exhaustion the best "
+                           "partial result is returned")
+    p_extract.add_argument("--max-iterations", type=int, default=None, metavar="N",
+                           help="iteration budget across fixpoint/merge steps")
+    p_extract.add_argument("--checkpoint", default=None, metavar="PATH",
+                           help="write the Stage 2 merge trace here after "
+                           "every merge (and on budget exhaustion)")
+    p_extract.add_argument("--resume", default=None, metavar="PATH",
+                           help="resume Stage 2 from a checkpoint written "
+                           "by --checkpoint")
+    p_extract.add_argument("--repair", action="store_true",
+                           help="sanitize a corrupted input file instead of "
+                           "rejecting it (report goes to stderr)")
     p_extract.set_defaults(func=_cmd_extract)
 
     p_sweep = sub.add_parser("sweep", help="print the defect-vs-k series")
@@ -170,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--distance", default="delta_2")
     p_sweep.add_argument("--step", type=int, default=1,
                          help="sample every STEP values of k")
+    p_sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="wall-clock budget; exhaustion truncates the series")
+    p_sweep.add_argument("--max-iterations", type=int, default=None, metavar="N",
+                         help="iteration budget across merge/sample steps")
+    p_sweep.add_argument("--repair", action="store_true",
+                         help="sanitize a corrupted input file instead of "
+                         "rejecting it")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_generate = sub.add_parser("generate", help="emit a built-in dataset")
@@ -211,11 +285,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the ``repro`` logger for ``-v``."""
+    if verbosity <= 0:
+        return
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG if verbosity > 1 else logging.INFO)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Expected failures never show a traceback: domain errors
+    (:class:`~repro.exceptions.ReproError` — corrupt input, impossible
+    parameters, exhausted budgets with nothing to salvage) print a
+    one-line ``error:`` message and exit 2; missing or unreadable input
+    files exit 1.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _configure_logging(args.verbose)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed stdout; exit quietly with
+        # the conventional SIGPIPE status instead of an error message.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -37,9 +37,12 @@ from __future__ import annotations
 
 import enum
 import heapq
+import logging
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     AbstractSet,
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -54,6 +57,11 @@ from repro.core.distance import WeightedDistance, delta_2, manhattan_bodies
 from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
 from repro.exceptions import ClusteringError
 from repro.graph.database import ObjectId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> core)
+    from repro.runtime.budget import Budget
+
+logger = logging.getLogger("repro.core.clustering")
 
 #: Name of the distinguished empty type.  Objects mapped here are left
 #: untyped; the name never appears in an output program.
@@ -183,12 +191,14 @@ class GreedyMerger:
         self._distance = distance
         self._policy = policy
         self._allow_empty = allow_empty_type
+        self._initial_program = program
         self._bodies: Dict[str, FrozenSet[TypedLink]] = {
             rule.name: rule.body for rule in program.rules()
         }
         self._weights: Dict[str, float] = {
             name: float(weights.get(name, 0.0)) for name in self._bodies
         }
+        self._initial_weights: Dict[str, float] = dict(self._weights)
         if empty_weight is None:
             live = list(self._weights.values())
             empty_weight = sum(live) / len(live) if live else 1.0
@@ -277,6 +287,41 @@ class GreedyMerger:
         """Cumulative ``delta`` cost of the merges so far."""
         return self._total_cost
 
+    @property
+    def initial_program(self) -> TypingProgram:
+        """The program this merger started from (before any merge)."""
+        return self._initial_program
+
+    @property
+    def initial_weights(self) -> Dict[str, float]:
+        """The starting per-type weights (before any merge)."""
+        return dict(self._initial_weights)
+
+    @property
+    def policy(self) -> MergePolicy:
+        """The configured merge policy."""
+        return self._policy
+
+    @property
+    def allow_empty_type(self) -> bool:
+        """Whether empty-type moves are candidate merges."""
+        return self._allow_empty
+
+    @property
+    def empty_weight(self) -> float:
+        """The weight used when pricing empty-type moves."""
+        return self._empty_weight
+
+    @property
+    def frozen(self) -> FrozenSet[str]:
+        """Type names that can absorb but never be absorbed."""
+        return self._frozen
+
+    @property
+    def records(self) -> Tuple[MergeRecord, ...]:
+        """The merge trace so far (execution order)."""
+        return tuple(self._records)
+
     def current_program(self) -> TypingProgram:
         """The live types as a :class:`TypingProgram`."""
         return TypingProgram(
@@ -346,11 +391,47 @@ class GreedyMerger:
                 ]
         return changed
 
-    def step(self) -> MergeRecord:
-        """Execute the single cheapest merge and return its record."""
+    def step(self, budget: Optional["Budget"] = None) -> MergeRecord:
+        """Execute the single cheapest merge and return its record.
+
+        With a ``budget``, one work unit is charged *before* popping a
+        candidate, so a tripped limit always leaves the merger at its
+        last completed merge (checkpoint-safe).
+        """
+        if budget is not None:
+            budget.charge()
         if len(self._bodies) <= 1:
             raise ClusteringError("cannot merge: at most one type left")
         cost, absorber, absorbed = self._pop_best()
+        return self._execute(cost, absorber, absorbed)
+
+    def merge_pair(self, absorber: str, absorbed: str) -> MergeRecord:
+        """Execute one *specific* merge, bypassing the candidate heap.
+
+        The cost paid is the current ``delta`` between the pair, i.e.
+        exactly what :meth:`step` would pay if this pair happened to be
+        the cheapest.  This is the replay primitive behind
+        :mod:`repro.runtime.checkpoint`: re-applying a recorded trace
+        reconstructs the interrupted merger state deterministically.
+        """
+        if absorbed not in self._bodies:
+            raise ClusteringError(f"unknown or already-merged type {absorbed!r}")
+        if absorbed in self._frozen:
+            raise ClusteringError(f"frozen type {absorbed!r} cannot be absorbed")
+        if absorber == EMPTY_TYPE:
+            if not self._allow_empty:
+                raise ClusteringError(
+                    "empty-type moves are disabled for this merger"
+                )
+        elif absorber not in self._bodies:
+            raise ClusteringError(f"unknown or already-merged type {absorber!r}")
+        if absorber == absorbed:
+            raise ClusteringError(f"cannot merge {absorbed!r} into itself")
+        cost, _ = self._cost(absorber, absorbed)
+        return self._execute(cost, absorber, absorbed)
+
+    def _execute(self, cost: float, absorber: str, absorbed: str) -> MergeRecord:
+        """Apply one merge (shared by :meth:`step` and :meth:`merge_pair`)."""
         _, d = self._cost(absorber, absorbed)
 
         if absorber == EMPTY_TYPE:
@@ -399,16 +480,42 @@ class GreedyMerger:
         self._records.append(record)
         return record
 
-    def run_to(self, k: int) -> Stage2Result:
-        """Merge until ``k`` types remain, then return the result."""
+    def run_to(
+        self,
+        k: int,
+        budget: Optional["Budget"] = None,
+        on_step: Optional[Callable[["GreedyMerger"], None]] = None,
+    ) -> Stage2Result:
+        """Merge until ``k`` types remain, then return the result.
+
+        Parameters
+        ----------
+        k:
+            Target type count.
+        budget:
+            Optional :class:`~repro.runtime.budget.Budget` charged one
+            unit per merge; on exhaustion the loop unwinds with
+            :class:`~repro.exceptions.BudgetExceededError` at the last
+            completed merge (use :meth:`result` for the partial state).
+        on_step:
+            Callback invoked with the merger after every completed
+            merge — the checkpoint-writing hook.
+        """
         if k < 1:
             raise ClusteringError(f"target type count must be >= 1, got {k}")
         if k > len(self._bodies):
             raise ClusteringError(
                 f"target {k} exceeds current type count {len(self._bodies)}"
             )
+        start = len(self._bodies)
         while len(self._bodies) > k:
-            self.step()
+            self.step(budget=budget)
+            if on_step is not None:
+                on_step(self)
+        logger.info(
+            "stage2: merged %d -> %d types (total cost %.4f)",
+            start, len(self._bodies), self._total_cost,
+        )
         return self.result()
 
     def result(self) -> Stage2Result:

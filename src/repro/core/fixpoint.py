@@ -37,9 +37,20 @@ explanations used by the defect reports and the test suite.
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.typing_program import (
     ATOMIC,
@@ -50,6 +61,11 @@ from repro.core.typing_program import (
     TypingProgram,
 )
 from repro.graph.database import Database, ObjectId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> core)
+    from repro.runtime.budget import Budget
+
+logger = logging.getLogger("repro.core.fixpoint")
 
 #: An extent map: type name -> set of complex objects.
 Extents = Dict[str, FrozenSet[ObjectId]]
@@ -186,6 +202,7 @@ def greatest_fixpoint(
     program: TypingProgram,
     db: Database,
     restrict_to: Optional[Mapping[str, Iterable[ObjectId]]] = None,
+    budget: Optional["Budget"] = None,
 ) -> FixpointResult:
     """Compute the greatest fixpoint of ``program`` on ``db``.
 
@@ -200,6 +217,12 @@ def greatest_fixpoint(
         Optional per-type upper bounds intersected with the signature
         bound before iterating.  Must itself contain the intended
         fixpoint (used by incremental recomputation in Stage 3).
+    budget:
+        Optional :class:`~repro.runtime.budget.Budget` charged one unit
+        per type re-check; a tripped limit unwinds the worklist with
+        :class:`~repro.exceptions.BudgetExceededError` (the iteration
+        is downward-monotone, so there is no meaningful partial GFP —
+        callers degrade at a stage boundary instead).
 
     Returns a :class:`FixpointResult` with the GFP extents.
     """
@@ -220,6 +243,8 @@ def greatest_fixpoint(
     queued: Set[str] = set(extents)
     iterations = 0
     while queue:
+        if budget is not None:
+            budget.charge()
         name = queue.popleft()
         queued.discard(name)
         iterations += 1
@@ -239,6 +264,10 @@ def greatest_fixpoint(
                     queue.append(dependent)
                     queued.add(dependent)
 
+    logger.debug(
+        "gfp: converged after %d type re-check(s) over %d type(s)",
+        iterations, len(extents),
+    )
     return FixpointResult(
         extents={name: frozenset(members) for name, members in extents.items()},
         iterations=iterations,

@@ -121,6 +121,23 @@ class PerfectTyping:
         """Home assignment as an object -> set-of-types map."""
         return {obj: frozenset([home]) for obj, home in self.home_type.items()}
 
+    def full_assignment(self) -> Dict[ObjectId, FrozenSet[str]]:
+        """The complete GFP assignment: *every* type an object satisfies.
+
+        Extents overlap, so an object can carry types beyond its home
+        (the Section 4.2 inheritance remark).  The paper's zero-defect
+        guarantee for the perfect typing holds under this assignment —
+        a rule of the form ``->l^t2`` can be witnessed by a neighbour
+        whose *home* is some ``t1`` but which also satisfies ``t2`` —
+        while the collapsed home assignment can show a spurious deficit
+        on such databases.
+        """
+        full: Dict[ObjectId, set] = {obj: set() for obj in self.home_type}
+        for type_name, members in self.extents.items():
+            for obj in members:
+                full.setdefault(obj, set()).add(type_name)
+        return {obj: frozenset(types) for obj, types in full.items()}
+
 
 def minimal_perfect_typing(db: Database, local_rule_fn=None) -> PerfectTyping:
     """Run Stage 1 on ``db`` and return the :class:`PerfectTyping`.

@@ -23,6 +23,7 @@ entry point used by the examples, the CLI and the benchmark harnesses:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Mapping, Optional, Union
 
@@ -36,8 +37,22 @@ from repro.core.recast import RecastMode, RecastResult, recast
 from repro.core.roles import RoleDecomposition, decompose_roles
 from repro.core.sensitivity import SensitivityResult, sensitivity_sweep
 from repro.core.typing_program import TypingProgram
-from repro.exceptions import ClusteringError
+from repro.exceptions import (
+    ClusteringError,
+    ExecutionInterruptedError,
+    ReproError,
+)
 from repro.graph.database import Database, ObjectId
+from repro.runtime.budget import Budget, DegradationReport
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    checkpoint_merger,
+    load_checkpoint,
+    restore_merger,
+    save_checkpoint,
+)
+
+logger = logging.getLogger("repro.core.pipeline")
 
 
 @dataclass(frozen=True)
@@ -65,6 +80,12 @@ class ExtractionResult:
         The sweep, when ``k`` was chosen automatically.
     chosen_k:
         The ``k`` that was actually used.
+    degradation:
+        ``None`` for a complete run; a
+        :class:`~repro.runtime.budget.DegradationReport` when a budget
+        or cancellation stopped the pipeline early and the result is
+        the best answer found so far (see
+        :meth:`SchemaExtractor.extract`).
     """
 
     program: TypingProgram
@@ -76,6 +97,12 @@ class ExtractionResult:
     recast_result: RecastResult
     sensitivity: Optional[SensitivityResult]
     chosen_k: int
+    degradation: Optional[DegradationReport] = None
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether the pipeline degraded instead of running to the end."""
+        return self.degradation is not None
 
     @property
     def num_types(self) -> int:
@@ -93,9 +120,10 @@ class ExtractionResult:
             f"perfect types: {self.num_perfect_types}",
             f"optimal types: {self.num_types}",
             self.defect.summary(),
-            "",
-            format_program(self.program),
         ]
+        if self.degradation is not None:
+            lines.append(f"partial result: {self.degradation.summary()}")
+        lines.extend(["", format_program(self.program)])
         return "\n".join(lines)
 
 
@@ -217,8 +245,11 @@ class SchemaExtractor:
         self,
         min_k: int = 1,
         step: int = 1,
+        budget: Optional[Budget] = None,
     ) -> SensitivityResult:
         """Run the Figure 6 sensitivity sweep with this pipeline's knobs."""
+        if budget is not None:
+            budget.start()
         stage1 = self.stage1()
         program, assignment, weights, frozen, _ = self._starting_point()
         distance = self._resolve_distance(stage1)
@@ -235,12 +266,17 @@ class SchemaExtractor:
             min_k=min_k,
             step=step,
             frozen=frozen,
+            budget=budget,
         )
 
     def extract(
         self,
         k: Optional[int] = None,
         sweep_step: int = 1,
+        budget: Optional[Budget] = None,
+        checkpoint_path: Optional[str] = None,
+        resume_from: Optional[Union[str, Checkpoint]] = None,
+        checkpoint_every: int = 1,
     ) -> ExtractionResult:
         """Run the full pipeline.
 
@@ -248,28 +284,130 @@ class SchemaExtractor:
         of the defect curve from the sensitivity sweep (Section 7.2's
         recommendation of exploring the sliding scale rather than
         fixing ``k`` blindly).
+
+        Parameters
+        ----------
+        k, sweep_step:
+            Target type count / sweep sampling as before.
+        budget:
+            Optional :class:`~repro.runtime.budget.Budget`.  Stage 1 is
+            the mandatory minimum and always runs to completion (its
+            wall-clock time still counts against the deadline); from
+            then on the sweep and Stage 2 charge the budget per merge
+            and per sample.  When a limit trips, ``extract`` **does not
+            raise**: it returns the best partial
+            :class:`ExtractionResult` built so far, with
+            ``result.degradation`` describing the stage reached, the
+            budget consumed and the best-so-far defect.
+        checkpoint_path:
+            When set, the Stage 2 merge trace is checkpointed to this
+            path (every ``checkpoint_every`` merges, and once more when
+            the run stops), so a killed or budget-exhausted extraction
+            can resume.
+        resume_from:
+            A checkpoint path or :class:`~repro.runtime.checkpoint.Checkpoint`
+            produced by an earlier run over the *same* database and
+            configuration; Stage 2 resumes from its last completed
+            merge instead of restarting.  ``k`` defaults to the
+            checkpoint's recorded target.
+        checkpoint_every:
+            Write cadence for ``checkpoint_path`` (default: after every
+            merge).
         """
+        if checkpoint_every < 1:
+            raise ReproError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if budget is not None:
+            budget.start()
         stage1 = self.stage1()
         start_program, assignment, weights, frozen, roles = (
             self._starting_point()
         )
         distance = self._resolve_distance(stage1)
+        logger.info(
+            "stage1: %d perfect type(s) over %d object(s)",
+            len(start_program), self._db.num_complex,
+        )
+
+        merger: Optional[GreedyMerger] = None
+        resumed: Optional[Checkpoint] = None
+        if resume_from is not None:
+            resumed = (
+                load_checkpoint(resume_from)
+                if isinstance(resume_from, str)
+                else resume_from
+            )
+            merger = restore_merger(resumed, distance=distance)
+            if merger.initial_program != start_program:
+                raise ReproError(
+                    "checkpoint does not match this database/configuration: "
+                    "its starting program differs from the Stage 1 result"
+                )
+            if k is None:
+                k = resumed.k_target
+            logger.info(
+                "stage2: resumed %d completed merge(s) from checkpoint",
+                len(merger.records),
+            )
+
+        # Stage 1 is the mandatory minimum: if the deadline has already
+        # passed, degrade to the perfect typing rather than raising.
+        failure = _budget_failure(budget)
+        if failure is not None:
+            logger.warning("budget exhausted after stage1: %s", failure)
+            return self._degraded_result(
+                stage="stage1",
+                failure=failure,
+                stage1=stage1,
+                roles=roles,
+                sensitivity=None,
+                merger=merger,
+                start_program=start_program,
+                weights=weights,
+                assignment=assignment,
+                target_k=k,
+                checkpoint_path=checkpoint_path,
+            )
 
         sensitivity: Optional[SensitivityResult] = None
+        degraded_stage: Optional[str] = None
         if k is None:
-            sensitivity = sensitivity_sweep(
-                self._db,
-                stage1=_override_program(stage1, start_program),
-                assignment=assignment,
-                weights=weights,
-                distance=distance,
-                policy=self._policy,
-                allow_empty_type=self._allow_empty,
-                mode=self._recast_mode,
-                step=sweep_step,
-                frozen=frozen,
-            )
+            try:
+                sensitivity = sensitivity_sweep(
+                    self._db,
+                    stage1=_override_program(stage1, start_program),
+                    assignment=assignment,
+                    weights=weights,
+                    distance=distance,
+                    policy=self._policy,
+                    allow_empty_type=self._allow_empty,
+                    mode=self._recast_mode,
+                    step=sweep_step,
+                    frozen=frozen,
+                    budget=budget,
+                )
+            except ExecutionInterruptedError as exc:
+                # Not even one point sampled: degrade to the perfect
+                # typing, like the post-stage1 case above.
+                logger.warning("budget exhausted during sweep: %s", exc)
+                return self._degraded_result(
+                    stage="sweep",
+                    failure=exc,
+                    stage1=stage1,
+                    roles=roles,
+                    sensitivity=None,
+                    merger=merger,
+                    start_program=start_program,
+                    weights=weights,
+                    assignment=assignment,
+                    target_k=None,
+                    checkpoint_path=checkpoint_path,
+                )
             k = sensitivity.knee()
+            if sensitivity.exhausted:
+                degraded_stage = "sweep"
+            logger.info("sweep: chose k=%d", k)
 
         if k > len(start_program):
             k = len(start_program)
@@ -279,16 +417,39 @@ class SchemaExtractor:
                 f"({len(frozen)})"
             )
 
-        merger = GreedyMerger(
-            start_program,
-            weights,
-            distance=distance,
-            policy=self._policy,
-            allow_empty_type=self._allow_empty,
-            empty_weight=self._empty_weight,
-            frozen=frozen,
-        )
-        stage2 = merger.run_to(k)
+        if merger is None:
+            merger = GreedyMerger(
+                start_program,
+                weights,
+                distance=distance,
+                policy=self._policy,
+                allow_empty_type=self._allow_empty,
+                empty_weight=self._empty_weight,
+                frozen=frozen,
+            )
+        writer = self._checkpoint_writer(checkpoint_path, k, checkpoint_every)
+        try:
+            stage2 = merger.run_to(k, budget=budget, on_step=writer)
+        except ExecutionInterruptedError as exc:
+            logger.warning("budget exhausted during stage2: %s", exc)
+            if checkpoint_path is not None:
+                self._write_checkpoint(merger, k, checkpoint_path)
+            return self._degraded_result(
+                stage=degraded_stage or "stage2",
+                failure=exc,
+                stage1=stage1,
+                roles=roles,
+                sensitivity=sensitivity,
+                merger=merger,
+                start_program=start_program,
+                weights=weights,
+                assignment=assignment,
+                target_k=k,
+                checkpoint_path=checkpoint_path,
+            )
+        if checkpoint_path is not None:
+            self._write_checkpoint(merger, k, checkpoint_path)
+
         home = stage2.map_assignment(assignment)
         recast_result = recast(
             stage2.program,
@@ -300,6 +461,30 @@ class SchemaExtractor:
         defect = compute_defect(
             stage2.program, self._db, recast_result.assignment
         )
+        degradation: Optional[DegradationReport] = None
+        if degraded_stage is not None:
+            # The sweep was cut short; Stage 2 still reached the best
+            # knee found so far, so the result is usable but partial.
+            failure = _budget_failure(budget)
+            degradation = DegradationReport(
+                stage=degraded_stage,
+                reason=failure.reason if failure is not None else "timeout",
+                detail=(
+                    str(failure)
+                    if failure is not None
+                    else "sensitivity sweep was truncated by the budget"
+                ),
+                elapsed=budget.elapsed() if budget is not None else 0.0,
+                iterations=budget.iterations if budget is not None else 0,
+                target_k=k,
+                achieved_k=len(stage2.program),
+                best_defect=defect.total,
+                checkpoint_path=checkpoint_path,
+            )
+        logger.info(
+            "stage3: recast %d object(s) into %d type(s), defect %d",
+            len(recast_result.assignment), len(stage2.program), defect.total,
+        )
         return ExtractionResult(
             program=stage2.program,
             assignment=recast_result.assignment,
@@ -310,12 +495,118 @@ class SchemaExtractor:
             recast_result=recast_result,
             sensitivity=sensitivity,
             chosen_k=k,
+            degradation=degradation,
+        )
+
+    # ------------------------------------------------------------------
+    # Degradation & checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _checkpoint_writer(
+        self,
+        checkpoint_path: Optional[str],
+        k_target: Optional[int],
+        every: int,
+    ):
+        """The Stage 2 ``on_step`` hook (``None`` when not checkpointing)."""
+        if checkpoint_path is None:
+            return None
+        counter = {"merges": 0}
+
+        def writer(merger: GreedyMerger) -> None:
+            counter["merges"] += 1
+            if counter["merges"] % every == 0:
+                self._write_checkpoint(merger, k_target, checkpoint_path)
+
+        return writer
+
+    def _write_checkpoint(
+        self,
+        merger: GreedyMerger,
+        k_target: Optional[int],
+        checkpoint_path: str,
+    ) -> None:
+        distance_name = (
+            self._distance_spec
+            if isinstance(self._distance_spec, str)
+            else None
+        )
+        save_checkpoint(
+            checkpoint_merger(merger, k_target=k_target, distance=distance_name),
+            checkpoint_path,
+        )
+
+    def _degraded_result(
+        self,
+        stage: str,
+        failure: ExecutionInterruptedError,
+        stage1: PerfectTyping,
+        roles: Optional[RoleDecomposition],
+        sensitivity: Optional[SensitivityResult],
+        merger: Optional[GreedyMerger],
+        start_program: TypingProgram,
+        weights: Mapping[str, float],
+        assignment: Mapping[ObjectId, FrozenSet[str]],
+        target_k: Optional[int],
+        checkpoint_path: Optional[str],
+    ) -> ExtractionResult:
+        """Build the best-so-far :class:`ExtractionResult` after a trip.
+
+        With a merger, its current (possibly mid-merge-sequence) state
+        is the partial Stage 2; without one, the starting program (the
+        perfect typing, possibly role-decomposed / prior-combined) is
+        returned unmerged.
+        """
+        if merger is not None:
+            stage2 = merger.result()
+        else:
+            stage2 = Stage2Result(
+                program=start_program,
+                merge_map={name: name for name in start_program.type_names()},
+                weights={n: float(weights.get(n, 0.0))
+                         for n in start_program.type_names()},
+                records=(),
+                total_cost=0.0,
+            )
+        home = stage2.map_assignment(assignment)
+        recast_result = recast(
+            stage2.program,
+            self._db,
+            home=home,
+            mode=self._recast_mode,
+            fallback=self._fallback,
+        )
+        defect = compute_defect(
+            stage2.program, self._db, recast_result.assignment
+        )
+        degradation = DegradationReport(
+            stage=stage,
+            reason=failure.reason,
+            detail=str(failure),
+            elapsed=failure.elapsed,
+            iterations=failure.iterations,
+            target_k=target_k,
+            achieved_k=len(stage2.program),
+            best_defect=defect.total,
+            checkpoint_path=checkpoint_path,
+        )
+        return ExtractionResult(
+            program=stage2.program,
+            assignment=recast_result.assignment,
+            defect=defect,
+            stage1=stage1,
+            roles=roles,
+            stage2=stage2,
+            recast_result=recast_result,
+            sensitivity=sensitivity,
+            chosen_k=len(stage2.program),
+            degradation=degradation,
         )
 
     def extract_within_defect(
         self,
         max_defect: int,
         sweep_step: int = 1,
+        budget: Optional[Budget] = None,
     ) -> ExtractionResult:
         """The paper's *dual* problem (Section 1): minimise the size of
         the typing subject to a defect threshold.
@@ -333,14 +624,32 @@ class SchemaExtractor:
         """
         if max_defect < 0:
             raise ClusteringError("max_defect must be non-negative")
-        sweep = self.sweep(step=sweep_step)
+        sweep = self.sweep(step=sweep_step, budget=budget)
         eligible = [p.k for p in sweep.points if p.defect <= max_defect]
         if not eligible:
             raise ClusteringError(
                 f"no sampled k meets defect <= {max_defect}; smallest "
                 f"observed defect is {min(p.defect for p in sweep.points)}"
             )
-        return self.extract(k=min(eligible))
+        return self.extract(k=min(eligible), budget=budget)
+
+
+def _budget_failure(
+    budget: Optional[Budget],
+) -> Optional[ExecutionInterruptedError]:
+    """The exception :meth:`Budget.check` would raise right now, if any.
+
+    Budget limits are sticky (the iteration counter never decreases and
+    the deadline is absolute), so this recovers the reason for an
+    exhaustion that was swallowed by a best-so-far code path.
+    """
+    if budget is None:
+        return None
+    try:
+        budget.check()
+    except ExecutionInterruptedError as exc:
+        return exc
+    return None
 
 
 def _override_program(stage1: PerfectTyping, program: TypingProgram) -> PerfectTyping:

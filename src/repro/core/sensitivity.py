@@ -24,16 +24,30 @@ fraction of the total defect drop.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.clustering import GreedyMerger, MergePolicy
 from repro.core.defect import compute_defect
 from repro.core.distance import WeightedDistance, delta_2
 from repro.core.perfect import PerfectTyping, minimal_perfect_typing
 from repro.core.recast import RecastMode, recast
-from repro.exceptions import ClusteringError
+from repro.exceptions import ClusteringError, ExecutionInterruptedError
 from repro.graph.database import Database, ObjectId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> core)
+    from repro.runtime.budget import Budget
+
+logger = logging.getLogger("repro.core.sensitivity")
 
 
 @dataclass(frozen=True)
@@ -49,9 +63,16 @@ class SensitivityPoint:
 
 @dataclass(frozen=True)
 class SensitivityResult:
-    """The full sweep, sorted by ascending ``k``."""
+    """The full sweep, sorted by ascending ``k``.
+
+    ``exhausted`` is set when a budget ran out mid-sweep: the points
+    then cover only the high-``k`` prefix actually sampled, and
+    :meth:`knee` is the best knee found *so far* rather than the knee
+    of the complete curve.
+    """
 
     points: Tuple[SensitivityPoint, ...]
+    exhausted: bool = False
 
     def series(self) -> Tuple[List[int], List[float], List[int]]:
         """``(ks, total_distances, defects)`` as parallel lists."""
@@ -142,6 +163,7 @@ def sensitivity_sweep(
     max_k: Optional[int] = None,
     step: int = 1,
     frozen: Optional[FrozenSet[str]] = None,
+    budget: Optional["Budget"] = None,
 ) -> SensitivityResult:
     """Sweep ``k`` from the perfect typing size down to ``min_k``.
 
@@ -164,6 +186,12 @@ def sensitivity_sweep(
     step:
         Sample every ``step``-th ``k`` (1 = every ``k``); the endpoints
         are always sampled.
+    budget:
+        Optional :class:`~repro.runtime.budget.Budget`.  Each merge and
+        each defect sample charges one unit; when the budget trips the
+        sweep **does not raise** (unless no point was sampled at all) —
+        it returns the points gathered so far with ``exhausted=True``,
+        so the caller still gets the best knee found.
 
     Returns a :class:`SensitivityResult` sorted by ascending ``k``.
     """
@@ -194,6 +222,8 @@ def sensitivity_sweep(
     points: List[SensitivityPoint] = []
 
     def sample() -> None:
+        if budget is not None:
+            budget.charge()
         snapshot = merger.result()
         home = snapshot.map_assignment(assignment)
         recast_result = recast(snapshot.program, db, home=home, mode=mode)
@@ -208,12 +238,30 @@ def sensitivity_sweep(
             )
         )
 
-    if merger.num_types in sample_ks:
-        sample()
-    while merger.num_types > min_k:
-        merger.step()
+    exhausted = False
+    try:
         if merger.num_types in sample_ks:
             sample()
+        while merger.num_types > min_k:
+            merger.step(budget=budget)
+            if merger.num_types in sample_ks:
+                sample()
+    except ExecutionInterruptedError:
+        if not points:
+            # Nothing sampled yet: there is no "best so far" to return.
+            raise
+        exhausted = True
+        logger.warning(
+            "sweep: budget exhausted at k=%d (sampled %d point(s)); "
+            "returning the partial curve",
+            merger.num_types, len(points),
+        )
 
     points.sort(key=lambda p: p.k)
-    return SensitivityResult(points=tuple(points))
+    logger.info(
+        "sweep: %d point(s) over k=%d..%d%s",
+        len(points),
+        points[0].k, points[-1].k,
+        " (exhausted)" if exhausted else "",
+    )
+    return SensitivityResult(points=tuple(points), exhausted=exhausted)

@@ -35,6 +35,17 @@ class UnknownObjectError(DatabaseError):
     """An operation referenced an object that is not in the database."""
 
 
+class SanitizationError(DatabaseError):
+    """Ingested data violates the model and the policy forbids fixing it.
+
+    Raised by :func:`repro.graph.sanitize.sanitize_facts` under the
+    ``strict`` policy; the message summarises every detected issue on a
+    single line.  Under ``repair`` and ``drop`` the issues are fixed and
+    reported in a :class:`~repro.graph.sanitize.SanitizationReport`
+    instead.
+    """
+
+
 class TypingError(ReproError):
     """Base class for errors concerning typing programs."""
 
@@ -73,3 +84,49 @@ class QueryError(ReproError):
 
 class DatalogError(ReproError):
     """The generic datalog engine rejected a program or evaluation."""
+
+
+class ExecutionInterruptedError(ReproError):
+    """Base class for cooperative interruption of a long computation.
+
+    Both budget exhaustion and explicit cancellation derive from this
+    class so the pipeline's graceful-degradation path can catch them
+    with a single ``except`` clause.
+    """
+
+
+class BudgetExceededError(ExecutionInterruptedError):
+    """A :class:`repro.runtime.Budget` limit was hit mid-computation.
+
+    Attributes
+    ----------
+    reason:
+        ``"timeout"`` or ``"iterations"``.
+    elapsed:
+        Wall-clock seconds consumed when the limit tripped.
+    iterations:
+        Work units charged when the limit tripped.
+    """
+
+    def __init__(self, message: str, reason: str = "timeout",
+                 elapsed: float = 0.0, iterations: int = 0) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.elapsed = elapsed
+        self.iterations = iterations
+
+
+class ExtractionCancelledError(ExecutionInterruptedError):
+    """A :class:`repro.runtime.CancellationToken` was triggered.
+
+    Carries the same bookkeeping attributes as
+    :class:`BudgetExceededError` with ``reason`` fixed to
+    ``"cancelled"``.
+    """
+
+    def __init__(self, message: str, elapsed: float = 0.0,
+                 iterations: int = 0) -> None:
+        super().__init__(message)
+        self.reason = "cancelled"
+        self.elapsed = elapsed
+        self.iterations = iterations

@@ -11,8 +11,21 @@ from repro.graph.dot import database_to_dot, program_to_dot
 from repro.graph.csv_codec import from_csv, to_csv
 from repro.graph.database import Database, Edge
 from repro.graph.json_codec import from_json, to_json
-from repro.graph.oem import dumps_oem, loads_oem
+from repro.graph.oem import (
+    dumps_oem,
+    dumps_oem_facts,
+    loads_oem,
+    parse_oem_facts,
+)
 from repro.graph.relational import from_relations, to_relations
+from repro.graph.sanitize import (
+    SanitizationIssue,
+    SanitizationReport,
+    SanitizePolicy,
+    load_oem_sanitized,
+    sanitize,
+    sanitize_facts,
+)
 from repro.graph.statistics import DatabaseStatistics, describe
 from repro.graph.subgraph import induced_subgraph, neighborhood, sample_objects
 from repro.graph.transform import (
@@ -36,6 +49,9 @@ __all__ = [
     "DatabaseBuilder",
     "DatabaseStatistics",
     "Edge",
+    "SanitizationIssue",
+    "SanitizationReport",
+    "SanitizePolicy",
     "breadth_first_order",
     "database_to_dot",
     "connected_components",
@@ -43,6 +59,7 @@ __all__ = [
     "describe",
     "drop_labels",
     "dumps_oem",
+    "dumps_oem_facts",
     "from_csv",
     "from_json",
     "from_relations",
@@ -50,13 +67,17 @@ __all__ = [
     "lift_ranges",
     "lift_values",
     "is_bipartite_complex_atomic",
+    "load_oem_sanitized",
     "loads_oem",
     "neighborhood",
+    "parse_oem_facts",
     "program_to_dot",
     "rename_labels",
     "reachable_from",
     "roots",
     "sample_objects",
+    "sanitize",
+    "sanitize_facts",
     "sinks",
     "to_csv",
     "to_json",

@@ -1,0 +1,326 @@
+"""Validating / repairing ingestion for scraped semistructured data.
+
+The model restrictions of Section 2 — one value per atomic object,
+atomic objects have no outgoing edges — are maintained by
+:class:`~repro.graph.database.Database` at mutation time, which means
+a *single* malformed fact aborts an entire ingestion with a raw
+:class:`~repro.exceptions.IntegrityError`.  Real scraped corpora
+(the norm for semistructured sources) routinely contain such facts,
+so a service needs a policy-driven pass that either repairs or drops
+them and *reports* what it did.
+
+:func:`sanitize_facts` takes the raw ``(links, atomics)`` facts (as
+produced by :func:`repro.graph.oem.parse_oem_facts` or any ingestion
+frontend) and handles three families of damage:
+
+* **duplicate-atomic** — an object declared atomic with two or more
+  conflicting values (violates restriction 1);
+* **atomic-source** — an object that is both atomic and an edge
+  source (violates restriction 2);
+* **dangling-ref** — an edge pointing at an object that is never
+  declared anywhere: not atomic, not an explicit ``complex``
+  declaration, not itself a source.  This is the fact-level analogue
+  of an unresolved JSON ``{"$ref": ...}``.
+
+under three policies:
+
+========  ======================================================
+policy    behaviour
+========  ======================================================
+strict    collect every issue, raise :class:`SanitizationError`
+repair    fix each issue in the least destructive way
+drop      delete the offending facts instead of patching them
+========  ======================================================
+
+Repair semantics: a duplicate atomic keeps its **first** value; an
+atomic source is *demoted* to a complex object whose value moves to a
+fresh atomic child under the reserved label ``value``; a dangling ref
+is registered as an (empty) complex object.  Drop semantics: the
+conflicting object (and its incident edges) is removed, the atomic
+source keeps its value but loses its outgoing edges, and the dangling
+edge is deleted.
+
+Every decision is recorded in a :class:`SanitizationReport` so callers
+(and the CLI's ``--repair`` flag) can surface exactly what was done.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Set, Tuple, Union
+
+from repro.exceptions import SanitizationError
+from repro.graph.database import Database
+
+logger = logging.getLogger("repro.graph.sanitize")
+
+#: Label given to the value edge of a demoted atomic source.
+VALUE_LABEL = "value"
+
+
+class SanitizePolicy(enum.Enum):
+    """What to do with facts that violate the data model."""
+
+    STRICT = "strict"  #: refuse: raise on the first validation pass.
+    REPAIR = "repair"  #: fix each issue in the least destructive way.
+    DROP = "drop"  #: delete the offending facts.
+
+
+@dataclass(frozen=True)
+class SanitizationIssue:
+    """One detected violation and what was done about it."""
+
+    kind: str  #: ``duplicate-atomic`` / ``atomic-source`` / ``dangling-ref``.
+    subject: str  #: the object at fault.
+    detail: str  #: human-readable description.
+    action: str  #: what the policy did (``rejected`` under strict).
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.subject}): {self.detail} -> {self.action}"
+
+
+@dataclass(frozen=True)
+class SanitizationReport:
+    """Everything a sanitization pass found (and possibly fixed)."""
+
+    policy: SanitizePolicy
+    issues: Tuple[SanitizationIssue, ...]
+
+    @property
+    def num_issues(self) -> int:
+        """Total number of detected violations."""
+        return len(self.issues)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the input was already valid."""
+        return not self.issues
+
+    def count(self, kind: str) -> int:
+        """Number of issues of one kind."""
+        return sum(1 for issue in self.issues if issue.kind == kind)
+
+    def summary(self) -> str:
+        """One-line report: policy, total and per-kind counts."""
+        if self.clean:
+            return f"sanitization ({self.policy.value}): clean"
+        kinds: Dict[str, int] = {}
+        for issue in self.issues:
+            kinds[issue.kind] = kinds.get(issue.kind, 0) + 1
+        parts = ", ".join(f"{n} {kind}" for kind, n in sorted(kinds.items()))
+        return (
+            f"sanitization ({self.policy.value}): "
+            f"{self.num_issues} issue(s) — {parts}"
+        )
+
+    def describe(self) -> str:
+        """Multi-line report: the summary plus one line per issue."""
+        lines = [self.summary()]
+        lines.extend(f"  {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+
+def _coerce_policy(policy: Union[SanitizePolicy, str]) -> SanitizePolicy:
+    if isinstance(policy, SanitizePolicy):
+        return policy
+    try:
+        return SanitizePolicy(policy)
+    except ValueError:
+        valid = ", ".join(p.value for p in SanitizePolicy)
+        raise SanitizationError(
+            f"unknown sanitize policy {policy!r}; expected one of: {valid}"
+        ) from None
+
+
+def sanitize_facts(
+    links: Iterable[Tuple[str, str, str]],
+    atomics: Iterable[Tuple[str, Any]],
+    declared_complex: Iterable[str] = (),
+    policy: Union[SanitizePolicy, str] = SanitizePolicy.REPAIR,
+) -> Tuple[Database, SanitizationReport]:
+    """Build a valid :class:`Database` from possibly-corrupt raw facts.
+
+    Parameters
+    ----------
+    links:
+        ``(src, dst, label)`` triples; exact duplicates collapse
+        silently (the ``link`` relation is a set).
+    atomics:
+        ``(obj, value)`` pairs, duplicates allowed (that is the point).
+    declared_complex:
+        Objects explicitly declared complex (OEM ``complex``
+        directives); these are never dangling.
+    policy:
+        A :class:`SanitizePolicy` or its string value.
+
+    Returns ``(db, report)``.  Under ``strict`` any issue raises
+    :class:`~repro.exceptions.SanitizationError` whose message lists
+    every issue found on one line.
+    """
+    policy = _coerce_policy(policy)
+    link_list = list(dict.fromkeys(links))  # dedup, order-preserving
+    atomic_list = list(atomics)
+    declared: Set[str] = set(declared_complex)
+    issues: List[SanitizationIssue] = []
+
+    # ------------------------------------------------------------------
+    # 1. Duplicate atomic values (restriction 1: Obj is a key of atomic).
+    # ------------------------------------------------------------------
+    values: Dict[str, Any] = {}
+    dropped_objects: Set[str] = set()
+    for obj, value in atomic_list:
+        if obj not in values:
+            values[obj] = value
+        elif values[obj] != value:
+            if policy is SanitizePolicy.DROP:
+                action = "dropped object and incident edges"
+                dropped_objects.add(obj)
+            elif policy is SanitizePolicy.REPAIR:
+                action = f"kept first value {values[obj]!r}"
+            else:
+                action = "rejected"
+            issues.append(
+                SanitizationIssue(
+                    kind="duplicate-atomic",
+                    subject=obj,
+                    detail=(
+                        f"atomic object has conflicting values "
+                        f"{values[obj]!r} and {value!r}"
+                    ),
+                    action=action,
+                )
+            )
+    for obj in dropped_objects:
+        del values[obj]
+    if dropped_objects:
+        link_list = [
+            (src, dst, label)
+            for src, dst, label in link_list
+            if src not in dropped_objects and dst not in dropped_objects
+        ]
+
+    # ------------------------------------------------------------------
+    # 2. Atomic objects with outgoing edges (restriction 2).
+    # ------------------------------------------------------------------
+    sources = {src for src, _, _ in link_list}
+    demotions: Dict[str, Any] = {}
+    edge_dropped_sources: Set[str] = set()
+    for obj in sorted(sources & set(values)):
+        if policy is SanitizePolicy.DROP:
+            action = "dropped outgoing edges, kept the value"
+            edge_dropped_sources.add(obj)
+        elif policy is SanitizePolicy.REPAIR:
+            action = (
+                f"demoted to complex; value moved to "
+                f"'{obj}.{VALUE_LABEL}' child"
+            )
+            demotions[obj] = values.pop(obj)
+        else:
+            action = "rejected"
+        issues.append(
+            SanitizationIssue(
+                kind="atomic-source",
+                subject=obj,
+                detail="atomic object has outgoing edges",
+                action=action,
+            )
+        )
+    if edge_dropped_sources:
+        link_list = [
+            (src, dst, label)
+            for src, dst, label in link_list
+            if src not in edge_dropped_sources
+        ]
+    for obj, value in demotions.items():
+        declared.add(obj)
+        child = f"{obj}.{VALUE_LABEL}"
+        while child in values or child in sources or child in declared:
+            child += "'"
+        values[child] = value
+        link_list.append((obj, child, VALUE_LABEL))
+
+    # ------------------------------------------------------------------
+    # 3. Dangling references (the fact-level unresolved ``$ref``).
+    # ------------------------------------------------------------------
+    sources = {src for src, _, _ in link_list}
+    known = sources | set(values) | declared
+    dangling = sorted(
+        {dst for _, dst, _ in link_list if dst not in known}
+    )
+    if dangling:
+        if policy is SanitizePolicy.DROP:
+            action = "dropped referencing edges"
+            targets = set(dangling)
+            link_list = [
+                (src, dst, label)
+                for src, dst, label in link_list
+                if dst not in targets
+            ]
+        elif policy is SanitizePolicy.REPAIR:
+            action = "registered as an empty complex object"
+            declared.update(dangling)
+        else:
+            action = "rejected"
+        for obj in dangling:
+            issues.append(
+                SanitizationIssue(
+                    kind="dangling-ref",
+                    subject=obj,
+                    detail="edge target is never declared",
+                    action=action,
+                )
+            )
+
+    report = SanitizationReport(policy=policy, issues=tuple(issues))
+    if policy is SanitizePolicy.STRICT and issues:
+        raise SanitizationError(report.summary())
+
+    db = Database()
+    for obj in sorted(declared):
+        db.add_complex(obj)
+    for obj, value in values.items():
+        db.add_atomic(obj, value)
+    for src, dst, label in link_list:
+        db.add_link(src, dst, label)
+    db.validate()
+    if issues:
+        logger.info("%s", report.summary())
+    return db, report
+
+
+def sanitize(
+    db: Database,
+    policy: Union[SanitizePolicy, str] = SanitizePolicy.REPAIR,
+) -> Tuple[Database, SanitizationReport]:
+    """Sanitize an existing database (round-trips through raw facts).
+
+    A :class:`Database` maintains the invariants by construction, so
+    this always reports clean — it exists so pipelines can treat
+    trusted and untrusted sources uniformly.
+    """
+    links, atomics = db.to_facts()
+    return sanitize_facts(
+        links,
+        atomics,
+        declared_complex=set(db.complex_objects()),
+        policy=policy,
+    )
+
+
+def load_oem_sanitized(
+    path: str,
+    policy: Union[SanitizePolicy, str] = SanitizePolicy.REPAIR,
+) -> Tuple[Database, SanitizationReport]:
+    """Read an OEM text file through the sanitizer.
+
+    The file must still be *syntactically* well formed (unparseable
+    lines raise :class:`~repro.exceptions.DatabaseError`); semantic
+    model violations are handled per ``policy``.
+    """
+    from repro.graph.oem import parse_oem_facts
+
+    with open(path, "r", encoding="utf-8") as handle:
+        links, atomics, declared = parse_oem_facts(handle.read())
+    return sanitize_facts(links, atomics, declared, policy=policy)

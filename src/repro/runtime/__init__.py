@@ -1,0 +1,51 @@
+"""Resilient-execution runtime: budgets, cancellation, checkpoints.
+
+The ROADMAP's north star is a production service over the paper's
+three-stage extractor.  Production inputs are scraped semistructured
+sources — exactly the data for which Table 1 shows tiny perturbations
+exploding the perfect typing — so every hot loop needs to be
+*bounded*, *resumable* and able to *degrade gracefully*:
+
+* :mod:`repro.runtime.budget` — composable :class:`Budget` objects
+  (wall-clock deadline, iteration cap, cooperative
+  :class:`CancellationToken`) checked inside the Stage 1
+  greatest-fixpoint loop, the Stage 2 greedy merge loop and the
+  Figure 6 sensitivity sweep, plus the :class:`DegradationReport`
+  the pipeline attaches to partial results;
+* :mod:`repro.runtime.checkpoint` — serialising the Stage 2 merge
+  trace so a killed or budget-exhausted extraction resumes from the
+  last completed merge instead of restarting.
+
+The companion ingestion-repair pass lives in
+:mod:`repro.graph.sanitize`.
+"""
+
+from repro.runtime.budget import (
+    Budget,
+    BudgetSnapshot,
+    CancellationToken,
+    DegradationReport,
+)
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    checkpoint_merger,
+    dumps_checkpoint,
+    load_checkpoint,
+    loads_checkpoint,
+    restore_merger,
+    save_checkpoint,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetSnapshot",
+    "CancellationToken",
+    "Checkpoint",
+    "DegradationReport",
+    "checkpoint_merger",
+    "dumps_checkpoint",
+    "load_checkpoint",
+    "loads_checkpoint",
+    "restore_merger",
+    "save_checkpoint",
+]

@@ -1,0 +1,315 @@
+"""Execution budgets and cooperative cancellation.
+
+The paper's hot loops — the greatest-fixpoint evaluation (Stage 1),
+the greedy merge loop (Stage 2) and the Figure 6 sensitivity sweep —
+are all worklist iterations whose length depends on the data.  On
+clean inputs they converge quickly, but Table 1's own result (tiny
+perturbations explode the perfect typing) means pathological inputs
+are the *norm* for scraped semistructured sources, so a service needs
+every loop bounded.
+
+A :class:`Budget` bundles the three bounds a caller can express:
+
+* a **wall-clock deadline** (``timeout`` seconds from :meth:`start`),
+* an **iteration cap** (a work-unit counter shared by every loop the
+  budget is threaded through), and
+* a cooperative :class:`CancellationToken` (flipped from another
+  thread or a signal handler).
+
+Loops call :meth:`Budget.charge` once per unit of work; the call is a
+counter increment plus a monotonic-clock read, cheap enough for the
+innermost loops.  When a limit trips, the loop unwinds with
+:class:`~repro.exceptions.BudgetExceededError` (or
+:class:`~repro.exceptions.ExtractionCancelledError`) carrying how much
+was consumed — the pipeline turns that into a partial result with a
+:class:`DegradationReport` instead of surfacing the exception.
+
+One budget instance is meant to be threaded through an entire
+extraction: the iteration counter and the deadline are global across
+stages, so "10 seconds for the whole pipeline" means exactly that.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.exceptions import (
+    BudgetExceededError,
+    ExtractionCancelledError,
+)
+
+
+class CancellationToken:
+    """A thread-safe flag for cooperative cancellation.
+
+    The worker polls the token (via :meth:`Budget.charge` or directly
+    with :meth:`raise_if_cancelled`); the controller flips it with
+    :meth:`cancel` from any thread.
+
+    >>> token = CancellationToken()
+    >>> token.cancelled
+    False
+    >>> token.cancel("user hit ^C")
+    >>> token.cancelled
+    True
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request cancellation (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            self._reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> Optional[str]:
+        """The reason passed to :meth:`cancel`, if any."""
+        return self._reason
+
+    def raise_if_cancelled(self, elapsed: float = 0.0, iterations: int = 0) -> None:
+        """Raise :class:`ExtractionCancelledError` when cancelled."""
+        if self._event.is_set():
+            detail = f": {self._reason}" if self._reason else ""
+            raise ExtractionCancelledError(
+                f"extraction cancelled{detail}",
+                elapsed=elapsed,
+                iterations=iterations,
+            )
+
+
+@dataclass(frozen=True)
+class BudgetSnapshot:
+    """Consumption counters at a point in time."""
+
+    elapsed: float  #: wall-clock seconds since :meth:`Budget.start`.
+    iterations: int  #: work units charged so far.
+    timeout: Optional[float]  #: configured deadline, if any.
+    max_iterations: Optional[int]  #: configured cap, if any.
+
+    def summary(self) -> str:
+        """One-line human-readable consumption report."""
+        time_part = f"{self.elapsed:.3f}s"
+        if self.timeout is not None:
+            time_part += f" of {self.timeout:g}s"
+        iter_part = f"{self.iterations} iteration(s)"
+        if self.max_iterations is not None:
+            iter_part += f" of {self.max_iterations}"
+        return f"consumed {time_part}, {iter_part}"
+
+
+class Budget:
+    """A composable execution budget (deadline + iteration cap + token).
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock seconds allowed from :meth:`start` (``None`` =
+        unbounded).  The deadline is absolute: time spent in *any*
+        stage counts.
+    max_iterations:
+        Total work units allowed across every loop this budget is
+        threaded through (``None`` = unbounded).
+    token:
+        Optional :class:`CancellationToken` polled on every charge.
+    clock:
+        The monotonic clock (injectable for tests).
+
+    A budget with no limits and no token never raises, so callers can
+    unconditionally thread one through instead of branching on
+    ``None`` — though every consumer in this library also accepts
+    ``budget=None``.
+
+    >>> budget = Budget(max_iterations=2)
+    >>> budget.charge()
+    >>> budget.charge()
+    >>> budget.charge()
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.BudgetExceededError: iteration budget exhausted (3 > 2)
+    """
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout is not None and timeout < 0:
+            raise ValueError(f"timeout must be non-negative, got {timeout}")
+        if max_iterations is not None and max_iterations < 0:
+            raise ValueError(
+                f"max_iterations must be non-negative, got {max_iterations}"
+            )
+        self._timeout = timeout
+        self._max_iterations = max_iterations
+        self._token = token
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self._iterations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def timeout(self) -> Optional[float]:
+        """The configured wall-clock limit, if any."""
+        return self._timeout
+
+    @property
+    def max_iterations(self) -> Optional[int]:
+        """The configured iteration cap, if any."""
+        return self._max_iterations
+
+    @property
+    def iterations(self) -> int:
+        """Work units charged so far."""
+        return self._iterations
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0 before the budget started)."""
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def snapshot(self) -> BudgetSnapshot:
+        """Current consumption as an immutable record."""
+        return BudgetSnapshot(
+            elapsed=self.elapsed(),
+            iterations=self._iterations,
+            timeout=self._timeout,
+            max_iterations=self._max_iterations,
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Budget":
+        """Arm the deadline clock (idempotent); returns ``self``."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+        return self
+
+    def charge(self, iterations: int = 1) -> None:
+        """Record ``iterations`` units of work, then :meth:`check`.
+
+        Loops call this once per iteration; it is the single
+        enforcement point for all three limits.
+        """
+        self._iterations += iterations
+        self.check()
+
+    def check(self) -> None:
+        """Raise if any limit has been hit (without charging work).
+
+        Raises :class:`~repro.exceptions.ExtractionCancelledError` when
+        the token is cancelled, else
+        :class:`~repro.exceptions.BudgetExceededError` when the
+        iteration cap or the deadline is exceeded.
+        """
+        if self._token is not None:
+            self._token.raise_if_cancelled(
+                elapsed=self.elapsed(), iterations=self._iterations
+            )
+        if (
+            self._max_iterations is not None
+            and self._iterations > self._max_iterations
+        ):
+            raise BudgetExceededError(
+                f"iteration budget exhausted "
+                f"({self._iterations} > {self._max_iterations})",
+                reason="iterations",
+                elapsed=self.elapsed(),
+                iterations=self._iterations,
+            )
+        if self._timeout is not None:
+            self.start()
+            elapsed = self.elapsed()
+            if elapsed > self._timeout:
+                raise BudgetExceededError(
+                    f"wall-clock budget exhausted "
+                    f"({elapsed:.3f}s > {self._timeout:g}s)",
+                    reason="timeout",
+                    elapsed=elapsed,
+                    iterations=self._iterations,
+                )
+
+    def exhausted(self) -> bool:
+        """Whether :meth:`check` would raise (without raising)."""
+        try:
+            self.check()
+        except (BudgetExceededError, ExtractionCancelledError):
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Budget(timeout={self._timeout}, "
+            f"max_iterations={self._max_iterations}, "
+            f"iterations={self._iterations})"
+        )
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """Why an extraction stopped early and what it managed to produce.
+
+    Attached to :class:`~repro.core.pipeline.ExtractionResult` when the
+    pipeline degrades gracefully instead of raising.
+
+    Attributes
+    ----------
+    stage:
+        The pipeline stage during which the budget ran out:
+        ``"stage1"``, ``"sweep"`` or ``"stage2"``.
+    reason:
+        ``"timeout"``, ``"iterations"`` or ``"cancelled"``.
+    detail:
+        The message of the underlying exception.
+    elapsed:
+        Wall-clock seconds consumed when the limit tripped.
+    iterations:
+        Work units consumed when the limit tripped.
+    target_k:
+        The ``k`` the run was aiming for (``None`` when the sweep never
+        chose one).
+    achieved_k:
+        The type count of the partial program actually returned.
+    best_defect:
+        Defect of the partial result (the best-so-far answer).
+    checkpoint_path:
+        Where the Stage 2 merge trace was checkpointed, when the caller
+        asked for checkpointing — resume from it with
+        ``SchemaExtractor.extract(resume_from=...)``.
+    """
+
+    stage: str
+    reason: str
+    detail: str
+    elapsed: float
+    iterations: int
+    target_k: Optional[int] = None
+    achieved_k: Optional[int] = None
+    best_defect: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        parts = [
+            f"degraded during {self.stage} ({self.reason}): {self.detail}",
+            f"consumed {self.elapsed:.3f}s / {self.iterations} iteration(s)",
+        ]
+        if self.target_k is not None and self.achieved_k is not None:
+            parts.append(f"reached {self.achieved_k} type(s) of target {self.target_k}")
+        if self.best_defect is not None:
+            parts.append(f"best-so-far defect {self.best_defect}")
+        if self.checkpoint_path is not None:
+            parts.append(f"checkpoint at {self.checkpoint_path}")
+        return "; ".join(parts)

@@ -19,10 +19,11 @@ from repro.synth.datasets import (
     table1_configs,
 )
 from repro.synth.generator import generate
-from repro.synth.perturb import PerturbationStats, perturb
+from repro.synth.perturb import CorruptionStats, PerturbationStats, corrupt, perturb
 from repro.synth.spec import DatasetSpec, LinkSpec, TypeSpec
 
 __all__ = [
+    "CorruptionStats",
     "DBG_COMMENTS",
     "DatasetSpec",
     "LinkSpec",
@@ -30,6 +31,7 @@ __all__ = [
     "SyntheticConfig",
     "TypeSpec",
     "carto_spec",
+    "corrupt",
     "dbg_intended_spec",
     "make_carto",
     "generate",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import GenerationError
 from repro.graph.database import Database, Edge
@@ -106,3 +106,118 @@ def perturb(
 
     target.validate()
     return target, PerturbationStats(deleted=tuple(deleted), added=tuple(added))
+
+
+@dataclass(frozen=True)
+class CorruptionStats:
+    """What :func:`corrupt` injected into the fact stream."""
+
+    dangling_refs: Tuple[Edge, ...]  #: edges to never-declared objects.
+    atomic_sources: Tuple[Edge, ...]  #: edges out of atomic objects.
+    duplicate_atomics: Tuple[Tuple[str, Any], ...]  #: second values.
+
+    @property
+    def total(self) -> int:
+        """Total number of injected violations."""
+        return (
+            len(self.dangling_refs)
+            + len(self.atomic_sources)
+            + len(self.duplicate_atomics)
+        )
+
+
+def corrupt(
+    db: Database,
+    dangling_refs: int = 0,
+    atomic_sources: int = 0,
+    duplicate_atomics: int = 0,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> Tuple[
+    List[Tuple[str, str, str]],
+    List[Tuple[str, Any]],
+    FrozenSet[str],
+    CorruptionStats,
+]:
+    """Inject model violations into the *raw facts* of a valid database.
+
+    Unlike :func:`perturb`, which keeps the database valid, this
+    deliberately breaks the Section 2 restrictions, producing the raw
+    ``(links, atomics, declared_complex)`` fact stream (plus stats) for
+    the fault paths: :func:`repro.graph.sanitize.sanitize_facts`, the
+    CLI's ``--repair`` flag, and
+    :func:`repro.graph.oem.dumps_oem_facts`.  The returned facts cannot
+    generally be loaded into a :class:`Database` without sanitizing.
+
+    Three independent corruption knobs:
+
+    * ``dangling_refs`` — edges from random complex objects to fresh
+      never-declared targets (``ghost-i``);
+    * ``atomic_sources`` — edges *out of* random atomic objects;
+    * ``duplicate_atomics`` — a second, conflicting value for random
+      atomic objects, appended to the fact stream.
+    """
+    for name, n in (
+        ("dangling_refs", dangling_refs),
+        ("atomic_sources", atomic_sources),
+        ("duplicate_atomics", duplicate_atomics),
+    ):
+        if n < 0:
+            raise GenerationError(f"{name} must be non-negative")
+    rand = rng if rng is not None else random.Random(seed)
+
+    links, atomics = db.to_facts()
+    link_list: List[Tuple[str, str, str]] = list(links)
+    atomic_list: List[Tuple[str, Any]] = list(atomics)
+    complex_objects = sorted(db.complex_objects())
+    atomic_objects = sorted(db.atomic_objects())
+    all_objects = complex_objects + atomic_objects
+    labels = sorted(db.labels()) or ["noise-0"]
+
+    if dangling_refs and not complex_objects:
+        raise GenerationError("no complex objects to hang dangling refs on")
+    if (atomic_sources or duplicate_atomics) and not atomic_objects:
+        raise GenerationError("no atomic objects to corrupt")
+    if atomic_sources and len(all_objects) < 2:
+        raise GenerationError("need at least two objects for an atomic source")
+    if atomic_sources > len(atomic_objects):
+        raise GenerationError(
+            f"cannot make {atomic_sources} of {len(atomic_objects)} "
+            f"atomic objects into sources"
+        )
+    if duplicate_atomics > len(atomic_objects):
+        raise GenerationError(
+            f"cannot duplicate {duplicate_atomics} of {len(atomic_objects)} "
+            f"atomic objects"
+        )
+
+    dangling: List[Edge] = []
+    for i in range(dangling_refs):
+        src = complex_objects[rand.randrange(len(complex_objects))]
+        label = labels[rand.randrange(len(labels))]
+        edge = Edge(src, f"ghost-{i}", label)
+        link_list.append((edge.src, edge.dst, edge.label))
+        dangling.append(edge)
+
+    bad_sources: List[Edge] = []
+    for src in rand.sample(atomic_objects, atomic_sources):
+        dst = all_objects[rand.randrange(len(all_objects))]
+        while dst == src:
+            dst = all_objects[rand.randrange(len(all_objects))]
+        label = labels[rand.randrange(len(labels))]
+        edge = Edge(src, dst, label)
+        link_list.append((edge.src, edge.dst, edge.label))
+        bad_sources.append(edge)
+
+    duplicates: List[Tuple[str, Any]] = []
+    for obj in rand.sample(atomic_objects, duplicate_atomics):
+        fact = (obj, f"conflict-{rand.randrange(10**6)}")
+        atomic_list.append(fact)
+        duplicates.append(fact)
+
+    stats = CorruptionStats(
+        dangling_refs=tuple(dangling),
+        atomic_sources=tuple(bad_sources),
+        duplicate_atomics=tuple(duplicates),
+    )
+    return link_list, atomic_list, frozenset(db.complex_objects()), stats

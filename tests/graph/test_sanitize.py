@@ -1,0 +1,248 @@
+"""Sanitization: corrupt fact streams become valid databases (or not)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SanitizationError
+from repro.graph.builder import DatabaseBuilder
+from repro.graph.oem import dumps_oem_facts, parse_oem_facts
+from repro.graph.sanitize import (
+    VALUE_LABEL,
+    SanitizePolicy,
+    load_oem_sanitized,
+    sanitize,
+    sanitize_facts,
+)
+from repro.synth.datasets import make_table1_database
+from repro.synth.perturb import corrupt
+
+
+def small_db():
+    builder = DatabaseBuilder()
+    builder.link("root", "person", "member")
+    builder.attr("person", "name", "Ada", atomic_id="n1")
+    builder.attr("person", "age", 36, atomic_id="a1")
+    builder.attr("person", "email", "ada@example.org", atomic_id="e1")
+    builder.attr("person", "city", "London", atomic_id="c1")
+    return builder.build()
+
+
+class TestCleanInput:
+    def test_clean_facts_pass_all_policies(self):
+        db = small_db()
+        links, atomics = db.to_facts()
+        declared = set(db.complex_objects())
+        for policy in SanitizePolicy:
+            out, report = sanitize_facts(links, atomics, declared, policy=policy)
+            assert report.clean
+            assert out == db
+
+    def test_sanitize_database_round_trip(self):
+        db = small_db()
+        out, report = sanitize(db, policy="strict")
+        assert report.clean
+        assert out == db
+
+    def test_isolated_complex_objects_survive(self):
+        out, report = sanitize_facts([], [], declared_complex={"lonely"})
+        assert report.clean
+        assert "lonely" in out.complex_objects()
+
+    def test_policy_accepts_strings_and_rejects_junk(self):
+        sanitize_facts([], [], policy="drop")
+        with pytest.raises(SanitizationError, match="unknown sanitize policy"):
+            sanitize_facts([], [], policy="fix-it")
+
+
+class TestDuplicateAtomic:
+    FACTS = ([], [("x", 1), ("x", 2), ("y", 3)])
+
+    def test_strict_raises(self):
+        with pytest.raises(SanitizationError, match="duplicate-atomic"):
+            sanitize_facts(*self.FACTS, policy="strict")
+
+    def test_repair_keeps_first_value(self):
+        db, report = sanitize_facts(*self.FACTS, policy="repair")
+        assert db.value("x") == 1
+        assert report.count("duplicate-atomic") == 1
+
+    def test_drop_removes_object_and_edges(self):
+        links = [("root", "x", "l"), ("root", "y", "l")]
+        db, report = sanitize_facts(links, self.FACTS[1], policy="drop")
+        assert "x" not in db
+        assert not db.has_link("root", "x", "l")
+        assert db.has_link("root", "y", "l")
+
+    def test_same_value_twice_is_not_an_issue(self):
+        db, report = sanitize_facts([], [("x", 1), ("x", 1)])
+        assert report.clean
+        assert db.value("x") == 1
+
+
+class TestAtomicSource:
+    FACTS = ([("a", "b", "l")], [("a", 10), ("b", 20)])
+
+    def test_strict_raises(self):
+        with pytest.raises(SanitizationError, match="atomic-source"):
+            sanitize_facts(*self.FACTS, policy="strict")
+
+    def test_repair_demotes_to_complex_with_value_child(self):
+        db, report = sanitize_facts(*self.FACTS, policy="repair")
+        assert "a" in db.complex_objects()
+        child = f"a.{VALUE_LABEL}"
+        assert db.value(child) == 10
+        assert db.has_link("a", child, VALUE_LABEL)
+        assert db.has_link("a", "b", "l")
+
+    def test_repair_avoids_child_name_collisions(self):
+        links = [("a", "b", "l")]
+        atomics = [("a", 10), ("b", 20), (f"a.{VALUE_LABEL}", 99)]
+        db, _ = sanitize_facts(links, atomics, policy="repair")
+        assert db.value(f"a.{VALUE_LABEL}") == 99
+        assert db.value(f"a.{VALUE_LABEL}'") == 10
+
+    def test_drop_removes_outgoing_edges_keeps_value(self):
+        db, report = sanitize_facts(*self.FACTS, policy="drop")
+        assert db.value("a") == 10
+        assert not db.has_link("a", "b", "l")
+
+
+class TestDanglingRef:
+    FACTS = ([("root", "ghost", "l")], [])
+
+    def test_strict_raises(self):
+        with pytest.raises(SanitizationError, match="dangling-ref"):
+            sanitize_facts(*self.FACTS, policy="strict")
+
+    def test_repair_registers_empty_complex(self):
+        db, report = sanitize_facts(*self.FACTS, policy="repair")
+        assert "ghost" in db.complex_objects()
+        assert db.has_link("root", "ghost", "l")
+
+    def test_drop_deletes_the_edge(self):
+        db, report = sanitize_facts(*self.FACTS, policy="drop")
+        assert "ghost" not in db
+        assert not db.has_link("root", "ghost", "l")
+
+    def test_declared_complex_is_not_dangling(self):
+        db, report = sanitize_facts(
+            *self.FACTS, declared_complex={"ghost"}
+        )
+        assert report.clean
+
+
+class TestReport:
+    def test_strict_message_lists_all_kinds(self):
+        links = [("a", "b", "l"), ("root", "ghost", "l")]
+        atomics = [("a", 1), ("b", 2), ("c", 3), ("c", 4)]
+        with pytest.raises(SanitizationError) as exc_info:
+            sanitize_facts(links, atomics, policy="strict")
+        message = str(exc_info.value)
+        assert "\n" not in message  # one line for the CLI
+        for kind in ("duplicate-atomic", "atomic-source", "dangling-ref"):
+            assert kind in message
+
+    def test_describe_has_one_line_per_issue(self):
+        _, report = sanitize_facts(
+            [("root", "ghost", "l"), ("root", "ghoul", "l")], []
+        )
+        assert len(report.describe().splitlines()) == 3
+        assert report.num_issues == 2
+
+
+class TestCorruptors:
+    def test_corrupt_counts_match_request(self):
+        db, _ = make_table1_database(1)
+        links, atomics, declared, stats = corrupt(
+            db, dangling_refs=3, atomic_sources=2, duplicate_atomics=2, seed=1
+        )
+        assert stats.total == 7
+        assert len(stats.dangling_refs) == 3
+        assert len(stats.atomic_sources) == 2
+        assert len(stats.duplicate_atomics) == 2
+
+    def test_corrupt_is_deterministic_per_seed(self):
+        db = small_db()
+        a = corrupt(db, dangling_refs=1, duplicate_atomics=1, seed=5)
+        b = corrupt(db, dangling_refs=1, duplicate_atomics=1, seed=5)
+        assert a == b
+
+    def test_corrupt_oem_text_round_trips(self, tmp_path):
+        db = small_db()
+        links, atomics, declared, _ = corrupt(
+            db, dangling_refs=1, atomic_sources=1, duplicate_atomics=1, seed=2
+        )
+        path = tmp_path / "bad.oem"
+        path.write_text(dumps_oem_facts(links, atomics, declared))
+        l2, a2, d2 = parse_oem_facts(path.read_text())
+        assert sorted(l2) == sorted(set(links))
+        assert sorted(map(repr, a2)) == sorted(map(repr, atomics))
+        with pytest.raises(SanitizationError):
+            load_oem_sanitized(str(path), policy="strict")
+        repaired, report = load_oem_sanitized(str(path), policy="repair")
+        repaired.validate()
+        assert report.num_issues >= 3
+
+
+# Property-style round trip: whatever we corrupt, repair and drop both
+# produce a *valid* database and a report that accounts for every
+# injected fault kind.
+corruption_knobs = st.tuples(
+    st.integers(0, 4),  # dangling refs
+    st.integers(0, 3),  # atomic sources
+    st.integers(0, 3),  # duplicate atomics
+    st.integers(0, 999),  # seed
+)
+
+
+@given(corruption_knobs)
+@settings(max_examples=40, deadline=None)
+def test_corrupt_then_sanitize_round_trip(knobs):
+    dangling, sources, duplicates, seed = knobs
+    db = small_db()
+    links, atomics, declared, stats = corrupt(
+        db,
+        dangling_refs=dangling,
+        atomic_sources=sources,
+        duplicate_atomics=duplicates,
+        seed=seed,
+    )
+    for policy in (SanitizePolicy.REPAIR, SanitizePolicy.DROP):
+        out, report = sanitize_facts(links, atomics, declared, policy=policy)
+        out.validate()  # always a valid database again
+        assert report.count("duplicate-atomic") == duplicates
+    # Repair never deletes facts, so its counts match the injection
+    # exactly; under drop an earlier fix can swallow a later issue
+    # (dropping a duplicated object removes its injected edges too).
+    _, repair_report = sanitize_facts(
+        links, atomics, declared, policy="repair"
+    )
+    assert repair_report.count("dangling-ref") == dangling
+    assert repair_report.count("atomic-source") == sources
+    if stats.total == 0:
+        out, report = sanitize_facts(links, atomics, declared, policy="strict")
+        assert out == db
+    else:
+        with pytest.raises(SanitizationError):
+            sanitize_facts(links, atomics, declared, policy="strict")
+
+
+@given(corruption_knobs)
+@settings(max_examples=25, deadline=None)
+def test_repair_preserves_clean_objects(knobs):
+    dangling, sources, duplicates, seed = knobs
+    db = small_db()
+    links, atomics, declared, stats = corrupt(
+        db,
+        dangling_refs=dangling,
+        atomic_sources=sources,
+        duplicate_atomics=duplicates,
+        seed=seed,
+    )
+    out, _ = sanitize_facts(links, atomics, declared, policy="repair")
+    # Repair never deletes: every original object is still there.
+    for obj in db.objects():
+        assert obj in out

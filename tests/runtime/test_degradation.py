@@ -1,0 +1,96 @@
+"""Graceful degradation: exhausted budgets yield partial results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import SchemaExtractor
+from repro.exceptions import ExtractionCancelledError
+from repro.runtime.budget import Budget, CancellationToken
+
+
+class TestPartialResults:
+    def test_unbudgeted_extract_has_no_degradation(self, soccer_movie_db):
+        result = SchemaExtractor(soccer_movie_db).extract(k=1)
+        assert not result.is_partial
+        assert result.degradation is None
+
+    def test_stage2_exhaustion_returns_partial(self, soccer_movie_db):
+        result = SchemaExtractor(soccer_movie_db).extract(
+            k=1, budget=Budget(max_iterations=1)
+        )
+        assert result.is_partial
+        report = result.degradation
+        assert report.stage == "stage2"
+        assert report.reason == "iterations"
+        assert report.target_k == 1
+        assert report.achieved_k == result.num_types == 2
+        assert report.best_defect == result.defect.total
+        assert "partial result" in result.describe()
+
+    def test_partial_result_is_usable(self, soccer_movie_db):
+        # The degraded program still types every object.
+        result = SchemaExtractor(soccer_movie_db).extract(
+            k=1, budget=Budget(max_iterations=1)
+        )
+        assert set(result.assignment) == set(soccer_movie_db.complex_objects())
+        assert result.recast_result is not None
+
+    def test_zero_budget_degrades_at_stage1_boundary(self, soccer_movie_db):
+        # Stage 1 is the mandatory minimum: it always runs, and an
+        # already-exhausted budget degrades right after it.
+        result = SchemaExtractor(soccer_movie_db).extract(
+            k=1, budget=Budget(max_iterations=0)
+        )
+        assert result.is_partial
+        assert result.degradation.stage in ("stage1", "stage2")
+        assert result.num_types == 3  # the untouched perfect typing
+
+    def test_sweep_exhaustion_uses_best_knee_so_far(self, soccer_movie_db):
+        # Enough budget to sample some of the sweep but not finish
+        # everything: the result must still come back, flagged partial.
+        result = SchemaExtractor(soccer_movie_db).extract(
+            budget=Budget(max_iterations=3)
+        )
+        assert result.is_partial
+        assert result.degradation.reason in ("iterations", "timeout")
+
+    def test_cancellation_token_degrades_with_reason(self, soccer_movie_db):
+        token = CancellationToken()
+        token.cancel("shutdown")
+        result = SchemaExtractor(soccer_movie_db).extract(
+            k=1, budget=Budget(token=token)
+        )
+        assert result.is_partial
+        assert result.degradation.reason == "cancelled"
+        assert "shutdown" in result.degradation.detail
+
+    def test_cancelled_sweep_with_no_points_raises(self, soccer_movie_db):
+        # With nothing sampled there is no best-so-far to degrade to.
+        token = CancellationToken()
+        token.cancel()
+        extractor = SchemaExtractor(soccer_movie_db)
+        with pytest.raises(ExtractionCancelledError):
+            extractor.sweep(budget=Budget(token=token))
+
+    def test_timeout_budget_degrades_on_scale(self):
+        # The acceptance scenario: a Table 1 scale database under a
+        # microscopic wall-clock budget returns (no exception) with a
+        # populated degradation report.
+        from repro.synth import make_table1_database
+
+        db, _ = make_table1_database(4)
+        result = SchemaExtractor(db).extract(k=6, budget=Budget(timeout=1e-6))
+        assert result.is_partial
+        assert result.degradation.reason == "timeout"
+        assert result.degradation.elapsed > 0
+        assert result.num_types >= 6
+
+    def test_generous_budget_changes_nothing(self, soccer_movie_db):
+        unbudgeted = SchemaExtractor(soccer_movie_db).extract(k=1)
+        budgeted = SchemaExtractor(soccer_movie_db).extract(
+            k=1, budget=Budget(timeout=3600, max_iterations=10**6)
+        )
+        assert not budgeted.is_partial
+        assert budgeted.program == unbudgeted.program
+        assert budgeted.defect.total == unbudgeted.defect.total
