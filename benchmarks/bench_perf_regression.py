@@ -1,0 +1,200 @@
+"""Performance-regression harness for the instrumented pipeline.
+
+Runs the full Stage 1 -> 3 extraction over the synthetic scalability
+suite (the ``make_scaled`` specs of :mod:`benchmarks.bench_scalability`)
+with a live :class:`repro.perf.PerfRecorder`, and writes the engine's
+key work metrics to ``benchmarks/results/BENCH_pipeline.json``:
+
+* GFP iterations and per-object **satisfaction checks** (typed-link
+  evaluations), for the dirty-tracking engine and for the pre-PR
+  full-rescan engine (:func:`repro.core.fixpoint.greatest_fixpoint_rescan`)
+  on the same program — the regression gate asserts the optimised
+  engine does at least 20% fewer checks *and* returns byte-identical
+  extents;
+* Stage 2 heap pushes, pops and the peak candidate-heap size;
+* wall-clock per stage (from the recorder's spans).
+
+The file doubles as a CI smoke test: it is runnable standalone
+(``python benchmarks/bench_perf_regression.py --sizes 100``) and under
+plain pytest without the pytest-benchmark plugin.  Failures mean a
+correctness or instrumentation regression, never a timing blip — no
+assertion in here compares wall-clock numbers.
+
+See ``docs/PERFORMANCE.md`` for how to read the emitted JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.fixpoint import greatest_fixpoint, greatest_fixpoint_rescan
+from repro.core.perfect import build_object_program
+from repro.core.pipeline import SchemaExtractor
+from repro.perf import PerfRecorder
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from bench_scalability import make_scaled  # noqa: E402
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).resolve().parent / "results" / "BENCH_pipeline.json"
+)
+
+#: Minimum reduction in per-object satisfaction checks the dirty-tracking
+#: engine must deliver over the full-rescan engine (the PR's acceptance
+#: bar is 20%; measured headroom on the scalability specs is ~55-60%).
+MIN_CHECK_REDUCTION = 0.20
+
+DEFAULT_SIZES = [100, 400]
+
+
+def compare_gfp_engines(num_objects: int) -> Dict[str, object]:
+    """Run both GFP engines on the per-object program ``Q_D``.
+
+    Returns the work counters of each engine plus the relative
+    reduction; raises ``AssertionError`` when the extents differ or the
+    reduction falls below :data:`MIN_CHECK_REDUCTION`.
+    """
+    db = make_scaled(num_objects)
+    program = build_object_program(db)
+
+    fast_perf = PerfRecorder()
+    start = time.perf_counter()
+    fast = greatest_fixpoint(program, db, perf=fast_perf)
+    fast_seconds = time.perf_counter() - start
+
+    rescan_perf = PerfRecorder()
+    start = time.perf_counter()
+    rescan = greatest_fixpoint_rescan(program, db, perf=rescan_perf)
+    rescan_seconds = time.perf_counter() - start
+
+    assert fast.extents == rescan.extents, (
+        "dirty-tracking GFP diverged from the rescan engine "
+        f"on scaled-{num_objects}"
+    )
+    fast_checks = fast_perf.counter("gfp.satisfaction_checks")
+    rescan_checks = rescan_perf.counter("gfp.satisfaction_checks")
+    assert rescan_checks > 0, "rescan engine recorded no work"
+    reduction = 1.0 - fast_checks / rescan_checks
+    assert reduction >= MIN_CHECK_REDUCTION, (
+        f"satisfaction-check reduction {reduction:.1%} fell below the "
+        f"{MIN_CHECK_REDUCTION:.0%} regression bar on scaled-{num_objects} "
+        f"({fast_checks} vs {rescan_checks})"
+    )
+    return {
+        "num_objects": num_objects,
+        "iterations": fast.iterations,
+        "rescan_iterations": rescan.iterations,
+        "satisfaction_checks": fast_checks,
+        "rescan_satisfaction_checks": rescan_checks,
+        "check_reduction": round(reduction, 4),
+        "wall_seconds": round(fast_seconds, 6),
+        "rescan_wall_seconds": round(rescan_seconds, 6),
+    }
+
+
+def run_pipeline(num_objects: int, k: int = 4) -> Dict[str, object]:
+    """Full instrumented extraction on one scalability spec."""
+    db = make_scaled(num_objects)
+    perf = PerfRecorder()
+    start = time.perf_counter()
+    result = SchemaExtractor(db, perf=perf).extract(k=k)
+    wall = time.perf_counter() - start
+    snapshot = perf.to_dict()
+    counters = snapshot["counters"]
+    return {
+        "num_objects": num_objects,
+        "k": k,
+        "num_types": result.num_types,
+        "defect": result.defect.total,
+        "wall_seconds": round(wall, 6),
+        "gfp_iterations": counters.get("gfp.type_rechecks", 0),
+        "satisfaction_checks": counters.get("gfp.satisfaction_checks", 0),
+        "heap_pushes": counters.get("merge.heap_pushes", 0),
+        "heap_pops": counters.get("merge.heap_pops", 0),
+        "peak_candidates": snapshot["peaks"].get("merge.peak_heap", 0),
+        "merge_steps": counters.get("merge.steps", 0),
+        "absorb_regen_skipped": counters.get("merge.absorb_regen_skipped", 0),
+        "timers": snapshot["timers"],
+    }
+
+
+def run_suite(sizes: List[int]) -> Dict[str, object]:
+    """The whole harness: engine comparison + instrumented pipeline."""
+    return {
+        "suite": "perf-regression",
+        "min_check_reduction": MIN_CHECK_REDUCTION,
+        "engine_comparison": [compare_gfp_engines(n) for n in sizes],
+        "pipeline": [run_pipeline(n) for n in sizes],
+    }
+
+
+def write_report(payload: Dict[str, object], path: pathlib.Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (plain asserts; no pytest-benchmark fixtures)
+# ----------------------------------------------------------------------
+def test_gfp_engine_regression_gate():
+    """The dirty-tracking engine matches the rescan oracle and beats it
+    by at least the regression bar on the smallest scalability spec."""
+    stats = compare_gfp_engines(100)
+    assert stats["check_reduction"] >= MIN_CHECK_REDUCTION
+
+
+def test_pipeline_emits_bench_json(tmp_path):
+    """An instrumented end-to-end run produces a well-formed report."""
+    payload = run_suite([100])
+    out = tmp_path / "BENCH_pipeline.json"
+    write_report(payload, out)
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    (entry,) = loaded["pipeline"]
+    assert entry["heap_pushes"] > 0
+    assert entry["peak_candidates"] > 0
+    assert entry["satisfaction_checks"] > 0
+    assert entry["merge_steps"] > 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Instrumented pipeline regression benchmark"
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=DEFAULT_SIZES,
+        metavar="N", help="scalability-spec sizes to run (objects)",
+    )
+    parser.add_argument(
+        "--output", default=str(RESULTS_PATH), metavar="PATH",
+        help="where to write BENCH_pipeline.json",
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(args.sizes)
+    write_report(payload, pathlib.Path(args.output))
+    for entry in payload["engine_comparison"]:
+        print(
+            f"scaled-{entry['num_objects']}: "
+            f"{entry['satisfaction_checks']} vs "
+            f"{entry['rescan_satisfaction_checks']} satisfaction checks "
+            f"({entry['check_reduction']:.1%} reduction), "
+            f"{entry['wall_seconds'] * 1000:.1f} ms vs "
+            f"{entry['rescan_wall_seconds'] * 1000:.1f} ms"
+        )
+    for entry in payload["pipeline"]:
+        print(
+            f"pipeline scaled-{entry['num_objects']}: "
+            f"{entry['wall_seconds'] * 1000:.1f} ms, "
+            f"{entry['heap_pushes']} heap pushes, "
+            f"peak {entry['peak_candidates']} candidates"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

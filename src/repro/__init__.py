@@ -60,6 +60,7 @@ from repro.core import (
     sensitivity_sweep,
 )
 from repro.graph import Database, DatabaseBuilder
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.runtime import (
     Budget,
     CancellationToken,
@@ -91,6 +92,8 @@ __all__ = [
     "GreedyMerger",
     "IncrementalTyper",
     "MergePolicy",
+    "NULL_RECORDER",
+    "PerfRecorder",
     "PerfectTyping",
     "PriorKnowledge",
     "RecastMode",

@@ -36,6 +36,7 @@ from repro.graph.dot import database_to_dot, program_to_dot
 from repro.graph.oem import dumps_oem, load_oem
 from repro.graph.sanitize import load_oem_sanitized
 from repro.graph.statistics import describe
+from repro.perf import PerfRecorder
 from repro.query.select import evaluate_select, parse_select
 from repro.runtime.budget import Budget
 from repro.synth.datasets import make_dbg, make_table1_database
@@ -69,16 +70,41 @@ def _make_budget(args: argparse.Namespace) -> Optional[Budget]:
     return Budget(timeout=timeout, max_iterations=max_iterations)
 
 
+def _make_perf(args: argparse.Namespace) -> Optional[PerfRecorder]:
+    """A live recorder when ``--perf-report`` or ``-v`` asks for one.
+
+    Everything else gets ``None``, which the pipeline resolves to the
+    shared no-op recorder — instrumentation stays off the hot path
+    unless explicitly requested.
+    """
+    if getattr(args, "perf_report", None) or args.verbose > 0:
+        return PerfRecorder()
+    return None
+
+
+def _report_perf(args: argparse.Namespace, perf: Optional[PerfRecorder]) -> None:
+    """Write ``--perf-report`` and/or print the ``-v`` summary."""
+    if perf is None:
+        return
+    path = getattr(args, "perf_report", None)
+    if path:
+        perf.write_json(path)
+    if args.verbose > 0:
+        print(perf.summary(), file=sys.stderr)
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     if args.resume and args.max_defect is not None:
         raise ReproError("--resume and --max-defect are mutually exclusive")
     db = _load_database(args)
+    perf = _make_perf(args)
     extractor = SchemaExtractor(
         db,
         distance=args.distance,
         use_roles=args.roles,
         allow_empty_type=args.empty_type,
         local_rule_fn=sorted_local_rule if args.sorts else None,
+        perf=perf,
     )
     budget = _make_budget(args)
     if args.max_defect is not None:
@@ -93,13 +119,16 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     print(result.describe())
     if result.is_partial:
         print(f"warning: {result.degradation.summary()}", file=sys.stderr)
+    _report_perf(args, perf)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     db = _load_database(args)
-    extractor = SchemaExtractor(db, distance=args.distance)
+    perf = _make_perf(args)
+    extractor = SchemaExtractor(db, distance=args.distance, perf=perf)
     sweep = extractor.sweep(step=args.step, budget=_make_budget(args))
+    _report_perf(args, perf)
     print("k,total_distance,defect,excess,deficit")
     for point in sweep.points:
         print(
@@ -230,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_extract.add_argument("--repair", action="store_true",
                            help="sanitize a corrupted input file instead of "
                            "rejecting it (report goes to stderr)")
+    p_extract.add_argument("--perf-report", default=None, metavar="PATH",
+                           help="write pipeline performance counters and "
+                           "timers to PATH as JSON (with -v, a summary is "
+                           "also printed to stderr)")
     p_extract.set_defaults(func=_cmd_extract)
 
     p_sweep = sub.add_parser("sweep", help="print the defect-vs-k series")
@@ -244,6 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--repair", action="store_true",
                          help="sanitize a corrupted input file instead of "
                          "rejecting it")
+    p_sweep.add_argument("--perf-report", default=None, metavar="PATH",
+                         help="write sweep performance counters and timers "
+                         "to PATH as JSON")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_generate = sub.add_parser("generate", help="emit a built-in dataset")

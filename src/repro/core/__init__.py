@@ -38,7 +38,12 @@ from repro.core.distance import (
 )
 from repro.core.exact import ExactTyping, optimal_typing
 from repro.core.explain import diff_programs, explain_defect, explain_object
-from repro.core.fixpoint import FixpointResult, greatest_fixpoint, least_fixpoint
+from repro.core.fixpoint import (
+    FixpointResult,
+    greatest_fixpoint,
+    greatest_fixpoint_rescan,
+    least_fixpoint,
+)
 from repro.core.hierarchy import (
     format_hierarchy,
     hierarchy_edges,
@@ -128,6 +133,7 @@ __all__ = [
     "format_program",
     "format_rule",
     "greatest_fixpoint",
+    "greatest_fixpoint_rescan",
     "hierarchy_edges",
     "hierarchy_to_dot",
     "load_extraction",

@@ -30,7 +30,20 @@ majority) centre.
 The implementation is an agglomerative loop over a lazy-deletion heap:
 every candidate merge is pushed with the versions of its endpoints and
 revalidated when popped, so a step costs ``O(changed · n · log)``
-instead of rescanning all ``O(n^2)`` pairs.
+instead of rescanning all ``O(n^2)`` pairs.  Three refinements keep
+the per-step constant small (see ``docs/PERFORMANCE.md``):
+
+* endpoint versions are split into an *absorb* and a *moved* version —
+  when a merge only changes the absorber's **weight** (its body is
+  unchanged, e.g. under the default ``ABSORB`` policy) and the distance
+  declares itself ``w1_independent`` (``delta_2``/``delta_4``), the
+  absorb-side candidates stay valid and are not regenerated at all;
+* Manhattan distances are memoised per pair keyed by *body* versions,
+  so candidate regeneration after a weight-only change costs a cache
+  lookup instead of a symmetric-difference per pair;
+* version bumps are batched before any push and the regenerated pairs
+  are deduplicated, so two types changed by the same merge no longer
+  push their mutual candidates twice.
 """
 
 from __future__ import annotations
@@ -57,6 +70,7 @@ from repro.core.distance import WeightedDistance, delta_2, manhattan_bodies
 from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
 from repro.exceptions import ClusteringError
 from repro.graph.database import ObjectId
+from repro.perf import PerfRecorder, resolve as _resolve_perf
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> core)
     from repro.runtime.budget import Budget
@@ -157,7 +171,16 @@ class GreedyMerger:
         When true, "merge into the empty type" moves are candidates.
     empty_weight:
         ``w1`` used when pricing empty-type moves (application
-        dependent, per Example 5.3); defaults to the mean type weight.
+        dependent, per Example 5.3); defaults to the mean *positive*
+        type weight (1.0 when no type has positive weight).  Weight-0
+        types are artifacts of restricted Stage 1 runs — counting them
+        would drag the average toward 0 and make untyping spuriously
+        cheap for every ``delta`` that is increasing in ``w1``-adjacent
+        pricing of the empty move.
+    perf:
+        Optional :class:`repro.perf.PerfRecorder`; counters are listed
+        in ``docs/PERFORMANCE.md``.  Defaults to the shared no-op
+        recorder.
     frozen:
         Type names that may *absorb* other types but can never be
         absorbed or moved to the empty type — the Section 2 "a priori
@@ -177,6 +200,7 @@ class GreedyMerger:
         allow_empty_type: bool = False,
         empty_weight: Optional[float] = None,
         frozen: Optional[AbstractSet[str]] = None,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         if EMPTY_TYPE in program:
             raise ClusteringError(
@@ -200,9 +224,12 @@ class GreedyMerger:
         }
         self._initial_weights: Dict[str, float] = dict(self._weights)
         if empty_weight is None:
-            live = list(self._weights.values())
-            empty_weight = sum(live) / len(live) if live else 1.0
+            # Average over *positive* weights only: weight-0 types carry
+            # no home objects and would skew the empty move's pricing.
+            positive = [w for w in self._weights.values() if w > 0]
+            empty_weight = sum(positive) / len(positive) if positive else 1.0
         self._empty_weight = float(empty_weight)
+        self._perf = _resolve_perf(perf)
         # Per-cluster members for WEIGHTED_CENTER: (body, weight) pairs.
         self._members: Dict[str, List[Tuple[FrozenSet[TypedLink], float]]] = {
             name: [(body, self._weights[name])]
@@ -213,10 +240,25 @@ class GreedyMerger:
         }
         self._records: List[MergeRecord] = []
         self._total_cost = 0.0
-        self._version: Dict[str, int] = {name: 0 for name in self._bodies}
+        # Heap-entry validity is tracked per *role*: ``_absorb_version``
+        # invalidates entries where the type absorbs (its cost depends
+        # on the type through ``w1`` and its body), ``_moved_version``
+        # entries where it is moved (``w2`` and its body).  A merge that
+        # only changes a type's weight while its body stays put bumps
+        # the moved side alone when the distance is ``w1_independent``,
+        # leaving the O(n) absorb-side candidates untouched.
+        self._absorb_version: Dict[str, int] = {name: 0 for name in self._bodies}
+        self._moved_version: Dict[str, int] = {name: 0 for name in self._bodies}
+        # Manhattan memo: (a, b) sorted -> (body_version_a, body_version_b, d).
+        # Entries for merged-away types are never queried again; the
+        # cache is bounded by the number of initial unordered pairs.
+        self._body_version: Dict[str, int] = {name: 0 for name in self._bodies}
+        self._d_cache: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
+        self._w1_independent = bool(getattr(distance, "w1_independent", False))
         self._heap: List[Tuple[float, str, str, int, int]] = []
-        for name in self._bodies:
-            self._push_candidates(name, pair_with_all=False)
+        if self._allow_empty:
+            for name in self._bodies:
+                self._push_pair(EMPTY_TYPE, name)
         # Initial full pairing (each unordered pair pushed both ways).
         names = sorted(self._bodies)
         for i, a in enumerate(names):
@@ -227,6 +269,27 @@ class GreedyMerger:
     # ------------------------------------------------------------------
     # Heap helpers
     # ------------------------------------------------------------------
+    def _manhattan(self, a: str, b: str) -> int:
+        """Memoised Manhattan distance between two live bodies.
+
+        Cached per unordered pair, validated against both body
+        versions; a hit after a weight-only change turns candidate
+        regeneration into a dictionary lookup.
+        """
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        va = self._body_version[a]
+        vb = self._body_version[b]
+        hit = self._d_cache.get(key)
+        if hit is not None and hit[0] == va and hit[1] == vb:
+            self._perf.incr("merge.manhattan_cache_hits")
+            return hit[2]
+        d = manhattan_bodies(self._bodies[a], self._bodies[b])
+        self._perf.incr("merge.manhattan_evals")
+        self._d_cache[key] = (va, vb, d)
+        return d
+
     def _cost(self, absorber: str, absorbed: str) -> Tuple[float, int]:
         if absorber == EMPTY_TYPE:
             d = len(self._bodies[absorbed])
@@ -234,7 +297,7 @@ class GreedyMerger:
                 self._distance(self._empty_weight, self._weights[absorbed], d),
                 d,
             )
-        d = manhattan_bodies(self._bodies[absorber], self._bodies[absorbed])
+        d = self._manhattan(absorber, absorbed)
         return (
             self._distance(self._weights[absorber], self._weights[absorbed], d),
             d,
@@ -244,32 +307,28 @@ class GreedyMerger:
         if absorbed in self._frozen:
             return
         cost, _ = self._cost(absorber, absorbed)
-        va = -1 if absorber == EMPTY_TYPE else self._version[absorber]
+        va = -1 if absorber == EMPTY_TYPE else self._absorb_version[absorber]
         heapq.heappush(
-            self._heap, (cost, absorber, absorbed, va, self._version[absorbed])
+            self._heap,
+            (cost, absorber, absorbed, va, self._moved_version[absorbed]),
         )
-
-    def _push_candidates(self, name: str, pair_with_all: bool = True) -> None:
-        """(Re)generate candidates involving ``name``."""
-        if self._allow_empty and name in self._bodies:
-            self._push_pair(EMPTY_TYPE, name)
-        if not pair_with_all:
-            return
-        for other in self._bodies:
-            if other != name:
-                self._push_pair(name, other)
-                self._push_pair(other, name)
+        self._perf.incr("merge.heap_pushes")
 
     def _pop_best(self) -> Tuple[float, str, str]:
         while self._heap:
             cost, absorber, absorbed, va, vb = heapq.heappop(self._heap)
-            if absorbed not in self._bodies:
+            self._perf.incr("merge.heap_pops")
+            if (
+                absorbed not in self._bodies
+                or self._moved_version[absorbed] != vb
+            ):
+                self._perf.incr("merge.stale_pops")
                 continue
-            if absorber != EMPTY_TYPE and absorber not in self._bodies:
-                continue
-            if absorber != EMPTY_TYPE and self._version[absorber] != va:
-                continue
-            if self._version[absorbed] != vb:
+            if absorber != EMPTY_TYPE and (
+                absorber not in self._bodies
+                or self._absorb_version[absorber] != va
+            ):
+                self._perf.incr("merge.stale_pops")
                 continue
             return cost, absorber, absorbed
         raise ClusteringError("no merge candidates left")
@@ -364,25 +423,30 @@ class GreedyMerger:
         a requirement pointing at untyped objects is meaningless.
         """
         changed: List[str] = []
+        sync_members = self._policy is MergePolicy.WEIGHTED_CENTER
         for name, body in list(self._bodies.items()):
-            if not any(link.target == old for link in body):
-                continue
-            if new is None:
-                rewritten = frozenset(l for l in body if l.target != old)
-            else:
-                rewritten = frozenset(l.rename({old: new}) for l in body)
-            if rewritten != body:
-                self._bodies[name] = rewritten
-                changed.append(name)
-            # Keep members in sync for WEIGHTED_CENTER.
-            if self._policy is MergePolicy.WEIGHTED_CENTER:
+            if any(link.target == old for link in body):
+                if new is None:
+                    rewritten = frozenset(l for l in body if l.target != old)
+                else:
+                    rewritten = frozenset(l.rename({old: new}) for l in body)
+                if rewritten != body:
+                    self._bodies[name] = rewritten
+                    changed.append(name)
+            # Keep members in sync for WEIGHTED_CENTER.  This must NOT
+            # be gated on the aggregated body mentioning ``old``: a
+            # minority member can reference ``old`` even when the
+            # weighted-majority centre dropped that link, and a stale
+            # superscript would silently split the link's support in
+            # every later centre computation.
+            if sync_members and any(
+                l.target == old
+                for mbody, _ in self._members[name]
+                for l in mbody
+            ):
                 self._members[name] = [
                     (
-                        frozenset(
-                            l
-                            for l in mbody
-                            if not (new is None and l.target == old)
-                        )
+                        frozenset(l for l in mbody if l.target != old)
                         if new is None
                         else frozenset(l.rename({old: new}) for l in mbody),
                         weight,
@@ -438,7 +502,8 @@ class GreedyMerger:
             del self._bodies[absorbed]
             del self._weights[absorbed]
             self._members.pop(absorbed, None)
-            changed = self._retarget(absorbed, None)
+            body_changed = set(self._retarget(absorbed, None))
+            weight_only: Set[str] = set()
         else:
             if absorber in self._frozen:
                 # Known types keep their body verbatim under any policy.
@@ -449,14 +514,22 @@ class GreedyMerger:
                 self._members[absorber] = (
                     self._members[absorber] + self._members[absorbed]
                 )
+            old_body = self._bodies[absorber]
             self._weights[absorber] += self._weights[absorbed]
             del self._bodies[absorbed]
             del self._weights[absorbed]
             self._members.pop(absorbed, None)
             self._bodies[absorber] = new_body
-            changed = self._retarget(absorbed, absorber)
-            if absorber not in changed:
-                changed.append(absorber)
+            body_changed = set(self._retarget(absorbed, absorber))
+            # The absorber counts as body-changed only if its *net* body
+            # moved (policy change and superscript rewrite can cancel);
+            # otherwise the merge touched just its weight.
+            body_changed.discard(absorber)
+            if self._bodies[absorber] != old_body:
+                body_changed.add(absorber)
+                weight_only = set()
+            else:
+                weight_only = {absorber}
 
         # Redirect the merge map.
         target = None if absorber == EMPTY_TYPE else absorber
@@ -464,10 +537,45 @@ class GreedyMerger:
             if current == absorbed:
                 self._merge_map[original] = target
 
-        for name in changed:
-            self._version[name] += 1
-        for name in changed:
-            self._push_candidates(name)
+        # Candidate regeneration: bump every version first (no push may
+        # capture a half-updated vector), then push a deduplicated pair
+        # set.  A weight-only absorber under a ``w1_independent``
+        # distance keeps its absorb-side entries valid in the heap and
+        # regenerates only the moved side (and its empty move, whose
+        # cost reads the new weight through ``w2``).
+        full = set(body_changed)
+        moved_side: Set[str] = set()
+        if weight_only:
+            if self._w1_independent:
+                moved_side = weight_only
+                self._perf.incr("merge.absorb_regen_skipped")
+            else:
+                full |= weight_only
+        for name in body_changed:
+            self._body_version[name] += 1
+        for name in full:
+            self._absorb_version[name] += 1
+            self._moved_version[name] += 1
+        for name in moved_side:
+            self._moved_version[name] += 1
+
+        pairs: Set[Tuple[str, str]] = set()
+        for name in full:
+            for other in self._bodies:
+                if other != name:
+                    pairs.add((name, other))
+                    pairs.add((other, name))
+        for name in moved_side:
+            for other in self._bodies:
+                if other != name:
+                    pairs.add((other, name))
+        if self._allow_empty:
+            for name in full | moved_side:
+                pairs.add((EMPTY_TYPE, name))
+        for a, b in pairs:
+            self._push_pair(a, b)
+        self._perf.incr("merge.steps")
+        self._perf.peak("merge.peak_heap", len(self._heap))
 
         self._total_cost += cost
         record = MergeRecord(

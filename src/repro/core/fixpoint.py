@@ -27,9 +27,36 @@ remembers ``(direction, label, complex-or-atomic)``.
 
 Hence downward iteration from the signature bound converges exactly to
 the GFP (the limit is a fixpoint and every fixpoint below the start is
-below the limit; the GFP is below the start).  The iteration itself is
-a worklist over types: when the extent of type ``j`` shrinks, only
-types whose bodies mention ``j`` are rechecked.
+below the limit; the GFP is below the start).
+
+Worklist with object-level dirty tracking
+-----------------------------------------
+The iteration is a worklist over types with **object-level dirty
+tracking**: every type is verified in full exactly once; afterwards,
+when the extent of type ``j`` loses objects ``S``, a member ``o`` of a
+dependent type can lose a witness only if ``o`` has an edge into ``S``
+of the label/direction the dependent link requires.  Those objects are
+enumerated through the database's reverse (and forward) adjacency
+indexes — ``Database.sources_view`` / ``Database.targets_view``, built
+once and maintained incrementally — and only they are re-verified.
+
+Two further consequences of starting from the signature bound are
+exploited:
+
+* **atomic links are free** — a member of the bound has, by the
+  superset test that put it there, an edge of every required atomic
+  kind, which *is* the satisfaction condition for an atomic-target
+  link; the database is immutable during the fixpoint, so those links
+  can never fail and the engine only ever evaluates complex-target
+  links;
+* **failures are permanent** — extents only shrink, so verification
+  stops at the first failing link (no resurrection to track).
+
+The pre-PR engine, which rescanned the *full* extent of every
+dependent type on each shrink and evaluated every body link, is kept
+as :func:`greatest_fixpoint_rescan`: it is the regression-benchmark
+baseline (see ``benchmarks/bench_perf_regression.py``) and a second
+oracle next to :func:`greatest_fixpoint_naive`.
 
 The module also provides the naive least fixpoint and membership
 explanations used by the defect reports and the test suite.
@@ -52,6 +79,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.sorts import sort_of
 from repro.core.typing_program import (
     ATOMIC,
     Direction,
@@ -61,6 +89,7 @@ from repro.core.typing_program import (
     TypingProgram,
 )
 from repro.graph.database import Database, ObjectId
+from repro.perf import PerfRecorder, resolve as _resolve_perf
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> core)
     from repro.runtime.budget import Budget
@@ -94,8 +123,6 @@ def object_signature(db: Database, obj: ObjectId) -> FrozenSet[_Kind]:
     emit both the generic and the sorted kind so the signature covers
     plain and sorted requirements alike.
     """
-    from repro.core.sorts import sort_of
-
     kinds: Set[_Kind] = set()
     for edge in db.out_edges(obj):
         if db.is_atomic(edge.dst):
@@ -157,13 +184,11 @@ def _satisfies(
 ) -> bool:
     """Whether ``obj`` satisfies one typed link under ``extents``."""
     if link.direction is Direction.OUT:
-        neighbours = db.targets(obj, link.label)
+        neighbours = db.targets_view(obj, link.label)
         if link.is_atomic_target:
             sort = link.sort
             if sort is None:
                 return any(db.is_atomic(n) for n in neighbours)
-            from repro.core.sorts import sort_of
-
             return any(
                 db.is_atomic(n) and sort_of(db.value(n)) == sort
                 for n in neighbours
@@ -175,11 +200,11 @@ def _satisfies(
     members = extents.get(link.target)
     if not members:
         return False
-    return any(n in members for n in db.sources(obj, link.label))
+    return any(n in members for n in db.sources_view(obj, link.label))
 
 
 def _signature_upper_bound(
-    program: TypingProgram, db: Database
+    program: TypingProgram, db: Database, perf: PerfRecorder
 ) -> Dict[str, Set[ObjectId]]:
     """The pre-fixpoint start assignment described in the module doc."""
     # Group objects by signature so the superset tests run once per
@@ -195,7 +220,20 @@ def _signature_upper_bound(
             if required <= signature:
                 members.update(objs)
         bound[rule.name] = members
+    perf.incr("gfp.signatures", len(by_signature))
     return bound
+
+
+def _dependent_links(
+    program: TypingProgram,
+) -> Dict[str, List[Tuple[str, TypedLink]]]:
+    """``j -> [(dependent type, the link of its body targeting j)]``."""
+    dependents: Dict[str, List[Tuple[str, TypedLink]]] = {}
+    for rule in program.rules():
+        for link in rule.body:
+            if not is_atomic_name(link.target):
+                dependents.setdefault(link.target, []).append((rule.name, link))
+    return dependents
 
 
 def greatest_fixpoint(
@@ -203,6 +241,7 @@ def greatest_fixpoint(
     db: Database,
     restrict_to: Optional[Mapping[str, Iterable[ObjectId]]] = None,
     budget: Optional["Budget"] = None,
+    perf: Optional[PerfRecorder] = None,
 ) -> FixpointResult:
     """Compute the greatest fixpoint of ``program`` on ``db``.
 
@@ -223,10 +262,131 @@ def greatest_fixpoint(
         :class:`~repro.exceptions.BudgetExceededError` (the iteration
         is downward-monotone, so there is no meaningful partial GFP —
         callers degrade at a stage boundary instead).
+    perf:
+        Optional :class:`~repro.perf.PerfRecorder`.  Records the spans
+        ``gfp.signature_bound`` / ``gfp.iterate`` and the counters
+        ``gfp.signatures``, ``gfp.type_rechecks``, ``gfp.object_checks``
+        (bodies verified), ``gfp.satisfaction_checks`` (per-object
+        typed-link evaluations — the work measure the dirty tracking
+        and the atomic-link elision reduce) and ``gfp.objects_removed``.
 
     Returns a :class:`FixpointResult` with the GFP extents.
     """
-    extents = _signature_upper_bound(program, db)
+    perf = _resolve_perf(perf)
+    with perf.span("gfp.signature_bound"):
+        extents = _signature_upper_bound(program, db, perf)
+    if restrict_to is not None:
+        for name, allowed in restrict_to.items():
+            if name in extents:
+                extents[name] &= set(allowed)
+
+    dependents = _dependent_links(program)
+    # Atomic-target links hold by construction for every member of the
+    # signature bound (see the module doc), so only complex-target
+    # links are ever evaluated.
+    complex_body: Dict[str, Tuple[TypedLink, ...]] = {
+        rule.name: tuple(l for l in rule.body if not l.is_atomic_target)
+        for rule in program.rules()
+    }
+
+    # Dirty protocol: ``None`` means the type still awaits its initial
+    # full verification (which subsumes any dirty marks); afterwards a
+    # set of objects that may have lost a witness since the last check.
+    dirty: Dict[str, Optional[Set[ObjectId]]] = {name: None for name in extents}
+    queue = deque(extents)
+    queued: Set[str] = set(extents)
+    iterations = 0
+    object_checks = 0
+    satisfaction_checks = 0
+    objects_removed = 0
+    with perf.span("gfp.iterate"):
+        while queue:
+            if budget is not None:
+                budget.charge()
+            name = queue.popleft()
+            queued.discard(name)
+            iterations += 1
+            members = extents[name]
+            pending = dirty[name]
+            dirty[name] = set()
+            if not members:
+                continue
+            body = complex_body[name]
+            if not body:
+                continue
+            if pending is None:
+                to_check = members
+            else:
+                to_check = pending & members
+                if not to_check:
+                    continue
+            object_checks += len(to_check)
+            removed = set()
+            for obj in to_check:
+                for link in body:
+                    satisfaction_checks += 1
+                    if not _satisfies(db, obj, link, extents):
+                        removed.add(obj)
+                        break
+            if not removed:
+                continue
+            extents[name] = members - removed
+            objects_removed += len(removed)
+            # Object-level dirty propagation: a member of a dependent
+            # type can lose a witness only if it has an edge into
+            # ``removed`` of the label/direction its link requires.
+            for dep_name, link in dependents.get(name, ()):
+                bucket = dirty.get(dep_name)
+                if bucket is None:
+                    # Initial full check still pending (the type is
+                    # necessarily queued); it covers these objects.
+                    continue
+                before = len(bucket)
+                if link.direction is Direction.OUT:
+                    for gone in removed:
+                        bucket |= db.sources_view(gone, link.label)
+                else:
+                    for gone in removed:
+                        bucket |= db.targets_view(gone, link.label)
+                if len(bucket) > before and dep_name not in queued:
+                    queue.append(dep_name)
+                    queued.add(dep_name)
+
+    perf.incr("gfp.type_rechecks", iterations)
+    perf.incr("gfp.object_checks", object_checks)
+    perf.incr("gfp.satisfaction_checks", satisfaction_checks)
+    perf.incr("gfp.objects_removed", objects_removed)
+    logger.debug(
+        "gfp: converged after %d type re-check(s) / %d object check(s) "
+        "over %d type(s)",
+        iterations, object_checks, len(extents),
+    )
+    return FixpointResult(
+        extents={name: frozenset(members) for name, members in extents.items()},
+        iterations=iterations,
+    )
+
+
+def greatest_fixpoint_rescan(
+    program: TypingProgram,
+    db: Database,
+    restrict_to: Optional[Mapping[str, Iterable[ObjectId]]] = None,
+    budget: Optional["Budget"] = None,
+    perf: Optional[PerfRecorder] = None,
+) -> FixpointResult:
+    """The pre-dirty-tracking worklist engine (full-extent rescan).
+
+    Semantically identical to :func:`greatest_fixpoint` — same
+    signature upper bound, same worklist — but when the extent of type
+    ``j`` shrinks, every dependent type re-verifies its *entire*
+    extent rather than just the objects adjacent to the removals.
+    Kept as the regression-benchmark baseline and as a second oracle in
+    the property-test suite; records the same ``gfp.*`` counters so
+    the two engines' ``gfp.object_checks`` are directly comparable.
+    """
+    perf = _resolve_perf(perf)
+    with perf.span("gfp.signature_bound"):
+        extents = _signature_upper_bound(program, db, perf)
     if restrict_to is not None:
         for name, allowed in restrict_to.items():
             if name in extents:
@@ -242,32 +402,40 @@ def greatest_fixpoint(
     queue = deque(extents)
     queued: Set[str] = set(extents)
     iterations = 0
-    while queue:
-        if budget is not None:
-            budget.charge()
-        name = queue.popleft()
-        queued.discard(name)
-        iterations += 1
-        rule = program.rule(name)
-        members = extents[name]
-        if not members:
-            continue
-        survivors = {
-            obj
-            for obj in members
-            if all(_satisfies(db, obj, link, extents) for link in rule.body)
-        }
-        if len(survivors) != len(members):
-            extents[name] = survivors
-            for dependent in dependents.get(name, ()):
-                if dependent not in queued:
-                    queue.append(dependent)
-                    queued.add(dependent)
+    object_checks = 0
+    satisfaction_checks = 0
+    with perf.span("gfp.iterate"):
+        while queue:
+            if budget is not None:
+                budget.charge()
+            name = queue.popleft()
+            queued.discard(name)
+            iterations += 1
+            rule = program.rule(name)
+            members = extents[name]
+            if not members:
+                continue
+            object_checks += len(members)
+            survivors = set()
+            for obj in members:
+                ok = True
+                for link in rule.body:
+                    satisfaction_checks += 1
+                    if not _satisfies(db, obj, link, extents):
+                        ok = False
+                        break
+                if ok:
+                    survivors.add(obj)
+            if len(survivors) != len(members):
+                extents[name] = survivors
+                for dependent in dependents.get(name, ()):
+                    if dependent not in queued:
+                        queue.append(dependent)
+                        queued.add(dependent)
 
-    logger.debug(
-        "gfp: converged after %d type re-check(s) over %d type(s)",
-        iterations, len(extents),
-    )
+    perf.incr("gfp.type_rechecks", iterations)
+    perf.incr("gfp.object_checks", object_checks)
+    perf.incr("gfp.satisfaction_checks", satisfaction_checks)
     return FixpointResult(
         extents={name: frozenset(members) for name, members in extents.items()},
         iterations=iterations,
@@ -359,8 +527,6 @@ def explain_membership(
         if link.direction is Direction.OUT:
             neighbours = db.targets(obj, link.label)
             if link.is_atomic_target:
-                from repro.core.sorts import sort_of
-
                 witnesses = tuple(
                     sorted(
                         n

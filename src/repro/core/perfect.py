@@ -26,11 +26,12 @@ suite can verify the two characterisations agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.fixpoint import FixpointResult, greatest_fixpoint
 from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
 from repro.graph.database import Database, ObjectId
+from repro.perf import PerfRecorder, resolve as _resolve_perf
 
 #: Prefix of the per-object type names in ``Q_D``; chosen so generated
 #: names cannot collide with the canonical ``t<i>`` class names.
@@ -139,11 +140,17 @@ class PerfectTyping:
         return {obj: frozenset(types) for obj, types in full.items()}
 
 
-def minimal_perfect_typing(db: Database, local_rule_fn=None) -> PerfectTyping:
+def minimal_perfect_typing(
+    db: Database,
+    local_rule_fn=None,
+    perf: Optional[PerfRecorder] = None,
+) -> PerfectTyping:
     """Run Stage 1 on ``db`` and return the :class:`PerfectTyping`.
 
     ``local_rule_fn`` optionally overrides the local-picture builder
-    (used by the Remark 2.1 sorts extension).
+    (used by the Remark 2.1 sorts extension).  ``perf`` threads a
+    :class:`repro.perf.PerfRecorder` into the GFP engine and times the
+    stage's phases (spans ``stage1.build_qd``, ``stage1.collapse``).
 
     Example
     -------
@@ -155,10 +162,18 @@ def minimal_perfect_typing(db: Database, local_rule_fn=None) -> PerfectTyping:
     >>> result.num_types
     1
     """
+    perf = _resolve_perf(perf)
     build = local_rule_fn if local_rule_fn is not None else local_rule
-    q_program = build_object_program(db, local_rule_fn=build)
-    fixpoint = greatest_fixpoint(q_program, db)
+    with perf.span("stage1.build_qd"):
+        q_program = build_object_program(db, local_rule_fn=build)
+    fixpoint = greatest_fixpoint(q_program, db, perf=perf)
 
+    with perf.span("stage1.collapse"):
+        return _collapse(db, build, fixpoint)
+
+
+def _collapse(db: Database, build, fixpoint: FixpointResult) -> PerfectTyping:
+    """Steps 2–3: collapse extent-equivalent ``Q_D`` types into classes."""
     # Step 2: group per-object types by extent.
     by_extent: Dict[FrozenSet[ObjectId], List[ObjectId]] = {}
     for obj in db.complex_objects():

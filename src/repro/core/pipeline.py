@@ -43,6 +43,7 @@ from repro.exceptions import (
     ReproError,
 )
 from repro.graph.database import Database, ObjectId
+from repro.perf import PerfRecorder, resolve as _resolve_perf
 from repro.runtime.budget import Budget, DegradationReport
 from repro.runtime.checkpoint import (
     Checkpoint,
@@ -158,6 +159,13 @@ class SchemaExtractor:
         Override for Stage 1's local-picture builder; pass
         :func:`repro.core.sorts.sorted_local_rule` for the Remark 2.1
         multiple-atomic-sorts refinement.
+    perf:
+        Optional :class:`repro.perf.PerfRecorder` threaded through all
+        three stages (GFP engine, merger, sweep) plus the pipeline-level
+        spans ``pipeline.stage1`` / ``pipeline.sweep`` /
+        ``pipeline.stage2`` / ``pipeline.stage3``.  Defaults to the
+        shared no-op recorder, which keeps the hot paths free of
+        bookkeeping.
     """
 
     def __init__(
@@ -172,8 +180,10 @@ class SchemaExtractor:
         fallback: str = "closest",
         prior: Optional[PriorKnowledge] = None,
         local_rule_fn=None,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         self._db = db
+        self._perf = _resolve_perf(perf)
         self._distance_spec = distance
         self._policy = policy
         self._use_roles = use_roles
@@ -189,9 +199,12 @@ class SchemaExtractor:
     def stage1(self) -> PerfectTyping:
         """Stage 1 result (cached across calls)."""
         if self._stage1 is None:
-            self._stage1 = minimal_perfect_typing(
-                self._db, local_rule_fn=self._local_rule_fn
-            )
+            with self._perf.span("pipeline.stage1"):
+                self._stage1 = minimal_perfect_typing(
+                    self._db,
+                    local_rule_fn=self._local_rule_fn,
+                    perf=self._perf,
+                )
         return self._stage1
 
     def _resolve_distance(self, stage1: PerfectTyping) -> WeightedDistance:
@@ -267,6 +280,7 @@ class SchemaExtractor:
             step=step,
             frozen=frozen,
             budget=budget,
+            perf=self._perf,
         )
 
     def extract(
@@ -338,7 +352,7 @@ class SchemaExtractor:
                 if isinstance(resume_from, str)
                 else resume_from
             )
-            merger = restore_merger(resumed, distance=distance)
+            merger = restore_merger(resumed, distance=distance, perf=self._perf)
             if merger.initial_program != start_program:
                 raise ReproError(
                     "checkpoint does not match this database/configuration: "
@@ -374,19 +388,21 @@ class SchemaExtractor:
         degraded_stage: Optional[str] = None
         if k is None:
             try:
-                sensitivity = sensitivity_sweep(
-                    self._db,
-                    stage1=_override_program(stage1, start_program),
-                    assignment=assignment,
-                    weights=weights,
-                    distance=distance,
-                    policy=self._policy,
-                    allow_empty_type=self._allow_empty,
-                    mode=self._recast_mode,
-                    step=sweep_step,
-                    frozen=frozen,
-                    budget=budget,
-                )
+                with self._perf.span("pipeline.sweep"):
+                    sensitivity = sensitivity_sweep(
+                        self._db,
+                        stage1=_override_program(stage1, start_program),
+                        assignment=assignment,
+                        weights=weights,
+                        distance=distance,
+                        policy=self._policy,
+                        allow_empty_type=self._allow_empty,
+                        mode=self._recast_mode,
+                        step=sweep_step,
+                        frozen=frozen,
+                        budget=budget,
+                        perf=self._perf,
+                    )
             except ExecutionInterruptedError as exc:
                 # Not even one point sampled: degrade to the perfect
                 # typing, like the post-stage1 case above.
@@ -426,10 +442,12 @@ class SchemaExtractor:
                 allow_empty_type=self._allow_empty,
                 empty_weight=self._empty_weight,
                 frozen=frozen,
+                perf=self._perf,
             )
         writer = self._checkpoint_writer(checkpoint_path, k, checkpoint_every)
         try:
-            stage2 = merger.run_to(k, budget=budget, on_step=writer)
+            with self._perf.span("pipeline.stage2"):
+                stage2 = merger.run_to(k, budget=budget, on_step=writer)
         except ExecutionInterruptedError as exc:
             logger.warning("budget exhausted during stage2: %s", exc)
             if checkpoint_path is not None:
@@ -450,17 +468,18 @@ class SchemaExtractor:
         if checkpoint_path is not None:
             self._write_checkpoint(merger, k, checkpoint_path)
 
-        home = stage2.map_assignment(assignment)
-        recast_result = recast(
-            stage2.program,
-            self._db,
-            home=home,
-            mode=self._recast_mode,
-            fallback=self._fallback,
-        )
-        defect = compute_defect(
-            stage2.program, self._db, recast_result.assignment
-        )
+        with self._perf.span("pipeline.stage3"):
+            home = stage2.map_assignment(assignment)
+            recast_result = recast(
+                stage2.program,
+                self._db,
+                home=home,
+                mode=self._recast_mode,
+                fallback=self._fallback,
+            )
+            defect = compute_defect(
+                stage2.program, self._db, recast_result.assignment
+            )
         degradation: Optional[DegradationReport] = None
         if degraded_stage is not None:
             # The sweep was cut short; Stage 2 still reached the best

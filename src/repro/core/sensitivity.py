@@ -43,6 +43,7 @@ from repro.core.perfect import PerfectTyping, minimal_perfect_typing
 from repro.core.recast import RecastMode, recast
 from repro.exceptions import ClusteringError, ExecutionInterruptedError
 from repro.graph.database import Database, ObjectId
+from repro.perf import PerfRecorder, resolve as _resolve_perf
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> core)
     from repro.runtime.budget import Budget
@@ -164,6 +165,7 @@ def sensitivity_sweep(
     step: int = 1,
     frozen: Optional[FrozenSet[str]] = None,
     budget: Optional["Budget"] = None,
+    perf: Optional[PerfRecorder] = None,
 ) -> SensitivityResult:
     """Sweep ``k`` from the perfect typing size down to ``min_k``.
 
@@ -192,11 +194,15 @@ def sensitivity_sweep(
         sweep **does not raise** (unless no point was sampled at all) —
         it returns the points gathered so far with ``exhausted=True``,
         so the caller still gets the best knee found.
+    perf:
+        Optional :class:`repro.perf.PerfRecorder`; threaded into the
+        merger, plus ``sweep.samples`` and the ``sweep.sample`` timer.
 
     Returns a :class:`SensitivityResult` sorted by ascending ``k``.
     """
+    perf = _resolve_perf(perf)
     if stage1 is None:
-        stage1 = minimal_perfect_typing(db)
+        stage1 = minimal_perfect_typing(db, perf=perf)
     if assignment is None:
         assignment = stage1.assignment()
     if weights is None:
@@ -209,6 +215,7 @@ def sensitivity_sweep(
         policy=policy,
         allow_empty_type=allow_empty_type,
         frozen=frozen,
+        perf=perf,
     )
     n = merger.num_types
     if max_k is None or max_k > n:
@@ -224,10 +231,14 @@ def sensitivity_sweep(
     def sample() -> None:
         if budget is not None:
             budget.charge()
-        snapshot = merger.result()
-        home = snapshot.map_assignment(assignment)
-        recast_result = recast(snapshot.program, db, home=home, mode=mode)
-        report = compute_defect(snapshot.program, db, recast_result.assignment)
+        perf.incr("sweep.samples")
+        with perf.span("sweep.sample"):
+            snapshot = merger.result()
+            home = snapshot.map_assignment(assignment)
+            recast_result = recast(snapshot.program, db, home=home, mode=mode)
+            report = compute_defect(
+                snapshot.program, db, recast_result.assignment
+            )
         points.append(
             SensitivityPoint(
                 k=merger.num_types,

@@ -22,12 +22,26 @@ registered explicitly or implicitly when an edge mentions them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.exceptions import IntegrityError, UnknownObjectError
 
 ObjectId = str
 Label = str
+
+#: Shared immutable empty set returned by the zero-copy adjacency views.
+_EMPTY_SET: FrozenSet[ObjectId] = frozenset()
 
 
 @dataclass(frozen=True, order=True)
@@ -225,6 +239,28 @@ class Database:
     def sources(self, obj: ObjectId, label: Label) -> FrozenSet[ObjectId]:
         """Objects with an edge labeled ``label`` into ``obj``."""
         return frozenset(self._inc.get(obj, {}).get(label, ()))
+
+    def targets_view(self, obj: ObjectId, label: Label) -> AbstractSet[ObjectId]:
+        """Zero-copy view of the forward adjacency index for ``obj``.
+
+        Unlike :meth:`targets` this returns the *live* internal set —
+        callers must treat it as read-only and must not hold it across
+        mutations.  The fixpoint engine's inner loops use the views to
+        avoid one frozenset allocation per satisfaction check.
+        """
+        return self._out.get(obj, {}).get(label, _EMPTY_SET)
+
+    def sources_view(self, obj: ObjectId, label: Label) -> AbstractSet[ObjectId]:
+        """Zero-copy view of the reverse adjacency index for ``obj``.
+
+        The reverse index is built once, incrementally, by
+        :meth:`add_link`/:meth:`remove_link` and mirrors the forward
+        index exactly (``validate`` checks the invariant).  The GFP
+        engine's object-level dirty tracking relies on it: when a type
+        loses objects ``S``, only objects with an edge into ``S`` can
+        lose a witness, and this view enumerates them without scanning.
+        """
+        return self._inc.get(obj, {}).get(label, _EMPTY_SET)
 
     def out_labels(self, obj: ObjectId) -> FrozenSet[Label]:
         """Labels on the outgoing edges of ``obj``."""

@@ -1,0 +1,18 @@
+"""Performance instrumentation for the extraction pipeline.
+
+See :mod:`repro.perf.recorder` for the design; the package also keeps
+no imports from the rest of :mod:`repro`, so any module (including the
+innermost hot loops) can depend on it without cycles.
+
+Quickstart
+----------
+>>> from repro.perf import PerfRecorder
+>>> perf = PerfRecorder()
+>>> perf.incr("example.widgets", 2)
+>>> perf.counter("example.widgets")
+2
+"""
+
+from repro.perf.recorder import NULL_RECORDER, PerfRecorder, resolve
+
+__all__ = ["NULL_RECORDER", "PerfRecorder", "resolve"]

@@ -109,6 +109,7 @@ def checkpoint_merger(
 def restore_merger(
     checkpoint: Checkpoint,
     distance: Optional[WeightedDistance] = None,
+    perf=None,
 ) -> GreedyMerger:
     """Rebuild a merger from a checkpoint and replay its trace.
 
@@ -119,6 +120,9 @@ def restore_merger(
     distance:
         Explicit weighted-distance callable; required when the
         checkpoint recorded no named distance, overrides it otherwise.
+    perf:
+        Optional :class:`repro.perf.PerfRecorder` for the rebuilt
+        merger (replayed merges are counted like live ones).
 
     Returns a :class:`GreedyMerger` whose state (bodies, weights,
     merge map, records, total cost) is identical to the interrupted
@@ -145,6 +149,7 @@ def restore_merger(
         allow_empty_type=checkpoint.allow_empty_type,
         empty_weight=checkpoint.empty_weight,
         frozen=frozenset(checkpoint.frozen),
+        perf=perf,
     )
     for absorber, absorbed in checkpoint.merges:
         merger.merge_pair(absorber, absorbed)

@@ -225,3 +225,149 @@ class TestDeterminism:
         assert [
             (a.absorber, a.absorbed) for a in r1.records
         ] == [(a.absorber, a.absorbed) for a in r2.records]
+
+
+class TestWeightedCenterMemberSync:
+    """Regression: retargeting must rewrite *member* bodies even when the
+    aggregated cluster body no longer mentions the retired type."""
+
+    @staticmethod
+    def _program():
+        return parse_program(
+            """
+            A = ->name^0
+            B = ->name^0, ->r^C
+            C = ->c^0
+            D = ->c^0
+            E = ->name^0, ->r^D
+            """
+        )
+
+    def test_minority_member_link_retargeted(self):
+        merger = GreedyMerger(
+            self._program(),
+            {"A": 3, "B": 1, "C": 1, "D": 1, "E": 3},
+            policy=MergePolicy.WEIGHTED_CENTER,
+        )
+        # A absorbs B: ->r^C is a 1-of-4 minority, so the aggregated
+        # body of A is just ->name^0 — but B's member body keeps ->r^C.
+        merger.merge_pair("A", "B")
+        assert {str(l) for l in merger.current_program().rule("A").body} == {
+            "->name^0"
+        }
+        # D absorbs C.  A's aggregated body does not mention C, but its
+        # minority member does; the stale superscript used to survive
+        # here and split the link's support forever after.
+        merger.merge_pair("D", "C")
+        # A absorbs E: support for ->r^D is now 1 + 3 of 7 total weight,
+        # a weighted majority — but only if the member was retargeted.
+        merger.merge_pair("A", "E")
+        assert {str(l) for l in merger.current_program().rule("A").body} == {
+            "->name^0",
+            "->r^D",
+        }
+
+    def test_members_never_reference_retired_types(self):
+        merger = GreedyMerger(
+            self._program(),
+            {"A": 3, "B": 1, "C": 1, "D": 1, "E": 3},
+            policy=MergePolicy.WEIGHTED_CENTER,
+        )
+        merger.merge_pair("A", "B")
+        merger.merge_pair("D", "C")
+        live = set(merger.current_program().type_names())
+        for members in merger._members.values():
+            for body, _ in members:
+                for link in body:
+                    assert link.is_atomic_target or link.target in live
+
+
+class TestEmptyWeightDefault:
+    def test_default_averages_positive_weights_only(self):
+        program = parse_program("a = ->x^0\nb = ->y^0\nc = ->z^0")
+        merger = GreedyMerger(
+            program, {"a": 4.0, "b": 0.0, "c": 2.0}, allow_empty_type=True
+        )
+        # Weight-0 types (artifacts of restricted runs) must not drag
+        # the mean down: (4 + 2) / 2, not (4 + 0 + 2) / 3.
+        assert merger.empty_weight == pytest.approx(3.0)
+
+    def test_default_falls_back_to_one_when_all_zero(self):
+        program = parse_program("a = ->x^0\nb = ->y^0")
+        merger = GreedyMerger(program, {}, allow_empty_type=True)
+        assert merger.empty_weight == pytest.approx(1.0)
+
+    def test_explicit_empty_weight_still_wins(self):
+        program = parse_program("a = ->x^0\nb = ->y^0")
+        merger = GreedyMerger(
+            program, {"a": 9.0}, allow_empty_type=True, empty_weight=0.5
+        )
+        assert merger.empty_weight == pytest.approx(0.5)
+
+
+class TestHeapFastPath:
+    """The w1-independent absorb-side fast path is an optimisation only:
+    merge order and results must match a run with the fast path off."""
+
+    @staticmethod
+    def _inputs():
+        program = parse_program(
+            "\n".join(
+                f"t{i} = ->l{i % 4}^0, ->m{i % 3}^0, ->shared^0"
+                for i in range(10)
+            )
+        )
+        weights = {f"t{i}": (i * 13) % 7 + 1 for i in range(10)}
+        return program, weights
+
+    def test_fastpath_matches_unflagged_distance(self):
+        program, weights = self._inputs()
+
+        def plain_delta(w1, w2, d):  # delta_2 without the w1_independent flag
+            return delta_2(w1, w2, d)
+
+        fast = GreedyMerger(program, weights, distance=delta_2).run_to(2)
+        slow = GreedyMerger(program, weights, distance=plain_delta).run_to(2)
+        assert fast.program == slow.program
+        assert fast.merge_map == slow.merge_map
+        assert [(r.absorber, r.absorbed) for r in fast.records] == [
+            (r.absorber, r.absorbed) for r in slow.records
+        ]
+        assert fast.total_cost == pytest.approx(slow.total_cost)
+
+    def test_fastpath_matches_with_empty_type(self):
+        program, weights = self._inputs()
+
+        def plain_delta(w1, w2, d):
+            return delta_2(w1, w2, d)
+
+        kwargs = dict(allow_empty_type=True, empty_weight=2.0)
+        fast = GreedyMerger(
+            program, weights, distance=delta_2, **kwargs
+        ).run_to(2)
+        slow = GreedyMerger(
+            program, weights, distance=plain_delta, **kwargs
+        ).run_to(2)
+        assert fast.program == slow.program
+        assert [(r.absorber, r.absorbed) for r in fast.records] == [
+            (r.absorber, r.absorbed) for r in slow.records
+        ]
+
+    def test_fastpath_skips_absorb_side_regeneration(self):
+        from repro.perf import PerfRecorder
+
+        program, weights = self._inputs()
+        flagged, unflagged = PerfRecorder(), PerfRecorder()
+
+        def plain_delta(w1, w2, d):
+            return delta_2(w1, w2, d)
+
+        GreedyMerger(program, weights, distance=delta_2, perf=flagged).run_to(2)
+        GreedyMerger(
+            program, weights, distance=plain_delta, perf=unflagged
+        ).run_to(2)
+        assert flagged.counter("merge.absorb_regen_skipped") > 0
+        assert unflagged.counter("merge.absorb_regen_skipped") == 0
+        assert flagged.counter("merge.heap_pushes") < unflagged.counter(
+            "merge.heap_pushes"
+        )

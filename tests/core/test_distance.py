@@ -113,3 +113,32 @@ class TestProperties:
         report = check_properties(delta_5)
         assert report.decreasing_in_w1
         assert report.increasing_in_w2
+
+    def test_deliberately_non_monotone_distance_fails_every_probe(self):
+        """A distance built to violate all three properties at once:
+        decreasing in d, increasing in w1, decreasing in w2.  Guards
+        the probe directions themselves — a sign error in the grid
+        walk would let this adversarial function slip through."""
+
+        def adversarial(w1, w2, d):
+            return w1 - w2 - d
+
+        report = check_properties(adversarial)
+        assert not report.increasing_in_d
+        assert not report.decreasing_in_w1
+        assert not report.increasing_in_w2
+        assert not report.satisfies_all
+
+    def test_single_violation_is_localised(self):
+        """A distance monotone except for one dip in d: the other two
+        properties must still be reported as holding."""
+
+        def dip(w1, w2, d):
+            # Non-monotone in d (collapses to 0 at d == 4) but still
+            # weakly monotone in both weights.
+            return 0.0 if d == 4 else d * w2
+
+        report = check_properties(dip)
+        assert not report.increasing_in_d
+        assert report.decreasing_in_w1
+        assert report.increasing_in_w2

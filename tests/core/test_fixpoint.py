@@ -6,12 +6,14 @@ from repro.core.fixpoint import (
     explain_membership,
     greatest_fixpoint,
     greatest_fixpoint_naive,
+    greatest_fixpoint_rescan,
     least_fixpoint,
     object_signature,
 )
 from repro.core.notation import parse_program
 from repro.core.typing_program import Direction, TypingProgram, make_rule
 from repro.graph.builder import DatabaseBuilder
+from repro.perf import PerfRecorder
 
 
 class TestPaperSemantics:
@@ -106,6 +108,35 @@ class TestMechanics:
         assert assignment["m"] == {"firm"}
         assert "gn" not in assignment  # atomic
 
+    def test_types_of_and_assignment_overlapping_extents(self):
+        """Extents overlap (no negation: a richer object satisfies the
+        poorer rule too); ``types_of`` and ``assignment`` must report
+        every containing type, and the two views must invert exactly."""
+        db = (
+            DatabaseBuilder()
+            .attr("rich", "name", "n1")
+            .attr("rich", "email", "e1")
+            .attr("poor", "name", "n2")
+            .build()
+        )
+        program = parse_program("t1 = ->name^0\nt2 = ->name^0, ->email^0")
+        result = greatest_fixpoint(program, db)
+        assert result.members("t1") == {"rich", "poor"}
+        assert result.members("t2") == {"rich"}
+        assert result.types_of("rich") == {"t1", "t2"}
+        assert result.types_of("poor") == {"t1"}
+        assert result.types_of("n1") == frozenset()  # atomic
+        assignment = result.assignment()
+        assert assignment == {
+            "rich": frozenset({"t1", "t2"}),
+            "poor": frozenset({"t1"}),
+        }
+        # The inverted map and the extents are two views of one relation.
+        for name in program.type_names():
+            assert result.members(name) == {
+                obj for obj, types in assignment.items() if name in types
+            }
+
     def test_nonempty_types(self, figure2_db):
         program = parse_program("ghost = ->no-such-label^0\nreal = ->name^0")
         result = greatest_fixpoint(program, figure2_db)
@@ -117,6 +148,48 @@ class TestMechanics:
         assert (Direction.OUT, "name", "a:string") in sig  # sorted kind
         assert (Direction.OUT, "is-manager-of", "c") in sig
         assert (Direction.IN, "is-managed-by", "c") in sig
+
+
+class TestPerfCounters:
+    def test_gfp_records_work_counters(self, figure2_db, p0_program):
+        perf = PerfRecorder()
+        result = greatest_fixpoint(p0_program, figure2_db, perf=perf)
+        assert result.members("person") == {"g", "j"}
+        # Counts *distinct* raw signatures (g/j share one, a/m another).
+        assert 0 < perf.counter("gfp.signatures") <= figure2_db.num_complex
+        assert perf.counter("gfp.signatures") == 2
+        # Both types verified at least once, every member body-checked.
+        assert perf.counter("gfp.type_rechecks") >= 2
+        assert perf.counter("gfp.object_checks") > 0
+        assert perf.counter("gfp.satisfaction_checks") > 0
+        assert perf.elapsed("gfp.iterate") >= 0.0
+
+    def test_dirty_tracking_does_less_work_than_rescan(self):
+        """On a deletion cascade the dirty-tracking engine re-examines
+        only objects that lost a witness; the rescan engine re-walks
+        whole extents.  Counters are comparable by construction (same
+        names, same meaning)."""
+        builder = DatabaseBuilder()
+        for i in range(20):
+            builder.link(f"n{i}", f"n{i + 1}", "next")
+        db = builder.build()
+        program = TypingProgram([make_rule("node", outgoing=[("next", "node")])])
+        fast_perf, rescan_perf = PerfRecorder(), PerfRecorder()
+        fast = greatest_fixpoint(program, db, perf=fast_perf)
+        rescan = greatest_fixpoint_rescan(program, db, perf=rescan_perf)
+        assert fast.extents == rescan.extents
+        assert fast.members("node") == frozenset()  # chain dies out
+        fast_checks = fast_perf.counter("gfp.satisfaction_checks")
+        rescan_checks = rescan_perf.counter("gfp.satisfaction_checks")
+        assert 0 < fast_checks < rescan_checks
+
+    def test_null_recorder_default_records_nothing(self, figure2_db, p0_program):
+        from repro.perf import NULL_RECORDER
+
+        greatest_fixpoint(p0_program, figure2_db)
+        assert NULL_RECORDER.to_dict() == {
+            "counters": {}, "peaks": {}, "timers": {},
+        }
 
 
 class TestExplanations:

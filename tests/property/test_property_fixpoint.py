@@ -17,6 +17,7 @@ from repro.core.defect import compute_defect
 from repro.core.fixpoint import (
     greatest_fixpoint,
     greatest_fixpoint_naive,
+    greatest_fixpoint_rescan,
     least_fixpoint,
 )
 from repro.core.perfect import minimal_perfect_typing, verify_perfect
@@ -75,6 +76,16 @@ def test_gfp_engines_agree(db, program):
     fast = greatest_fixpoint(program, db)
     slow = greatest_fixpoint_naive(program, db)
     assert fast.extents == slow.extents
+
+
+@given(databases(), programs())
+@settings(max_examples=60, deadline=None)
+def test_gfp_dirty_tracking_matches_rescan_engine(db, program):
+    """The dirty-tracking engine is extent-identical to the full-rescan
+    engine it replaced (the benchmark baseline and second oracle)."""
+    fast = greatest_fixpoint(program, db)
+    rescan = greatest_fixpoint_rescan(program, db)
+    assert fast.extents == rescan.extents
 
 
 @given(databases(), programs())
