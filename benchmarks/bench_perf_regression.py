@@ -12,7 +12,12 @@ key work metrics to ``benchmarks/results/BENCH_pipeline.json``:
   engine does at least 20% fewer checks *and* returns byte-identical
   extents;
 * Stage 2 heap pushes, pops and the peak candidate-heap size;
-* wall-clock per stage (from the recorder's spans).
+* wall-clock per stage (from the recorder's spans);
+* a parallel-vs-sequential pipeline comparison on a multi-component
+  spec — the gate is **extent equality** between ``jobs=1`` and
+  ``jobs=N`` (wall-clock and speedup are recorded but never asserted);
+* a recast-memo on/off sweep comparison — the gate is a >= 30%
+  reduction in ``recast.evaluations`` with identical defect curves.
 
 The file doubles as a CI smoke test: it is runnable standalone
 (``python benchmarks/bench_perf_regression.py --sizes 100``) and under
@@ -35,10 +40,12 @@ from typing import Dict, List, Optional
 from repro.core.fixpoint import greatest_fixpoint, greatest_fixpoint_rescan
 from repro.core.perfect import build_object_program
 from repro.core.pipeline import SchemaExtractor
+from repro.parallel import ParallelExtractor
 from repro.perf import PerfRecorder
+from repro.synth.datasets import make_dbg
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
-from bench_scalability import make_scaled  # noqa: E402
+from bench_scalability import make_multi_component, make_scaled  # noqa: E402
 
 RESULTS_PATH = (
     pathlib.Path(__file__).resolve().parent / "results" / "BENCH_pipeline.json"
@@ -49,7 +56,13 @@ RESULTS_PATH = (
 #: bar is 20%; measured headroom on the scalability specs is ~55-60%).
 MIN_CHECK_REDUCTION = 0.20
 
+#: Minimum reduction in recast evaluations the cross-sample memo must
+#: deliver on the Figure 6 sweep (the PR's acceptance bar is 30%;
+#: measured headroom on DBG is ~95%).
+MIN_MEMO_REDUCTION = 0.30
+
 DEFAULT_SIZES = [100, 400]
+DEFAULT_JOBS = 4
 
 
 def compare_gfp_engines(num_objects: int) -> Dict[str, object]:
@@ -123,13 +136,102 @@ def run_pipeline(num_objects: int, k: int = 4) -> Dict[str, object]:
     }
 
 
-def run_suite(sizes: List[int]) -> Dict[str, object]:
+def compare_parallel_pipeline(
+    num_objects: int, jobs: int = DEFAULT_JOBS, k: int = 4
+) -> Dict[str, object]:
+    """Sequential vs ``jobs=N`` extraction on a multi-component spec.
+
+    The gate is extent equality: the parallel extractor must produce
+    the same program, recast extents and defect as the sequential one.
+    Wall-clock and the derived speedup are recorded for trend-watching
+    but **never asserted** — a single-core CI runner legitimately sees
+    speedup < 1 from process-pool overhead.
+    """
+    db = make_multi_component(num_objects)
+
+    start = time.perf_counter()
+    sequential = SchemaExtractor(db).extract(k=k)
+    sequential_seconds = time.perf_counter() - start
+
+    perf = PerfRecorder()
+    start = time.perf_counter()
+    parallel = ParallelExtractor(db, jobs=jobs, perf=perf).extract(k=k)
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel.program == sequential.program, (
+        f"jobs={jobs} produced a different schema than jobs=1 "
+        f"on multi-{num_objects}"
+    )
+    assert (
+        parallel.recast_result.extents == sequential.recast_result.extents
+    ), f"jobs={jobs} recast extents diverged on multi-{num_objects}"
+    assert parallel.defect.total == sequential.defect.total
+    return {
+        "num_objects": num_objects,
+        "jobs": jobs,
+        "shards": perf.counter("parallel.shards"),
+        "k": k,
+        "num_types": parallel.num_types,
+        "defect": parallel.defect.total,
+        "sequential_wall_seconds": round(sequential_seconds, 6),
+        "parallel_wall_seconds": round(parallel_seconds, 6),
+        "speedup": round(
+            sequential_seconds / max(parallel_seconds, 1e-9), 3
+        ),
+    }
+
+
+def compare_recast_memo(step: int = 10) -> Dict[str, object]:
+    """Figure 6 sweep on DBG with the recast memo on vs off.
+
+    Gates on identical defect curves and on the memo cutting
+    ``recast.evaluations`` by at least :data:`MIN_MEMO_REDUCTION`.
+    """
+    db = make_dbg(seed=1998)
+    perf_on = PerfRecorder()
+    perf_off = PerfRecorder()
+    with_memo = SchemaExtractor(
+        db, recast_memo=True, perf=perf_on
+    ).sweep(step=step)
+    without_memo = SchemaExtractor(
+        db, recast_memo=False, perf=perf_off
+    ).sweep(step=step)
+    assert with_memo.points == without_memo.points, (
+        "recast memo changed the Figure 6 defect curve"
+    )
+    evaluations_on = perf_on.counter("recast.evaluations")
+    evaluations_off = perf_off.counter("recast.evaluations")
+    assert evaluations_off > 0, "memo-off sweep recorded no evaluations"
+    reduction = 1.0 - evaluations_on / evaluations_off
+    assert reduction >= MIN_MEMO_REDUCTION, (
+        f"recast-memo reduction {reduction:.1%} fell below the "
+        f"{MIN_MEMO_REDUCTION:.0%} regression bar "
+        f"({evaluations_on} vs {evaluations_off})"
+    )
+    return {
+        "dataset": "dbg-1998",
+        "sweep_step": step,
+        "evaluations_with_memo": evaluations_on,
+        "evaluations_without_memo": evaluations_off,
+        "memo_hits": perf_on.counter("recast.memo_hits"),
+        "evaluation_reduction": round(reduction, 4),
+    }
+
+
+def run_suite(
+    sizes: List[int], jobs: int = DEFAULT_JOBS
+) -> Dict[str, object]:
     """The whole harness: engine comparison + instrumented pipeline."""
     return {
         "suite": "perf-regression",
         "min_check_reduction": MIN_CHECK_REDUCTION,
+        "min_memo_reduction": MIN_MEMO_REDUCTION,
         "engine_comparison": [compare_gfp_engines(n) for n in sizes],
         "pipeline": [run_pipeline(n) for n in sizes],
+        "parallel_comparison": [
+            compare_parallel_pipeline(n, jobs=jobs) for n in sizes
+        ],
+        "recast_memo": compare_recast_memo(),
     }
 
 
@@ -148,9 +250,22 @@ def test_gfp_engine_regression_gate():
     assert stats["check_reduction"] >= MIN_CHECK_REDUCTION
 
 
+def test_parallel_pipeline_extent_gate():
+    """``jobs=2`` is extent-identical to sequential on the smallest
+    multi-component spec (the assertion lives inside the comparison)."""
+    stats = compare_parallel_pipeline(100, jobs=2)
+    assert stats["shards"] >= 2
+
+
+def test_recast_memo_regression_gate():
+    """The memoized sweep beats the memo-off sweep by the 30% bar."""
+    stats = compare_recast_memo()
+    assert stats["evaluation_reduction"] >= MIN_MEMO_REDUCTION
+
+
 def test_pipeline_emits_bench_json(tmp_path):
     """An instrumented end-to-end run produces a well-formed report."""
-    payload = run_suite([100])
+    payload = run_suite([100], jobs=2)
     out = tmp_path / "BENCH_pipeline.json"
     write_report(payload, out)
     loaded = json.loads(out.read_text(encoding="utf-8"))
@@ -159,6 +274,12 @@ def test_pipeline_emits_bench_json(tmp_path):
     assert entry["peak_candidates"] > 0
     assert entry["satisfaction_checks"] > 0
     assert entry["merge_steps"] > 0
+    (parallel_entry,) = loaded["parallel_comparison"]
+    assert parallel_entry["jobs"] == 2
+    assert parallel_entry["shards"] >= 2
+    assert loaded["recast_memo"]["evaluation_reduction"] >= (
+        MIN_MEMO_REDUCTION
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -170,11 +291,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N", help="scalability-spec sizes to run (objects)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=DEFAULT_JOBS, metavar="N",
+        help="worker processes for the parallel comparison",
+    )
+    parser.add_argument(
         "--output", default=str(RESULTS_PATH), metavar="PATH",
         help="where to write BENCH_pipeline.json",
     )
     args = parser.parse_args(argv)
-    payload = run_suite(args.sizes)
+    payload = run_suite(args.sizes, jobs=args.jobs)
     write_report(payload, pathlib.Path(args.output))
     for entry in payload["engine_comparison"]:
         print(
@@ -192,6 +317,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{entry['heap_pushes']} heap pushes, "
             f"peak {entry['peak_candidates']} candidates"
         )
+    for entry in payload["parallel_comparison"]:
+        print(
+            f"parallel multi-{entry['num_objects']} jobs={entry['jobs']}: "
+            f"{entry['shards']} shards, extents identical, "
+            f"{entry['parallel_wall_seconds'] * 1000:.1f} ms vs "
+            f"{entry['sequential_wall_seconds'] * 1000:.1f} ms sequential "
+            f"({entry['speedup']:.2f}x, informational)"
+        )
+    memo = payload["recast_memo"]
+    print(
+        f"recast memo on {memo['dataset']}: "
+        f"{memo['evaluations_with_memo']} vs "
+        f"{memo['evaluations_without_memo']} evaluations "
+        f"({memo['evaluation_reduction']:.1%} reduction)"
+    )
     print(f"wrote {args.output}")
     return 0
 

@@ -19,6 +19,7 @@ import pytest
 from repro.core.fixpoint import greatest_fixpoint, greatest_fixpoint_naive
 from repro.core.perfect import build_object_program, minimal_perfect_typing
 from repro.core.typing_program import ATOMIC
+from repro.graph.database import Database
 from repro.synth.generator import generate
 from repro.synth.spec import DatasetSpec, LinkSpec, TypeSpec
 
@@ -26,7 +27,7 @@ SIZES = [100, 400, 1600]
 _CACHE: Dict[int, float] = {}
 
 
-def make_scaled(num_objects: int):
+def make_scaled(num_objects: int, seed: int = 99):
     per_type = num_objects // 4
     types = (
         TypeSpec("a", per_type, (
@@ -46,7 +47,31 @@ def make_scaled(num_objects: int):
             LinkSpec("sees", "a", 0.5),
         )),
     )
-    return generate(DatasetSpec(f"scaled-{num_objects}", types), seed=99)
+    return generate(DatasetSpec(f"scaled-{num_objects}", types), seed=seed)
+
+
+def make_multi_component(num_objects: int, num_components: int = 4):
+    """Disjoint union of prefixed ``make_scaled`` copies.
+
+    ``make_scaled`` emits one densely linked blob, which the component
+    partitioner correctly refuses to split.  The parallel benches need
+    a database with several weakly-connected components — the regime
+    where ``--jobs`` applies — so this unions ``num_components``
+    independent copies (distinct seeds) under per-copy prefixes.
+    """
+    out = Database()
+    per_copy = max(num_objects // num_components, 8)
+    for index in range(num_components):
+        db = make_scaled(per_copy, seed=99 + index)
+        prefix = f"p{index}_"
+        for obj in db.objects():
+            if db.is_atomic(obj):
+                out.add_atomic(prefix + obj, db.value(obj))
+            else:
+                out.add_complex(prefix + obj)
+        for edge in db.edges():
+            out.add_link(prefix + edge.src, prefix + edge.dst, edge.label)
+    return out
 
 
 def run_stage1(num_objects: int) -> float:

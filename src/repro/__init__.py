@@ -60,6 +60,7 @@ from repro.core import (
     sensitivity_sweep,
 )
 from repro.graph import Database, DatabaseBuilder
+from repro.parallel import ParallelExtractor
 from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.runtime import (
     Budget,
@@ -93,6 +94,7 @@ __all__ = [
     "IncrementalTyper",
     "MergePolicy",
     "NULL_RECORDER",
+    "ParallelExtractor",
     "PerfRecorder",
     "PerfectTyping",
     "PriorKnowledge",

@@ -32,6 +32,7 @@ from repro.core.hierarchy import hierarchy_to_dot
 from repro.core.sorts import sorted_local_rule
 from repro.core.pipeline import SchemaExtractor
 from repro.exceptions import ReproError
+from repro.parallel import ParallelExtractor
 from repro.graph.dot import database_to_dot, program_to_dot
 from repro.graph.oem import dumps_oem, load_oem
 from repro.graph.sanitize import load_oem_sanitized
@@ -93,19 +94,39 @@ def _report_perf(args: argparse.Namespace, perf: Optional[PerfRecorder]) -> None
         print(perf.summary(), file=sys.stderr)
 
 
+def _make_extractor(args: argparse.Namespace, db, perf):
+    """A sequential or parallel extractor, depending on ``--jobs``.
+
+    ``--jobs 1`` (the default) builds a plain :class:`SchemaExtractor`
+    so the sequential path stays byte-identical; ``--jobs N`` builds a
+    :class:`ParallelExtractor`, which itself falls back to sequential
+    when the graph is a single component.
+    """
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        raise ReproError("--jobs must be >= 1")
+    recast_memo = not getattr(args, "no_recast_memo", False)
+    common = dict(
+        distance=args.distance,
+        use_roles=getattr(args, "roles", False),
+        allow_empty_type=getattr(args, "empty_type", False),
+        local_rule_fn=(
+            sorted_local_rule if getattr(args, "sorts", False) else None
+        ),
+        recast_memo=recast_memo,
+        perf=perf,
+    )
+    if jobs == 1:
+        return SchemaExtractor(db, **common)
+    return ParallelExtractor(db, jobs=jobs, **common)
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     if args.resume and args.max_defect is not None:
         raise ReproError("--resume and --max-defect are mutually exclusive")
     db = _load_database(args)
     perf = _make_perf(args)
-    extractor = SchemaExtractor(
-        db,
-        distance=args.distance,
-        use_roles=args.roles,
-        allow_empty_type=args.empty_type,
-        local_rule_fn=sorted_local_rule if args.sorts else None,
-        perf=perf,
-    )
+    extractor = _make_extractor(args, db, perf)
     budget = _make_budget(args)
     if args.max_defect is not None:
         result = extractor.extract_within_defect(args.max_defect, budget=budget)
@@ -126,7 +147,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     db = _load_database(args)
     perf = _make_perf(args)
-    extractor = SchemaExtractor(db, distance=args.distance, perf=perf)
+    extractor = _make_extractor(args, db, perf)
     sweep = extractor.sweep(step=args.step, budget=_make_budget(args))
     _report_perf(args, perf)
     print("k,total_distance,defect,excess,deficit")
@@ -242,6 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="allow moving outlier types to the empty type")
     p_extract.add_argument("--sorts", action="store_true",
                            help="distinguish atomic sorts (Remark 2.1)")
+    p_extract.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes for Stage 1 sharding and "
+                           "the sweep (1 = sequential; falls back to "
+                           "sequential on single-component graphs)")
+    p_extract.add_argument("--no-recast-memo", action="store_true",
+                           help="disable the cross-sample recast memo "
+                           "(results are identical; use to measure the "
+                           "saving)")
     p_extract.add_argument("--max-defect", type=int, default=None,
                            help="solve the dual problem: smallest schema "
                            "with defect at most N (overrides -k)")
@@ -270,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--distance", default="delta_2")
     p_sweep.add_argument("--step", type=int, default=1,
                          help="sample every STEP values of k")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the sweep's sample "
+                         "blocks (1 = sequential)")
+    p_sweep.add_argument("--no-recast-memo", action="store_true",
+                         help="disable the cross-sample recast memo")
     p_sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                          help="wall-clock budget; exhaustion truncates the series")
     p_sweep.add_argument("--max-iterations", type=int, default=None, metavar="N",

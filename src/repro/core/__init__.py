@@ -62,7 +62,13 @@ from repro.core.notation import format_program, format_rule, parse_program
 from repro.core.perfect import PerfectTyping, minimal_perfect_typing
 from repro.core.prior import PriorKnowledge, combine_with_stage1
 from repro.core.pipeline import ExtractionResult, SchemaExtractor
-from repro.core.recast import RecastMode, RecastResult, recast, type_new_object
+from repro.core.recast import (
+    RecastMemo,
+    RecastMode,
+    RecastResult,
+    recast,
+    type_new_object,
+)
 from repro.core.roles import RoleDecomposition, decompose_roles
 from repro.core.serialize import (
     StoredExtraction,
@@ -99,6 +105,7 @@ __all__ = [
     "MergePolicy",
     "MergeRecord",
     "PerfectTyping",
+    "RecastMemo",
     "RecastMode",
     "RecastResult",
     "RoleDecomposition",

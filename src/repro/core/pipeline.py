@@ -159,6 +159,14 @@ class SchemaExtractor:
         Override for Stage 1's local-picture builder; pass
         :func:`repro.core.sorts.sorted_local_rule` for the Remark 2.1
         multiple-atomic-sorts refinement.
+    stage1:
+        A precomputed Stage 1 result to reuse instead of computing one
+        (the parallel extractor injects the merged shard typing here,
+        so the sequential Stage 2/3 machinery runs unchanged on top).
+    recast_memo:
+        Share a recast memo across sweep samples (see
+        :class:`repro.core.recast.RecastMemo`; default on — results
+        are identical either way, this only skips repeated work).
     perf:
         Optional :class:`repro.perf.PerfRecorder` threaded through all
         three stages (GFP engine, merger, sweep) plus the pipeline-level
@@ -180,6 +188,8 @@ class SchemaExtractor:
         fallback: str = "closest",
         prior: Optional[PriorKnowledge] = None,
         local_rule_fn=None,
+        stage1: Optional[PerfectTyping] = None,
+        recast_memo: bool = True,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         self._db = db
@@ -193,7 +203,8 @@ class SchemaExtractor:
         self._fallback = fallback
         self._prior = prior
         self._local_rule_fn = local_rule_fn
-        self._stage1: Optional[PerfectTyping] = None
+        self._recast_memo = recast_memo
+        self._stage1: Optional[PerfectTyping] = stage1
 
     # ------------------------------------------------------------------
     def stage1(self) -> PerfectTyping:
@@ -281,6 +292,7 @@ class SchemaExtractor:
             frozen=frozen,
             budget=budget,
             perf=self._perf,
+            use_memo=self._recast_memo,
         )
 
     def extract(
@@ -402,6 +414,7 @@ class SchemaExtractor:
                         frozen=frozen,
                         budget=budget,
                         perf=self._perf,
+                        use_memo=self._recast_memo,
                     )
             except ExecutionInterruptedError as exc:
                 # Not even one point sampled: degrade to the perfect
@@ -476,6 +489,7 @@ class SchemaExtractor:
                 home=home,
                 mode=self._recast_mode,
                 fallback=self._fallback,
+                perf=self._perf,
             )
             defect = compute_defect(
                 stage2.program, self._db, recast_result.assignment
@@ -593,6 +607,7 @@ class SchemaExtractor:
             home=home,
             mode=self._recast_mode,
             fallback=self._fallback,
+            perf=self._perf,
         )
         defect = compute_defect(
             stage2.program, self._db, recast_result.assignment

@@ -24,6 +24,20 @@ empty type.
 
 :func:`type_new_object` applies the same rules to a previously unseen
 object, the paper's incremental-typing story.
+
+Memoization
+-----------
+The sensitivity sweep (Figure 6) recasts the *same* database once per
+sampled ``k``; between neighbouring samples only one merge happened,
+so most rule bodies and most objects' local pictures are unchanged and
+the rule-satisfaction subset tests they induce are recomputed verbatim.
+A :class:`RecastMemo` caches those tests keyed on the
+``(rule body, local picture)`` value pair — both are frozensets of
+:class:`~repro.core.typing_program.TypedLink`, so the cache is exact
+and semantically inert (results are bit-identical with or without it).
+One memo instance is shared across all samples of a sweep; the
+``recast.evaluations`` / ``recast.memo_hits`` perf counters quantify
+the saving (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -51,8 +65,91 @@ from repro.core.typing_program import (
 )
 from repro.exceptions import RecastError
 from repro.graph.database import Database, ObjectId
+from repro.perf import PerfRecorder, resolve as _resolve_perf
 
 Assignment = Mapping[ObjectId, AbstractSet[str]]
+
+
+class RecastMemo:
+    """Cross-sample cache of rule-satisfaction subset tests.
+
+    Keys are ``(rule body, local picture)`` frozenset pairs; values are
+    the boolean outcome of ``body <= local``.  Because the key captures
+    the *entire* input of the test, a hit can never change a result —
+    the memo only skips recomputation (frozensets cache their hashes,
+    so lookups stay cheap even for large bodies).
+
+    One instance is meant to be shared across the recast calls of a
+    sweep (or any sequence of recasts over the same database); the
+    parallel sweep gives each worker its own memo, shared across that
+    worker's contiguous block of ``k`` samples.
+
+    Attributes
+    ----------
+    hits / misses:
+        Running tallies, also exported through the
+        ``recast.memo_hits`` / ``recast.evaluations`` perf counters.
+    """
+
+    __slots__ = ("_cache", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._cache: Dict[
+            Tuple[FrozenSet[TypedLink], FrozenSet[TypedLink]], bool
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def covered(
+        self, body: FrozenSet[TypedLink], local: FrozenSet[TypedLink]
+    ) -> bool:
+        """Whether ``body <= local``, answered from the cache if seen."""
+        key = (body, local)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = body <= local
+            self._cache[key] = cached
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def _program_uses_sorts(program: TypingProgram) -> bool:
+    """Whether any rule uses the Remark 2.1 sorted-atomic refinement."""
+    return any(link.sort is not None for link in program.typed_links())
+
+
+def _satisfied_for_local(
+    program: TypingProgram,
+    local: FrozenSet[TypedLink],
+    memo: Optional[RecastMemo],
+    perf: PerfRecorder,
+) -> FrozenSet[str]:
+    """Rules whose body the precomputed ``local`` picture covers."""
+    names = []
+    evaluated = 0
+    hits = 0
+    if memo is None:
+        for rule in program.rules():
+            evaluated += 1
+            if rule.body <= local:
+                names.append(rule.name)
+    else:
+        before_misses = memo.misses
+        before_hits = memo.hits
+        for rule in program.rules():
+            if memo.covered(rule.body, local):
+                names.append(rule.name)
+        evaluated = memo.misses - before_misses
+        hits = memo.hits - before_hits
+    perf.incr("recast.evaluations", evaluated)
+    if hits:
+        perf.incr("recast.memo_hits", hits)
+    return frozenset(names)
 
 
 class RecastMode(enum.Enum):
@@ -137,20 +234,22 @@ def satisfied_types(
     db: Database,
     obj: ObjectId,
     reference: Assignment,
+    memo: Optional[RecastMemo] = None,
+    perf: Optional[PerfRecorder] = None,
 ) -> FrozenSet[str]:
     """Types whose body ``obj`` satisfies *one-step* under ``reference``.
 
     This is the non-fixpoint satisfaction check used by
     ``HOME_GUIDED`` recasting and by new-object typing: neighbours are
     typed by the reference assignment rather than recursively.
+
+    ``memo`` optionally caches the per-rule subset tests across calls
+    (see :class:`RecastMemo`); ``perf`` records the
+    ``recast.evaluations`` / ``recast.memo_hits`` counters.
     """
-    uses_sorts = any(
-        link.sort is not None for link in program.typed_links()
-    )
+    uses_sorts = _program_uses_sorts(program)
     local = object_local_body(db, obj, reference, include_sorts=uses_sorts)
-    return frozenset(
-        rule.name for rule in program.rules() if rule.body <= local
-    )
+    return _satisfied_for_local(program, local, memo, _resolve_perf(perf))
 
 
 def closest_type(
@@ -186,6 +285,8 @@ def recast(
     home: Optional[Assignment] = None,
     mode: RecastMode = RecastMode.HOME_GUIDED,
     fallback: str = "closest",
+    memo: Optional[RecastMemo] = None,
+    perf: Optional[PerfRecorder] = None,
 ) -> RecastResult:
     """Run Stage 3 and return the final object-to-types assignment.
 
@@ -204,18 +305,24 @@ def recast(
     fallback:
         ``"closest"`` (default) assigns objects that satisfied nothing
         to the closest type by ``d``; ``"none"`` leaves them untyped.
+    memo:
+        Optional :class:`RecastMemo` shared across recast calls (the
+        sweep passes one); only affects work done, never the result.
+    perf:
+        Optional recorder for the ``recast.*`` counters.
     """
     if fallback not in ("closest", "none"):
         raise RecastError(f"unknown fallback {fallback!r}")
     if mode is RecastMode.HOME_GUIDED and home is None:
         raise RecastError("HOME_GUIDED recasting requires a home assignment")
+    recorder = _resolve_perf(perf)
 
     assignment: Dict[ObjectId, Set[str]] = {
         obj: set() for obj in db.complex_objects()
     }
 
     if mode is RecastMode.STRICT:
-        fixpoint = greatest_fixpoint(program, db)
+        fixpoint = greatest_fixpoint(program, db, perf=perf)
         for type_name, members in fixpoint.extents.items():
             for obj in members:
                 assignment[obj].add(type_name)
@@ -226,8 +333,16 @@ def recast(
             if homes:
                 assignment[obj].update(t for t in homes if t in program)
         # Add every type satisfied one-step under the home assignment.
+        # uses_sorts and the local pictures are computed once per call
+        # (not per satisfied_types invocation) on this hot path.
+        uses_sorts = _program_uses_sorts(program)
         for obj in assignment:
-            assignment[obj].update(satisfied_types(program, db, obj, home))
+            local = object_local_body(
+                db, obj, home, include_sorts=uses_sorts
+            )
+            assignment[obj].update(
+                _satisfied_for_local(program, local, memo, recorder)
+            )
 
     explicitly_untyped: Set[ObjectId] = set()
     if home is not None:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     FrozenSet,
+    Iterable,
     List,
     Mapping,
     Optional,
@@ -40,7 +41,7 @@ from repro.core.clustering import GreedyMerger, MergePolicy
 from repro.core.defect import compute_defect
 from repro.core.distance import WeightedDistance, delta_2
 from repro.core.perfect import PerfectTyping, minimal_perfect_typing
-from repro.core.recast import RecastMode, recast
+from repro.core.recast import RecastMemo, RecastMode, recast
 from repro.exceptions import ClusteringError, ExecutionInterruptedError
 from repro.graph.database import Database, ObjectId
 from repro.perf import PerfRecorder, resolve as _resolve_perf
@@ -166,6 +167,8 @@ def sensitivity_sweep(
     frozen: Optional[FrozenSet[str]] = None,
     budget: Optional["Budget"] = None,
     perf: Optional[PerfRecorder] = None,
+    sample_at: Optional[Iterable[int]] = None,
+    use_memo: bool = True,
 ) -> SensitivityResult:
     """Sweep ``k`` from the perfect typing size down to ``min_k``.
 
@@ -197,6 +200,16 @@ def sensitivity_sweep(
     perf:
         Optional :class:`repro.perf.PerfRecorder`; threaded into the
         merger, plus ``sweep.samples`` and the ``sweep.sample`` timer.
+    sample_at:
+        Explicit sample set overriding the computed ``step`` grid
+        (values outside ``[min_k, max_k]`` are dropped).  The parallel
+        sweep uses this to hand each worker a contiguous block of
+        ``k`` values while replaying the same merge sequence.
+    use_memo:
+        Share one :class:`~repro.core.recast.RecastMemo` across all
+        samples, so neighbouring ``k`` stop recomputing identical
+        rule-satisfaction tests.  Results are identical either way;
+        disable to measure the saving (``--no-recast-memo``).
 
     Returns a :class:`SensitivityResult` sorted by ascending ``k``.
     """
@@ -222,10 +235,15 @@ def sensitivity_sweep(
         max_k = n
     min_k = max(1, min_k, len(frozen or ()))
 
-    sample_ks = set(range(min_k, max_k + 1, step))
-    sample_ks.add(min_k)
-    sample_ks.add(max_k)
+    if sample_at is not None:
+        sample_ks = {k for k in sample_at if min_k <= k <= max_k}
+    else:
+        sample_ks = set(range(min_k, max_k + 1, step))
+        sample_ks.add(min_k)
+        sample_ks.add(max_k)
+    stop_k = min(sample_ks) if sample_ks else min_k
 
+    memo = RecastMemo() if use_memo else None
     points: List[SensitivityPoint] = []
 
     def sample() -> None:
@@ -235,7 +253,10 @@ def sensitivity_sweep(
         with perf.span("sweep.sample"):
             snapshot = merger.result()
             home = snapshot.map_assignment(assignment)
-            recast_result = recast(snapshot.program, db, home=home, mode=mode)
+            recast_result = recast(
+                snapshot.program, db, home=home, mode=mode,
+                memo=memo, perf=perf,
+            )
             report = compute_defect(
                 snapshot.program, db, recast_result.assignment
             )
@@ -253,7 +274,7 @@ def sensitivity_sweep(
     try:
         if merger.num_types in sample_ks:
             sample()
-        while merger.num_types > min_k:
+        while merger.num_types > stop_k:
             merger.step(budget=budget)
             if merger.num_types in sample_ks:
                 sample()
@@ -269,10 +290,11 @@ def sensitivity_sweep(
         )
 
     points.sort(key=lambda p: p.k)
-    logger.info(
-        "sweep: %d point(s) over k=%d..%d%s",
-        len(points),
-        points[0].k, points[-1].k,
-        " (exhausted)" if exhausted else "",
-    )
+    if points:
+        logger.info(
+            "sweep: %d point(s) over k=%d..%d%s",
+            len(points),
+            points[0].k, points[-1].k,
+            " (exhausted)" if exhausted else "",
+        )
     return SensitivityResult(points=tuple(points), exhausted=exhausted)

@@ -17,6 +17,7 @@ from repro.graph.oem import (
     loads_oem,
     parse_oem_facts,
 )
+from repro.graph.partition import Shard, extract_shard, partition_database
 from repro.graph.relational import from_relations, to_relations
 from repro.graph.sanitize import (
     SanitizationIssue,
@@ -52,6 +53,7 @@ __all__ = [
     "SanitizationIssue",
     "SanitizationReport",
     "SanitizePolicy",
+    "Shard",
     "breadth_first_order",
     "database_to_dot",
     "connected_components",
@@ -60,6 +62,7 @@ __all__ = [
     "drop_labels",
     "dumps_oem",
     "dumps_oem_facts",
+    "extract_shard",
     "from_csv",
     "from_json",
     "from_relations",
@@ -71,6 +74,7 @@ __all__ = [
     "loads_oem",
     "neighborhood",
     "parse_oem_facts",
+    "partition_database",
     "program_to_dot",
     "rename_labels",
     "reachable_from",

@@ -1,0 +1,28 @@
+"""Multi-process extraction across weakly-connected-component shards.
+
+Public surface:
+
+* :class:`ParallelExtractor` — the ``--jobs N`` front end;
+* :func:`parallel_stage1` / :func:`parallel_sweep` — the two
+  fan-out phases, usable on their own;
+* :func:`merge_shard_typings` / :func:`sharded_stage1` — the
+  in-process reconciliation primitives (used by the property tests).
+
+See ``docs/PARALLELISM.md`` for the sharding model and the
+determinism guarantees.
+"""
+
+from repro.parallel.extractor import (
+    ParallelExtractor,
+    parallel_stage1,
+    parallel_sweep,
+)
+from repro.parallel.merge import merge_shard_typings, sharded_stage1
+
+__all__ = [
+    "ParallelExtractor",
+    "merge_shard_typings",
+    "parallel_stage1",
+    "parallel_sweep",
+    "sharded_stage1",
+]

@@ -1,0 +1,193 @@
+"""Reconciling shard-local Stage 1 typings into a global one.
+
+Why this is sound
+-----------------
+The GFP extent of a per-object type is ``M(q:o) = {p : p ≽ o}`` under
+mutual-step similarity, which is computed pairwise inside weakly-
+connected components: whether ``p`` simulates ``o`` depends only on the
+two objects' own components.  Running Stage 1 on a shard (a union of
+whole components) therefore yields ``M_S(q:o) = M(q:o) ∩ S``, and two
+shard objects with equal *restricted* extents are mutually similar —
+hence, by transitivity of the similarity preorder, have equal *global*
+extents.  Shard-local equivalence classes are exactly the global
+classes restricted to the shard; what remains is to discover which
+classes of *different* shards coincide.
+
+That is a class-level problem: prefix-rename each shard's program
+apart (``s<i>.``), union the programs, and run **one** GFP over the
+full database.  The combined program has one rule per shard class —
+``K`` classes, typically orders of magnitude fewer than the ``N``
+per-object rules of ``Q_D`` — so the reconcile pass is cheap relative
+to re-running Stage 1 sequentially.  Its extents are the global
+``M(q:leader)`` of each class, and grouping classes by those extents
+reproduces the sequential collapse exactly: same classes, same
+smallest-home-object leaders, same canonical ``t1..tn`` names, same
+representative rules and weights.  The only sequential field that
+differs is the ``q_iterations`` diagnostic (work now happens in
+several fixpoints); tests compare everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.fixpoint import greatest_fixpoint
+from repro.core.perfect import (
+    PerfectTyping,
+    local_rule,
+    minimal_perfect_typing,
+    object_type_name,
+)
+from repro.core.typing_program import TypeRule, TypingProgram
+from repro.exceptions import ClusteringError
+from repro.graph.database import Database, ObjectId
+from repro.graph.partition import extract_shard, partition_database
+from repro.perf import PerfRecorder, resolve as _resolve_perf
+
+#: Separator between the shard prefix and the shard-local class name.
+#: Shard-local names are ``t<i>`` and final names are ``t<i>``, so the
+#: ``s<i>.`` prefix can never collide with either.
+_SHARD_PREFIX = "s{index}."
+
+
+def merge_shard_typings(
+    db: Database,
+    typings: Sequence[PerfectTyping],
+    local_rule_fn=None,
+    perf: Optional[PerfRecorder] = None,
+) -> PerfectTyping:
+    """Merge per-shard Stage 1 results into the global perfect typing.
+
+    ``typings[i]`` must be the minimal perfect typing of shard ``i`` of
+    an edge-closed partition of ``db`` (every complex object of ``db``
+    appears in exactly one shard typing).  ``local_rule_fn`` must match
+    the one the shards used.  Returns a :class:`PerfectTyping` equal to
+    the sequential ``minimal_perfect_typing(db)`` in every field except
+    ``q_iterations``.
+    """
+    recorder = _resolve_perf(perf)
+    build = local_rule_fn if local_rule_fn is not None else local_rule
+
+    # 1. Prefix-rename each shard's classes apart and pool the rules.
+    with recorder.span("parallel.reconcile"):
+        prefixed_rules: List[TypeRule] = []
+        shard_members: Dict[str, List[ObjectId]] = {}
+        for index, typing in enumerate(typings):
+            prefix = _SHARD_PREFIX.format(index=index)
+            rename = {
+                name: prefix + name for name in typing.program.type_names()
+            }
+            for rule in typing.program.rules():
+                prefixed_rules.append(
+                    rule.rename_targets(rename).with_name(rename[rule.name])
+                )
+            for obj, home in typing.home_type.items():
+                shard_members.setdefault(prefix + home, []).append(obj)
+        combined = TypingProgram(prefixed_rules, check=False)
+
+        # 2. One class-level GFP over the *full* database: its extents
+        # are the global extents of each shard class's leader.
+        fixpoint = greatest_fixpoint(combined, db, perf=perf)
+        recorder.incr("parallel.reconcile_classes", len(prefixed_rules))
+
+        # 3. Group shard classes by global extent — the cross-shard
+        # half of the sequential collapse.
+        by_extent: Dict[FrozenSet[ObjectId], List[str]] = {}
+        for name in combined.type_names():
+            by_extent.setdefault(fixpoint.members(name), []).append(name)
+
+        groups: List[Tuple[ObjectId, FrozenSet[ObjectId], List[ObjectId]]] = []
+        seen: set = set()
+        for extent, names in by_extent.items():
+            members: List[ObjectId] = []
+            for name in names:
+                members.extend(shard_members.get(name, ()))
+            if not members:
+                raise ClusteringError(
+                    "shard typings do not cover the database: class(es) "
+                    f"{sorted(names)} have no home objects"
+                )
+            for member in members:
+                if member in seen:
+                    raise ClusteringError(
+                        f"object {member!r} appears in more than one shard "
+                        "typing; shards must partition the database"
+                    )
+                seen.add(member)
+            members.sort()
+            groups.append((members[0], extent, members))
+
+        # Canonical names by smallest home object, exactly as the
+        # sequential collapse orders them (leaders are distinct, so
+        # sorting by leader alone is the same order).
+        groups.sort(key=lambda group: group[0])
+        class_of_object: Dict[ObjectId, str] = {}
+        class_extent: Dict[str, FrozenSet[ObjectId]] = {}
+        representative: Dict[str, ObjectId] = {}
+        for index, (leader, extent, members) in enumerate(groups, start=1):
+            name = f"t{index}"
+            class_extent[name] = extent
+            representative[name] = leader
+            for member in members:
+                class_of_object[member] = name
+
+        # 4. Rebuild one representative rule per global class from the
+        # full database, as the sequential collapse does.
+        rename = {
+            object_type_name(obj): class_name
+            for obj, class_name in class_of_object.items()
+        }
+        rules = [
+            build(db, leader).rename_targets(rename).with_name(name)
+            for name, leader in representative.items()
+        ]
+        program = TypingProgram(rules)
+
+        weights: Dict[str, int] = {name: 0 for name in class_extent}
+        for class_name in class_of_object.values():
+            weights[class_name] += 1
+
+    return PerfectTyping(
+        program=program,
+        home_type=class_of_object,
+        extents=class_extent,
+        weights=weights,
+        q_iterations=(
+            sum(t.q_iterations for t in typings) + fixpoint.iterations
+        ),
+    )
+
+
+def sharded_stage1(
+    db: Database,
+    num_shards: int,
+    max_objects: Optional[int] = None,
+    local_rule_fn=None,
+    perf: Optional[PerfRecorder] = None,
+) -> PerfectTyping:
+    """Stage 1 via sharding, in-process (no worker pool).
+
+    The single-process skeleton of the parallel Stage 1: partition,
+    type each shard independently, reconcile.  The process-pool
+    extractor dispatches the same per-shard work to workers; the
+    property-test suite uses this function to check the sharded result
+    against the sequential oracle without multiprocessing noise.
+    """
+    shards = partition_database(db, num_shards, max_objects=max_objects)
+    if len(shards) <= 1:
+        # One giant component (or an empty/trivial database): the
+        # documented fallback to the plain sequential path.
+        return minimal_perfect_typing(
+            db, local_rule_fn=local_rule_fn, perf=perf
+        )
+    typings = [
+        minimal_perfect_typing(
+            extract_shard(db, shard.objects),
+            local_rule_fn=local_rule_fn,
+            perf=perf,
+        )
+        for shard in shards
+    ]
+    return merge_shard_typings(
+        db, typings, local_rule_fn=local_rule_fn, perf=perf
+    )

@@ -1,0 +1,162 @@
+"""Process-pool worker entry points (must stay module-level picklable).
+
+``ProcessPoolExecutor`` pickles the callable and its arguments into
+the worker, and pickles the return value back; everything here is a
+plain module-level function over plain dataclasses of picklable state
+(:class:`~repro.graph.database.Database` is dict/set-based,
+:class:`~repro.core.perfect.PerfectTyping` is frozen-dataclass-of-
+frozensets).  Two consequences the extractor layer enforces:
+
+* **distances travel by name** — ``delta_1``/``delta_4`` are closures
+  over the hypercube dimension, so a sweep task carries the distance
+  *name* plus the dimension count and the worker re-resolves it via
+  :func:`~repro.core.distance.named_distances`; callable distances
+  force the sequential path;
+* **budgets travel by remaining allowance** — a
+  :class:`~repro.runtime.budget.Budget` holds a ``threading.Event``
+  token that cannot cross the process boundary, so sweep tasks carry
+  the parent's remaining timeout/iterations and rebuild a local budget
+  (Stage 1 tasks carry none: Stage 1 is the pipeline's mandatory
+  minimum).  Cancellation is enforced parent-side by shutting the pool
+  down.
+
+Each worker runs its own :class:`~repro.perf.PerfRecorder` and ships
+the ``to_dict`` snapshot home; the parent folds the snapshots in with
+:meth:`~repro.perf.PerfRecorder.merge_dict` so ``--perf-report`` stays
+truthful under parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.core.clustering import MergePolicy
+from repro.core.distance import named_distances
+from repro.core.perfect import PerfectTyping, minimal_perfect_typing
+from repro.core.recast import RecastMode
+from repro.core.sensitivity import SensitivityPoint, sensitivity_sweep
+from repro.exceptions import BudgetExceededError
+from repro.graph.database import Database, ObjectId
+from repro.perf import PerfRecorder
+from repro.runtime.budget import Budget
+
+
+@dataclass(frozen=True)
+class Stage1Task:
+    """One shard's Stage 1 work order."""
+
+    index: int  #: shard index (for deterministic reassembly).
+    db: Database  #: the shard's own edge-closed sub-database.
+    local_rule_fn: Optional[Any] = None  #: module-level callable or None.
+    record_perf: bool = False
+
+
+@dataclass(frozen=True)
+class Stage1Outcome:
+    """A shard typing plus the worker's perf snapshot."""
+
+    index: int
+    typing: PerfectTyping
+    perf_snapshot: Optional[Dict[str, Any]] = None
+
+
+def run_stage1_task(task: Stage1Task) -> Stage1Outcome:
+    """Worker body: minimal perfect typing of one shard."""
+    perf = PerfRecorder() if task.record_perf else None
+    typing = minimal_perfect_typing(
+        task.db, local_rule_fn=task.local_rule_fn, perf=perf
+    )
+    return Stage1Outcome(
+        index=task.index,
+        typing=typing,
+        perf_snapshot=perf.to_dict() if perf is not None else None,
+    )
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One worker's block of sensitivity-sweep samples.
+
+    The worker replays the deterministic merge sequence from the full
+    Stage 1 program down to ``min(sample_at)`` and records a point at
+    each requested ``k`` — blocks are contiguous so one worker's
+    :class:`~repro.core.recast.RecastMemo` sees maximal locality.
+    """
+
+    index: int
+    db: Database
+    stage1: PerfectTyping
+    assignment: Mapping[ObjectId, FrozenSet[str]]
+    weights: Mapping[str, float]
+    distance_name: str
+    dimensions: int
+    policy: MergePolicy
+    allow_empty_type: bool
+    mode: RecastMode
+    sample_at: Tuple[int, ...]
+    frozen: Optional[FrozenSet[str]] = None
+    timeout: Optional[float] = None  #: parent's *remaining* seconds.
+    max_iterations: Optional[int] = None  #: parent's *remaining* units.
+    use_memo: bool = True
+    record_perf: bool = False
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """One worker's sampled points and consumed budget."""
+
+    index: int
+    points: Tuple[SensitivityPoint, ...]
+    exhausted: bool
+    iterations: int  #: work units the worker charged its local budget.
+    perf_snapshot: Optional[Dict[str, Any]] = None
+
+
+def run_sweep_task(task: SweepTask) -> SweepOutcome:
+    """Worker body: sample one block of the Figure 6 sweep.
+
+    Budget exhaustion never propagates as an exception: the worker
+    returns whatever prefix of its block it managed, flagged
+    ``exhausted`` — mirroring the sequential sweep's best-so-far
+    contract — and reports the units it consumed so the parent can
+    charge them against the real budget.
+    """
+    perf = PerfRecorder() if task.record_perf else None
+    budget: Optional[Budget] = None
+    if task.timeout is not None or task.max_iterations is not None:
+        budget = Budget(
+            timeout=task.timeout, max_iterations=task.max_iterations
+        ).start()
+    distance = named_distances(task.dimensions)[task.distance_name]
+    points: Tuple[SensitivityPoint, ...] = ()
+    exhausted = False
+    try:
+        result = sensitivity_sweep(
+            task.db,
+            stage1=task.stage1,
+            assignment=task.assignment,
+            weights=task.weights,
+            distance=distance,
+            policy=task.policy,
+            allow_empty_type=task.allow_empty_type,
+            mode=task.mode,
+            min_k=min(task.sample_at),
+            frozen=task.frozen,
+            budget=budget,
+            perf=perf,
+            sample_at=task.sample_at,
+            use_memo=task.use_memo,
+        )
+        points = result.points
+        exhausted = result.exhausted
+    except BudgetExceededError:
+        # Not even the block's first sample completed.
+        exhausted = True
+    return SweepOutcome(
+        index=task.index,
+        points=points,
+        exhausted=exhausted,
+        iterations=budget.iterations if budget is not None else 0,
+        perf_snapshot=perf.to_dict() if perf is not None else None,
+    )

@@ -113,14 +113,35 @@ class PerfRecorder:
         if current is None or value > current:
             self._peaks[name] = value
 
-    def add_time(self, name: str, seconds: float) -> None:
-        """Accumulate ``seconds`` of wall-clock time under ``name``."""
+    def add_time(self, name: str, seconds: float, count: int = 1) -> None:
+        """Accumulate ``seconds`` of wall-clock time under ``name``.
+
+        ``count`` is how many spans the seconds represent — 1 for a
+        live span, possibly more when merging another recorder.
+        """
         entry = self._timers.get(name)
         if entry is None:
-            self._timers[name] = [seconds, 1]
+            self._timers[name] = [seconds, count]
         else:
             entry[0] += seconds
-            entry[1] += 1
+            entry[1] += count
+
+    def merge_dict(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another recorder's :meth:`to_dict` export into this one.
+
+        Used by the parallel extractor: worker processes serialise
+        their recorders back to the parent, which merges them so
+        ``--perf-report`` stays truthful under parallelism.  Counters
+        and timers add; peaks take the maximum.  Implemented on top of
+        :meth:`incr` / :meth:`peak` / :meth:`add_time`, so merging into
+        the :data:`NULL_RECORDER` is a no-op.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.incr(name, value)
+        for name, value in snapshot.get("peaks", {}).items():
+            self.peak(name, value)
+        for name, entry in snapshot.get("timers", {}).items():
+            self.add_time(name, entry["seconds"], count=entry["count"])
 
     def span(self, name: str):
         """A context manager timing one span under ``name``.
@@ -198,7 +219,7 @@ class _NullRecorder(PerfRecorder):
     def peak(self, name: str, value: float) -> None:
         return None
 
-    def add_time(self, name: str, seconds: float) -> None:
+    def add_time(self, name: str, seconds: float, count: int = 1) -> None:
         return None
 
     def span(self, name: str):

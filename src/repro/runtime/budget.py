@@ -175,6 +175,36 @@ class Budget:
         """Work units charged so far."""
         return self._iterations
 
+    @property
+    def token(self) -> Optional[CancellationToken]:
+        """The cancellation token, if one was attached.
+
+        The parallel extractor polls this between future completions:
+        tokens hold a :class:`threading.Event` and cannot cross a
+        process boundary, so cancellation is enforced parent-side by
+        shutting the worker pool down.
+        """
+        return self._token
+
+    def remaining_timeout(self) -> Optional[float]:
+        """Wall-clock seconds left before the deadline (``None`` =
+        unbounded; 0.0 when already past it).
+
+        Used to derive child budgets for worker processes: the child
+        gets the *remaining* allowance, so "10 seconds for the whole
+        pipeline" still means exactly that across a pool.
+        """
+        if self._timeout is None:
+            return None
+        return max(0.0, self._timeout - self.elapsed())
+
+    def remaining_iterations(self) -> Optional[int]:
+        """Iteration units left under the cap (``None`` = unbounded;
+        0 when already exhausted)."""
+        if self._max_iterations is None:
+            return None
+        return max(0, self._max_iterations - self._iterations)
+
     def elapsed(self) -> float:
         """Seconds since :meth:`start` (0 before the budget started)."""
         if self._started_at is None:

@@ -105,3 +105,19 @@ def test_label_paths_respects_depth():
     db = _chain()
     counts = label_paths_from(db, "r", max_depth=1)
     assert "child.child" not in counts
+
+
+def test_connected_components_iterative_on_50k_chain():
+    """Component enumeration must not recurse: a 50k-node chain would
+    blow any recursion-based DFS past Python's stack limit (the
+    regression guard for the parallel partitioner, which enumerates
+    components on every extraction)."""
+    db = Database()
+    for i in range(49_999):
+        db.add_link(f"n{i:05d}", f"n{i + 1:05d}", "next")
+    components = connected_components(db)
+    assert len(components) == 1
+    assert len(components[0]) == 50_000
+    # The weakly-connected closure from either end covers the chain.
+    assert reachable_from(db, ["n00000"], follow_incoming=True) == components[0]
+    assert reachable_from(db, ["n49999"], follow_incoming=True) == components[0]

@@ -1,0 +1,159 @@
+"""Integration tests for the multi-process extractor.
+
+These spin up real ``ProcessPoolExecutor`` workers (small pools, small
+databases) and check the central guarantee: ``jobs=N`` is
+extent-identical to ``jobs=1``, which is byte-identical to the plain
+sequential :class:`SchemaExtractor`.
+"""
+
+import pytest
+
+from repro.core.pipeline import SchemaExtractor
+from repro.core.perfect import minimal_perfect_typing
+from repro.exceptions import ClusteringError, ReproError
+from repro.graph.database import Database
+from repro.parallel import (
+    ParallelExtractor,
+    merge_shard_typings,
+    parallel_stage1,
+    parallel_sweep,
+)
+from repro.perf import PerfRecorder
+from repro.runtime.budget import Budget, CancellationToken
+from repro.synth.datasets import make_dbg
+
+
+def _union(dbs):
+    """Disjoint union with per-copy prefixes: a multi-component graph."""
+    out = Database()
+    for index, db in enumerate(dbs):
+        prefix = f"c{index}_"
+        for obj in db.objects():
+            if db.is_atomic(obj):
+                out.add_atomic(prefix + obj, db.value(obj))
+            else:
+                out.add_complex(prefix + obj)
+        for edge in db.edges():
+            out.add_link(prefix + edge.src, prefix + edge.dst, edge.label)
+    return out
+
+
+@pytest.fixture(scope="module")
+def multi_db():
+    return _union([make_dbg(seed=s) for s in (11, 12, 13)])
+
+
+def _assert_same_typing(left, right):
+    """Equal in every field except the q_iterations diagnostic."""
+    assert left.program == right.program
+    assert left.home_type == right.home_type
+    assert left.extents == right.extents
+    assert left.weights == right.weights
+
+
+def test_parallel_stage1_matches_sequential(multi_db):
+    sequential = minimal_perfect_typing(multi_db)
+    parallel = parallel_stage1(multi_db, jobs=2)
+    _assert_same_typing(parallel, sequential)
+
+
+def test_jobs1_extract_is_identical(multi_db):
+    baseline = SchemaExtractor(multi_db).extract(k=6)
+    via_parallel = ParallelExtractor(multi_db, jobs=1).extract(k=6)
+    assert via_parallel.program == baseline.program
+    assert via_parallel.assignment == baseline.assignment
+    assert via_parallel.defect.total == baseline.defect.total
+
+
+def test_jobs2_extract_is_extent_identical(multi_db):
+    baseline = SchemaExtractor(multi_db).extract(k=6)
+    parallel = ParallelExtractor(multi_db, jobs=2).extract(k=6)
+    assert parallel.program == baseline.program
+    assert parallel.assignment == baseline.assignment
+    assert parallel.recast_result.extents == baseline.recast_result.extents
+    assert parallel.defect.total == baseline.defect.total
+
+
+def test_jobs2_auto_k_matches_sequential_knee(multi_db):
+    baseline = SchemaExtractor(multi_db).extract(sweep_step=8)
+    parallel = ParallelExtractor(multi_db, jobs=2).extract(sweep_step=8)
+    assert parallel.chosen_k == baseline.chosen_k
+    assert parallel.program == baseline.program
+    assert parallel.sensitivity is not None
+    assert parallel.sensitivity.points == baseline.sensitivity.points
+
+
+def test_parallel_sweep_equals_sequential(multi_db):
+    stage1 = minimal_perfect_typing(multi_db)
+    sequential = SchemaExtractor(multi_db, stage1=stage1).sweep(step=5)
+    parallel = parallel_sweep(multi_db, stage1, jobs=3, step=5)
+    assert parallel.points == sequential.points
+    assert not parallel.exhausted
+
+
+def test_single_component_falls_back():
+    # One long chain with a value at the end: a single weakly-connected
+    # component, where --jobs cannot help and must not change results.
+    db = Database()
+    db.add_atomic("leaf", 0)
+    for i in range(19):
+        db.add_link(f"n{i:02d}", f"n{i + 1:02d}", "next")
+    db.add_link("n19", "leaf", "value")
+    extractor = ParallelExtractor(db, jobs=4)
+    assert len(extractor.shards()) == 1
+    result = extractor.extract(k=5)
+    baseline = SchemaExtractor(db).extract(k=5)
+    assert result.program == baseline.program
+
+
+def test_perf_counters_survive_the_pool(multi_db):
+    perf = PerfRecorder()
+    ParallelExtractor(multi_db, jobs=2, perf=perf).extract(k=6)
+    # Worker-side Stage 1 counters were merged back into the parent.
+    assert perf.counter("gfp.satisfaction_checks") > 0
+    assert perf.counter("parallel.shards") >= 2
+    assert perf.elapsed("pipeline.stage1") > 0
+
+
+def test_cancellation_degrades_gracefully(multi_db):
+    token = CancellationToken()
+    token.cancel("test asked")
+    budget = Budget(token=token)
+    result = ParallelExtractor(multi_db, jobs=2).extract(k=6, budget=budget)
+    assert result.is_partial
+    assert result.degradation.reason == "cancelled"
+    # Best-so-far contract: the perfect typing is still returned.
+    assert result.num_types >= 6
+
+
+def test_iteration_budget_degrades_gracefully(multi_db):
+    result = ParallelExtractor(multi_db, jobs=2).extract(
+        budget=Budget(max_iterations=5)
+    )
+    assert result.is_partial
+    assert result.degradation.reason == "iterations"
+
+
+def test_extract_within_defect_parallel(multi_db):
+    baseline = SchemaExtractor(multi_db).extract_within_defect(
+        200, sweep_step=10
+    )
+    parallel = ParallelExtractor(multi_db, jobs=2).extract_within_defect(
+        200, sweep_step=10
+    )
+    assert parallel.chosen_k == baseline.chosen_k
+    assert parallel.program == baseline.program
+
+
+def test_jobs_validation(multi_db):
+    with pytest.raises(ReproError):
+        ParallelExtractor(multi_db, jobs=0)
+    with pytest.raises(ClusteringError):
+        ParallelExtractor(multi_db, jobs=2).extract_within_defect(-1)
+
+
+def test_merge_rejects_overlapping_shards(multi_db):
+    typing = minimal_perfect_typing(make_dbg(seed=11))
+    db = make_dbg(seed=11)
+    with pytest.raises(ClusteringError):
+        merge_shard_typings(db, [typing, typing])
