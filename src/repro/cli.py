@@ -18,16 +18,23 @@ Subcommands
     schema is extracted first (``-k`` controls its size).
 ``explain FILE OBJECT``
     Extract a schema and explain why OBJECT carries its types.
+``incremental FILE MUTATIONS``
+    Extract, apply a mutation script, and maintain the typing — with
+    one-step retyping notes (default), the exact differential
+    ``--refresh`` tier, or a from-scratch ``--rebuild``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from typing import List, Optional
 
 from repro.core.explain import explain_object
+from repro.core.incremental import IncrementalTyper
+from repro.core.notation import format_program
 from repro.core.hierarchy import hierarchy_to_dot
 from repro.core.sorts import sorted_local_rule
 from repro.core.pipeline import SchemaExtractor
@@ -239,6 +246,106 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mutations(path: str) -> list:
+    """Parse a mutation script into a list of operation tuples.
+
+    One operation per line; blank lines and ``#`` comments skipped::
+
+        add-link src dst label
+        remove-link src dst label
+        add-atomic obj <json value>
+        add-object obj
+        remove-object obj
+    """
+    ops = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            op = parts[0].lower()
+            try:
+                if op in ("add-link", "remove-link"):
+                    _, src, dst, label = parts
+                    ops.append((op, src, dst, label))
+                elif op == "add-atomic":
+                    if len(parts) < 3:
+                        raise ValueError("expected: add-atomic obj <json>")
+                    ops.append((op, parts[1], json.loads(" ".join(parts[2:]))))
+                elif op in ("add-object", "remove-object"):
+                    _, obj = parts
+                    ops.append((op, obj))
+                else:
+                    raise ValueError(f"unknown operation {op!r}")
+            except (ValueError, json.JSONDecodeError) as exc:
+                raise ReproError(
+                    f"{path}:{lineno + 1}: bad mutation {line!r} ({exc})"
+                )
+    return ops
+
+
+def _apply_mutation(db, typer: IncrementalTyper, op, one_step: bool) -> None:
+    """Apply one parsed operation; with ``one_step``, notify the typer."""
+    kind = op[0]
+    if kind == "add-link":
+        _, src, dst, label = op
+        if db.add_link(src, dst, label) and one_step:
+            typer.note_new_link(src, dst)
+    elif kind == "remove-link":
+        _, src, dst, label = op
+        if db.remove_link(src, dst, label) and one_step:
+            typer.note_removed_link(src, dst)
+    elif kind == "add-atomic":
+        db.add_atomic(op[1], op[2])
+    elif kind == "add-object":
+        obj = op[1]
+        db.add_complex(obj)
+        if one_step:
+            typer.note_new_object(obj)
+    else:  # remove-object
+        obj = op[1]
+        neighbours = frozenset()
+        if obj in db and db.is_complex(obj):
+            neighbours = frozenset(
+                {edge.dst for edge in db.out_edges(obj)}
+                | {edge.src for edge in db.in_edges(obj)}
+            )
+        if db.remove_object(obj) and one_step:
+            typer.note_removed_object(obj, neighbours=neighbours)
+
+
+def _cmd_incremental(args: argparse.Namespace) -> int:
+    db = _load_database(args)
+    ops = _parse_mutations(args.mutations)
+    perf = _make_perf(args)
+    result = SchemaExtractor(db, perf=perf).extract(k=args.k)
+    typer = IncrementalTyper(db, result)
+    one_step = not (args.refresh or args.rebuild)
+    with db.track_changes() as log:
+        for op in ops:
+            _apply_mutation(db, typer, op, one_step)
+    if args.refresh:
+        refreshed = typer.refresh(log, perf=perf)
+        if refreshed is not None:
+            result = refreshed
+        print(result.describe())
+    elif args.rebuild:
+        result = typer.rebuild(perf=perf)
+        print(result.describe())
+    else:
+        print(format_program(typer.program))
+        drift = typer.drift()
+        print(
+            f"# drift: {drift.fallbacks}/{drift.updates} fallback(s) "
+            f"(stale={typer.stale()})",
+            file=sys.stderr,
+        )
+    print(f"# applied {len(ops)} mutation(s): {log.summary()}", file=sys.stderr)
+    _report_perf(args, perf)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
@@ -351,6 +458,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("-k", type=int, default=None,
                            help="schema size (default: auto)")
     p_explain.set_defaults(func=_cmd_explain)
+
+    p_inc = sub.add_parser(
+        "incremental",
+        help="apply a mutation script and maintain the typing",
+    )
+    p_inc.add_argument("file", help="OEM text file")
+    p_inc.add_argument("mutations",
+                       help="mutation script (add-link/remove-link/"
+                       "add-atomic/add-object/remove-object, one per "
+                       "line, '#' comments)")
+    p_inc.add_argument("-k", type=int, default=None,
+                       help="schema size for the initial extraction "
+                       "(default: auto knee)")
+    tier = p_inc.add_mutually_exclusive_group()
+    tier.add_argument("--refresh", action="store_true",
+                      help="exact differential maintenance: fold the "
+                      "batch into Stage 1 via the delta engine, re-run "
+                      "Stages 2-3")
+    tier.add_argument("--rebuild", action="store_true",
+                      help="re-run the full pipeline from scratch after "
+                      "the batch")
+    p_inc.add_argument("--repair", action="store_true",
+                       help="sanitize a corrupted input file instead of "
+                       "rejecting it")
+    p_inc.add_argument("--perf-report", default=None, metavar="PATH",
+                       help="write performance counters (including the "
+                       "delta.* family) to PATH as JSON")
+    p_inc.set_defaults(func=_cmd_incremental)
 
     return parser
 

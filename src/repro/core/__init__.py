@@ -5,6 +5,8 @@
 * :mod:`repro.core.notation` — the paper's arrow notation (printer and
   parser);
 * :mod:`repro.core.fixpoint` — greatest-fixpoint semantics;
+* :mod:`repro.core.delta` — differential GFP and incremental Stage 1
+  maintenance under mutation batches;
 * :mod:`repro.core.perfect` — Stage 1: minimal perfect typing;
 * :mod:`repro.core.roles` — multiple-role decomposition;
 * :mod:`repro.core.defect` — excess / deficit / defect measures;
@@ -27,6 +29,13 @@ from repro.core.clustering import (
 )
 from repro.core.defect import DefectReport, compute_defect, compute_deficit, compute_excess
 from repro.core.deficit_sharing import compute_deficit_with_sharing
+from repro.core.delta import (
+    DeltaResult,
+    DeltaStats,
+    SignatureIndex,
+    Stage1Maintainer,
+    differential_gfp,
+)
 from repro.core.distance import (
     WeightedDistance,
     delta_1,
@@ -98,6 +107,8 @@ __all__ = [
     "IncrementalTyper",
     "PriorKnowledge",
     "DefectReport",
+    "DeltaResult",
+    "DeltaStats",
     "Direction",
     "ExtractionResult",
     "FixpointResult",
@@ -112,6 +123,8 @@ __all__ = [
     "SchemaExtractor",
     "SensitivityPoint",
     "SensitivityResult",
+    "SignatureIndex",
+    "Stage1Maintainer",
     "Stage2Result",
     "StoredExtraction",
     "TypingReport",
@@ -134,6 +147,7 @@ __all__ = [
     "delta_4",
     "delta_5",
     "diff_programs",
+    "differential_gfp",
     "explain_defect",
     "explain_object",
     "format_hierarchy",

@@ -106,11 +106,27 @@ Extents = Dict[str, FrozenSet[ObjectId]]
 _Kind = Tuple[Direction, str, str]
 
 
-def _kind_of(link: TypedLink) -> _Kind:
+def link_kind(link: TypedLink) -> _Kind:
+    """The signature kind one typed link requires of its owner."""
     if not link.is_atomic_target:
         return (link.direction, link.label, "c")
     sort = link.sort
     return (link.direction, link.label, "a" if sort is None else f"a:{sort}")
+
+
+#: Backwards-compatible private alias (pre-delta-engine name).
+_kind_of = link_kind
+
+
+def rule_kinds(rule: TypeRule) -> FrozenSet[_Kind]:
+    """The set of edge kinds a rule's body requires.
+
+    An object belongs to the rule's signature upper bound iff this set
+    is a subset of its :func:`object_signature` — the candidacy test
+    shared by :func:`greatest_fixpoint` and the differential engine in
+    :mod:`repro.core.delta`.
+    """
+    return frozenset(link_kind(link) for link in rule.body)
 
 
 def object_signature(db: Database, obj: ObjectId) -> FrozenSet[_Kind]:
@@ -176,7 +192,7 @@ class FixpointResult:
         return frozenset(n for n, m in self.extents.items() if m)
 
 
-def _satisfies(
+def satisfies_link(
     db: Database,
     obj: ObjectId,
     link: TypedLink,
@@ -214,7 +230,7 @@ def _signature_upper_bound(
         by_signature.setdefault(object_signature(db, obj), []).append(obj)
     bound: Dict[str, Set[ObjectId]] = {}
     for rule in program.rules():
-        required = frozenset(_kind_of(link) for link in rule.body)
+        required = rule_kinds(rule)
         members: Set[ObjectId] = set()
         for signature, objs in by_signature.items():
             if required <= signature:
@@ -224,7 +240,7 @@ def _signature_upper_bound(
     return bound
 
 
-def _dependent_links(
+def dependent_links(
     program: TypingProgram,
 ) -> Dict[str, List[Tuple[str, TypedLink]]]:
     """``j -> [(dependent type, the link of its body targeting j)]``."""
@@ -280,7 +296,7 @@ def greatest_fixpoint(
             if name in extents:
                 extents[name] &= set(allowed)
 
-    dependents = _dependent_links(program)
+    dependents = dependent_links(program)
     # Atomic-target links hold by construction for every member of the
     # signature bound (see the module doc), so only complex-target
     # links are ever evaluated.
@@ -325,7 +341,7 @@ def greatest_fixpoint(
             for obj in to_check:
                 for link in body:
                     satisfaction_checks += 1
-                    if not _satisfies(db, obj, link, extents):
+                    if not satisfies_link(db, obj, link, extents):
                         removed.add(obj)
                         break
             if not removed:
@@ -421,7 +437,7 @@ def greatest_fixpoint_rescan(
                 ok = True
                 for link in rule.body:
                     satisfaction_checks += 1
-                    if not _satisfies(db, obj, link, extents):
+                    if not satisfies_link(db, obj, link, extents):
                         ok = False
                         break
                 if ok:
@@ -462,7 +478,7 @@ def greatest_fixpoint_naive(program: TypingProgram, db: Database) -> FixpointRes
             survivors = {
                 obj
                 for obj in extents[rule.name]
-                if all(_satisfies(db, obj, link, extents) for link in rule.body)
+                if all(satisfies_link(db, obj, link, extents) for link in rule.body)
             }
             if survivors != extents[rule.name]:
                 extents[rule.name] = survivors
@@ -491,7 +507,7 @@ def least_fixpoint(program: TypingProgram, db: Database) -> FixpointResult:
             for obj in complex_objects:
                 if obj in extents[rule.name]:
                     continue
-                if all(_satisfies(db, obj, link, extents) for link in rule.body):
+                if all(satisfies_link(db, obj, link, extents) for link in rule.body):
                     extents[rule.name].add(obj)
                     changed = True
     return FixpointResult(

@@ -7,31 +7,44 @@ new objects we may wish to reconsider the current typing program.
 Deciding how many new objects is too many and recomputing efficiently
 the typing program are open problems."
 
-:class:`IncrementalTyper` is a practical answer:
+:class:`IncrementalTyper` is a practical answer, with three tiers of
+increasing cost and fidelity:
 
-* ``note_new_object`` / ``note_new_link`` / ``note_removed_object``
-  retype exactly the touched objects one-step against the current
-  program (their neighbours' assignments are the reference);
-* every incrementally-typed object that needed the *closest-type
-  fallback* (it satisfied nothing exactly) counts as **drift** — the
-  signal that the program no longer describes the data;
-* ``stale()`` trips once the drift fraction among incremental updates
-  exceeds a threshold, and ``rebuild()`` re-runs the full pipeline at
-  the same ``k`` and resets the counters.
+* **one-step notes** — ``note_new_object`` / ``note_new_link`` /
+  ``note_removed_link`` / ``note_removed_object`` retype exactly the
+  touched objects against the current program (their neighbours'
+  assignments are the reference);
+* **``refresh(changes)``** — exact Stage 1 maintenance: folds a
+  recorded :class:`~repro.graph.database.ChangeLog` into the perfect
+  typing through the differential GFP engine
+  (:class:`repro.core.delta.Stage1Maintainer`), then re-runs Stages
+  2–3 on the maintained Stage 1.  Extent-identical to a from-scratch
+  rebuild, priced proportional to the edit's ripple;
+* **``rebuild()``** — re-run the full pipeline from scratch.
 
-The class never mutates the database — callers mutate it and notify.
+Every one-step retyping that needed the *closest-type fallback* (it
+satisfied nothing exactly) counts as **drift** — the signal that the
+program no longer describes the data; ``stale()`` trips once the drift
+fraction among incremental updates exceeds a threshold (never before
+``min_updates`` updates).  ``refresh`` and ``rebuild`` reset the
+counters when (and only when) they adopt a new result.
+
+The class never mutates the database — callers mutate it and notify
+(or record mutations with ``db.track_changes()`` and hand the log to
+``refresh``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, Iterable, Optional, Set
 
+from repro.core.delta import Stage1Maintainer
 from repro.core.pipeline import ExtractionResult, SchemaExtractor
 from repro.core.recast import satisfied_types, closest_type
 from repro.core.typing_program import TypingProgram
 from repro.exceptions import RecastError
-from repro.graph.database import Database, ObjectId
+from repro.graph.database import ChangeLog, Database, ObjectId
 
 
 @dataclass(frozen=True)
@@ -79,6 +92,8 @@ class IncrementalTyper:
             result.assignment
         )
         self._k = result.chosen_k
+        self._stage1 = result.stage1
+        self._maintainer: Optional[Stage1Maintainer] = None
         self._threshold = drift_threshold
         self._min_updates = min_updates
         self._updates = 0
@@ -142,23 +157,79 @@ class IncrementalTyper:
         return self._retype(obj)
 
     def note_new_link(self, src: ObjectId, dst: ObjectId) -> None:
-        """Retype both endpoints after an edge insertion/removal.
+        """Retype both endpoints after an edge *insertion*.
 
         Only the endpoints can change one-step satisfaction; deeper
-        ripples are deliberately deferred to :meth:`rebuild` (the whole
-        point of approximate typing is tolerance to small drift).
+        ripples are deliberately deferred to :meth:`refresh` /
+        :meth:`rebuild` (the whole point of approximate typing is
+        tolerance to small drift).
         """
         for obj in (src, dst):
             if self._db.is_complex(obj):
                 self._retype(obj)
 
-    def note_removed_object(self, obj: ObjectId) -> None:
-        """Forget an object that was removed from the database."""
+    def note_removed_link(self, src: ObjectId, dst: ObjectId) -> None:
+        """Retype the surviving endpoints after an edge *removal*.
+
+        The mirror of :meth:`note_new_link`: losing a typed link can
+        break exact satisfaction just as gaining one can.  Endpoints
+        that no longer exist (the removal came from
+        :meth:`~repro.graph.database.Database.remove_object`) are
+        skipped — :meth:`note_removed_object` handles those.
+        """
+        for obj in (src, dst):
+            if self._db.is_complex(obj):
+                self._retype(obj)
+
+    def note_removed_object(
+        self, obj: ObjectId, neighbours: Iterable[ObjectId] = ()
+    ) -> None:
+        """Forget a removed object and retype its former neighbours.
+
+        ``neighbours`` are the objects that were linked to ``obj``
+        before the removal (capture them *before* calling
+        ``db.remove_object``); each surviving complex one is retyped,
+        since it just lost an incident link.
+        """
         self._assignment.pop(obj, None)
+        for other in neighbours:
+            if other != obj and self._db.is_complex(other):
+                self._retype(other)
 
     # ------------------------------------------------------------------
-    # Rebuild
+    # Refresh / rebuild
     # ------------------------------------------------------------------
+    def refresh(
+        self, changes: ChangeLog, perf=None, **extractor_options
+    ) -> Optional[ExtractionResult]:
+        """Fold a recorded mutation batch in exactly; adopt the result.
+
+        The middle tier: Stage 1 is *maintained* differentially
+        (:class:`repro.core.delta.Stage1Maintainer` — extent-identical
+        to a from-scratch Stage 1, priced proportional to the edit's
+        ripple), then Stages 2–3 re-run on the maintained typing.
+        Drift counters reset because a new result is adopted.
+
+        Returns ``None`` — and resets nothing — when ``changes`` is
+        empty.  The maintainer (and its signature index) is kept
+        across calls, so repeated batches amortise the index build.
+        """
+        if changes.empty:
+            return None
+        if self._maintainer is None:
+            self._maintainer = Stage1Maintainer(self._db, self._stage1)
+        new_stage1 = self._maintainer.apply(changes, perf=perf)
+        result = SchemaExtractor(
+            self._db, stage1=new_stage1, perf=perf, **extractor_options
+        ).extract(k=self._k)
+        self._program = result.program
+        self._assignment = dict(result.assignment)
+        self._k = result.chosen_k
+        self._stage1 = new_stage1
+        self._updates = 0
+        self._fallbacks = 0
+        return result
+
     def rebuild(
         self, k: Optional[int] = None, **extractor_options
     ) -> ExtractionResult:
@@ -174,6 +245,8 @@ class IncrementalTyper:
         self._program = result.program
         self._assignment = dict(result.assignment)
         self._k = result.chosen_k
+        self._stage1 = result.stage1
+        self._maintainer = None
         self._updates = 0
         self._fallbacks = 0
         return result

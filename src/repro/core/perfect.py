@@ -43,6 +43,11 @@ def object_type_name(obj: ObjectId) -> str:
     return f"{_Q_PREFIX}{obj}"
 
 
+def object_of_type_name(name: str) -> ObjectId:
+    """Inverse of :func:`object_type_name`."""
+    return name[len(_Q_PREFIX):]
+
+
 def local_rule(db: Database, obj: ObjectId) -> TypeRule:
     """The local picture of ``obj`` as a ``Q_D`` rule (step 1)."""
     body = set()
@@ -139,6 +144,31 @@ class PerfectTyping:
                 full.setdefault(obj, set()).add(type_name)
         return {obj: frozenset(types) for obj, types in full.items()}
 
+    def apply_delta(
+        self,
+        db: Database,
+        changes,
+        local_rule_fn=None,
+        budget=None,
+        perf: Optional[PerfRecorder] = None,
+    ) -> "PerfectTyping":
+        """Fold one mutation batch into this typing differentially.
+
+        ``db`` is the database *after* the batch and ``changes`` the
+        :class:`~repro.graph.database.ChangeLog` recorded while it was
+        applied; the result equals ``minimal_perfect_typing(db)``.
+        One-shot convenience over
+        :class:`repro.core.delta.Stage1Maintainer` — it pays a full
+        signature-index build per call, so callers folding repeated
+        batches should hold a maintainer (or use
+        :meth:`repro.core.incremental.IncrementalTyper.refresh`)
+        to amortise it.
+        """
+        from repro.core.delta import Stage1Maintainer
+
+        maintainer = Stage1Maintainer(db, self, local_rule_fn=local_rule_fn)
+        return maintainer.apply(changes, budget=budget, perf=perf)
+
 
 def minimal_perfect_typing(
     db: Database,
@@ -169,11 +199,19 @@ def minimal_perfect_typing(
     fixpoint = greatest_fixpoint(q_program, db, perf=perf)
 
     with perf.span("stage1.collapse"):
-        return _collapse(db, build, fixpoint)
+        return collapse_object_fixpoint(db, build, fixpoint)
 
 
-def _collapse(db: Database, build, fixpoint: FixpointResult) -> PerfectTyping:
-    """Steps 2–3: collapse extent-equivalent ``Q_D`` types into classes."""
+def collapse_object_fixpoint(
+    db: Database, build, fixpoint: FixpointResult
+) -> PerfectTyping:
+    """Steps 2–3: collapse extent-equivalent ``Q_D`` types into classes.
+
+    ``fixpoint`` maps every per-object type name to its extent; besides
+    Stage 1 proper, the differential maintainer
+    (:class:`repro.core.delta.Stage1Maintainer`) re-enters here with
+    the incrementally maintained extents, so the canonical ``t<i>``
+    naming and representative-rule rewriting stay in one place."""
     # Step 2: group per-object types by extent.
     by_extent: Dict[FrozenSet[ObjectId], List[ObjectId]] = {}
     for obj in db.complex_objects():

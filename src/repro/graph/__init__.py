@@ -9,7 +9,7 @@ builders, codecs (JSON, relational, OEM text) and traversal helpers.
 from repro.graph.builder import DatabaseBuilder
 from repro.graph.dot import database_to_dot, program_to_dot
 from repro.graph.csv_codec import from_csv, to_csv
-from repro.graph.database import Database, Edge
+from repro.graph.database import ChangeLog, Database, Edge
 from repro.graph.json_codec import from_json, to_json
 from repro.graph.oem import (
     dumps_oem,
@@ -46,6 +46,7 @@ from repro.graph.traversal import (
 )
 
 __all__ = [
+    "ChangeLog",
     "Database",
     "DatabaseBuilder",
     "DatabaseStatistics",

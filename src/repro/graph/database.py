@@ -21,7 +21,8 @@ registered explicitly or implicitly when an edge mentions them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import (
     AbstractSet,
     Any,
@@ -56,6 +57,122 @@ class Edge:
         return f"link({self.src}, {self.dst}, {self.label})"
 
 
+@dataclass
+class ChangeLog:
+    """Net effect of a batch of mutations, recorded by ``track_changes``.
+
+    The log keeps *net* sets, not an event list: adding an edge and then
+    removing it (or vice versa) cancels out, so the differential engine
+    (:mod:`repro.core.delta`) sees only what actually differs from the
+    state at ``track_changes()`` entry.
+
+    Attributes
+    ----------
+    added_links / removed_links:
+        Edges present now but not at entry, and vice versa.
+    added_objects:
+        Objects first registered inside the batch (explicitly or
+        implicitly via :meth:`Database.add_link`).
+    removed_objects:
+        Objects that were present at entry and are gone now.
+    resurfaced:
+        Objects removed and then re-registered inside the batch.  Their
+        kind or value may have changed, so consumers must treat them as
+        removed-and-readded — in particular their surviving neighbours
+        are part of the ripple even when every edge was re-added
+        verbatim (edge cancellation hides those from ``added_links``).
+    """
+
+    added_links: Set[Edge] = field(default_factory=set)
+    removed_links: Set[Edge] = field(default_factory=set)
+    added_objects: Set[ObjectId] = field(default_factory=set)
+    removed_objects: Set[ObjectId] = field(default_factory=set)
+    resurfaced: Set[ObjectId] = field(default_factory=set)
+
+    # -- recording (called by Database while the log is active) --------
+    def _record_link_added(self, edge: Edge) -> None:
+        if edge in self.removed_links:
+            self.removed_links.discard(edge)
+        else:
+            self.added_links.add(edge)
+
+    def _record_link_removed(self, edge: Edge) -> None:
+        if edge in self.added_links:
+            self.added_links.discard(edge)
+        else:
+            self.removed_links.add(edge)
+
+    def _record_object_added(self, obj: ObjectId) -> None:
+        if obj in self.removed_objects:
+            self.removed_objects.discard(obj)
+            self.resurfaced.add(obj)
+        else:
+            self.added_objects.add(obj)
+
+    def _record_object_removed(self, obj: ObjectId) -> None:
+        if obj in self.added_objects:
+            self.added_objects.discard(obj)
+        else:
+            self.resurfaced.discard(obj)
+            self.removed_objects.add(obj)
+
+    # -- consumption ---------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """Whether the batch had no net effect."""
+        return not (
+            self.added_links
+            or self.removed_links
+            or self.added_objects
+            or self.removed_objects
+            or self.resurfaced
+        )
+
+    def __len__(self) -> int:
+        return (
+            len(self.added_links)
+            + len(self.removed_links)
+            + len(self.added_objects)
+            + len(self.removed_objects)
+            + len(self.resurfaced)
+        )
+
+    @property
+    def retired(self) -> FrozenSet[ObjectId]:
+        """Objects whose pre-batch identity is gone (removed or resurfaced)."""
+        return frozenset(self.removed_objects | self.resurfaced)
+
+    def touched_complex(self, db: "Database") -> FrozenSet[ObjectId]:
+        """Complex objects of ``db`` whose local neighbourhood changed.
+
+        These are the differential engine's *seeds*: surviving endpoints
+        of added/removed edges, net-added and resurfaced complex
+        objects, and the current complex neighbours of resurfaced
+        objects (whose signatures may have changed even though edge
+        cancellation left ``added_links`` empty).
+        """
+        touched: Set[ObjectId] = set()
+        for edge in self.added_links | self.removed_links:
+            touched.add(edge.src)
+            touched.add(edge.dst)
+        touched.update(self.added_objects)
+        for obj in self.resurfaced:
+            touched.add(obj)
+            for edge in db.out_edges(obj):
+                touched.add(edge.dst)
+            for edge in db.in_edges(obj):
+                touched.add(edge.src)
+        return frozenset(obj for obj in touched if db.is_complex(obj))
+
+    def summary(self) -> str:
+        """One-line human-readable description of the batch."""
+        return (
+            f"+{len(self.added_links)}/-{len(self.removed_links)} link(s), "
+            f"+{len(self.added_objects)}/-{len(self.removed_objects)} "
+            f"object(s), {len(self.resurfaced)} resurfaced"
+        )
+
+
 class Database:
     """A labeled directed graph with atomic sink values.
 
@@ -85,6 +202,35 @@ class Database:
         self._out: Dict[ObjectId, Dict[Label, Set[ObjectId]]] = {}
         self._inc: Dict[ObjectId, Dict[Label, Set[ObjectId]]] = {}
         self._num_links = 0
+        self._changelog: Optional[ChangeLog] = None
+
+    # ------------------------------------------------------------------
+    # Change tracking
+    # ------------------------------------------------------------------
+    @contextmanager
+    def track_changes(self) -> Iterator[ChangeLog]:
+        """Record every mutation inside the ``with`` block in a :class:`ChangeLog`.
+
+        Opt-in and zero-cost when inactive (one ``None`` check per
+        mutation).  Only one log can be active at a time; nesting raises
+        :class:`IntegrityError`.  The log stays usable after the block —
+        hand it to :meth:`repro.core.perfect.PerfectTyping.apply_delta`
+        or :meth:`repro.core.incremental.IncrementalTyper.refresh`.
+
+        >>> db = Database()
+        >>> with db.track_changes() as log:
+        ...     _ = db.add_link("a", "b", "l")
+        >>> sorted(log.added_objects), len(log.added_links)
+        (['a', 'b'], 1)
+        """
+        if self._changelog is not None:
+            raise IntegrityError("change tracking is already active")
+        log = ChangeLog()
+        self._changelog = log
+        try:
+            yield log
+        finally:
+            self._changelog = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -93,6 +239,8 @@ class Database:
         """Register ``obj`` as a complex object (idempotent)."""
         if obj in self._atomic:
             raise IntegrityError(f"object {obj!r} is already atomic")
+        if self._changelog is not None and obj not in self._complex:
+            self._changelog._record_object_added(obj)
         self._complex.add(obj)
 
     def add_atomic(self, obj: ObjectId, value: Any) -> None:
@@ -109,6 +257,8 @@ class Database:
             )
         if self._out.get(obj):
             raise IntegrityError(f"object {obj!r} has outgoing edges")
+        if self._changelog is not None and obj not in self._atomic:
+            self._changelog._record_object_added(obj)
         self._atomic[obj] = value
 
     def add_link(self, src: ObjectId, dst: ObjectId, label: Label) -> bool:
@@ -125,6 +275,12 @@ class Database:
             raise IntegrityError(
                 f"atomic object {src!r} cannot have outgoing edges"
             )
+        log = self._changelog
+        if log is not None:
+            if src not in self._complex:
+                log._record_object_added(src)
+            if dst not in self._atomic and dst not in self._complex:
+                log._record_object_added(dst)
         self._complex.add(src)
         if dst not in self._atomic:
             self._complex.add(dst)
@@ -134,31 +290,40 @@ class Database:
         targets.add(dst)
         self._inc.setdefault(dst, {}).setdefault(label, set()).add(src)
         self._num_links += 1
+        if log is not None:
+            log._record_link_added(Edge(src, dst, label))
         return True
 
-    def remove_link(self, src: ObjectId, dst: ObjectId, label: Label) -> None:
+    def remove_link(self, src: ObjectId, dst: ObjectId, label: Label) -> bool:
         """Remove the fact ``link(src, dst, label)``.
 
-        Raises :class:`UnknownObjectError` if the edge is not present.
-        Endpoints stay registered even if they become isolated.
+        Returns ``True`` if the edge was present and is now gone,
+        ``False`` if there was nothing to remove (mirroring
+        :meth:`add_link`).  Endpoints stay registered even if they
+        become isolated.
         """
-        try:
-            self._out[src][label].remove(dst)
-            self._inc[dst][label].remove(src)
-        except KeyError:
-            raise UnknownObjectError(
-                f"no edge link({src!r}, {dst!r}, {label!r})"
-            ) from None
-        if not self._out[src][label]:
+        targets = self._out.get(src, {}).get(label)
+        if targets is None or dst not in targets:
+            return False
+        targets.remove(dst)
+        self._inc[dst][label].remove(src)
+        if not targets:
             del self._out[src][label]
         if not self._inc[dst][label]:
             del self._inc[dst][label]
         self._num_links -= 1
+        if self._changelog is not None:
+            self._changelog._record_link_removed(Edge(src, dst, label))
+        return True
 
-    def remove_object(self, obj: ObjectId) -> None:
-        """Remove ``obj`` and every edge incident to it."""
+    def remove_object(self, obj: ObjectId) -> bool:
+        """Remove ``obj`` and every edge incident to it.
+
+        Returns ``True`` if the object was registered, ``False`` if it
+        was unknown (nothing to remove).
+        """
         if obj not in self._complex and obj not in self._atomic:
-            raise UnknownObjectError(f"unknown object {obj!r}")
+            return False
         for edge in list(self.out_edges(obj)):
             self.remove_link(edge.src, edge.dst, edge.label)
         for edge in list(self.in_edges(obj)):
@@ -167,6 +332,9 @@ class Database:
         self._atomic.pop(obj, None)
         self._out.pop(obj, None)
         self._inc.pop(obj, None)
+        if self._changelog is not None:
+            self._changelog._record_object_removed(obj)
+        return True
 
     # ------------------------------------------------------------------
     # Object-level queries

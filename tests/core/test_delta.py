@@ -1,0 +1,174 @@
+"""Unit tests for the differential GFP engine (fixed program)."""
+
+import pytest
+
+from repro.core.delta import DeltaStats, differential_gfp
+from repro.core.fixpoint import greatest_fixpoint
+from repro.core.notation import parse_program
+from repro.graph.database import Database
+from repro.perf import PerfRecorder
+from repro.runtime.budget import Budget
+from repro.exceptions import BudgetExceededError
+
+
+def chain_db(n, label="a"):
+    """o0 -a-> o1 -a-> ... -a-> o{n-1}."""
+    db = Database()
+    for i in range(n - 1):
+        db.add_link(f"o{i}", f"o{i+1}", label)
+    return db
+
+
+def apply_and_maintain(program, db, mutate, **kwargs):
+    """Compute old GFP, run ``mutate(db)`` under tracking, maintain."""
+    old = greatest_fixpoint(program, db)
+    with db.track_changes() as log:
+        mutate(db)
+    return differential_gfp(program, db, old.extents, log, **kwargs), log
+
+
+class TestExactness:
+    def test_empty_changes_identity(self):
+        db = chain_db(4)
+        program = parse_program("t = ->a^t\ns = <-a^s")
+        result, log = apply_and_maintain(program, db, lambda d: None)
+        assert log.empty
+        oracle = greatest_fixpoint(program, db)
+        assert result.extents == oracle.extents
+        assert result.stats.objects_visited == 0
+        assert result.stats.seeds == 0
+
+    def test_cycle_close_gains_everywhere(self):
+        # t = ->a^t is satisfied by nobody on a chain (the tail has no
+        # outgoing a), but by everybody once the chain becomes a cycle.
+        db = chain_db(5)
+        program = parse_program("t = ->a^t")
+        result, _ = apply_and_maintain(
+            program, db, lambda d: d.add_link("o4", "o0", "a")
+        )
+        assert result.members("t") == frozenset(f"o{i}" for i in range(5))
+        assert result.stats.gains >= 5
+        assert result.extents == greatest_fixpoint(program, db).extents
+
+    def test_cycle_break_retracts_everywhere(self):
+        db = chain_db(5)
+        db.add_link("o4", "o0", "a")
+        program = parse_program("t = ->a^t")
+        result, _ = apply_and_maintain(
+            program, db, lambda d: d.remove_link("o2", "o3", "a")
+        )
+        assert result.members("t") == frozenset()
+        assert result.stats.retractions >= 5
+        assert result.extents == greatest_fixpoint(program, db).extents
+
+    def test_removed_object_stripped(self):
+        db = Database()
+        db.add_atomic("leaf", 0)
+        db.add_link("x", "leaf", "a")
+        db.add_link("y", "leaf", "a")
+        program = parse_program("t = ->a^0")
+        result, _ = apply_and_maintain(
+            program, db, lambda d: d.remove_object("y")
+        )
+        assert result.members("t") == frozenset({"x"})
+        assert result.extents == greatest_fixpoint(program, db).extents
+
+    def test_new_object_joins(self):
+        db = Database()
+        db.add_atomic("leaf", 0)
+        db.add_link("x", "leaf", "a")
+        program = parse_program("t = ->a^0")
+        result, _ = apply_and_maintain(
+            program, db, lambda d: d.add_link("z", "leaf", "a")
+        )
+        assert result.members("t") == frozenset({"x", "z"})
+
+    def test_incoming_link_rule(self):
+        db = chain_db(4)
+        program = parse_program("t = <-a^t")
+        result, _ = apply_and_maintain(
+            program, db, lambda d: d.add_link("o3", "o0", "a")
+        )
+        assert result.extents == greatest_fixpoint(program, db).extents
+        assert result.members("t") == frozenset(f"o{i}" for i in range(4))
+
+    def test_chained_batches(self):
+        db = chain_db(6)
+        program = parse_program("t = ->a^t\nu = ->a^0")
+        db.add_atomic("leaf", 0)
+        extents = greatest_fixpoint(program, db).extents
+        edits = [
+            lambda d: d.add_link("o5", "o0", "a"),
+            lambda d: d.add_link("o2", "leaf", "a"),
+            lambda d: d.remove_link("o0", "o1", "a"),
+            lambda d: d.remove_object("o3"),
+        ]
+        for edit in edits:
+            with db.track_changes() as log:
+                edit(db)
+            result = differential_gfp(program, db, extents, log)
+            assert result.extents == greatest_fixpoint(program, db).extents
+            extents = result.extents
+
+
+class TestRippleLocality:
+    def test_far_end_untouched(self):
+        # Editing the head of a long chain under a local (atomic) rule
+        # must not visit the tail.
+        n = 60
+        db = chain_db(n)
+        db.add_atomic("leaf", 0)
+        for i in range(n):
+            db.add_link(f"o{i}", "leaf", "v")
+        program = parse_program("t = ->v^0")
+        result, _ = apply_and_maintain(
+            program, db, lambda d: d.add_link("o0", "o1", "extra")
+        )
+        assert result.extents == greatest_fixpoint(program, db).extents
+        assert result.stats.objects_visited < n // 2
+
+    def test_ripple_stops_where_support_holds(self):
+        # t = ->a^t on a chain ending in a cycle: breaking an edge far
+        # from the cycle retracts only the prefix, not the cycle.
+        db = chain_db(10)
+        db.add_link("o9", "o5", "a")  # cycle among o5..o9
+        program = parse_program("t = ->a^t")
+        result, _ = apply_and_maintain(
+            program, db, lambda d: d.remove_link("o1", "o2", "a")
+        )
+        oracle = greatest_fixpoint(program, db)
+        assert result.extents == oracle.extents
+        assert result.members("t") == frozenset(
+            f"o{i}" for i in range(2, 10)
+        )
+
+
+class TestInstrumentation:
+    def test_perf_counters_recorded(self):
+        db = chain_db(5)
+        program = parse_program("t = ->a^t")
+        perf = PerfRecorder()
+        apply_and_maintain(
+            program, db, lambda d: d.add_link("o4", "o0", "a"), perf=perf
+        )
+        assert perf.counter("delta.seeds") >= 2
+        assert perf.counter("delta.gains") >= 1
+        assert "delta.objects_visited" in perf.to_dict()["counters"]
+
+    def test_budget_charged(self):
+        db = chain_db(6)
+        db.add_link("o5", "o0", "a")
+        program = parse_program("t = ->a^t")
+        budget = Budget(max_iterations=1)
+        with pytest.raises(BudgetExceededError):
+            apply_and_maintain(
+                program,
+                db,
+                lambda d: d.remove_link("o2", "o3", "a"),
+                budget=budget,
+            )
+
+    def test_stats_dataclass_defaults(self):
+        stats = DeltaStats()
+        assert stats.objects_visited == 0
+        assert stats.seeds == 0

@@ -1,0 +1,173 @@
+"""Unit tests for incremental Stage 1 maintenance (Stage1Maintainer)."""
+
+import pytest
+
+from repro.core.delta import SignatureIndex, Stage1Maintainer
+from repro.core.perfect import minimal_perfect_typing
+from repro.core.sorts import minimal_perfect_typing_with_sorts, sorted_local_rule
+from repro.graph.builder import DatabaseBuilder
+from repro.graph.database import Database
+from repro.perf import PerfRecorder
+from repro.synth.datasets import make_dbg
+
+
+def assert_same_typing(maintained, oracle):
+    assert maintained.program == oracle.program
+    assert maintained.home_type == oracle.home_type
+    assert maintained.extents == oracle.extents
+    assert maintained.weights == oracle.weights
+
+
+def person_firm_db():
+    builder = DatabaseBuilder()
+    for i in range(5):
+        builder.attr(f"p{i}", "name", f"n{i}")
+        builder.attr(f"p{i}", "email", f"e{i}")
+    for i in range(4):
+        builder.attr(f"f{i}", "fname", f"fn{i}")
+    return builder.build()
+
+
+class TestMaintainer:
+    def test_empty_batch_returns_current(self):
+        db = person_firm_db()
+        stage1 = minimal_perfect_typing(db)
+        maintainer = Stage1Maintainer(db, stage1)
+        with db.track_changes() as log:
+            pass
+        assert maintainer.apply(log) is stage1
+        assert maintainer.last_stats.objects_visited == 0
+
+    def test_link_add_matches_oracle(self):
+        db = person_firm_db()
+        maintainer = Stage1Maintainer(db, minimal_perfect_typing(db))
+        with db.track_changes() as log:
+            db.add_link("p0", "f0", "worksfor")
+        assert_same_typing(maintainer.apply(log), minimal_perfect_typing(db))
+
+    def test_class_split_and_remerge(self):
+        db = person_firm_db()
+        maintainer = Stage1Maintainer(db, minimal_perfect_typing(db))
+        # Splitting p0 out of the person class...
+        with db.track_changes() as log:
+            db.add_atomic("x", 1)
+            db.add_link("p0", "x", "extra")
+        split = maintainer.apply(log)
+        assert_same_typing(split, minimal_perfect_typing(db))
+        assert split.home_type["p0"] != split.home_type["p1"]
+        # ... and merging it back.
+        with db.track_changes() as log:
+            db.remove_link("p0", "x", "extra")
+        merged = maintainer.apply(log)
+        assert_same_typing(merged, minimal_perfect_typing(db))
+        assert merged.home_type["p0"] == merged.home_type["p1"]
+
+    def test_object_removal_matches_oracle(self):
+        db = person_firm_db()
+        db.add_link("p0", "f0", "worksfor")
+        maintainer = Stage1Maintainer(db, minimal_perfect_typing(db))
+        with db.track_changes() as log:
+            db.remove_object("f0")
+        new = maintainer.apply(log)
+        assert_same_typing(new, minimal_perfect_typing(db))
+        assert "f0" not in new.home_type
+
+    def test_new_object_matches_oracle(self):
+        db = person_firm_db()
+        maintainer = Stage1Maintainer(db, minimal_perfect_typing(db))
+        with db.track_changes() as log:
+            db.add_atomic("nn", "new")
+            db.add_link("p9", "nn", "name")
+            db.add_complex("island")
+        new = maintainer.apply(log)
+        assert_same_typing(new, minimal_perfect_typing(db))
+        assert "p9" in new.home_type and "island" in new.home_type
+
+    def test_atomic_value_flip_via_remove_readd(self):
+        db = person_firm_db()
+        maintainer = Stage1Maintainer(
+            db, minimal_perfect_typing_with_sorts(db),
+            local_rule_fn=sorted_local_rule,
+        )
+        # Changing an atomic's sort requires remove + re-add; the
+        # sources become seeds and must be re-signed under sorts.
+        with db.track_changes() as log:
+            db.remove_object("n0")
+            db.add_atomic("n0", 42)  # string -> int
+            db.add_link("p0", "n0", "name")
+        assert_same_typing(
+            maintainer.apply(log),
+            minimal_perfect_typing_with_sorts(db),
+        )
+
+    def test_repeated_batches_reuse_index(self):
+        db = person_firm_db()
+        maintainer = Stage1Maintainer(db, minimal_perfect_typing(db))
+        perf = PerfRecorder()
+        edits = [
+            lambda d: d.add_link("p0", "f0", "worksfor"),
+            lambda d: d.add_link("p1", "f0", "worksfor"),
+            lambda d: d.remove_link("p0", "f0", "worksfor"),
+            lambda d: d.remove_object("p4"),
+        ]
+        for edit in edits:
+            with db.track_changes() as log:
+                edit(db)
+            assert_same_typing(
+                maintainer.apply(log, perf=perf), minimal_perfect_typing(db)
+            )
+        assert perf.counter("delta.index_builds") == 1  # built once
+
+    def test_ripple_locality_on_dbg(self):
+        db = make_dbg(seed=1998)
+        maintainer = Stage1Maintainer(db, minimal_perfect_typing(db))
+        edge = min(
+            (e for e in db.edges() if db.is_complex(e.dst)),
+            key=lambda e: (e.src, e.dst, e.label),
+        )
+        with db.track_changes() as log:
+            db.remove_link(edge.src, edge.dst, edge.label)
+        new = maintainer.apply(log)
+        assert_same_typing(new, minimal_perfect_typing(db))
+        assert maintainer.last_stats.objects_visited < db.num_complex
+
+    def test_apply_delta_convenience(self):
+        db = person_firm_db()
+        stage1 = minimal_perfect_typing(db)
+        with db.track_changes() as log:
+            db.add_link("p0", "f0", "worksfor")
+        assert_same_typing(
+            stage1.apply_delta(db, log), minimal_perfect_typing(db)
+        )
+
+
+class TestSignatureIndex:
+    def test_cover_and_admitting_rules(self):
+        db = person_firm_db()
+        index = SignatureIndex(db)
+        assert len(index) == db.num_complex
+        persons = frozenset(f"p{i}" for i in range(5))
+        assert index.cover(index.kinds("p0")) == persons
+        # Firms demand fewer kinds than persons carry... but not
+        # vice versa, so a person's signature admits only person rules.
+        assert index.admitting_rules(index.signature("f0")) == frozenset(
+            f"f{i}" for i in range(4)
+        )
+
+    def test_update_drops_removed(self):
+        db = person_firm_db()
+        index = SignatureIndex(db)
+        db.remove_object("p0")
+        assert index.update(db, ["p0"]) == 0
+        assert "p0" not in index
+        assert len(index) == db.num_complex
+
+    def test_update_refreshes_changed(self):
+        db = person_firm_db()
+        index = SignatureIndex(db)
+        before = index.signature("p0")
+        db.add_atomic("x", 1)
+        db.add_link("p0", "x", "extra")
+        assert index.update(db, ["p0"]) == 1
+        assert index.signature("p0") != before
+        assert index.cover(index.kinds("p0")) == {"p0"}

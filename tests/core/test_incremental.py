@@ -75,6 +75,33 @@ class TestLinkUpdates:
         inc.note_removed_object("p4")
         assert inc.types_of("p4") == frozenset()
 
+    def test_removed_link_retypes_surviving_endpoints(self, typer):
+        db, inc = typer
+        email_edge = next(e for e in db.out_edges("p0") if e.label == "email")
+        db.remove_link(email_edge.src, email_edge.dst, email_edge.label)
+        inc.note_removed_link("p0", email_edge.dst)
+        # p0 lost its email -> no exact fit -> the fallback fires.
+        assert inc.drift().updates == 1
+        assert inc.drift().fallbacks == 1
+
+    def test_removed_link_skips_dead_endpoints(self, typer):
+        db, inc = typer
+        db.remove_object("p4")
+        inc.note_removed_link("p4", "ghost")  # neither endpoint survives
+        assert inc.drift().updates == 0
+
+    def test_removed_object_retypes_neighbours(self, typer):
+        db, inc = typer
+        db.add_link("p0", "f0", "worksfor")
+        inc.note_new_link("p0", "f0")
+        drift_before = inc.drift().updates
+        neighbours = {e.src for e in db.in_edges("f0")}
+        db.remove_object("f0")
+        inc.note_removed_object("f0", neighbours=neighbours)
+        assert inc.types_of("f0") == frozenset()
+        # p0 (the former source) was retyped.
+        assert inc.drift().updates == drift_before + 1
+
 
 class TestStalenessAndRebuild:
     def test_drift_trips_staleness(self, typer):
@@ -107,3 +134,60 @@ class TestStalenessAndRebuild:
         db, inc = typer
         result = inc.rebuild()
         assert len(result.program) == 2
+
+
+class TestRefresh:
+    def test_empty_log_returns_none_without_reset(self, typer):
+        db, inc = typer
+        inc._updates, inc._fallbacks = 5, 2
+        with db.track_changes() as log:
+            pass
+        assert inc.refresh(log) is None
+        assert inc.drift().updates == 5
+
+    def test_refresh_equals_rebuild(self, typer):
+        db, inc = typer
+        with db.track_changes() as log:
+            db.add_link("p0", "f0", "worksfor")
+            db.remove_object("p4")
+        result = inc.refresh(log)
+        oracle = SchemaExtractor(db).extract(k=2)
+        assert result.program == oracle.program
+        assert result.assignment == oracle.assignment
+        assert dict(result.stage1.extents) == dict(oracle.stage1.extents)
+
+    def test_refresh_resets_drift(self, typer):
+        db, inc = typer
+        db.add_atomic("w", 1)
+        db.add_link("weird", "w", "strangeness")
+        inc.note_new_object("weird")
+        assert inc.drift().fallbacks == 1
+        with db.track_changes() as log:
+            db.remove_object("weird")
+        inc.refresh(log)
+        assert inc.drift().updates == 0
+        assert inc.drift().fallbacks == 0
+
+    def test_repeated_refreshes_share_maintainer(self, typer):
+        db, inc = typer
+        with db.track_changes() as log:
+            db.add_link("p0", "f0", "worksfor")
+        inc.refresh(log)
+        maintainer = inc._maintainer
+        assert maintainer is not None
+        with db.track_changes() as log:
+            db.add_link("p1", "f0", "worksfor")
+        result = inc.refresh(log)
+        assert inc._maintainer is maintainer
+        oracle = SchemaExtractor(db).extract(k=2)
+        assert result.program == oracle.program
+        assert result.assignment == oracle.assignment
+
+    def test_rebuild_discards_maintainer(self, typer):
+        db, inc = typer
+        with db.track_changes() as log:
+            db.add_link("p0", "f0", "worksfor")
+        inc.refresh(log)
+        assert inc._maintainer is not None
+        inc.rebuild()
+        assert inc._maintainer is None

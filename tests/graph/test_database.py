@@ -83,28 +83,69 @@ class TestLinks:
     def test_remove_link(self):
         db = Database()
         db.add_link("x", "y", "l")
-        db.remove_link("x", "y", "l")
+        assert db.remove_link("x", "y", "l") is True
         assert db.num_links == 0
         assert not db.has_link("x", "y", "l")
 
-    def test_remove_missing_link_raises(self):
+    def test_remove_missing_link_returns_false(self):
         db = Database()
-        with pytest.raises(UnknownObjectError):
-            db.remove_link("x", "y", "l")
+        assert db.remove_link("x", "y", "l") is False
+        db.add_link("x", "y", "l")
+        assert db.remove_link("x", "y", "other") is False
+        assert db.remove_link("x", "z", "l") is False
+        assert db.num_links == 1
+        db.validate()
 
     def test_remove_object_cleans_edges(self):
         db = Database()
         db.add_link("x", "y", "l")
         db.add_link("y", "z", "m")
-        db.remove_object("y")
+        assert db.remove_object("y") is True
         assert db.num_links == 0
         assert "y" not in db
         db.validate()
 
-    def test_remove_unknown_object_raises(self):
+    def test_remove_unknown_object_returns_false(self):
         db = Database()
-        with pytest.raises(UnknownObjectError):
-            db.remove_object("ghost")
+        assert db.remove_object("ghost") is False
+
+    def test_remove_object_with_self_loop(self):
+        db = Database()
+        db.add_link("s", "s", "self")
+        db.add_link("s", "s", "other")
+        db.add_link("s", "t", "l")
+        assert db.remove_object("s") is True
+        assert "s" not in db
+        assert db.num_links == 0
+        db.validate()
+
+    def test_remove_object_with_parallel_labels(self):
+        db = Database()
+        db.add_link("x", "y", "l1")
+        db.add_link("x", "y", "l2")
+        db.add_link("y", "x", "l1")
+        assert db.remove_object("y") is True
+        assert db.num_links == 0
+        assert "x" in db
+        db.validate()
+
+    def test_remove_one_of_parallel_labels_keeps_other(self):
+        db = Database()
+        db.add_link("x", "y", "l1")
+        db.add_link("x", "y", "l2")
+        assert db.remove_link("x", "y", "l1") is True
+        assert db.has_link("x", "y", "l2")
+        assert not db.has_link("x", "y", "l1")
+        assert db.num_links == 1
+        db.validate()
+
+    def test_remove_self_loop_link(self):
+        db = Database()
+        db.add_link("s", "s", "self")
+        assert db.remove_link("s", "s", "self") is True
+        assert db.num_links == 0
+        assert "s" in db
+        db.validate()
 
 
 class TestQueries:
@@ -202,3 +243,116 @@ class TestValidation:
         db._inc["y"]["l"].discard("x")  # simulate corruption
         with pytest.raises(IntegrityError):
             db.validate()
+
+
+class TestChangeLog:
+    def test_no_recording_outside_context(self):
+        db = Database()
+        db.add_link("x", "y", "l")
+        with db.track_changes() as log:
+            pass
+        assert log.empty
+        db.add_link("x", "z", "l")
+        assert log.empty  # log detached once the block exits
+
+    def test_records_added_links_and_objects(self):
+        db = Database()
+        db.add_atomic("a", 1)
+        with db.track_changes() as log:
+            db.add_link("x", "y", "l")
+            db.add_link("x", "a", "v")
+            db.add_complex("lone")
+            db.add_atomic("b", 2)
+        assert log.added_links == {Edge("x", "y", "l"), Edge("x", "a", "v")}
+        assert log.added_objects == {"x", "y", "lone", "b"}
+        assert not log.removed_links and not log.removed_objects
+
+    def test_records_removals(self):
+        db = Database.from_links([("x", "y", "l"), ("y", "z", "m")])
+        with db.track_changes() as log:
+            db.remove_link("x", "y", "l")
+            db.remove_object("z")
+        assert log.removed_links == {Edge("x", "y", "l"), Edge("y", "z", "m")}
+        assert log.removed_objects == {"z"}
+
+    def test_add_then_remove_cancels(self):
+        db = Database.from_links([("x", "y", "l")])
+        with db.track_changes() as log:
+            db.add_link("x", "z", "l")
+            db.remove_link("x", "z", "l")
+        assert not log.added_links and not log.removed_links
+        # the implicitly registered endpoint stays recorded: it is
+        # still present (isolated) after the batch
+        assert log.added_objects == {"z"}
+
+    def test_remove_then_readd_link_cancels(self):
+        db = Database.from_links([("x", "y", "l")])
+        with db.track_changes() as log:
+            db.remove_link("x", "y", "l")
+            db.add_link("x", "y", "l")
+        assert not log.added_links and not log.removed_links
+        assert log.empty
+
+    def test_duplicate_add_not_recorded(self):
+        db = Database.from_links([("x", "y", "l")])
+        with db.track_changes() as log:
+            assert db.add_link("x", "y", "l") is False
+            assert db.remove_link("x", "q", "nope") is False
+            assert db.remove_object("ghost") is False
+        assert log.empty
+
+    def test_resurfaced_object(self):
+        db = Database.from_links([("x", "y", "l")], {"a": 1})
+        db.add_link("y", "a", "v")
+        with db.track_changes() as log:
+            db.remove_object("y")
+            db.add_link("x", "y", "l")  # re-registered complex
+        assert log.resurfaced == {"y"}
+        assert "y" not in log.added_objects
+        assert "y" not in log.removed_objects
+        # the x->y edge was removed and re-added: cancels out
+        assert not any(e.dst == "y" for e in log.added_links)
+        assert log.retired == frozenset({"y"})
+        # neighbours of the resurfaced object are part of the ripple
+        assert "x" in log.touched_complex(db)
+        assert "y" in log.touched_complex(db)
+
+    def test_removed_after_add_cancels(self):
+        db = Database()
+        with db.track_changes() as log:
+            db.add_link("x", "y", "l")
+            db.remove_object("y")
+        assert "y" not in log.added_objects
+        assert "y" not in log.removed_objects
+
+    def test_nested_tracking_rejected(self):
+        db = Database()
+        with db.track_changes():
+            with pytest.raises(IntegrityError):
+                with db.track_changes():
+                    pass  # pragma: no cover
+        # the outer guard is released even after the nested failure
+        with db.track_changes() as log:
+            db.add_complex("x")
+        assert log.added_objects == {"x"}
+
+    def test_touched_complex_skips_atomic_endpoints(self):
+        db = Database()
+        db.add_atomic("a", 1)
+        with db.track_changes() as log:
+            db.add_link("x", "a", "v")
+        assert log.touched_complex(db) == frozenset({"x"})
+
+    def test_copy_does_not_carry_active_log(self):
+        db = Database.from_links([("x", "y", "l")])
+        with db.track_changes() as log:
+            clone = db.copy()
+            clone.add_link("p", "q", "l")
+        assert log.empty
+
+    def test_summary_and_len(self):
+        db = Database()
+        with db.track_changes() as log:
+            db.add_link("x", "y", "l")
+        assert len(log) == 3  # one edge + two implicit objects
+        assert "link(s)" in log.summary()

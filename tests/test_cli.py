@@ -184,3 +184,79 @@ def test_sweep_perf_report(oem_file, tmp_path):
     data = json.loads(report.read_text(encoding="utf-8"))
     assert data["counters"]["sweep.samples"] > 0
     assert data["counters"]["merge.heap_pushes"] > 0
+
+
+@pytest.fixture
+def mutation_file(tmp_path):
+    path = tmp_path / "muts.txt"
+    path.write_text(
+        "# add a firm link and a new person\n"
+        "add-link p0 f0 worksfor\n"
+        "add-atomic nn \"new-name\"\n"
+        "add-link pnew nn name\n"
+        "remove-object p5\n",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+def test_incremental_one_step(oem_file, mutation_file, capsys):
+    assert main(["incremental", oem_file, mutation_file, "-k", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "->name^0" in captured.out  # the updated program is printed
+    assert "drift:" in captured.err
+    assert "applied 4 mutation(s)" in captured.err
+
+
+def test_incremental_refresh_matches_rebuild(oem_file, mutation_file, capsys):
+    assert main([
+        "incremental", oem_file, mutation_file, "-k", "2", "--refresh",
+    ]) == 0
+    refreshed = capsys.readouterr().out
+    assert main([
+        "incremental", oem_file, mutation_file, "-k", "2", "--rebuild",
+    ]) == 0
+    assert capsys.readouterr().out == refreshed
+
+
+def test_incremental_refresh_perf_report(
+    oem_file, mutation_file, tmp_path
+):
+    import json
+
+    report = tmp_path / "delta-perf.json"
+    assert main([
+        "incremental", oem_file, mutation_file, "-k", "2", "--refresh",
+        "--perf-report", str(report),
+    ]) == 0
+    counters = json.loads(report.read_text(encoding="utf-8"))["counters"]
+    assert counters["delta.seeds"] > 0
+    assert counters["delta.index_builds"] == 1
+    assert "delta.objects_visited" in counters
+
+
+def test_incremental_bad_mutation_exits_2(oem_file, tmp_path, capsys):
+    bad = tmp_path / "bad.txt"
+    bad.write_text("frobnicate x y\n", encoding="utf-8")
+    assert main(["incremental", oem_file, str(bad)]) == 2
+    assert "bad mutation" in capsys.readouterr().err
+
+
+def test_incremental_bad_json_exits_2(oem_file, tmp_path, capsys):
+    bad = tmp_path / "bad.txt"
+    bad.write_text("add-atomic x {broken\n", encoding="utf-8")
+    assert main(["incremental", oem_file, str(bad)]) == 2
+    assert "bad mutation" in capsys.readouterr().err
+
+
+def test_incremental_missing_mutations_exits_1(oem_file, tmp_path):
+    assert main([
+        "incremental", oem_file, str(tmp_path / "nope.txt"),
+    ]) == 1
+
+
+def test_incremental_tiers_mutually_exclusive(oem_file, mutation_file):
+    with pytest.raises(SystemExit):
+        main([
+            "incremental", oem_file, mutation_file, "--refresh", "--rebuild",
+        ])
