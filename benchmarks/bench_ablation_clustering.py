@@ -25,7 +25,7 @@ from repro.cluster.jump import defining_attributes
 from repro.cluster.kmedian import greedy_k_median, local_search_k_median
 from repro.core.clustering import MergePolicy
 from repro.core.defect import compute_defect
-from repro.core.distance import manhattan_bodies
+from repro.core.linkspace import CachedBodyDistance
 from repro.core.perfect import minimal_perfect_typing
 from repro.core.pipeline import SchemaExtractor
 from repro.core.recast import RecastMode, recast
@@ -64,13 +64,17 @@ def run_kmedian(strategy: str) -> int:
     bodies = [stage1.program.rule(n).body for n in names]
     weights = [1.0] * len(names)  # unweighted, per the variation
 
-    def distance(i: int, j: int) -> float:
-        return float(manhattan_bodies(bodies[i], bodies[j]))
+    # The kernel's cached distance matrix: bodies are encoded into the
+    # bitset link space once, pairs are xor+popcount, and the symmetric
+    # memo lives inside — so the entry points skip their own layer.
+    distance = CachedBodyDistance(bodies)
 
     if strategy == "greedy":
-        clustering = greedy_k_median(weights, K, distance)
+        clustering = greedy_k_median(weights, K, distance, cache_distances=False)
     else:
-        clustering = local_search_k_median(weights, K, distance, max_iterations=20)
+        clustering = local_search_k_median(
+            weights, K, distance, max_iterations=20, cache_distances=False
+        )
 
     # Build one type per cluster; its body is the jump-function center
     # over the member types weighted by their home counts.

@@ -18,6 +18,15 @@ key work metrics to ``benchmarks/results/BENCH_pipeline.json``:
   ``jobs=N`` (wall-clock and speedup are recorded but never asserted);
 * a recast-memo on/off sweep comparison — the gate is a >= 30%
   reduction in ``recast.evaluations`` with identical defect curves;
+* a bitset-vs-set manhattan-kernel comparison on DBG — the gates are
+  program/extent/defect equality between ``use_bitset=True`` and the
+  frozenset oracle path, plus a **checks-based cost proxy**: over the
+  Stage 1 all-pairs candidate round, the set path touches
+  ``sum(|body_i| + |body_j|)`` link hashes while the kernel touches
+  ``num_pairs * ceil(dimension / 64)`` machine words, and the proxy
+  reduction must clear :data:`MIN_KERNEL_REDUCTION` (wall seconds and
+  the ``merge.manhattan_evals`` / ``recast.cover_checks`` /
+  ``linkspace.*`` counters are recorded but never asserted as timings);
 * an incremental-vs-rebuild comparison on the DBG pipeline graph — a
   deterministic 1% edit batch is maintained by
   :class:`repro.core.delta.Stage1Maintainer` and gated on extent
@@ -47,6 +56,7 @@ from typing import Dict, List, Optional
 
 from repro.core.delta import Stage1Maintainer
 from repro.core.fixpoint import greatest_fixpoint, greatest_fixpoint_rescan
+from repro.core.linkspace import LinkSpace
 from repro.core.perfect import build_object_program, minimal_perfect_typing
 from repro.core.pipeline import SchemaExtractor
 from repro.parallel import ParallelExtractor
@@ -69,6 +79,13 @@ MIN_CHECK_REDUCTION = 0.20
 #: deliver on the Figure 6 sweep (the PR's acceptance bar is 30%;
 #: measured headroom on DBG is ~95%).
 MIN_MEMO_REDUCTION = 0.30
+
+#: Minimum reduction in the checks-based manhattan cost proxy the bitset
+#: kernel must deliver over the frozenset path on DBG: per body pair the
+#: set path hashes ``|body_i| + |body_j|`` links to form the symmetric
+#: difference, the kernel xors ``ceil(dimension / 64)`` machine words.
+#: The acceptance bar is 30%; measured headroom on DBG is ~67%.
+MIN_KERNEL_REDUCTION = 0.30
 
 #: Maximum fraction of complex objects the differential engine may
 #: visit while maintaining the deterministic 1% edit batch on DBG (the
@@ -238,6 +255,96 @@ def compare_recast_memo(step: int = 10) -> Dict[str, object]:
     }
 
 
+def compare_manhattan_kernel(k: int = 6) -> Dict[str, object]:
+    """Bitset link-space kernel vs the frozenset oracle path on DBG.
+
+    Runs the full Stage 1 -> 3 extraction twice — ``use_bitset=True``
+    (the default) and ``use_bitset=False`` — and gates on program,
+    extent and defect equality.  The perf gate is a deterministic
+    checks-based proxy over the Stage 1 all-pairs candidate round (the
+    merger's first heap fill evaluates exactly these pairs): the set
+    path builds each symmetric difference by hashing every link of both
+    bodies (``link_ops = sum(|body_i| + |body_j|)``) while the kernel
+    xors fixed-width machine words (``word_ops = num_pairs *
+    ceil(dimension / 64)``); the reduction must clear
+    :data:`MIN_KERNEL_REDUCTION`.  Wall seconds and the live
+    ``merge.manhattan_evals`` / ``recast.cover_checks`` /
+    ``linkspace.*`` counters are recorded for trend-watching but never
+    asserted — no assertion here compares timings.
+    """
+    db = make_dbg(seed=1998)
+
+    perf_bitset = PerfRecorder()
+    start = time.perf_counter()
+    bitset = SchemaExtractor(db, perf=perf_bitset).extract(k=k)
+    bitset_seconds = time.perf_counter() - start
+
+    perf_set = PerfRecorder()
+    start = time.perf_counter()
+    plain = SchemaExtractor(
+        db, use_bitset=False, perf=perf_set
+    ).extract(k=k)
+    set_seconds = time.perf_counter() - start
+
+    assert bitset.program == plain.program, (
+        "bitset kernel produced a different schema than the frozenset "
+        "path on dbg-1998"
+    )
+    assert (
+        bitset.recast_result.extents == plain.recast_result.extents
+    ), "bitset kernel recast extents diverged on dbg-1998"
+    assert bitset.defect.total == plain.defect.total
+
+    # Checks-based cost proxy over the Stage 1 all-pairs round.
+    stage1 = minimal_perfect_typing(db)
+    bodies = [rule.body for rule in stage1.program.rules()]
+    space = LinkSpace()
+    for body in bodies:
+        space.encode(body)
+    dimension = space.dimension
+    words_per_pair = max(1, math.ceil(dimension / 64))
+    num_pairs = len(bodies) * (len(bodies) - 1) // 2
+    link_ops = sum(
+        len(bodies[i]) + len(bodies[j])
+        for i in range(len(bodies))
+        for j in range(i + 1, len(bodies))
+    )
+    word_ops = num_pairs * words_per_pair
+    assert link_ops > 0, "Stage 1 program recorded no candidate pairs"
+    reduction = 1.0 - word_ops / link_ops
+    assert reduction >= MIN_KERNEL_REDUCTION, (
+        f"manhattan-kernel proxy reduction {reduction:.1%} fell below "
+        f"the {MIN_KERNEL_REDUCTION:.0%} regression bar "
+        f"({word_ops} word ops vs {link_ops} link ops)"
+    )
+    bitset_counters = perf_bitset.to_dict()["counters"]
+    set_counters = perf_set.to_dict()["counters"]
+    return {
+        "dataset": "dbg-1998",
+        "k": k,
+        "dimension": dimension,
+        "num_bodies": len(bodies),
+        "num_pairs": num_pairs,
+        "link_ops": link_ops,
+        "word_ops": word_ops,
+        "proxy_reduction": round(reduction, 4),
+        "defect": bitset.defect.total,
+        "manhattan_evals_bitset": bitset_counters.get(
+            "merge.manhattan_evals", 0
+        ),
+        "manhattan_evals_set": set_counters.get("merge.manhattan_evals", 0),
+        "cover_checks_bitset": bitset_counters.get("recast.cover_checks", 0),
+        "cover_checks_set": set_counters.get("recast.cover_checks", 0),
+        "linkspace_encodes": bitset_counters.get("linkspace.encodes", 0),
+        "encode_wall_seconds": round(
+            perf_bitset.elapsed("linkspace.encode"), 6
+        ),
+        "bitset_wall_seconds": round(bitset_seconds, 6),
+        "set_wall_seconds": round(set_seconds, 6),
+        "speedup": round(set_seconds / max(bitset_seconds, 1e-9), 3),
+    }
+
+
 def compare_incremental_refresh(
     seed: int = DELTA_EDIT_SEED,
 ) -> Dict[str, object]:
@@ -311,6 +418,7 @@ def run_suite(
         "suite": "perf-regression",
         "min_check_reduction": MIN_CHECK_REDUCTION,
         "min_memo_reduction": MIN_MEMO_REDUCTION,
+        "min_kernel_reduction": MIN_KERNEL_REDUCTION,
         "max_delta_visited_fraction": MAX_DELTA_VISITED_FRACTION,
         "engine_comparison": [compare_gfp_engines(n) for n in sizes],
         "pipeline": [run_pipeline(n) for n in sizes],
@@ -318,6 +426,7 @@ def run_suite(
             compare_parallel_pipeline(n, jobs=jobs) for n in sizes
         ],
         "recast_memo": compare_recast_memo(),
+        "manhattan_kernel": compare_manhattan_kernel(),
         "incremental_refresh": compare_incremental_refresh(),
     }
 
@@ -350,6 +459,17 @@ def test_recast_memo_regression_gate():
     assert stats["evaluation_reduction"] >= MIN_MEMO_REDUCTION
 
 
+def test_manhattan_kernel_regression_gate():
+    """The bitset kernel is program/extent/defect-identical to the
+    frozenset path on DBG and its checks-based cost proxy clears the
+    30% bar (both assertions live inside the comparison)."""
+    stats = compare_manhattan_kernel()
+    assert stats["proxy_reduction"] >= MIN_KERNEL_REDUCTION
+    assert stats["manhattan_evals_bitset"] > 0
+    assert stats["cover_checks_bitset"] > 0
+    assert stats["linkspace_encodes"] > 0
+
+
 def test_incremental_refresh_ripple_gate():
     """Maintaining the pinned 1% DBG edit batch is extent-identical to
     a from-scratch rebuild and visits <= 20% of the complex objects
@@ -376,6 +496,10 @@ def test_pipeline_emits_bench_json(tmp_path):
     assert loaded["recast_memo"]["evaluation_reduction"] >= (
         MIN_MEMO_REDUCTION
     )
+    kernel_entry = loaded["manhattan_kernel"]
+    assert kernel_entry["proxy_reduction"] >= MIN_KERNEL_REDUCTION
+    assert kernel_entry["manhattan_evals_bitset"] > 0
+    assert kernel_entry["cover_checks_bitset"] > 0
     refresh_entry = loaded["incremental_refresh"]
     assert refresh_entry["visited_fraction"] <= MAX_DELTA_VISITED_FRACTION
     assert refresh_entry["seeds"] > 0
@@ -430,6 +554,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{memo['evaluations_with_memo']} vs "
         f"{memo['evaluations_without_memo']} evaluations "
         f"({memo['evaluation_reduction']:.1%} reduction)"
+    )
+    kernel = payload["manhattan_kernel"]
+    print(
+        f"manhattan kernel on {kernel['dataset']}: "
+        f"{kernel['word_ops']} word ops vs {kernel['link_ops']} link ops "
+        f"({kernel['proxy_reduction']:.1%} proxy reduction), "
+        f"{kernel['bitset_wall_seconds'] * 1000:.1f} ms vs "
+        f"{kernel['set_wall_seconds'] * 1000:.1f} ms set path "
+        f"({kernel['speedup']:.2f}x, informational)"
     )
     delta = payload["incremental_refresh"]
     print(

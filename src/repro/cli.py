@@ -121,6 +121,7 @@ def _make_extractor(args: argparse.Namespace, db, perf):
             sorted_local_rule if getattr(args, "sorts", False) else None
         ),
         recast_memo=recast_memo,
+        use_bitset=not getattr(args, "no_bitset", False),
         perf=perf,
     )
     if jobs == 1:
@@ -378,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disable the cross-sample recast memo "
                            "(results are identical; use to measure the "
                            "saving)")
+    p_extract.add_argument("--no-bitset", action="store_true",
+                           help="run Stage 2/3 on the frozenset oracle path "
+                           "instead of the link-space bitset kernel "
+                           "(results are identical; use to measure the "
+                           "saving)")
     p_extract.add_argument("--max-defect", type=int, default=None,
                            help="solve the dual problem: smallest schema "
                            "with defect at most N (overrides -k)")
@@ -411,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "blocks (1 = sequential)")
     p_sweep.add_argument("--no-recast-memo", action="store_true",
                          help="disable the cross-sample recast memo")
+    p_sweep.add_argument("--no-bitset", action="store_true",
+                         help="run the sweep on the frozenset oracle path "
+                         "instead of the link-space bitset kernel")
     p_sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                          help="wall-clock budget; exhaustion truncates the series")
     p_sweep.add_argument("--max-iterations", type=int, default=None, metavar="N",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.cluster.kmedian import cached_distance
 from repro.exceptions import ClusteringError
 
 #: Distance over original point indices.
@@ -67,7 +68,10 @@ def _linkage_distance(
     if total_mass == 0:
         return sum(dists) / len(dists)
     return (
-        sum(distance(a, b) * weights[a] * weights[b] for a, b in pairs)
+        sum(
+            d * weights[a] * weights[b]
+            for (a, b), d in zip(pairs, dists)
+        )
         / total_mass
     )
 
@@ -78,16 +82,23 @@ def agglomerate(
     distance: IndexDistance,
     weights: Optional[Sequence[float]] = None,
     linkage: str = "average",
+    cache_distances: bool = True,
 ) -> Dendrogram:
     """Merge the closest pair of clusters until ``k`` clusters remain.
 
     ``O((n - k) * n^2)`` linkage evaluations; deterministic tie-breaks
-    by the clusters' smallest members.
+    by the clusters' smallest members.  Linkages re-query the same
+    point pair every round, so ``cache_distances`` (default on) memoises
+    the symmetric pair distances once per run (disable when passing an
+    already-cached distance such as
+    :class:`repro.core.linkspace.CachedBodyDistance`).
     """
     if linkage not in _LINKAGES:
         raise ClusteringError(
             f"unknown linkage {linkage!r}; expected one of {_LINKAGES}"
         )
+    if cache_distances:
+        distance = cached_distance(distance)
     if num_points == 0:
         raise ClusteringError("cannot cluster zero points")
     if not 1 <= k <= num_points:

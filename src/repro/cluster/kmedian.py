@@ -32,6 +32,34 @@ from repro.exceptions import ClusteringError
 IndexDistance = Callable[[int, int], float]
 
 
+def cached_distance(distance: IndexDistance) -> IndexDistance:
+    """A symmetric pairwise memo over an index distance.
+
+    The heuristics below re-evaluate the same unordered index pair many
+    times per elimination/swap round (``O((n-k) * n^2)`` queries over
+    ``O(n^2)`` distinct pairs); distances over indices are pure and —
+    per the k-median model — symmetric, so a per-run memo keyed on the
+    unordered pair is semantically inert.  Callers with an
+    already-cached
+    distance (e.g. :class:`repro.core.linkspace.CachedBodyDistance`,
+    which also encodes bodies into the bitset kernel) can pass
+    ``cache_distances=False`` to skip the second layer.
+    """
+    cache: Dict[Tuple[int, int], float] = {}
+
+    def wrapped(i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        key = (i, j) if i < j else (j, i)
+        d = cache.get(key)
+        if d is None:
+            d = distance(key[0], key[1])
+            cache[key] = d
+        return d
+
+    return wrapped
+
+
 @dataclass(frozen=True)
 class KMedianResult:
     """A clustering: chosen medians, point assignment and total cost."""
@@ -78,15 +106,19 @@ def greedy_k_median(
     weights: Sequence[float],
     k: int,
     distance: IndexDistance,
+    cache_distances: bool = True,
 ) -> KMedianResult:
     """Greedy center elimination down to ``k`` medians.
 
     Start with every point a median; repeatedly drop the median whose
     removal increases the assignment cost least.  ``O((n-k) * n^2)``
-    distance evaluations — fine at the paper's scales.
+    distance *queries* — but only ``O(n^2)`` distinct pairs, which
+    ``cache_distances`` (default on) evaluates once each.
     """
     n = len(weights)
     _validate(n, k)
+    if cache_distances:
+        distance = cached_distance(distance)
     points = list(range(n))
     medians = set(points)
     while len(medians) > k:
@@ -109,6 +141,7 @@ def local_search_k_median(
     distance: IndexDistance,
     initial: Optional[Sequence[int]] = None,
     max_iterations: int = 1000,
+    cache_distances: bool = True,
 ) -> KMedianResult:
     """Single-swap local search: while some (median, non-median) swap
     lowers the cost, perform the best such swap.
@@ -119,9 +152,15 @@ def local_search_k_median(
     """
     n = len(weights)
     _validate(n, k)
+    if cache_distances:
+        distance = cached_distance(distance)
     points = list(range(n))
     if initial is None:
-        medians = set(greedy_k_median(weights, k, distance).medians)
+        medians = set(
+            greedy_k_median(
+                weights, k, distance, cache_distances=False
+            ).medians
+        )
     else:
         medians = set(initial)
         if len(medians) != k or not all(0 <= m < n for m in medians):
@@ -152,6 +191,7 @@ def exact_k_median(
     k: int,
     distance: IndexDistance,
     max_points: int = 16,
+    cache_distances: bool = True,
 ) -> KMedianResult:
     """Brute-force optimum over all ``C(n, k)`` center subsets.
 
@@ -160,6 +200,8 @@ def exact_k_median(
     """
     n = len(weights)
     _validate(n, k)
+    if cache_distances:
+        distance = cached_distance(distance)
     if n > max_points:
         raise ClusteringError(
             f"exact search limited to {max_points} points, got {n}"

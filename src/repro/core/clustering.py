@@ -64,9 +64,11 @@ from typing import (
     Optional,
     Set,
     Tuple,
+    Union,
 )
 
 from repro.core.distance import WeightedDistance, delta_2, manhattan_bodies
+from repro.core.linkspace import BodyKernel, LinkSpace
 from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
 from repro.exceptions import ClusteringError
 from repro.graph.database import ObjectId
@@ -80,6 +82,12 @@ logger = logging.getLogger("repro.core.clustering")
 #: Name of the distinguished empty type.  Objects mapped here are left
 #: untyped; the name never appears in an output program.
 EMPTY_TYPE = "_untyped"
+
+#: A rule body in either representation: an ``int`` bitmask over a
+#: :class:`~repro.core.linkspace.LinkSpace` (the default), or the
+#: original frozenset of typed links (``use_bitset=False`` oracle path).
+#: Both support ``|``/``&``/``^`` with identical link-set semantics.
+Body = Union[int, FrozenSet[TypedLink]]
 
 
 class MergePolicy(enum.Enum):
@@ -181,6 +189,16 @@ class GreedyMerger:
         Optional :class:`repro.perf.PerfRecorder`; counters are listed
         in ``docs/PERFORMANCE.md``.  Defaults to the shared no-op
         recorder.
+    use_bitset:
+        When true (the default), bodies are interned into a
+        :class:`~repro.core.linkspace.LinkSpace` and held as ``int``
+        bitmasks, so the hot operations (Manhattan distance,
+        merged-body aggregation, superscript retargeting) are integer
+        bit arithmetic instead of frozenset algebra.  ``False`` keeps
+        the original frozenset representation — the oracle path the
+        property suite pins the bitset path against (CLI
+        ``--no-bitset``).  Merge traces and results are identical
+        either way.
     frozen:
         Type names that may *absorb* other types but can never be
         absorbed or moved to the empty type — the Section 2 "a priori
@@ -201,6 +219,7 @@ class GreedyMerger:
         empty_weight: Optional[float] = None,
         frozen: Optional[AbstractSet[str]] = None,
         perf: Optional[PerfRecorder] = None,
+        use_bitset: bool = True,
     ) -> None:
         if EMPTY_TYPE in program:
             raise ClusteringError(
@@ -216,7 +235,7 @@ class GreedyMerger:
         self._policy = policy
         self._allow_empty = allow_empty_type
         self._initial_program = program
-        self._bodies: Dict[str, FrozenSet[TypedLink]] = {
+        self._bodies: Dict[str, Body] = {
             rule.name: rule.body for rule in program.rules()
         }
         self._weights: Dict[str, float] = {
@@ -230,8 +249,20 @@ class GreedyMerger:
             empty_weight = sum(positive) / len(positive) if positive else 1.0
         self._empty_weight = float(empty_weight)
         self._perf = _resolve_perf(perf)
-        # Per-cluster members for WEIGHTED_CENTER: (body, weight) pairs.
-        self._members: Dict[str, List[Tuple[FrozenSet[TypedLink], float]]] = {
+        self._use_bitset = bool(use_bitset)
+        self._space: Optional[LinkSpace] = None
+        if self._use_bitset:
+            space = LinkSpace()
+            with self._perf.span("linkspace.encode"):
+                self._bodies = {
+                    name: space.encode(body)
+                    for name, body in self._bodies.items()
+                }
+            self._perf.incr("linkspace.encodes", len(self._bodies))
+            self._space = space
+        # Per-cluster members for WEIGHTED_CENTER: (body, weight) pairs
+        # in the active representation.
+        self._members: Dict[str, List[Tuple[Body, float]]] = {
             name: [(body, self._weights[name])]
             for name, body in self._bodies.items()
         }
@@ -274,8 +305,13 @@ class GreedyMerger:
 
         Cached per unordered pair, validated against both body
         versions; a hit after a weight-only change turns candidate
-        regeneration into a dictionary lookup.
+        regeneration into a dictionary lookup.  On the bitset path a
+        fresh evaluation is a single xor + popcount — cheaper than the
+        version bookkeeping itself — so the memo is bypassed entirely.
         """
+        if self._use_bitset:
+            self._perf.incr("merge.manhattan_evals")
+            return (self._bodies[a] ^ self._bodies[b]).bit_count()
         if a > b:
             a, b = b, a
         key = (a, b)
@@ -292,7 +328,8 @@ class GreedyMerger:
 
     def _cost(self, absorber: str, absorbed: str) -> Tuple[float, int]:
         if absorber == EMPTY_TYPE:
-            d = len(self._bodies[absorbed])
+            body = self._bodies[absorbed]
+            d = body.bit_count() if self._use_bitset else len(body)
             return (
                 self._distance(self._empty_weight, self._weights[absorbed], d),
                 d,
@@ -377,12 +414,31 @@ class GreedyMerger:
         return self._frozen
 
     @property
+    def use_bitset(self) -> bool:
+        """Whether bodies are held as link-space bitmasks."""
+        return self._use_bitset
+
+    @property
+    def link_space(self) -> Optional[LinkSpace]:
+        """The interner behind the masks (``None`` on the set path)."""
+        return self._space
+
+    @property
     def records(self) -> Tuple[MergeRecord, ...]:
         """The merge trace so far (execution order)."""
         return tuple(self._records)
 
     def current_program(self) -> TypingProgram:
         """The live types as a :class:`TypingProgram`."""
+        if self._use_bitset:
+            space = self._space
+            assert space is not None
+            return TypingProgram(
+                [
+                    TypeRule(name, space.decode(body))
+                    for name, body in self._bodies.items()
+                ]
+            )
         return TypingProgram(
             [TypeRule(name, body) for name, body in self._bodies.items()]
         )
@@ -398,7 +454,7 @@ class GreedyMerger:
     # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
-    def _merged_body(self, absorber: str, absorbed: str) -> FrozenSet[TypedLink]:
+    def _merged_body(self, absorber: str, absorbed: str) -> Body:
         if self._policy is MergePolicy.ABSORB:
             return self._bodies[absorber]
         if self._policy is MergePolicy.UNION:
@@ -407,6 +463,8 @@ class GreedyMerger:
             return self._bodies[absorber] & self._bodies[absorbed]
         # WEIGHTED_CENTER: typed links supported by >= half the weight.
         members = self._members[absorber] + self._members[absorbed]
+        if self._use_bitset:
+            return BodyKernel.weighted_center(members)
         total = sum(weight for _, weight in members)
         support: Dict[TypedLink, float] = {}
         for body, weight in members:
@@ -424,6 +482,29 @@ class GreedyMerger:
         """
         changed: List[str] = []
         sync_members = self._policy is MergePolicy.WEIGHTED_CENTER
+        if self._use_bitset:
+            space = self._space
+            assert space is not None
+            old_mask = space.mask_targeting(old)
+            if not old_mask:
+                return changed
+            for name, body in list(self._bodies.items()):
+                if body & old_mask:
+                    rewritten = space.retarget(body, old, new)
+                    if rewritten != body:
+                        self._bodies[name] = rewritten
+                        changed.append(name)
+                # Same stale-superscript hazard as the set path below:
+                # sync members whenever *any* member references ``old``,
+                # not just when the aggregated body did.
+                if sync_members and any(
+                    mbody & old_mask for mbody, _ in self._members[name]
+                ):
+                    self._members[name] = [
+                        (space.retarget(mbody, old, new), weight)
+                        for mbody, weight in self._members[name]
+                    ]
+            return changed
         for name, body in list(self._bodies.items()):
             if any(link.target == old for link in body):
                 if new is None:

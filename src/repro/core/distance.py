@@ -22,6 +22,7 @@ all of the paper's experiments and is this library's default.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 from typing import AbstractSet, Callable, Dict, Iterable
 
@@ -53,7 +54,13 @@ def manhattan(rule1: TypeRule, rule2: TypeRule) -> int:
 def manhattan_bodies(
     body1: AbstractSet[TypedLink], body2: AbstractSet[TypedLink]
 ) -> int:
-    """Manhattan distance on raw bodies (used by the cluster machinery)."""
+    """Manhattan distance on raw bodies (used by the cluster machinery).
+
+    Callers overwhelmingly pass (frozen)sets, whose own ``^`` needs no
+    copies; the conversion is kept only for plain iterables.
+    """
+    if isinstance(body1, (set, frozenset)) and isinstance(body2, (set, frozenset)):
+        return len(body1 ^ body2)
     return len(set(body1) ^ set(body2))
 
 
@@ -160,6 +167,19 @@ class PropertyReport:
         )
 
 
+def _le(smaller: float, larger: float) -> bool:
+    """``smaller <= larger`` up to relative float tolerance.
+
+    The exact comparison runs first: Python compares int/float pairs
+    exactly, so distances returning big exact ints (``delta_4`` is
+    ``L**d * w2``) are never coerced through a 53-bit mantissa — the
+    old ``a <= b + 1e-12`` form did exactly that coercion and could
+    round ``b`` *below* an equal ``a``, flagging a constant function as
+    non-monotone.
+    """
+    return smaller <= larger or math.isclose(smaller, larger, rel_tol=1e-9)
+
+
 def check_properties(
     delta: WeightedDistance,
     weights: Iterable[float] = (1, 10, 100, 1000),
@@ -174,19 +194,19 @@ def check_properties(
     distances = sorted(set(distances))
 
     inc_d = all(
-        delta(w1, w2, d1) <= delta(w1, w2, d2) + 1e-12
+        _le(delta(w1, w2, d1), delta(w1, w2, d2))
         for w1 in weights
         for w2 in weights
         for d1, d2 in itertools.combinations(distances, 2)
     )
     dec_w1 = all(
-        delta(w1b, w2, d) <= delta(w1a, w2, d) + 1e-12
+        _le(delta(w1b, w2, d), delta(w1a, w2, d))
         for w1a, w1b in itertools.combinations(weights, 2)
         for w2 in weights
         for d in distances
     )
     inc_w2 = all(
-        delta(w1, w2a, d) <= delta(w1, w2b, d) + 1e-12
+        _le(delta(w1, w2a, d), delta(w1, w2b, d))
         for w2a, w2b in itertools.combinations(weights, 2)
         for w1 in weights
         for d in distances

@@ -167,6 +167,11 @@ class SchemaExtractor:
         Share a recast memo across sweep samples (see
         :class:`repro.core.recast.RecastMemo`; default on — results
         are identical either way, this only skips repeated work).
+    use_bitset:
+        Run Stage 2 and Stage 3 on the link-space bitset kernel
+        (:mod:`repro.core.linkspace`; default on).  ``False`` selects
+        the frozenset oracle path (CLI ``--no-bitset``); results are
+        identical either way.
     perf:
         Optional :class:`repro.perf.PerfRecorder` threaded through all
         three stages (GFP engine, merger, sweep) plus the pipeline-level
@@ -190,6 +195,7 @@ class SchemaExtractor:
         local_rule_fn=None,
         stage1: Optional[PerfectTyping] = None,
         recast_memo: bool = True,
+        use_bitset: bool = True,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         self._db = db
@@ -204,6 +210,7 @@ class SchemaExtractor:
         self._prior = prior
         self._local_rule_fn = local_rule_fn
         self._recast_memo = recast_memo
+        self._use_bitset = use_bitset
         self._stage1: Optional[PerfectTyping] = stage1
 
     # ------------------------------------------------------------------
@@ -293,6 +300,7 @@ class SchemaExtractor:
             budget=budget,
             perf=self._perf,
             use_memo=self._recast_memo,
+            use_bitset=self._use_bitset,
         )
 
     def extract(
@@ -364,7 +372,12 @@ class SchemaExtractor:
                 if isinstance(resume_from, str)
                 else resume_from
             )
-            merger = restore_merger(resumed, distance=distance, perf=self._perf)
+            merger = restore_merger(
+                resumed,
+                distance=distance,
+                perf=self._perf,
+                use_bitset=self._use_bitset,
+            )
             if merger.initial_program != start_program:
                 raise ReproError(
                     "checkpoint does not match this database/configuration: "
@@ -415,6 +428,7 @@ class SchemaExtractor:
                         budget=budget,
                         perf=self._perf,
                         use_memo=self._recast_memo,
+                        use_bitset=self._use_bitset,
                     )
             except ExecutionInterruptedError as exc:
                 # Not even one point sampled: degrade to the perfect
@@ -456,6 +470,7 @@ class SchemaExtractor:
                 empty_weight=self._empty_weight,
                 frozen=frozen,
                 perf=self._perf,
+                use_bitset=self._use_bitset,
             )
         writer = self._checkpoint_writer(checkpoint_path, k, checkpoint_every)
         try:
@@ -490,6 +505,7 @@ class SchemaExtractor:
                 mode=self._recast_mode,
                 fallback=self._fallback,
                 perf=self._perf,
+                use_bitset=self._use_bitset,
             )
             defect = compute_defect(
                 stage2.program, self._db, recast_result.assignment
@@ -608,6 +624,7 @@ class SchemaExtractor:
             mode=self._recast_mode,
             fallback=self._fallback,
             perf=self._perf,
+            use_bitset=self._use_bitset,
         )
         defect = compute_defect(
             stage2.program, self._db, recast_result.assignment

@@ -32,12 +32,27 @@ sampled ``k``; between neighbouring samples only one merge happened,
 so most rule bodies and most objects' local pictures are unchanged and
 the rule-satisfaction subset tests they induce are recomputed verbatim.
 A :class:`RecastMemo` caches those tests keyed on the
-``(rule body, local picture)`` value pair — both are frozensets of
-:class:`~repro.core.typing_program.TypedLink`, so the cache is exact
-and semantically inert (results are bit-identical with or without it).
-One memo instance is shared across all samples of a sweep; the
-``recast.evaluations`` / ``recast.memo_hits`` perf counters quantify
-the saving (see ``docs/PERFORMANCE.md``).
+``(rule body, local picture)`` value pair, so the cache is exact and
+semantically inert (results are bit-identical with or without it).
+Both inputs are *interned* once — to small integer ids on the set
+path, to :class:`~repro.core.linkspace.LinkSpace` bitmasks on the
+default bitset path — so a lookup hashes a pair of ints instead of
+re-hashing two full frozensets.  One memo instance is shared across
+all samples of a sweep (its link space with it, keeping bit positions
+stable across samples); the ``recast.evaluations`` /
+``recast.memo_hits`` / ``recast.cover_checks`` perf counters quantify
+the work (see ``docs/PERFORMANCE.md``).
+
+Bitset kernel
+-------------
+With ``use_bitset=True`` (the default) the HOME_GUIDED hot loop and
+the closest-type fallback encode rule bodies once per call and build
+each object's local picture directly as an ``int`` mask
+(:func:`object_local_mask`), so the per-object, per-rule work is
+``body & ~local == 0`` — integer bit arithmetic instead of frozenset
+subset tests.  ``use_bitset=False`` keeps the original frozenset
+evaluation as the oracle path (CLI ``--no-bitset``); the property
+suite pins that both produce identical assignments.
 """
 
 from __future__ import annotations
@@ -57,6 +72,7 @@ from typing import (
 
 from repro.core.distance import manhattan_bodies
 from repro.core.fixpoint import greatest_fixpoint
+from repro.core.linkspace import LinkSpace
 from repro.core.typing_program import (
     Direction,
     TypedLink,
@@ -73,16 +89,25 @@ Assignment = Mapping[ObjectId, AbstractSet[str]]
 class RecastMemo:
     """Cross-sample cache of rule-satisfaction subset tests.
 
-    Keys are ``(rule body, local picture)`` frozenset pairs; values are
-    the boolean outcome of ``body <= local``.  Because the key captures
-    the *entire* input of the test, a hit can never change a result —
-    the memo only skips recomputation (frozensets cache their hashes,
-    so lookups stay cheap even for large bodies).
+    Keys capture the *entire* input of a ``body <= local`` test, so a
+    hit can never change a result — the memo only skips recomputation.
+    Both inputs are interned once so lookups hash a pair of small ints
+    rather than two full frozensets:
+
+    * on the set path, :meth:`intern` maps each distinct frozenset to a
+      sequential id and the cache keys on ``(body_id, local_id)``;
+    * on the bitset path, bodies are already
+      :class:`~repro.core.linkspace.LinkSpace` masks — themselves exact
+      value encodings — and the cache keys on ``(body_mask,
+      local_mask)`` directly (a separate table, so id keys and mask
+      keys can never collide).
 
     One instance is meant to be shared across the recast calls of a
     sweep (or any sequence of recasts over the same database); the
-    parallel sweep gives each worker its own memo, shared across that
-    worker's contiguous block of ``k`` samples.
+    memo then also owns the shared :meth:`space`, keeping bit
+    positions stable across samples.  The parallel sweep gives each
+    worker its own memo, shared across that worker's contiguous block
+    of ``k`` samples.
 
     Attributes
     ----------
@@ -91,20 +116,45 @@ class RecastMemo:
         ``recast.memo_hits`` / ``recast.evaluations`` perf counters.
     """
 
-    __slots__ = ("_cache", "hits", "misses")
+    __slots__ = ("_cache", "_mask_cache", "_ids", "_space", "hits", "misses")
 
     def __init__(self) -> None:
-        self._cache: Dict[
-            Tuple[FrozenSet[TypedLink], FrozenSet[TypedLink]], bool
-        ] = {}
+        self._cache: Dict[Tuple[int, int], bool] = {}
+        self._mask_cache: Dict[Tuple[int, int], bool] = {}
+        self._ids: Dict[FrozenSet[TypedLink], int] = {}
+        self._space: Optional[LinkSpace] = None
         self.hits = 0
         self.misses = 0
+
+    def space(self) -> LinkSpace:
+        """The memo's shared link space (created on first use)."""
+        if self._space is None:
+            self._space = LinkSpace()
+        return self._space
+
+    def intern(self, body: FrozenSet[TypedLink]) -> int:
+        """A stable small id for ``body`` (hashes the set only once)."""
+        ident = self._ids.get(body)
+        if ident is None:
+            ident = len(self._ids)
+            self._ids[body] = ident
+        return ident
 
     def covered(
         self, body: FrozenSet[TypedLink], local: FrozenSet[TypedLink]
     ) -> bool:
         """Whether ``body <= local``, answered from the cache if seen."""
-        key = (body, local)
+        return self.covered_ids(self.intern(body), self.intern(local), body, local)
+
+    def covered_ids(
+        self,
+        body_id: int,
+        local_id: int,
+        body: FrozenSet[TypedLink],
+        local: FrozenSet[TypedLink],
+    ) -> bool:
+        """:meth:`covered` with both inputs already interned."""
+        key = (body_id, local_id)
         cached = self._cache.get(key)
         if cached is None:
             cached = body <= local
@@ -114,8 +164,20 @@ class RecastMemo:
             self.hits += 1
         return cached
 
+    def covered_mask(self, body_mask: int, local_mask: int) -> bool:
+        """Whether ``body <= local`` for :meth:`space`-encoded masks."""
+        key = (body_mask, local_mask)
+        cached = self._mask_cache.get(key)
+        if cached is None:
+            cached = body_mask & ~local_mask == 0
+            self._mask_cache[key] = cached
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
     def __len__(self) -> int:
-        return len(self._cache)
+        return len(self._cache) + len(self._mask_cache)
 
 
 def _program_uses_sorts(program: TypingProgram) -> bool:
@@ -123,29 +185,79 @@ def _program_uses_sorts(program: TypingProgram) -> bool:
     return any(link.sort is not None for link in program.typed_links())
 
 
+#: Pre-interned rule list for the set path: (name, memo id, body).
+_InternedRules = List[Tuple[str, int, FrozenSet[TypedLink]]]
+
+
 def _satisfied_for_local(
     program: TypingProgram,
     local: FrozenSet[TypedLink],
     memo: Optional[RecastMemo],
     perf: PerfRecorder,
+    interned: Optional[_InternedRules] = None,
 ) -> FrozenSet[str]:
-    """Rules whose body the precomputed ``local`` picture covers."""
+    """Rules whose body the precomputed ``local`` picture covers.
+
+    ``interned`` optionally carries the program's rules with their memo
+    ids already assigned (the recast hot loop interns once per call,
+    not once per object).
+    """
     names = []
     evaluated = 0
     hits = 0
+    checks = 0
     if memo is None:
         for rule in program.rules():
             evaluated += 1
             if rule.body <= local:
                 names.append(rule.name)
+        checks = evaluated
+    else:
+        if interned is None:
+            interned = [
+                (rule.name, memo.intern(rule.body), rule.body)
+                for rule in program.rules()
+            ]
+        local_id = memo.intern(local)
+        before_misses = memo.misses
+        before_hits = memo.hits
+        for name, body_id, body in interned:
+            if memo.covered_ids(body_id, local_id, body, local):
+                names.append(name)
+        evaluated = memo.misses - before_misses
+        hits = memo.hits - before_hits
+        checks = len(interned)
+    perf.incr("recast.cover_checks", checks)
+    perf.incr("recast.evaluations", evaluated)
+    if hits:
+        perf.incr("recast.memo_hits", hits)
+    return frozenset(names)
+
+
+def _satisfied_for_mask(
+    rule_masks: List[Tuple[str, int]],
+    local_mask: int,
+    memo: Optional[RecastMemo],
+    perf: PerfRecorder,
+) -> FrozenSet[str]:
+    """Bitset twin of :func:`_satisfied_for_local` over encoded rules."""
+    names = []
+    evaluated = 0
+    hits = 0
+    if memo is None:
+        for name, mask in rule_masks:
+            if mask & ~local_mask == 0:
+                names.append(name)
+        evaluated = len(rule_masks)
     else:
         before_misses = memo.misses
         before_hits = memo.hits
-        for rule in program.rules():
-            if memo.covered(rule.body, local):
-                names.append(rule.name)
+        for name, mask in rule_masks:
+            if memo.covered_mask(mask, local_mask):
+                names.append(name)
         evaluated = memo.misses - before_misses
         hits = memo.hits - before_hits
+    perf.incr("recast.cover_checks", len(rule_masks))
     perf.incr("recast.evaluations", evaluated)
     if hits:
         perf.incr("recast.memo_hits", hits)
@@ -229,6 +341,45 @@ def object_local_body(
     return frozenset(body)
 
 
+def object_local_mask(
+    db: Database,
+    obj: ObjectId,
+    reference: Assignment,
+    space: LinkSpace,
+    include_sorts: bool = False,
+) -> int:
+    """:func:`object_local_body` emitting a ``space`` bitmask directly.
+
+    Builds the local picture without materialising any
+    :class:`TypedLink` objects on the (overwhelmingly common)
+    already-interned case: each witnessed edge ors one interned bit
+    into an ``int``.  Decoding the result through ``space`` yields
+    exactly :func:`object_local_body`'s frozenset.
+    """
+    from repro.core.sorts import sort_of
+    from repro.core.typing_program import ATOMIC, atomic_target
+
+    mask = 0
+    empty: FrozenSet[str] = frozenset()
+    bit = space.bit
+    for edge in db.out_edges(obj):
+        if db.is_atomic(edge.dst):
+            mask |= bit(Direction.OUT, edge.label, ATOMIC)
+            if include_sorts:
+                mask |= bit(
+                    Direction.OUT,
+                    edge.label,
+                    atomic_target(sort_of(db.value(edge.dst))),
+                )
+        else:
+            for type_name in reference.get(edge.dst, empty):
+                mask |= bit(Direction.OUT, edge.label, type_name)
+    for edge in db.in_edges(obj):
+        for type_name in reference.get(edge.src, empty):
+            mask |= bit(Direction.IN, edge.label, type_name)
+    return mask
+
+
 def satisfied_types(
     program: TypingProgram,
     db: Database,
@@ -287,6 +438,7 @@ def recast(
     fallback: str = "closest",
     memo: Optional[RecastMemo] = None,
     perf: Optional[PerfRecorder] = None,
+    use_bitset: bool = True,
 ) -> RecastResult:
     """Run Stage 3 and return the final object-to-types assignment.
 
@@ -310,12 +462,32 @@ def recast(
         sweep passes one); only affects work done, never the result.
     perf:
         Optional recorder for the ``recast.*`` counters.
+    use_bitset:
+        When true (the default) the HOME_GUIDED satisfaction loop and
+        the closest-type fallback run on the link-space bitset kernel;
+        ``False`` keeps the frozenset oracle path.  Results are
+        identical either way.
     """
     if fallback not in ("closest", "none"):
         raise RecastError(f"unknown fallback {fallback!r}")
     if mode is RecastMode.HOME_GUIDED and home is None:
         raise RecastError("HOME_GUIDED recasting requires a home assignment")
     recorder = _resolve_perf(perf)
+
+    # The kernel state: rule bodies encoded once per call into the
+    # memo's shared space (bit positions stay stable across the calls
+    # of a sweep, so mask cache keys remain exact value encodings).
+    space: Optional[LinkSpace] = None
+    rule_masks: Optional[List[Tuple[str, int]]] = None
+    uses_sorts = _program_uses_sorts(program)
+    if use_bitset and len(program) > 0:
+        space = memo.space() if memo is not None else LinkSpace()
+        with recorder.span("linkspace.encode"):
+            rule_masks = [
+                (rule.name, space.encode(rule.body))
+                for rule in program.rules()
+            ]
+        recorder.incr("linkspace.encodes", len(rule_masks))
 
     assignment: Dict[ObjectId, Set[str]] = {
         obj: set() for obj in db.complex_objects()
@@ -333,16 +505,34 @@ def recast(
             if homes:
                 assignment[obj].update(t for t in homes if t in program)
         # Add every type satisfied one-step under the home assignment.
-        # uses_sorts and the local pictures are computed once per call
-        # (not per satisfied_types invocation) on this hot path.
-        uses_sorts = _program_uses_sorts(program)
-        for obj in assignment:
-            local = object_local_body(
-                db, obj, home, include_sorts=uses_sorts
-            )
-            assignment[obj].update(
-                _satisfied_for_local(program, local, memo, recorder)
-            )
+        # uses_sorts, the encoded/interned rules and the local pictures
+        # are computed once per call (not per satisfied_types
+        # invocation) on this hot path.
+        if rule_masks is not None:
+            assert space is not None
+            for obj in assignment:
+                local_mask = object_local_mask(
+                    db, obj, home, space, include_sorts=uses_sorts
+                )
+                assignment[obj].update(
+                    _satisfied_for_mask(rule_masks, local_mask, memo, recorder)
+                )
+        else:
+            interned: Optional[_InternedRules] = None
+            if memo is not None:
+                interned = [
+                    (rule.name, memo.intern(rule.body), rule.body)
+                    for rule in program.rules()
+                ]
+            for obj in assignment:
+                local = object_local_body(
+                    db, obj, home, include_sorts=uses_sorts
+                )
+                assignment[obj].update(
+                    _satisfied_for_local(
+                        program, local, memo, recorder, interned
+                    )
+                )
 
     explicitly_untyped: Set[ObjectId] = set()
     if home is not None:
@@ -358,7 +548,24 @@ def recast(
         for obj, types in assignment.items():
             if types or obj in explicitly_untyped:
                 continue
-            chosen, _ = closest_type(program, db, obj, reference)
+            if rule_masks is not None:
+                assert space is not None
+                local_mask = object_local_mask(
+                    db, obj, reference, space, include_sorts=uses_sorts
+                )
+                best: Optional[Tuple[int, int, str]] = None
+                for name, mask in rule_masks:
+                    key = (
+                        (mask ^ local_mask).bit_count(),
+                        mask.bit_count(),
+                        name,
+                    )
+                    if best is None or key < best:
+                        best = key
+                assert best is not None
+                chosen = best[2]
+            else:
+                chosen, _ = closest_type(program, db, obj, reference)
             types.add(chosen)
             fallback_objects.add(obj)
 

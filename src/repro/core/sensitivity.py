@@ -169,6 +169,7 @@ def sensitivity_sweep(
     perf: Optional[PerfRecorder] = None,
     sample_at: Optional[Iterable[int]] = None,
     use_memo: bool = True,
+    use_bitset: bool = True,
 ) -> SensitivityResult:
     """Sweep ``k`` from the perfect typing size down to ``min_k``.
 
@@ -210,6 +211,11 @@ def sensitivity_sweep(
         samples, so neighbouring ``k`` stop recomputing identical
         rule-satisfaction tests.  Results are identical either way;
         disable to measure the saving (``--no-recast-memo``).
+    use_bitset:
+        Run the merger and the per-sample recasts on the link-space
+        bitset kernel (the default); ``False`` selects the frozenset
+        oracle path (``--no-bitset``).  Results are identical either
+        way.
 
     Returns a :class:`SensitivityResult` sorted by ascending ``k``.
     """
@@ -229,6 +235,7 @@ def sensitivity_sweep(
         allow_empty_type=allow_empty_type,
         frozen=frozen,
         perf=perf,
+        use_bitset=use_bitset,
     )
     n = merger.num_types
     if max_k is None or max_k > n:
@@ -255,7 +262,7 @@ def sensitivity_sweep(
             home = snapshot.map_assignment(assignment)
             recast_result = recast(
                 snapshot.program, db, home=home, mode=mode,
-                memo=memo, perf=perf,
+                memo=memo, perf=perf, use_bitset=use_bitset,
             )
             report = compute_defect(
                 snapshot.program, db, recast_result.assignment

@@ -205,6 +205,7 @@ def parallel_sweep(
     budget: Optional[Budget] = None,
     perf: Optional[PerfRecorder] = None,
     use_memo: bool = True,
+    use_bitset: bool = True,
 ) -> SensitivityResult:
     """The Figure 6 sweep, with sample blocks fanned out to workers.
 
@@ -251,6 +252,7 @@ def parallel_sweep(
                 budget.remaining_iterations() if budget is not None else None
             ),
             use_memo=use_memo,
+            use_bitset=use_bitset,
             record_perf=recorder.enabled,
         )
         for index, block in enumerate(blocks)
@@ -322,6 +324,7 @@ class ParallelExtractor:
         prior: Optional[PriorKnowledge] = None,
         local_rule_fn=None,
         recast_memo: bool = True,
+        use_bitset: bool = True,
         max_shard_objects: Optional[int] = None,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
@@ -339,6 +342,7 @@ class ParallelExtractor:
         self._prior = prior
         self._local_rule_fn = local_rule_fn
         self._recast_memo = recast_memo
+        self._use_bitset = use_bitset
         self._max_shard_objects = max_shard_objects
         self._perf = _resolve_perf(perf)
         self._stage1: Optional[PerfectTyping] = None
@@ -386,6 +390,7 @@ class ParallelExtractor:
             local_rule_fn=self._local_rule_fn,
             stage1=self._stage1,
             recast_memo=self._recast_memo,
+            use_bitset=self._use_bitset,
             perf=self._perf if self._perf.enabled else None,
         )
 
@@ -430,6 +435,7 @@ class ParallelExtractor:
             budget=budget,
             perf=self._perf if self._perf.enabled else None,
             use_memo=self._recast_memo,
+            use_bitset=self._use_bitset,
         )
 
     def extract(
@@ -487,6 +493,7 @@ class ParallelExtractor:
                     budget=budget,
                     perf=self._perf if self._perf.enabled else None,
                     use_memo=self._recast_memo,
+                    use_bitset=self._use_bitset,
                 )
                 k = sensitivity.knee()
                 logger.info("parallel sweep: chose k=%d", k)

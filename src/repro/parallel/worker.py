@@ -99,6 +99,7 @@ class SweepTask:
     timeout: Optional[float] = None  #: parent's *remaining* seconds.
     max_iterations: Optional[int] = None  #: parent's *remaining* units.
     use_memo: bool = True
+    use_bitset: bool = True
     record_perf: bool = False
 
 
@@ -147,6 +148,7 @@ def run_sweep_task(task: SweepTask) -> SweepOutcome:
             perf=perf,
             sample_at=task.sample_at,
             use_memo=task.use_memo,
+            use_bitset=task.use_bitset,
         )
         points = result.points
         exhausted = result.exhausted

@@ -110,6 +110,7 @@ def restore_merger(
     checkpoint: Checkpoint,
     distance: Optional[WeightedDistance] = None,
     perf=None,
+    use_bitset: bool = True,
 ) -> GreedyMerger:
     """Rebuild a merger from a checkpoint and replay its trace.
 
@@ -123,6 +124,12 @@ def restore_merger(
     perf:
         Optional :class:`repro.perf.PerfRecorder` for the rebuilt
         merger (replayed merges are counted like live ones).
+    use_bitset:
+        Body representation for the rebuilt merger (see
+        :class:`GreedyMerger`).  Checkpoints only record the merge
+        trace, never bodies, so either representation replays to the
+        identical state — a checkpoint written by one path resumes
+        freely on the other.
 
     Returns a :class:`GreedyMerger` whose state (bodies, weights,
     merge map, records, total cost) is identical to the interrupted
@@ -150,6 +157,7 @@ def restore_merger(
         empty_weight=checkpoint.empty_weight,
         frozen=frozenset(checkpoint.frozen),
         perf=perf,
+        use_bitset=use_bitset,
     )
     for absorber, absorbed in checkpoint.merges:
         merger.merge_pair(absorber, absorbed)

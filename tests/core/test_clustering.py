@@ -276,9 +276,11 @@ class TestWeightedCenterMemberSync:
         merger.merge_pair("A", "B")
         merger.merge_pair("D", "C")
         live = set(merger.current_program().type_names())
+        space = merger.link_space
         for members in merger._members.values():
             for body, _ in members:
-                for link in body:
+                links = space.decode(body) if space is not None else body
+                for link in links:
                     assert link.is_atomic_target or link.target in live
 
 

@@ -114,6 +114,43 @@ class TestProperties:
         assert report.decreasing_in_w1
         assert report.increasing_in_w2
 
+    #: Pinned Section 5.2 verdicts on the default probe grid, one per
+    #: paper distance: (increasing_in_d, decreasing_in_w1,
+    #: increasing_in_w2).  delta_1 undercuts the cost of moving big
+    #: types (1/w2), delta_3 rewards dissimilarity (the 1/d exponent
+    #: shrinks the weight product), delta_5 likewise prices only the
+    #: weight ratio; the paper's delta_2 default and delta_4 hold all
+    #: three.
+    PINNED = {
+        "delta_1": (True, True, False),
+        "delta_2": (True, True, True),
+        "delta_3": (False, False, True),
+        "delta_4": (True, True, True),
+        "delta_5": (False, True, True),
+    }
+
+    @pytest.mark.parametrize("name", sorted(PINNED))
+    def test_all_five_distances_pinned(self, name):
+        """Every paper distance reports exactly its known property
+        triple at the realistic DBG hypercube dimension."""
+        report = check_properties(named_distances(275)[name])
+        observed = (
+            report.increasing_in_d,
+            report.decreasing_in_w1,
+            report.increasing_in_w2,
+        )
+        assert observed == self.PINNED[name]
+
+    def test_probe_survives_big_exact_ints(self):
+        """``delta_4 = 275**8 * w2`` exceeds the 53-bit float mantissa;
+        the probe must compare the exact ints directly (regression: an
+        additive float tolerance coerced the right side and rounded it
+        *below* an equal left side, flagging a constant-in-w1 function
+        as non-monotone)."""
+        report = check_properties(delta_4(dimensions=275))
+        assert report.decreasing_in_w1
+        assert report.satisfies_all
+
     def test_deliberately_non_monotone_distance_fails_every_probe(self):
         """A distance built to violate all three properties at once:
         decreasing in d, increasing in w1, decreasing in w2.  Guards

@@ -1,0 +1,249 @@
+"""Property-based equivalence of the bitset kernel and the set oracle.
+
+The bitset link-space kernel (:mod:`repro.core.linkspace`) is a pure
+change of representation: every consumer must produce *identical*
+results with ``use_bitset=True`` (the default) and ``use_bitset=False``
+(the frozenset oracle path).  This suite pins that on random inputs at
+every level:
+
+* the kernel's mask arithmetic against frozenset semantics;
+* :class:`GreedyMerger` merge traces (absorber, absorbed, cost and
+  manhattan per record) across all merge policies;
+* the full Stage 1 -> 3 pipeline (program, assignment, defect) and the
+  Figure 6 sweep on random databases;
+* the cluster machinery (k-median, agglomeration) fed by
+  :class:`CachedBodyDistance` vs a plain closure over raw bodies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hierarchy import agglomerate
+from repro.cluster.jump import defining_attributes
+from repro.cluster.kmedian import greedy_k_median
+from repro.core.clustering import GreedyMerger, MergePolicy
+from repro.core.distance import manhattan_bodies
+from repro.core.linkspace import BodyKernel, CachedBodyDistance, LinkSpace
+from repro.core.pipeline import SchemaExtractor
+from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
+from repro.graph.database import Database
+
+labels = st.sampled_from(["a", "b", "c", "d"])
+objects = st.sampled_from([f"o{i}" for i in range(6)])
+
+
+@st.composite
+def bodies(draw):
+    links = set()
+    for label in draw(st.lists(labels, max_size=3, unique=True)):
+        links.add(TypedLink.to_atomic(label))
+    for _ in range(draw(st.integers(0, 2))):
+        form = draw(st.integers(0, 1))
+        label = draw(labels)
+        target = f"t{draw(st.integers(0, 4))}"
+        if form == 0:
+            links.add(TypedLink.outgoing(label, target))
+        else:
+            links.add(TypedLink.incoming(label, target))
+    return frozenset(links)
+
+
+@st.composite
+def programs_with_weights(draw):
+    n = draw(st.integers(2, 6))
+    rules = []
+    weights = {}
+    for i in range(n):
+        name = f"t{i}"
+        body = set(draw(bodies()))
+        # Keep inter-type references inside the program's own names.
+        body = {
+            link
+            for link in body
+            if link.is_atomic_target or int(link.target[1:]) < n
+        }
+        rules.append(TypeRule(name, frozenset(body)))
+        weights[name] = draw(st.integers(1, 50))
+    return TypingProgram(rules), weights
+
+
+@st.composite
+def databases(draw):
+    db = Database()
+    db.add_atomic("leaf", 0)
+    for _ in range(draw(st.integers(2, 14))):
+        src = draw(objects)
+        dst = draw(st.one_of(objects, st.just("leaf")))
+        if src == dst:
+            continue
+        db.add_link(src, dst, draw(labels))
+    if db.num_complex == 0:
+        db.add_complex("o0")
+    return db
+
+
+class TestKernelMatchesSetSemantics:
+    @given(bodies(), bodies())
+    def test_manhattan(self, b1, b2):
+        space = LinkSpace()
+        m1, m2 = space.encode(b1), space.encode(b2)
+        assert BodyKernel.manhattan(m1, m2) == manhattan_bodies(b1, b2)
+
+    @given(bodies(), bodies())
+    def test_covered(self, b1, b2):
+        space = LinkSpace()
+        m1, m2 = space.encode(b1), space.encode(b2)
+        assert BodyKernel.covered(m1, m2) == (b1 <= b2)
+
+    @given(bodies(), bodies())
+    def test_union_and_intersection(self, b1, b2):
+        space = LinkSpace()
+        m1, m2 = space.encode(b1), space.encode(b2)
+        assert space.decode(BodyKernel.union(m1, m2)) == b1 | b2
+        assert space.decode(BodyKernel.intersection(m1, m2)) == b1 & b2
+
+    @given(bodies(), st.integers(0, 4), st.integers(0, 4))
+    def test_retarget_matches_rename(self, body, old_i, new_i):
+        space = LinkSpace()
+        mask = space.encode(body)
+        old, new = f"t{old_i}", f"t{new_i}"
+        expected = frozenset(link.rename({old: new}) for link in body)
+        assert space.decode(space.retarget(mask, old, new)) == expected
+
+    @given(bodies(), st.integers(0, 4))
+    def test_retarget_drop_matches_filter(self, body, old_i):
+        space = LinkSpace()
+        mask = space.encode(body)
+        old = f"t{old_i}"
+        expected = frozenset(
+            link for link in body if link.is_atomic_target or link.target != old
+        )
+        assert space.decode(space.retarget(mask, old, None)) == expected
+
+    @given(st.lists(st.tuples(bodies(), st.floats(0.5, 20.0)), min_size=1, max_size=5))
+    def test_defining_mask_matches_jump_function(self, members):
+        space = LinkSpace()
+        encoded = [(space.encode(body), weight) for body, weight in members]
+        assert space.decode(BodyKernel.defining_mask(encoded)) == (
+            defining_attributes(members)
+        )
+
+    @given(st.lists(st.tuples(bodies(), st.floats(0.5, 20.0)), min_size=1, max_size=5))
+    def test_weighted_center_matches_set_tally(self, members):
+        space = LinkSpace()
+        encoded = [(space.encode(body), weight) for body, weight in members]
+        total = sum(weight for _, weight in members)
+        support = {}
+        for body, weight in members:
+            for link in body:
+                support[link] = support.get(link, 0.0) + weight
+        expected = frozenset(
+            link for link, s in support.items() if 2 * s >= total
+        )
+        assert space.decode(BodyKernel.weighted_center(encoded)) == expected
+
+
+class TestMergerTraceEquivalence:
+    @given(programs_with_weights(), st.sampled_from(list(MergePolicy)), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_identical_traces_and_programs(self, pw, policy, data):
+        program, weights = pw
+        k = data.draw(st.integers(1, len(program)))
+        bitset = GreedyMerger(
+            program, weights, policy=policy, use_bitset=True
+        ).run_to(k)
+        plain = GreedyMerger(
+            program, weights, policy=policy, use_bitset=False
+        ).run_to(k)
+        assert bitset.program == plain.program
+        assert bitset.weights == plain.weights
+        assert bitset.merge_map == plain.merge_map
+        assert [
+            (r.absorber, r.absorbed, r.cost, r.manhattan)
+            for r in bitset.records
+        ] == [
+            (r.absorber, r.absorbed, r.cost, r.manhattan)
+            for r in plain.records
+        ]
+
+    @given(programs_with_weights())
+    @settings(max_examples=30, deadline=None)
+    def test_empty_type_path_equivalent(self, pw):
+        program, weights = pw
+        bitset = GreedyMerger(
+            program, weights, allow_empty_type=True, empty_weight=1.0,
+            use_bitset=True,
+        ).run_to(1)
+        plain = GreedyMerger(
+            program, weights, allow_empty_type=True, empty_weight=1.0,
+            use_bitset=False,
+        ).run_to(1)
+        assert bitset.program == plain.program
+        assert [
+            (r.absorber, r.absorbed, r.cost) for r in bitset.records
+        ] == [(r.absorber, r.absorbed, r.cost) for r in plain.records]
+
+
+class TestPipelineEquivalence:
+    @given(databases(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_extract_identical(self, db, data):
+        probe = SchemaExtractor(db, use_bitset=True)
+        n = len(probe.stage1().program)
+        k = data.draw(st.integers(1, n))
+        bitset = SchemaExtractor(db, use_bitset=True).extract(k=k)
+        plain = SchemaExtractor(db, use_bitset=False).extract(k=k)
+        assert bitset.program == plain.program
+        assert bitset.assignment == plain.assignment
+        assert bitset.recast_result.extents == plain.recast_result.extents
+        assert bitset.defect.total == plain.defect.total
+
+    @given(databases())
+    @settings(max_examples=15, deadline=None)
+    def test_sweep_identical(self, db):
+        bitset = SchemaExtractor(db, use_bitset=True).sweep()
+        plain = SchemaExtractor(db, use_bitset=False).sweep()
+        assert bitset.points == plain.points
+
+
+class TestClusterMachineryEquivalence:
+    @given(st.lists(bodies(), min_size=2, max_size=7), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_kmedian_with_cached_body_distance(self, point_bodies, data):
+        k = data.draw(st.integers(1, len(point_bodies)))
+        weights = [1.0] * len(point_bodies)
+
+        def closure(i, j):
+            return float(manhattan_bodies(point_bodies[i], point_bodies[j]))
+
+        via_kernel = greedy_k_median(
+            weights, k, CachedBodyDistance(point_bodies),
+            cache_distances=False,
+        )
+        via_closure = greedy_k_median(weights, k, closure)
+        assert via_kernel.medians == via_closure.medians
+        assert via_kernel.assignment == via_closure.assignment
+        assert via_kernel.cost == via_closure.cost
+
+    @given(
+        st.lists(bodies(), min_size=2, max_size=6),
+        st.sampled_from(["single", "complete", "average", "weighted"]),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_agglomerate_with_cached_body_distance(
+        self, point_bodies, linkage, data
+    ):
+        k = data.draw(st.integers(1, len(point_bodies)))
+
+        def closure(i, j):
+            return float(manhattan_bodies(point_bodies[i], point_bodies[j]))
+
+        via_kernel = agglomerate(
+            len(point_bodies), k, CachedBodyDistance(point_bodies),
+            linkage=linkage, cache_distances=False,
+        )
+        via_closure = agglomerate(
+            len(point_bodies), k, closure, linkage=linkage
+        )
+        assert via_kernel == via_closure

@@ -42,6 +42,24 @@ def test_extract_options(oem_file, capsys):
     assert "optimal types: 1" in capsys.readouterr().out
 
 
+def test_extract_no_bitset_is_output_identical(oem_file, capsys):
+    """``--no-bitset`` runs the frozenset oracle path and must print
+    exactly the same extraction as the default bitset kernel."""
+    assert main(["extract", oem_file, "-k", "2"]) == 0
+    bitset_out = capsys.readouterr().out
+    assert main(["extract", oem_file, "-k", "2", "--no-bitset"]) == 0
+    assert capsys.readouterr().out == bitset_out
+
+
+def test_sweep_no_bitset_is_output_identical(oem_file, capsys):
+    assert main(["sweep", oem_file]) == 0
+    bitset = capsys.readouterr()
+    assert main(["sweep", oem_file, "--no-bitset"]) == 0
+    plain = capsys.readouterr()
+    assert plain.out == bitset.out
+    assert "knee=" in plain.err
+
+
 def test_sweep_csv(oem_file, capsys):
     assert main(["sweep", oem_file]) == 0
     captured = capsys.readouterr()
