@@ -80,3 +80,325 @@ def test_robustness_report(benchmark, report):
             assert row["perfect"] > 0.5 * row["objects"]
             assert row["f1"] > 0.8
         assert row["defect"] < row["objects"]
+
+
+# ----------------------------------------------------------------------
+# Service-level fault injection (the schema-as-a-service daemon)
+# ----------------------------------------------------------------------
+#
+# The second half of this file stress-drives the in-process
+# :class:`repro.service.SchemaService` through its own chaos hooks and
+# writes the tallies to ``benchmarks/results/BENCH_robustness.json``.
+# It is runnable standalone::
+#
+#     PYTHONPATH=src python benchmarks/bench_robustness.py --batches 12
+#
+# and under plain pytest (no pytest-benchmark needed).  The gates are
+# behavioural, never timing:
+#
+# * every non-stale answer agrees with a from-scratch
+#   ``SchemaExtractor`` oracle (degraded-but-correct, the tentpole's
+#   core invariant);
+# * no request is ever answered 5xx except 503 backpressure, and every
+#   429/503 carries ``Retry-After``;
+# * after the storm the daemon converges: pending folds, ``stale``
+#   clears, the epoch advances.
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+from typing import Any, List, Optional
+
+SERVICE_RESULTS_PATH = (
+    pathlib.Path(__file__).resolve().parent
+    / "results"
+    / "BENCH_robustness.json"
+)
+
+
+def _service_db():
+    from repro.graph.builder import DatabaseBuilder
+
+    builder = DatabaseBuilder()
+    for i in range(6):
+        builder.attr(f"p{i}", "name", f"n{i}")
+        builder.attr(f"p{i}", "email", f"e{i}")
+    for i in range(4):
+        builder.attr(f"f{i}", "fname", f"fn{i}")
+        builder.attr(f"f{i}", "ticker", f"t{i}")
+    return builder.build()
+
+
+def _request(method: str, path: str, payload: Any = None, client="bench"):
+    from repro.service.http import Request
+
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    return Request(
+        method=method, path=path, query={}, headers={}, body=body,
+        client=client,
+    )
+
+
+def _attach_ops(owner: str, obj: str, value: str, label: str) -> List[dict]:
+    return [
+        {"op": "add-atomic", "object": obj, "value": value},
+        {"op": "add-link", "src": owner, "dst": obj, "label": label},
+    ]
+
+
+async def _oracle_sweep(service) -> dict:
+    """Look up every complex object; check non-stale answers vs oracle."""
+    db = service.session.db
+    oracle = SchemaExtractor(db.copy()).extract(
+        k=service.session.result.chosen_k
+    )
+    checked = agreed = stale = 0
+    for obj in db.complex_objects():
+        response = await service.handle(_request("GET", f"/lookup/{obj}"))
+        assert response.status == 200, response.payload
+        if response.payload["stale"]:
+            stale += 1
+            continue
+        checked += 1
+        if response.payload["types"] == sorted(
+            oracle.assignment.get(obj, frozenset())
+        ):
+            agreed += 1
+    return {"checked": checked, "agreed": agreed, "stale_answers": stale}
+
+
+async def _fault_injection_scenario(batches: int, crash_every: int) -> dict:
+    from repro.service import SchemaService, ServiceConfig
+
+    config = ServiceConfig(
+        k=2, rate=1e9, burst=1e9, breaker_reset=0.01, breaker_max_backoff=0.05
+    )
+    service = SchemaService(_service_db(), config)
+    await service.start()
+    tally = {
+        "batches": batches,
+        "applied": 0,
+        "degraded_responses": 0,  # mutation answered but left stale
+        "failed_requests": 0,  # anything 5xx (backpressure excluded)
+        "injected_crashes": 0,
+        "oracle_checked": 0,
+        "oracle_agreed": 0,
+        "stale_answers": 0,
+    }
+    try:
+        owners = [f"p{i}" for i in range(6)] + [f"f{i}" for i in range(4)]
+        for index in range(batches):
+            if crash_every and index % crash_every == 1:
+                service.chaos.arm(fail_refreshes=1)
+                tally["injected_crashes"] += 1
+            ops = _attach_ops(
+                owners[index % len(owners)], f"rb{index}", f"v{index}", "extra"
+            )
+            response = await service.handle(
+                _request("POST", "/mutate", {"ops": ops})
+            )
+            if response.status >= 500:
+                tally["failed_requests"] += 1
+            elif response.status == 200:
+                tally["applied"] += response.payload["applied"]
+                if response.payload["stale"]:
+                    tally["degraded_responses"] += 1
+            sweep = await _oracle_sweep(service)
+            tally["oracle_checked"] += sweep["checked"]
+            tally["oracle_agreed"] += sweep["agreed"]
+            tally["stale_answers"] += sweep["stale_answers"]
+        # Converge: retry the refresh until the breaker lets it land.
+        for _ in range(50):
+            if not service.session.stale:
+                break
+            await service.handle(_request("POST", "/refresh"))
+            await asyncio.sleep(0.02)
+        status = (await service.handle(_request("GET", "/status"))).payload
+        tally["final_stale"] = status["stale"]
+        tally["final_epoch"] = status["epoch"]
+        tally["failed_refreshes"] = status["failed_refreshes"]
+        final = await _oracle_sweep(service)
+        tally["final_oracle_checked"] = final["checked"]
+        tally["final_oracle_agreed"] = final["agreed"]
+    finally:
+        await service.stop()
+    return tally
+
+
+async def _overload_scenario(burst: int, queue_depth: int) -> dict:
+    from repro.service import SchemaService, ServiceConfig
+
+    config = ServiceConfig(
+        k=2, rate=1e9, burst=1e9, queue_depth=queue_depth,
+        deadline_ms=10_000.0,
+    )
+    service = SchemaService(_service_db(), config)
+    await service.start()
+    try:
+        service.chaos.arm(mutate_delay=0.02)
+        requests = [
+            service.handle(_request(
+                "POST", "/mutate",
+                {"ops": [{"op": "add-object", "object": f"ov{i}"}]},
+            ))
+            for i in range(burst)
+        ]
+        responses = await asyncio.gather(*requests)
+        statuses = {}
+        missing_retry_after = 0
+        for response in responses:
+            statuses[response.status] = statuses.get(response.status, 0) + 1
+            if response.status in (429, 503) and (
+                "Retry-After" not in response.headers
+            ):
+                missing_retry_after += 1
+        service.chaos.reset()
+        # Drain: every accepted write must land; the worker must survive.
+        for _ in range(200):
+            if service.queue.depth == 0:
+                break
+            await asyncio.sleep(0.02)
+        return {
+            "burst": burst,
+            "queue_depth": queue_depth,
+            "statuses": {str(k): v for k, v in sorted(statuses.items())},
+            "missing_retry_after": missing_retry_after,
+            "drained": service.queue.depth == 0,
+            "worker_alive": service.ready,
+            "rejected": service.queue.rejected,
+        }
+    finally:
+        await service.stop()
+
+
+async def _rate_limit_scenario(requests: int) -> dict:
+    from repro.service import SchemaService, ServiceConfig
+
+    config = ServiceConfig(k=2, rate=1.0, burst=5.0)
+    service = SchemaService(_service_db(), config)
+    await service.start()
+    try:
+        limited = ok = missing_retry_after = 0
+        for _ in range(requests):
+            response = await service.handle(
+                _request("GET", "/healthz", client="hammer")
+            )
+            if response.status == 429:
+                limited += 1
+                if "Retry-After" not in response.headers:
+                    missing_retry_after += 1
+            elif response.status == 200:
+                ok += 1
+        return {
+            "requests": requests,
+            "ok": ok,
+            "limited": limited,
+            "missing_retry_after": missing_retry_after,
+        }
+    finally:
+        await service.stop()
+
+
+def run_service_harness(
+    batches: int = 12,
+    crash_every: int = 3,
+    burst: int = 24,
+    queue_depth: int = 4,
+) -> dict:
+    """Drive all three scenarios; return the payload with its gates."""
+
+    async def go():
+        return {
+            "fault_injection": await _fault_injection_scenario(
+                batches, crash_every
+            ),
+            "overload": await _overload_scenario(burst, queue_depth),
+            "rate_limit": await _rate_limit_scenario(3 * 5),
+        }
+
+    payload = asyncio.run(go())
+    fi, ov, rl = (
+        payload["fault_injection"], payload["overload"], payload["rate_limit"]
+    )
+    payload["gates"] = {
+        "oracle_agreement": (
+            fi["oracle_agreed"] == fi["oracle_checked"]
+            and fi["final_oracle_agreed"] == fi["final_oracle_checked"]
+            and fi["final_oracle_checked"] > 0
+        ),
+        "no_unexplained_failures": fi["failed_requests"] == 0,
+        "degradation_observed": fi["degraded_responses"] >= 1,
+        "converged": (not fi["final_stale"]) and fi["final_epoch"] >= 1,
+        "backpressure_has_retry_after": (
+            ov["missing_retry_after"] == 0 and rl["missing_retry_after"] == 0
+        ),
+        "overload_accounted": (
+            sum(ov["statuses"].values()) == ov["burst"]
+            and ov["drained"]
+            and ov["worker_alive"]
+        ),
+        "rate_limit_enforced": rl["limited"] >= 1,
+    }
+    return payload
+
+
+def check_gates(payload: dict) -> List[str]:
+    return [name for name, ok in payload["gates"].items() if not ok]
+
+
+def test_service_fault_injection(results_dir):
+    """The pytest face of the harness (small sizes, same gates)."""
+    payload = run_service_harness(batches=6, crash_every=3, burst=12,
+                                  queue_depth=2)
+    path = results_dir / "BENCH_robustness.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    assert check_gates(payload) == []
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Service-level fault-injection robustness bench"
+    )
+    parser.add_argument("--batches", type=int, default=12)
+    parser.add_argument("--crash-every", type=int, default=3)
+    parser.add_argument("--burst", type=int, default=24)
+    parser.add_argument("--queue-depth", type=int, default=4)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=SERVICE_RESULTS_PATH
+    )
+    args = parser.parse_args(argv)
+    payload = run_service_harness(
+        batches=args.batches,
+        crash_every=args.crash_every,
+        burst=args.burst,
+        queue_depth=args.queue_depth,
+    )
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    failures = check_gates(payload)
+    fi = payload["fault_injection"]
+    print(
+        f"fault injection: {fi['applied']} ops applied, "
+        f"{fi['injected_crashes']} refresh crashes, "
+        f"{fi['degraded_responses']} degraded responses, "
+        f"{fi['oracle_agreed']}/{fi['oracle_checked']} oracle agreement"
+    )
+    print(
+        f"overload: {payload['overload']['statuses']} "
+        f"(drained={payload['overload']['drained']})"
+    )
+    print(f"rate limit: {payload['rate_limit']['limited']} limited")
+    print(f"wrote {args.out}")
+    if failures:
+        print(f"GATE FAILURES: {failures}", file=sys.stderr)
+        return 1
+    print("all robustness gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

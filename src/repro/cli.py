@@ -347,6 +347,45 @@ def _cmd_incremental(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig
+    from repro.service.app import serve as serve_daemon
+
+    if args.rate <= 0:
+        raise ReproError("--rate must be positive")
+    if args.burst < 1:
+        raise ReproError("--burst must be >= 1")
+    if args.queue_depth < 1:
+        raise ReproError("--queue-depth must be >= 1")
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise ReproError("--deadline-ms must be positive")
+    if args.breaker_threshold < 1:
+        raise ReproError("--breaker-threshold must be >= 1")
+    db = _load_database(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        k=args.k,
+        rate=args.rate,
+        burst=args.burst,
+        queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms,
+        refresh_timeout=args.refresh_timeout,
+        breaker_threshold=args.breaker_threshold,
+        enable_chaos=args.enable_chaos,
+    )
+    try:
+        return asyncio.run(
+            serve_daemon(
+                db, config, announce=lambda line: print(line, flush=True)
+            )
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
@@ -495,6 +534,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write performance counters (including the "
                        "delta.* family) to PATH as JSON")
     p_inc.set_defaults(func=_cmd_incremental)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the schema daemon over an OEM file",
+        description="Extract once, then serve Stage-3 recast lookups "
+        "and maintain the typing through mutation batches (see "
+        "docs/SERVICE.md).  Prints 'listening on HOST:PORT' once the "
+        "socket is bound; stop with SIGINT/SIGTERM.",
+    )
+    p_serve.add_argument("file", help="OEM text file")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = pick an ephemeral port and "
+                         "print it)")
+    p_serve.add_argument("-k", type=int, default=None,
+                         help="schema size for the initial extraction "
+                         "(default: auto knee)")
+    p_serve.add_argument("--rate", type=float, default=50.0,
+                         help="rate-limit tokens per second per client")
+    p_serve.add_argument("--burst", type=float, default=20.0,
+                         help="rate-limit bucket capacity per client")
+    p_serve.add_argument("--queue-depth", type=int, default=16,
+                         help="write queue bound; a full queue answers "
+                         "503 + Retry-After")
+    p_serve.add_argument("--deadline-ms", type=float, default=2000.0,
+                         help="default per-request deadline "
+                         "(X-Deadline-Ms overrides per request)")
+    p_serve.add_argument("--refresh-timeout", type=float, default=30.0,
+                         help="wall-clock budget for one differential "
+                         "refresh")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3,
+                         help="consecutive refresh failures that trip "
+                         "the circuit breaker")
+    p_serve.add_argument("--enable-chaos", action="store_true",
+                         help="expose POST /chaos fault injection "
+                         "(tests and benches only)")
+    p_serve.add_argument("--repair", action="store_true",
+                         help="sanitize a corrupted input file instead "
+                         "of rejecting it")
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -199,8 +199,21 @@ class IncrementalTyper:
     # ------------------------------------------------------------------
     # Refresh / rebuild
     # ------------------------------------------------------------------
+    def reset_maintainer(self) -> None:
+        """Drop the cached :class:`Stage1Maintainer` (and its index).
+
+        A :meth:`refresh` that raises midway (budget exhaustion, a
+        fault injected by the chaos harness, a crashed worker) may
+        leave the maintainer's signature index partially updated.  The
+        schema service calls this before retrying so the next refresh
+        rebuilds the index from the live database instead of trusting
+        possibly-corrupt incremental state.  The adopted typing is
+        untouched — only derived acceleration state is discarded.
+        """
+        self._maintainer = None
+
     def refresh(
-        self, changes: ChangeLog, perf=None, **extractor_options
+        self, changes: ChangeLog, budget=None, perf=None, **extractor_options
     ) -> Optional[ExtractionResult]:
         """Fold a recorded mutation batch in exactly; adopt the result.
 
@@ -210,6 +223,16 @@ class IncrementalTyper:
         ripple), then Stages 2–3 re-run on the maintained typing.
         Drift counters reset because a new result is adopted.
 
+        ``budget`` (a :class:`~repro.runtime.budget.Budget`) bounds the
+        whole refresh — the differential Stage 1 *and* the Stage 2–3
+        re-run; the service uses this to wire per-request deadlines
+        through the write path.  Exhaustion during the differential
+        Stage 1 raises and adopts nothing — the typer still serves the
+        previous result (call :meth:`reset_maintainer` before
+        retrying).  Exhaustion later degrades like the pipeline: the
+        adopted result carries a
+        :class:`~repro.runtime.budget.DegradationReport`.
+
         Returns ``None`` — and resets nothing — when ``changes`` is
         empty.  The maintainer (and its signature index) is kept
         across calls, so repeated batches amortise the index build.
@@ -218,10 +241,10 @@ class IncrementalTyper:
             return None
         if self._maintainer is None:
             self._maintainer = Stage1Maintainer(self._db, self._stage1)
-        new_stage1 = self._maintainer.apply(changes, perf=perf)
+        new_stage1 = self._maintainer.apply(changes, budget=budget, perf=perf)
         result = SchemaExtractor(
             self._db, stage1=new_stage1, perf=perf, **extractor_options
-        ).extract(k=self._k)
+        ).extract(k=self._k, budget=budget)
         self._program = result.program
         self._assignment = dict(result.assignment)
         self._k = result.chosen_k

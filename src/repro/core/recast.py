@@ -430,6 +430,32 @@ def closest_type(
     return best[2], best[0]
 
 
+def closest_by_mask(
+    rule_masks: List[Tuple[str, int]], local_mask: int
+) -> Tuple[str, int]:
+    """Bitset twin of :func:`closest_type` over encoded rule bodies.
+
+    ``rule_masks`` are ``(name, body_mask)`` pairs encoded in the same
+    :class:`~repro.core.linkspace.LinkSpace` that produced
+    ``local_mask``, so the Manhattan distance ``d`` is the xor
+    popcount.  Ties break exactly like :func:`closest_type` — smaller
+    body, then lexicographically smaller name — keeping both paths
+    deterministic and interchangeable.  Returns ``(name, distance)``.
+
+    Shared by the recast fallback loop and the schema service's
+    read-path lookup (which keeps rule masks warm between requests).
+    """
+    if not rule_masks:
+        raise RecastError("cannot pick a closest type from an empty program")
+    best: Optional[Tuple[int, int, str]] = None
+    for name, mask in rule_masks:
+        key = ((mask ^ local_mask).bit_count(), mask.bit_count(), name)
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best[2], best[0]
+
+
 def recast(
     program: TypingProgram,
     db: Database,
@@ -553,17 +579,7 @@ def recast(
                 local_mask = object_local_mask(
                     db, obj, reference, space, include_sorts=uses_sorts
                 )
-                best: Optional[Tuple[int, int, str]] = None
-                for name, mask in rule_masks:
-                    key = (
-                        (mask ^ local_mask).bit_count(),
-                        mask.bit_count(),
-                        name,
-                    )
-                    if best is None or key < best:
-                        best = key
-                assert best is not None
-                chosen = best[2]
+                chosen, _ = closest_by_mask(rule_masks, local_mask)
             else:
                 chosen, _ = closest_type(program, db, obj, reference)
             types.add(chosen)

@@ -103,6 +103,14 @@ class ChangeLog:
             self.removed_links.add(edge)
 
     def _record_object_added(self, obj: ObjectId) -> None:
+        # Idempotent: one mutation can observe the same unregistered
+        # object twice (a self-loop ``add_link`` checks src and dst
+        # before registering either).  Without the guard the object
+        # lands in *both* ``added_objects`` and ``resurfaced``, and a
+        # later ``remove_object`` cancels only one of them — leaving a
+        # dangling entry the differential engine would treat as alive.
+        if obj in self.added_objects or obj in self.resurfaced:
+            return
         if obj in self.removed_objects:
             self.removed_objects.discard(obj)
             self.resurfaced.add(obj)
@@ -115,6 +123,33 @@ class ChangeLog:
         else:
             self.resurfaced.discard(obj)
             self.removed_objects.add(obj)
+
+    # -- composition ---------------------------------------------------
+    def absorb(self, later: "ChangeLog") -> "ChangeLog":
+        """Fold a ``later`` batch into this one; returns ``self``.
+
+        The result is the net effect of applying both batches in
+        sequence, as if one log had spanned the whole interval: an edge
+        added here and removed later cancels, an object removed here
+        and re-registered later resurfaces, and so on.  The service
+        write path uses this to accumulate batches whose differential
+        refresh failed — the retry then folds one combined log.
+        """
+        for edge in later.removed_links:
+            self._record_link_removed(edge)
+        for edge in later.added_links:
+            self._record_link_added(edge)
+        for obj in later.removed_objects:
+            self._record_object_removed(obj)
+        for obj in later.added_objects:
+            self._record_object_added(obj)
+        for obj in later.resurfaced:
+            # Removed and re-registered inside the later batch: compose
+            # as remove-then-add so prior state decides between
+            # "resurfaced" (pre-existing here) and "added" (new here).
+            self._record_object_removed(obj)
+            self._record_object_added(obj)
+        return self
 
     # -- consumption ---------------------------------------------------
     @property

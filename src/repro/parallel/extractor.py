@@ -164,7 +164,26 @@ def parallel_stage1(
             )
             for shard in shards
         ]
-        outcomes = _run_pool(tasks, run_stage1_task, jobs, budget)
+        try:
+            outcomes = _run_pool(tasks, run_stage1_task, jobs, budget)
+        except ExecutionInterruptedError:
+            raise  # cancellation/budget: the caller decides how to degrade
+        except Exception as exc:
+            # A worker died mid-shard (BrokenProcessPool, a pickling
+            # failure, a raising local_rule_fn...).  Stage 1 is the
+            # pipeline's mandatory minimum, so rather than surfacing a
+            # pool-shaped error we redo it sequentially in-process —
+            # deterministic failures will re-raise there with a clean
+            # traceback, transient worker deaths are healed.
+            logger.warning(
+                "parallel stage1 worker failed (%s: %s); "
+                "falling back to sequential stage1",
+                type(exc).__name__, exc,
+            )
+            recorder.incr("parallel.pool_fallbacks")
+            return minimal_perfect_typing(
+                db, local_rule_fn=local_rule_fn, perf=perf
+            )
         for outcome in outcomes:
             if outcome.perf_snapshot is not None:
                 recorder.merge_dict(outcome.perf_snapshot)
@@ -422,21 +441,34 @@ class ParallelExtractor:
             return self._sequential().sweep(
                 min_k=min_k, step=step, budget=budget
             )
-        return parallel_sweep(
-            self._db,
-            stage1,
-            jobs=self._jobs,
-            distance_name=self._distance_spec,
-            policy=self._policy,
-            allow_empty_type=self._allow_empty,
-            mode=self._recast_mode,
-            min_k=min_k,
-            step=step,
-            budget=budget,
-            perf=self._perf if self._perf.enabled else None,
-            use_memo=self._recast_memo,
-            use_bitset=self._use_bitset,
-        )
+        try:
+            return parallel_sweep(
+                self._db,
+                stage1,
+                jobs=self._jobs,
+                distance_name=self._distance_spec,
+                policy=self._policy,
+                allow_empty_type=self._allow_empty,
+                mode=self._recast_mode,
+                min_k=min_k,
+                step=step,
+                budget=budget,
+                perf=self._perf if self._perf.enabled else None,
+                use_memo=self._recast_memo,
+                use_bitset=self._use_bitset,
+            )
+        except ExecutionInterruptedError:
+            raise  # same contract as the sequential sweep
+        except Exception as exc:
+            logger.warning(
+                "parallel sweep worker failed (%s: %s); "
+                "falling back to sequential sweep",
+                type(exc).__name__, exc,
+            )
+            self._perf.incr("parallel.pool_fallbacks")
+            return self._sequential().sweep(
+                min_k=min_k, step=step, budget=budget
+            )
 
     def extract(
         self,
@@ -504,6 +536,17 @@ class ParallelExtractor:
                     "parallel sweep interrupted (%s); degrading "
                     "sequentially", exc,
                 )
+                sensitivity = None
+            except Exception as exc:
+                # A worker death is not a degradation: the sequential
+                # extract below redoes the sweep in-process and the
+                # result is exactly the jobs=1 answer.
+                logger.warning(
+                    "parallel sweep worker failed (%s: %s); "
+                    "falling back to sequential sweep",
+                    type(exc).__name__, exc,
+                )
+                self._perf.incr("parallel.pool_fallbacks")
                 sensitivity = None
         result = self._sequential().extract(
             k=k,

@@ -1,0 +1,55 @@
+"""Schema-as-a-service: a warm daemon over the extraction pipeline.
+
+The paper's closing problem — "recomputing efficiently the typing
+program" as the data evolves — only matters because somebody is
+*serving* the typing while the data evolves.  This package is that
+somebody: an asyncio HTTP daemon (stdlib only) that keeps a
+:class:`~repro.service.session.DatasetSession` warm per database and
+serves Stage-3 recast lookups for new and unseen objects, while a
+single writer folds mutation batches through the differential engine.
+
+Entry points: ``repro-schema serve FILE`` on the command line, or
+:func:`repro.service.app.serve` /
+:class:`~repro.service.app.SchemaService` programmatically.  See
+``docs/SERVICE.md`` for the API and the ops runbook.
+"""
+
+from repro.service.app import SchemaService, ServiceConfig, serve
+from repro.service.breaker import CircuitBreaker
+from repro.service.cache import MaskCache
+from repro.service.chaos import ChaosHooks
+from repro.service.errors import (
+    BadRequestError,
+    ChaosFault,
+    NotFoundError,
+    OverloadedError,
+    ProtocolError,
+    RateLimitedError,
+    ServiceError,
+)
+from repro.service.http import Request, Response
+from repro.service.middleware import RateLimiter, RequestContext, TokenBucket
+from repro.service.queue import MutationQueue
+from repro.service.session import DatasetSession
+
+__all__ = [
+    "BadRequestError",
+    "ChaosFault",
+    "ChaosHooks",
+    "CircuitBreaker",
+    "DatasetSession",
+    "MaskCache",
+    "MutationQueue",
+    "NotFoundError",
+    "OverloadedError",
+    "ProtocolError",
+    "RateLimitedError",
+    "RateLimiter",
+    "Request",
+    "RequestContext",
+    "Response",
+    "SchemaService",
+    "ServiceConfig",
+    "ServiceError",
+    "TokenBucket",
+]

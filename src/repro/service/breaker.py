@@ -1,0 +1,144 @@
+"""A circuit breaker with exponential backoff and jitter.
+
+Wraps the refresh path of the schema service: repeated refresh
+failures (injected faults, budget exhaustion, genuine bugs) flip the
+breaker OPEN so the daemon stops burning its write budget on a
+failing dependency and serves the last-good typing (explicitly marked
+stale) instead.  After a backoff the breaker goes HALF_OPEN and lets
+exactly one probe through; a success closes it, a failure re-opens it
+with a doubled (jittered) backoff.
+
+Clock and RNG are injectable so the chaos tests drive the state
+machine deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, Optional
+
+
+class CircuitBreaker:
+    """CLOSED -> OPEN -> HALF_OPEN state machine around an operation.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while CLOSED) that trip the breaker.
+    reset_timeout:
+        Base backoff in seconds before the first HALF_OPEN probe.
+    max_backoff:
+        Backoff ceiling; doubling stops here.
+    jitter:
+        Fraction of the backoff randomised on top (0.1 = up to +10%),
+        so a fleet of daemons doesn't probe in lockstep.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 0.5,
+        max_backoff: float = 30.0,
+        jitter: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Callable[[], float] = random.random,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self._threshold = failure_threshold
+        self._reset_timeout = reset_timeout
+        self._max_backoff = max_backoff
+        self._jitter = jitter
+        self._clock = clock
+        self._rng = rng
+        self._state = self.CLOSED
+        self._failures = 0  # consecutive, while CLOSED
+        self._trips = 0  # times the breaker opened (drives the backoff)
+        self._retry_at: Optional[float] = None
+        self._last_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing OPEN -> HALF_OPEN is left to
+        :meth:`allow` (state only changes on explicit calls)."""
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures since the last success."""
+        return self._failures
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has opened."""
+        return self._trips
+
+    @property
+    def last_error(self) -> Optional[str]:
+        """Message of the failure that last opened the breaker."""
+        return self._last_error
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe is allowed (0 when allowed)."""
+        if self._state != self.OPEN or self._retry_at is None:
+            return 0.0
+        return max(0.0, self._retry_at - self._clock())
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether the protected operation may run right now.
+
+        While OPEN, returns ``False`` until the backoff elapses; the
+        first call after that transitions to HALF_OPEN and admits the
+        probe (subsequent calls are refused until the probe reports).
+        """
+        if self._state == self.CLOSED:
+            return True
+        if self._state == self.OPEN:
+            if self._retry_at is not None and self._clock() >= self._retry_at:
+                self._state = self.HALF_OPEN
+                return True
+            return False
+        return False  # HALF_OPEN: one probe already in flight
+
+    def record_success(self) -> None:
+        """The operation succeeded: close and reset the backoff."""
+        self._state = self.CLOSED
+        self._failures = 0
+        self._trips = 0
+        self._retry_at = None
+        self._last_error = None
+
+    def record_failure(self, error: Optional[str] = None) -> None:
+        """The operation failed: count it; trip/extend the breaker."""
+        self._failures += 1
+        if error is not None:
+            self._last_error = error
+        if self._state == self.HALF_OPEN or self._failures >= self._threshold:
+            self._trips += 1
+            backoff = min(
+                self._max_backoff,
+                self._reset_timeout * (2 ** (self._trips - 1)),
+            )
+            backoff *= 1.0 + self._jitter * self._rng()
+            self._state = self.OPEN
+            self._retry_at = self._clock() + backoff
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly state for the status endpoint."""
+        return {
+            "state": self._state,
+            "failures": self._failures,
+            "trips": self._trips,
+            "retry_after": round(self.retry_after(), 3),
+            "last_error": self._last_error,
+        }

@@ -1,0 +1,117 @@
+"""Service-level fault injection (the chaos harness).
+
+Extends the ``synth.corrupt``-style philosophy — break things on
+purpose, then assert the invariants still hold — from file loading up
+to the running daemon.  A single :class:`ChaosHooks` instance is
+threaded through the write path and consulted at well-defined points:
+
+* ``before_refresh`` — runs inside the refresh worker; can delay (a
+  slow dependency) or raise (the worker crashing mid-refresh);
+* ``before_mutate`` — runs in the writer task before a batch is
+  applied; can delay (slow writes, used to saturate the queue) or
+  raise (a poisoned batch the application layer rejects);
+* ``drop_response`` — tells the connection handler to sever the
+  socket without answering (the server-side mirror of a client
+  disconnect).
+
+Faults are *armed* with counts and decay as they fire, so a test (or
+the ``/chaos`` admin endpoint, when the daemon is started with
+``--enable-chaos``) can say "the next 3 refreshes crash" and then
+watch the breaker trip, the typing stay last-good-but-stale, and the
+recovery land.  With nothing armed every hook is a no-op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict
+
+from repro.service.errors import BadRequestError, ChaosFault
+
+
+class ChaosHooks:
+    """Armable fault injection for the daemon's hot paths."""
+
+    #: Arm-able knobs and their neutral values.
+    _KNOBS = {
+        "fail_refreshes": 0,  # next N refreshes raise ChaosFault
+        "refresh_delay": 0.0,  # seconds each refresh sleeps first
+        "fail_mutations": 0,  # next N batches raise before applying
+        "mutate_delay": 0.0,  # seconds the writer sleeps per batch
+        "drop_responses": 0,  # next N responses are never written
+    }
+
+    def __init__(
+        self, sleep: Callable[[float], None] = time.sleep
+    ) -> None:
+        self._sleep = sleep
+        self._armed: Dict[str, float] = dict(self._KNOBS)
+        self.injected: Dict[str, int] = {
+            "refresh_crashes": 0,
+            "refresh_delays": 0,
+            "mutation_faults": 0,
+            "mutation_delays": 0,
+            "dropped_responses": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def arm(self, **knobs: float) -> None:
+        """Arm faults, e.g. ``arm(fail_refreshes=2, mutate_delay=0.1)``.
+
+        Unknown knobs or negative values raise
+        :class:`~repro.service.errors.BadRequestError` so the admin
+        endpoint reports them as 400s.
+        """
+        for name, value in knobs.items():
+            if name not in self._KNOBS:
+                raise BadRequestError(f"unknown chaos knob {name!r}")
+            try:
+                number = float(value)
+            except (TypeError, ValueError):
+                raise BadRequestError(
+                    f"chaos knob {name!r} needs a number, got {value!r}"
+                )
+            if number < 0:
+                raise BadRequestError(f"chaos knob {name!r} must be >= 0")
+            self._armed[name] = number
+
+    def reset(self) -> None:
+        """Disarm everything (counters of injected faults are kept)."""
+        self._armed = dict(self._KNOBS)
+
+    # ------------------------------------------------------------------
+    # Hook points
+    # ------------------------------------------------------------------
+    def before_refresh(self) -> None:
+        """Called (synchronously, in the refresh worker) per refresh."""
+        if self._armed["refresh_delay"] > 0:
+            self.injected["refresh_delays"] += 1
+            self._sleep(self._armed["refresh_delay"])
+        if self._armed["fail_refreshes"] >= 1:
+            self._armed["fail_refreshes"] -= 1
+            self.injected["refresh_crashes"] += 1
+            raise ChaosFault("chaos: injected refresh crash")
+
+    async def before_mutate(self) -> None:
+        """Called in the writer task before a batch is applied."""
+        if self._armed["mutate_delay"] > 0:
+            self.injected["mutation_delays"] += 1
+            await asyncio.sleep(self._armed["mutate_delay"])
+        if self._armed["fail_mutations"] >= 1:
+            self._armed["fail_mutations"] -= 1
+            self.injected["mutation_faults"] += 1
+            raise ChaosFault("chaos: injected mutation fault")
+
+    def drop_response(self) -> bool:
+        """Whether the connection handler should sever this response."""
+        if self._armed["drop_responses"] >= 1:
+            self._armed["drop_responses"] -= 1
+            self.injected["dropped_responses"] += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Armed knobs and injected-fault tallies for ``/chaos``."""
+        return {"armed": dict(self._armed), "injected": dict(self.injected)}

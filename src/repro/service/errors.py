@@ -1,0 +1,66 @@
+"""Service-level exceptions, each carrying its HTTP status.
+
+All inherit :class:`~repro.exceptions.ReproError` so the CLI's
+one-line error contract keeps holding when service plumbing is driven
+outside a daemon (e.g. from tests or the bench harness).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class: a request that must be answered with ``status``."""
+
+    status = 500
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+
+
+class BadRequestError(ServiceError):
+    """Malformed request (unparseable JSON, bad mutation op...)."""
+
+    status = 400
+
+
+class NotFoundError(ServiceError):
+    """Unknown route or unknown object."""
+
+    status = 404
+
+
+class RateLimitedError(ServiceError):
+    """The client's token bucket is empty (429 + ``Retry-After``)."""
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class OverloadedError(ServiceError):
+    """The write queue is full — explicit backpressure (503)."""
+
+    status = 503
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ProtocolError(ServiceError):
+    """The bytes on the wire are not a parseable HTTP/1.1 request."""
+
+    status = 400
+
+
+class ChaosFault(ReproError):
+    """An injected fault from the chaos harness (never client-visible
+    as-is: the breaker/degradation machinery absorbs it)."""

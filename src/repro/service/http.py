@@ -1,0 +1,179 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The daemon speaks just enough HTTP for curl/urllib and a load
+balancer's health checks: request line + headers + ``Content-Length``
+bodies in, status line + JSON bodies out, one request per connection
+(every response carries ``Connection: close``).  Keeping the framing
+in its own module makes it unit-testable without sockets and keeps
+:mod:`repro.service.app` about routing and robustness, not parsing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.service.errors import BadRequestError, ProtocolError
+
+#: Hard framing limits — a malicious or confused client cannot make the
+#: daemon buffer unbounded input.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str  #: decoded path, query string stripped.
+    query: Dict[str, str]
+    headers: Dict[str, str]  #: keys lower-cased.
+    body: bytes = b""
+    client: str = ""  #: peer identity (address or test label).
+
+    def json(self) -> Any:
+        """The body parsed as JSON (empty body -> ``None``)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequestError(f"request body is not valid JSON: {exc}")
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """A header by case-insensitive name."""
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class Response:
+    """One HTTP response; :meth:`encode` emits the full wire form."""
+
+    status: int = 200
+    payload: Any = None  #: JSON-serialised when not ``None``.
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200, **headers: str) -> "Response":
+        return cls(status=status, payload=payload, headers=dict(headers))
+
+    def encode(self) -> bytes:
+        body = b""
+        if self.payload is not None:
+            body = (json.dumps(self.payload, sort_keys=True) + "\n").encode(
+                "utf-8"
+            )
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = dict(self.headers)
+        headers.setdefault("Content-Type", "application/json")
+        headers["Content-Length"] = str(len(body))
+        headers["Connection"] = "close"
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def parse_request_line(line: str) -> Tuple[str, str, Dict[str, str]]:
+    """Split ``GET /path?a=b HTTP/1.1`` into method, path and query."""
+    parts = line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return method.upper(), path, query
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    client: str = "",
+    max_body: int = MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Read one request off ``reader``.
+
+    Returns ``None`` when the client disconnected before sending a
+    complete request line (the polite no-op close); raises
+    :class:`ProtocolError` for bytes that are not HTTP and
+    :class:`~repro.service.errors.BadRequestError` when the declared
+    body exceeds ``max_body`` (mapped to 413 by the caller).
+    """
+    try:
+        raw_line = await reader.readline()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        return None
+    if not raw_line.strip():
+        return None
+    if len(raw_line) > MAX_REQUEST_LINE:
+        raise ProtocolError("request line too long")
+    try:
+        method, path, query = parse_request_line(
+            raw_line.decode("ascii").strip()
+        )
+    except UnicodeDecodeError:
+        raise ProtocolError("request line is not ASCII")
+
+    headers: Dict[str, str] = {}
+    consumed = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            return None  # disconnected mid-headers
+        consumed += len(line)
+        if consumed > MAX_HEADER_BYTES:
+            raise ProtocolError("headers too large")
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        if ":" not in text:
+            raise ProtocolError(f"malformed header {text!r}")
+        name, value = text.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise ProtocolError(f"bad Content-Length {length_text!r}")
+        if length < 0:
+            raise ProtocolError("negative Content-Length")
+        if length > max_body:
+            raise BadRequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{max_body}-byte limit",
+                status=413,
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return None  # disconnected mid-body
+    return Request(
+        method=method,
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+        client=client,
+    )

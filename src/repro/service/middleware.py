@@ -1,0 +1,220 @@
+"""The request middleware stack: ids, rate limiting, deadlines.
+
+Middlewares are plain async callables ``(request, ctx, next) ->
+Response`` composed right-to-left by :func:`compose`, so the app's
+dispatch sees every request with
+
+* a **request id** (propagated from ``X-Request-Id`` or generated)
+  that is echoed on every response and tagged into log lines;
+* a **token-bucket rate limit** per client (``X-Client-Id`` header,
+  else the peer address) answering 429 + ``Retry-After`` when empty;
+* a **per-request deadline** wired into a
+  :class:`~repro.runtime.budget.Budget` whose cancellation token the
+  read path threads through the typing kernels — exhaustion surfaces
+  as 504, never as a hung connection.
+
+Clocks are injectable everywhere so the tests never sleep.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import time
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Awaitable, Callable, Dict, Optional, Sequence
+
+from repro.exceptions import ExecutionInterruptedError
+from repro.runtime.budget import Budget, CancellationToken
+from repro.service.errors import BadRequestError, RateLimitedError
+from repro.service.http import Request, Response
+
+logger = logging.getLogger("repro.service")
+
+
+@dataclass
+class RequestContext:
+    """Per-request state accumulated by the middleware stack."""
+
+    request_id: str = ""
+    client: str = ""
+    budget: Optional[Budget] = None
+    deadline: Optional[float] = None  #: seconds granted to this request.
+    extra: Dict[str, str] = field(default_factory=dict)
+
+
+Handler = Callable[[Request, RequestContext], Awaitable[Response]]
+Middleware = Callable[[Request, RequestContext, Handler], Awaitable[Response]]
+
+
+def compose(middlewares: Sequence[Middleware], handler: Handler) -> Handler:
+    """Fold the stack around ``handler`` (first middleware outermost)."""
+    wrapped = handler
+    for middleware in reversed(middlewares):
+        def bind(mw: Middleware, nxt: Handler) -> Handler:
+            async def call(request: Request, ctx: RequestContext) -> Response:
+                return await mw(request, ctx, nxt)
+            return call
+        wrapped = bind(middleware, wrapped)
+    return wrapped
+
+
+# ----------------------------------------------------------------------
+# Request ids
+# ----------------------------------------------------------------------
+_request_counter = itertools.count(1)
+
+
+def request_id_middleware() -> Middleware:
+    """Propagate ``X-Request-Id`` (or mint ``req-N``) and echo it back."""
+
+    async def middleware(
+        request: Request, ctx: RequestContext, nxt: Handler
+    ) -> Response:
+        supplied = request.header("x-request-id")
+        ctx.request_id = supplied if supplied else f"req-{next(_request_counter)}"
+        ctx.client = request.header("x-client-id") or request.client or "anon"
+        response = await nxt(request, ctx)
+        response.headers.setdefault("X-Request-Id", ctx.request_id)
+        return response
+
+    return middleware
+
+
+# ----------------------------------------------------------------------
+# Rate limiting
+# ----------------------------------------------------------------------
+class TokenBucket:
+    """The classic token bucket: ``burst`` capacity, ``rate``/s refill."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def acquire(self, now: float) -> float:
+        """Take one token; 0.0 when granted, else seconds to wait."""
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate if self.rate > 0 else 60.0
+
+
+class RateLimiter:
+    """Per-client buckets with a bounded client table (LRU eviction)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._rate = rate
+        self._burst = max(1.0, float(burst))
+        self._max_clients = max_clients
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.rejected = 0
+
+    def acquire(self, client: str) -> float:
+        """0.0 when the request is admitted, else the retry delay."""
+        now = self._clock()
+        bucket = self._buckets.pop(client, None)
+        if bucket is None:
+            bucket = TokenBucket(self._rate, self._burst, now)
+        self._buckets[client] = bucket  # re-insert = most recently used
+        while len(self._buckets) > self._max_clients:
+            self._buckets.pop(next(iter(self._buckets)))
+        wait = bucket.acquire(now)
+        if wait > 0:
+            self.rejected += 1
+        return wait
+
+
+def rate_limit_middleware(limiter: RateLimiter) -> Middleware:
+    """429 + ``Retry-After`` when the client's bucket is empty."""
+
+    async def middleware(
+        request: Request, ctx: RequestContext, nxt: Handler
+    ) -> Response:
+        wait = limiter.acquire(ctx.client or "anon")
+        if wait > 0:
+            raise RateLimitedError(
+                f"rate limit exceeded for client {ctx.client!r}; "
+                f"retry in {wait:.2f}s",
+                retry_after=wait,
+            )
+        return await nxt(request, ctx)
+
+    return middleware
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+def deadline_middleware(
+    default_ms: Optional[float],
+    max_ms: float = 60_000.0,
+    clock: Callable[[], float] = time.monotonic,
+) -> Middleware:
+    """Arm a per-request :class:`Budget` and map exhaustion to 504.
+
+    The deadline comes from the ``X-Deadline-Ms`` header when present
+    (clamped to ``max_ms``), else ``default_ms``; ``None`` leaves the
+    request unbounded.  Handlers read ``ctx.budget`` and thread it into
+    the typing kernels, so a lookup that rippled into expensive work is
+    interrupted mid-loop rather than finishing late.
+    """
+
+    async def middleware(
+        request: Request, ctx: RequestContext, nxt: Handler
+    ) -> Response:
+        requested = request.header("x-deadline-ms")
+        deadline_ms = default_ms
+        if requested is not None:
+            try:
+                deadline_ms = float(requested)
+            except ValueError:
+                raise BadRequestError(
+                    f"X-Deadline-Ms must be a number, got {requested!r}"
+                )
+            if deadline_ms <= 0:
+                raise BadRequestError("X-Deadline-Ms must be positive")
+            deadline_ms = min(deadline_ms, max_ms)
+        if deadline_ms is not None:
+            ctx.deadline = deadline_ms / 1000.0
+            ctx.budget = Budget(
+                timeout=ctx.deadline,
+                token=CancellationToken(),
+                clock=clock,
+            ).start()
+        try:
+            return await nxt(request, ctx)
+        except ExecutionInterruptedError as exc:
+            logger.warning(
+                "[%s] request deadline expired: %s", ctx.request_id, exc
+            )
+            return Response.json(
+                {
+                    "error": "deadline expired",
+                    "detail": str(exc),
+                    "request_id": ctx.request_id,
+                },
+                status=504,
+            )
+
+    return middleware
+
+
+def retry_after_header(seconds: float) -> str:
+    """``Retry-After`` wants integral seconds; always advise >= 1."""
+    return str(max(1, ceil(seconds)))

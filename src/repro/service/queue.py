@@ -1,0 +1,135 @@
+"""The single-writer mutation queue with bounded depth.
+
+All writes to a dataset session flow through one
+:class:`MutationQueue` drained by one writer task, so the database,
+the pending :class:`~repro.graph.database.ChangeLog` and the adopted
+typing only ever change from a single logical thread — the same
+discipline the differential engine's correctness proof assumes.
+
+Backpressure is explicit: the queue has a hard depth bound, and a
+submit against a full queue raises
+:class:`~repro.service.errors.OverloadedError` immediately (mapped to
+503 + ``Retry-After``) instead of letting requests pile up into
+unbounded memory growth and collapsing latency for everyone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, List, Optional, Tuple
+
+from repro.service.errors import OverloadedError
+
+#: One queued write: the parsed mutation batch and the future its HTTP
+#: request is awaiting.
+_Item = Tuple[List[tuple], "asyncio.Future[Any]"]
+
+
+class MutationQueue:
+    """Bounded handoff between request handlers and the writer task."""
+
+    def __init__(self, maxsize: int, retry_after: float = 1.0) -> None:
+        if maxsize < 1:
+            raise ValueError("queue maxsize must be >= 1")
+        self._queue: "asyncio.Queue[Optional[_Item]]" = asyncio.Queue(
+            maxsize=maxsize
+        )
+        self._retry_after = retry_after
+        self.submitted = 0
+        self.rejected = 0
+        self.high_water = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Batches currently waiting for the writer."""
+        return self._queue.qsize()
+
+    @property
+    def capacity(self) -> int:
+        return self._queue.maxsize
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def submit(self, batch: List[tuple]) -> "asyncio.Future[Any]":
+        """Enqueue ``batch``; the returned future resolves to the
+        writer's outcome dict (or its exception).
+
+        Raises :class:`OverloadedError` when the queue is full or the
+        service is shutting down — the caller answers 503 with a
+        ``Retry-After`` and the client backs off.
+        """
+        if self._closed:
+            raise OverloadedError(
+                "service is shutting down", retry_after=self._retry_after
+            )
+        future: "asyncio.Future[Any]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        try:
+            self._queue.put_nowait((batch, future))
+        except asyncio.QueueFull:
+            self.rejected += 1
+            raise OverloadedError(
+                f"write queue is full ({self.capacity} pending batches); "
+                f"retry in {self._retry_after:g}s",
+                retry_after=self._retry_after,
+            )
+        self.submitted += 1
+        self.high_water = max(self.high_water, self.depth)
+        return future
+
+    async def worker(
+        self, apply: Callable[[List[tuple]], Awaitable[Any]]
+    ) -> None:
+        """Drain the queue forever (until :meth:`close` is observed).
+
+        Every batch is handed to ``apply``; the outcome (or the
+        exception — including cancellation-at-shutdown) is forwarded to
+        the submitter's future, so no request is ever left hanging.
+        """
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is None:
+                    return
+                batch, future = item
+                try:
+                    outcome = await apply(batch)
+                except asyncio.CancelledError:
+                    if not future.done():
+                        future.set_exception(
+                            OverloadedError(
+                                "service is shutting down",
+                                retry_after=self._retry_after,
+                            )
+                        )
+                    raise
+                except Exception as exc:
+                    if not future.done():
+                        future.set_exception(exc)
+                else:
+                    if not future.done():
+                        future.set_result(outcome)
+            finally:
+                self._queue.task_done()
+
+    async def close(self) -> None:
+        """Refuse new submits and wake the worker to exit after the
+        already-accepted batches drain."""
+        self._closed = True
+        await self._queue.put(None)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly stats for the status endpoint."""
+        return {
+            "depth": self.depth,
+            "capacity": self.capacity,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "high_water": self.high_water,
+        }

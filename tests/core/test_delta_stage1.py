@@ -118,6 +118,26 @@ class TestMaintainer:
             )
         assert perf.counter("delta.index_builds") == 1  # built once
 
+    def test_add_then_remove_object_batch_matches_oracle(self):
+        # Regression for the ChangeLog self-loop double-record: a batch
+        # that resurfaces an object through a self-loop and then removes
+        # it used to leave a dangling ``resurfaced`` entry (plus
+        # removed_links referencing an object never recorded removed),
+        # which the maintainer would treat as a surviving seed.
+        db = person_firm_db()
+        db.add_link("p0", "f0", "worksfor")
+        maintainer = Stage1Maintainer(db, minimal_perfect_typing(db))
+        with db.track_changes() as log:
+            db.remove_object("f0")
+            db.add_link("f0", "f0", "self")
+            db.remove_object("f0")
+        assert not log.resurfaced  # the pre-fix log dangled here
+        assert_same_typing(maintainer.apply(log), minimal_perfect_typing(db))
+        # A follow-up batch keeps working off the same maintainer.
+        with db.track_changes() as log2:
+            db.add_link("p1", "f1", "worksfor")
+        assert_same_typing(maintainer.apply(log2), minimal_perfect_typing(db))
+
     def test_ripple_locality_on_dbg(self):
         db = make_dbg(seed=1998)
         maintainer = Stage1Maintainer(db, minimal_perfect_typing(db))

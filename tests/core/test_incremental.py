@@ -191,3 +191,40 @@ class TestRefresh:
         assert inc._maintainer is not None
         inc.rebuild()
         assert inc._maintainer is None
+
+    def test_reset_maintainer_keeps_adopted_typing(self, typer):
+        db, inc = typer
+        with db.track_changes() as log:
+            db.add_link("p0", "f0", "worksfor")
+        inc.refresh(log)
+        program = inc.program
+        assignment = inc.assignment()
+        inc.reset_maintainer()
+        assert inc._maintainer is None
+        assert inc.program == program
+        assert inc.assignment() == assignment
+        # The next refresh rebuilds the index and still matches the
+        # oracle — the reset only dropped acceleration state.
+        with db.track_changes() as log2:
+            db.add_link("p1", "f0", "worksfor")
+        result = inc.refresh(log2)
+        oracle = SchemaExtractor(db).extract(k=2)
+        assert result.program == oracle.program
+        assert result.assignment == oracle.assignment
+
+    def test_refresh_honours_exhausted_budget(self, typer):
+        from repro.exceptions import BudgetExceededError
+        from repro.runtime.budget import Budget
+
+        db, inc = typer
+        program = inc.program
+        with db.track_changes() as log:
+            db.add_link("p0", "f0", "worksfor")
+        with pytest.raises(BudgetExceededError):
+            inc.refresh(log, budget=Budget(max_iterations=0).start())
+        # Nothing adopted: the previous result is still served.
+        assert inc.program == program
+        inc.reset_maintainer()
+        result = inc.refresh(log)
+        oracle = SchemaExtractor(db).extract(k=2)
+        assert result.program == oracle.program

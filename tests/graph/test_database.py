@@ -325,6 +325,84 @@ class TestChangeLog:
         assert "y" not in log.added_objects
         assert "y" not in log.removed_objects
 
+    def test_self_loop_add_then_remove_cancels_cleanly(self):
+        # Regression: a self-loop add_link observes the unregistered
+        # object twice (as src and as dst) and used to double-record it
+        # — once as added, once as resurfaced when it had been removed
+        # earlier in the batch.  A later remove_object then cancelled
+        # only the added entry, leaving a dangling resurfaced entry and
+        # removed_links referencing an object never recorded removed.
+        db = Database.from_links([("a", "b", "l")])
+        with db.track_changes() as log:
+            db.remove_object("b")
+            db.add_link("b", "b", "l")  # resurfaces b via a self-loop
+            db.remove_object("b")
+        assert log.removed_objects == {"b"}
+        assert not log.resurfaced
+        assert not log.added_objects
+        assert not log.added_links
+        assert log.removed_links == {Edge("a", "b", "l")}
+
+    def test_self_loop_on_new_object_recorded_once(self):
+        db = Database()
+        with db.track_changes() as log:
+            db.add_link("n", "n", "l")
+        assert log.added_objects == {"n"}
+        assert not log.resurfaced
+        with db.track_changes() as log2:
+            db.remove_object("n")
+        assert log2.removed_objects == {"n"}
+        assert log2.removed_links == {Edge("n", "n", "l")}
+
+
+class TestChangeLogAbsorb:
+    def test_absorb_cancels_across_batches(self):
+        db = Database.from_links([("x", "y", "l")])
+        with db.track_changes() as first:
+            db.add_link("x", "z", "l")
+        with db.track_changes() as second:
+            db.remove_link("x", "z", "l")
+            db.remove_object("z")
+        combined = first.absorb(second)
+        assert combined is first
+        assert not combined.added_links and not combined.removed_links
+        assert not combined.added_objects and not combined.removed_objects
+
+    def test_absorb_resurfaces_pre_existing(self):
+        db = Database.from_links([("x", "y", "l")])
+        with db.track_changes() as first:
+            db.remove_object("y")
+        with db.track_changes() as second:
+            db.add_complex("y")
+        combined = first.absorb(second)
+        assert combined.resurfaced == {"y"}
+        assert not combined.removed_objects
+        assert combined.removed_links == {Edge("x", "y", "l")}
+
+    def test_absorb_matches_single_span(self):
+        # Composing two logs must equal one log spanning both batches.
+        def run(ops_first, ops_second):
+            db = Database.from_links([("a", "b", "l")], {"v": 1})
+            with db.track_changes() as first:
+                ops_first(db)
+            with db.track_changes() as second:
+                ops_second(db)
+            db2 = Database.from_links([("a", "b", "l")], {"v": 1})
+            with db2.track_changes() as whole:
+                ops_first(db2)
+                ops_second(db2)
+            return first.absorb(second), whole
+
+        combined, whole = run(
+            lambda db: (db.remove_object("b"), db.add_link("c", "b", "m")),
+            lambda db: (db.remove_object("b"), db.add_link("a", "v", "k")),
+        )
+        assert combined.added_links == whole.added_links
+        assert combined.removed_links == whole.removed_links
+        assert combined.added_objects == whole.added_objects
+        assert combined.removed_objects == whole.removed_objects
+        assert combined.resurfaced == whole.resurfaced
+
     def test_nested_tracking_rejected(self):
         db = Database()
         with db.track_changes():

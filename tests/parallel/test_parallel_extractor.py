@@ -157,3 +157,81 @@ def test_merge_rejects_overlapping_shards(multi_db):
     db = make_dbg(seed=11)
     with pytest.raises(ClusteringError):
         merge_shard_typings(db, [typing, typing])
+
+
+# ----------------------------------------------------------------------
+# Worker-failure fallback: a raising worker must not kill the pipeline.
+# ----------------------------------------------------------------------
+
+def _faulty_local_rule(db, obj):
+    """Module-level (picklable) rule that raises only inside workers.
+
+    In the parent process it delegates to the plain local rule, so the
+    sequential fallback produces exactly the unmodified result.
+    """
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        raise RuntimeError("injected worker fault")
+    from repro.core.perfect import local_rule
+
+    return local_rule(db, obj)
+
+
+def _broken_pool(tasks, fn, jobs, budget):
+    raise RuntimeError("injected pool crash")
+
+
+def test_stage1_heals_worker_crash(multi_db):
+    perf = PerfRecorder()
+    healed = parallel_stage1(
+        multi_db, jobs=2, local_rule_fn=_faulty_local_rule, perf=perf
+    )
+    _assert_same_typing(healed, minimal_perfect_typing(multi_db))
+    assert perf.counter("parallel.pool_fallbacks") == 1
+
+
+def test_extract_heals_worker_crash(multi_db):
+    baseline = SchemaExtractor(multi_db).extract(k=6)
+    result = ParallelExtractor(
+        multi_db, jobs=2, local_rule_fn=_faulty_local_rule
+    ).extract(k=6)
+    assert result.program == baseline.program
+    assert result.assignment == baseline.assignment
+    assert result.degradation is None  # a healed crash is not degradation
+
+
+def test_sweep_falls_back_when_pool_breaks(multi_db, monkeypatch):
+    from repro.parallel import extractor as pext
+
+    extractor = ParallelExtractor(multi_db, jobs=2)
+    stage1 = extractor.stage1()  # built through the (healthy) real pool
+    monkeypatch.setattr(pext, "_run_pool", _broken_pool)
+    sweep = extractor.sweep(step=8)
+    sequential = SchemaExtractor(multi_db, stage1=stage1).sweep(step=8)
+    assert sweep.points == sequential.points
+    assert not sweep.exhausted
+
+
+def test_extract_heals_sweep_pool_break(multi_db, monkeypatch):
+    from repro.parallel import extractor as pext
+
+    extractor = ParallelExtractor(multi_db, jobs=2)
+    extractor.stage1()
+    monkeypatch.setattr(pext, "_run_pool", _broken_pool)
+    result = extractor.extract(sweep_step=8)  # k=None -> needs the sweep
+    baseline = SchemaExtractor(multi_db).extract(sweep_step=8)
+    assert result.chosen_k == baseline.chosen_k
+    assert result.program == baseline.program
+    assert result.degradation is None
+
+
+def test_cancellation_still_propagates_from_pool(multi_db, monkeypatch):
+    # The healing path must not swallow genuine interruptions: a tripped
+    # token keeps flowing out of parallel_stage1 as a cancellation.
+    from repro.exceptions import ExtractionCancelledError
+
+    token = CancellationToken()
+    token.cancel("operator stop")
+    with pytest.raises(ExtractionCancelledError):
+        parallel_stage1(multi_db, jobs=2, budget=Budget(token=token))

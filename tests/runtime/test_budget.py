@@ -93,6 +93,46 @@ class TestBudgetLimits:
             budget.check()
         assert budget.iterations == 0
 
+    def test_remaining_clamped_at_zero_past_expiry(self):
+        # Service deadlines derive child budgets from the remaining
+        # allowance right at (or past) expiry; the remainders must
+        # clamp at zero, never go negative.
+        clock = FakeClock()
+        budget = Budget(timeout=1.0, max_iterations=3, clock=clock).start()
+        assert budget.remaining_timeout() == pytest.approx(1.0)
+        clock.advance(0.75)
+        assert budget.remaining_timeout() == pytest.approx(0.25)
+        clock.advance(10.0)  # far past the deadline
+        assert budget.remaining_timeout() == 0.0
+        for _ in range(3):
+            try:
+                budget.charge()
+            except BudgetExceededError:
+                pass
+        # iterations overshoot the cap by design (charge-then-check);
+        # the remainder still reports zero, not a negative number.
+        assert budget.iterations >= budget.max_iterations
+        assert budget.remaining_iterations() == 0
+
+    def test_zero_remainder_builds_an_immediately_exhausted_child(self):
+        # The chain the service write path exercises constantly: a
+        # parent at expiry hands a zero remainder to a child budget,
+        # which must be constructible and trip on the first check.
+        clock = FakeClock()
+        parent = Budget(timeout=0.5, clock=clock).start()
+        clock.advance(2.0)
+        child = Budget(timeout=parent.remaining_timeout(), clock=clock)
+        child.start()
+        clock.advance(0.001)
+        assert child.exhausted()
+        with pytest.raises(BudgetExceededError):
+            child.check()
+
+    def test_remaining_none_when_unbounded(self):
+        budget = Budget().start()
+        assert budget.remaining_timeout() is None
+        assert budget.remaining_iterations() is None
+
     def test_negative_limits_rejected(self):
         with pytest.raises(ValueError):
             Budget(timeout=-1.0)

@@ -1,0 +1,92 @@
+"""Shared fixtures for the service tests: a warm in-process daemon."""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.graph.builder import DatabaseBuilder
+from repro.service import SchemaService, ServiceConfig
+from repro.service.http import Request
+
+
+def person_firm_db():
+    """Five persons, four firms — two crisp types at k=2."""
+    builder = DatabaseBuilder()
+    for i in range(5):
+        builder.attr(f"p{i}", "name", f"n{i}")
+        builder.attr(f"p{i}", "email", f"e{i}")
+    for i in range(4):
+        builder.attr(f"f{i}", "fname", f"fn{i}")
+        builder.attr(f"f{i}", "ticker", f"t{i}")
+    return builder.build()
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (shared with budget tests)."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def request(
+    method: str,
+    path: str,
+    payload=None,
+    headers=None,
+    client: str = "test",
+) -> Request:
+    """Build an in-process request (no sockets, no framing)."""
+    import json as _json
+
+    body = b""
+    if payload is not None:
+        body = _json.dumps(payload).encode("utf-8")
+    lowered = {k.lower(): v for k, v in (headers or {}).items()}
+    split = path.split("?", 1)
+    query = {}
+    if len(split) == 2:
+        from urllib.parse import parse_qsl
+
+        query = dict(parse_qsl(split[1]))
+    return Request(
+        method=method,
+        path=split[0],
+        query=query,
+        headers=lowered,
+        body=body,
+        client=client,
+    )
+
+
+@contextlib.asynccontextmanager
+async def running_service(db=None, config: ServiceConfig = None, **kwargs):
+    """A started SchemaService that is always stopped afterwards."""
+    service = SchemaService(
+        db if db is not None else person_firm_db(),
+        config or ServiceConfig(k=2),
+        **kwargs,
+    )
+    await service.start()
+    try:
+        yield service
+    finally:
+        await service.stop()
+
+
+def run(coroutine):
+    """Drive an async test body from a sync pytest test."""
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture
+def db():
+    return person_firm_db()

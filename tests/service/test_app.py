@@ -1,0 +1,423 @@
+"""In-process tests for the daemon: routes, writes, backpressure.
+
+Everything here drives ``SchemaService.handle`` directly (no sockets);
+the wire layer has its own tests in ``test_http.py`` and the socket
+lifecycle is covered by ``test_chaos.py``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.pipeline import SchemaExtractor
+from repro.service import SchemaService, ServiceConfig
+from repro.service.app import parse_mutation_ops
+
+from tests.service.conftest import (
+    FakeClock,
+    person_firm_db,
+    request,
+    run,
+    running_service,
+)
+
+
+def oracle_types(db, k, obj):
+    """What a from-scratch extraction says about ``obj`` right now."""
+    result = SchemaExtractor(db.copy()).extract(k=k)
+    return sorted(result.assignment.get(obj, frozenset()))
+
+
+class TestParseMutationOps:
+    def test_round_trip(self):
+        ops = parse_mutation_ops(
+            {
+                "ops": [
+                    {"op": "add-link", "src": "a", "dst": "b", "label": "l"},
+                    {"op": "add-atomic", "object": "v", "value": 3},
+                    {"op": "add-object", "object": "c"},
+                    {"op": "remove-object", "object": "c"},
+                ]
+            }
+        )
+        assert ops == [
+            ("add-link", "a", "b", "l"),
+            ("add-atomic", "v", 3),
+            ("add-object", "c"),
+            ("remove-object", "c"),
+        ]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            {},
+            {"ops": []},
+            {"ops": ["nope"]},
+            {"ops": [{"op": "add-link", "src": "a", "dst": "b"}]},
+            {"ops": [{"op": "add-atomic", "object": "v"}]},
+            {"ops": [{"op": "warp", "object": "v"}]},
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        from repro.service.errors import BadRequestError
+
+        with pytest.raises(BadRequestError):
+            parse_mutation_ops(payload)
+
+
+class TestReadRoutes:
+    def test_lookup_matches_oracle(self):
+        async def go():
+            async with running_service() as service:
+                response = await service.handle(request("GET", "/lookup/p0"))
+                assert response.status == 200
+                payload = response.payload
+                assert payload["source"] == "assignment"
+                assert payload["stale"] is False
+                assert payload["types"] == oracle_types(
+                    service.session.db, 2, "p0"
+                )
+
+        run(go())
+
+    def test_lookup_unknown_is_404(self):
+        async def go():
+            async with running_service() as service:
+                response = await service.handle(request("GET", "/lookup/ghost"))
+                assert response.status == 404
+                assert service.counters["bad_requests"] == 1
+
+        run(go())
+
+    def test_lookup_atomic_object(self):
+        async def go():
+            async with running_service() as service:
+                atom = next(iter(service.session.db.atomic_objects()))
+                response = await service.handle(
+                    request("GET", f"/lookup/{atom}")
+                )
+                assert response.status == 200
+                assert response.payload["atomic"] is True
+                assert response.payload["types"] == []
+
+        run(go())
+
+    def test_lookup_query_form_and_recast_of_unseen(self):
+        async def go():
+            db = person_firm_db()
+            # An object the warm snapshot has never seen: added behind
+            # the session's back (test-only) so the lookup must recast.
+            async with running_service(db=db) as service:
+                db.add_complex("p_new")
+                db.add_atomic("nv", "fresh")
+                db.add_atomic("ev", "fresh@e")
+                db.add_link("p_new", "nv", "name")
+                db.add_link("p_new", "ev", "email")
+                first = await service.handle(
+                    request("GET", "/lookup?object=p_new")
+                )
+                assert first.status == 200
+                assert first.payload["source"] == "recast"
+                assert first.payload["types"] == oracle_types(db, 2, "p0")
+                # Second hit is served from the mask cache.
+                hits = service.session.cache.hits
+                again = await service.handle(
+                    request("GET", "/lookup?object=p_new")
+                )
+                assert again.payload == first.payload
+                assert service.session.cache.hits == hits + 1
+
+        run(go())
+
+    def test_classify_hypothetical_object(self):
+        async def go():
+            async with running_service() as service:
+                response = await service.handle(
+                    request(
+                        "POST",
+                        "/classify",
+                        payload={
+                            "links": [
+                                {"label": "name", "target": None},
+                                {"label": "email", "target": None},
+                            ]
+                        },
+                    )
+                )
+                assert response.status == 200
+                assert response.payload["types"] == oracle_types(
+                    service.session.db, 2, "p0"
+                )
+                assert response.payload["fallback"] is False
+
+        run(go())
+
+    def test_schema_and_status_routes(self):
+        async def go():
+            async with running_service() as service:
+                schema = await service.handle(request("GET", "/schema"))
+                assert schema.status == 200
+                assert schema.payload["k"] == 2
+                assert schema.payload["num_types"] == 2
+                status = await service.handle(request("GET", "/status"))
+                assert status.status == 200
+                assert status.payload["epoch"] == 0
+                assert status.payload["ready"] is True
+                assert status.payload["breaker"]["state"] == "closed"
+                assert status.payload["queue"]["depth"] == 0
+
+        run(go())
+
+    def test_unknown_route_is_404(self):
+        async def go():
+            async with running_service() as service:
+                response = await service.handle(request("GET", "/nope"))
+                assert response.status == 404
+
+        run(go())
+
+    def test_readyz_flips_with_lifecycle(self):
+        async def go():
+            service = SchemaService(person_firm_db(), ServiceConfig(k=2))
+            before = await service.handle(request("GET", "/readyz"))
+            assert before.status == 503
+            await service.start()
+            try:
+                during = await service.handle(request("GET", "/readyz"))
+                assert during.status == 200
+            finally:
+                await service.stop()
+            after = await service.handle(request("GET", "/readyz"))
+            assert after.status == 503
+
+        run(go())
+
+
+class TestMutate:
+    def test_mutation_refreshes_and_matches_oracle(self):
+        async def go():
+            async with running_service() as service:
+                response = await service.handle(
+                    request(
+                        "POST",
+                        "/mutate",
+                        payload={
+                            "ops": [
+                                {"op": "add-atomic", "object": "nick",
+                                 "value": "shorty"},
+                                {"op": "add-link", "src": "p0",
+                                 "dst": "nick", "label": "nickname"},
+                            ]
+                        },
+                    )
+                )
+                assert response.status == 200
+                payload = response.payload
+                assert payload["applied"] == 2
+                assert payload["refreshed"] is True
+                assert payload["stale"] is False
+                assert payload["epoch"] == 1
+                # The refreshed typing agrees with a from-scratch oracle.
+                lookup = await service.handle(request("GET", "/lookup/p0"))
+                assert lookup.payload["stale"] is False
+                assert lookup.payload["types"] == oracle_types(
+                    service.session.db, 2, "p0"
+                )
+
+        run(go())
+
+    def test_poisoned_batch_rolls_back_exactly(self):
+        async def go():
+            db = person_firm_db()
+            snapshot = db.copy()
+            async with running_service(db=db) as service:
+                response = await service.handle(
+                    request(
+                        "POST",
+                        "/mutate",
+                        payload={
+                            "ops": [
+                                {"op": "add-atomic", "object": "v9",
+                                 "value": "x"},
+                                {"op": "add-link", "src": "p0", "dst": "v9",
+                                 "label": "extra"},
+                                # p0 is complex: this op is poison.
+                                {"op": "add-atomic", "object": "p0",
+                                 "value": "boom"},
+                            ]
+                        },
+                    )
+                )
+                assert response.status == 400
+                assert "rolled back" in response.payload["error"]
+                assert db == snapshot
+                assert service.session.stale is False
+                assert service.session.epoch == 0
+
+        run(go())
+
+    def test_mutate_without_worker_is_503(self):
+        async def go():
+            service = SchemaService(person_firm_db(), ServiceConfig(k=2))
+            response = await service.handle(
+                request(
+                    "POST", "/mutate",
+                    payload={"ops": [{"op": "add-object", "object": "x"}]},
+                )
+            )
+            assert response.status == 503
+            assert response.headers["Retry-After"] == "1"
+
+        run(go())
+
+    def test_queue_overflow_is_503_with_retry_after(self):
+        async def go():
+            config = ServiceConfig(k=2, queue_depth=1, retry_after=2.0)
+            async with running_service(config=config) as service:
+                service.chaos.arm(mutate_delay=0.2)
+
+                def mutate(n):
+                    return request(
+                        "POST", "/mutate",
+                        payload={"ops": [{"op": "add-object",
+                                          "object": f"x{n}"}]},
+                    )
+
+                first = asyncio.ensure_future(service.handle(mutate(0)))
+                await asyncio.sleep(0.05)  # worker is now inside batch 0
+                second = asyncio.ensure_future(service.handle(mutate(1)))
+                await asyncio.sleep(0.05)  # batch 1 occupies the queue slot
+                third = await service.handle(mutate(2))
+                assert third.status == 503
+                assert third.headers["Retry-After"] == "2"
+                assert service.counters["overloaded"] == 1
+                # Accepted writes still land; nothing deadlocks.
+                assert (await first).status == 200
+                assert (await second).status == 200
+                assert service.queue.rejected == 1
+
+        run(go())
+
+    def test_deadline_expiry_yields_202_and_write_still_lands(self):
+        async def go():
+            async with running_service() as service:
+                service.chaos.arm(mutate_delay=0.2)
+                response = await service.handle(
+                    request(
+                        "POST", "/mutate",
+                        payload={"ops": [{"op": "add-object",
+                                          "object": "slow"}]},
+                        headers={"X-Deadline-Ms": "50"},
+                    )
+                )
+                assert response.status == 202
+                assert response.payload["accepted"] is True
+                assert response.payload["completed"] is False
+                assert service.counters["deadline_expired"] == 1
+                # The queued write is applied regardless.
+                await asyncio.sleep(0.3)
+                assert "slow" in service.session.db
+
+        run(go())
+
+
+class TestRateLimit:
+    def test_burst_exhaustion_is_429(self):
+        async def go():
+            clock = FakeClock()
+            config = ServiceConfig(k=2, rate=1.0, burst=2.0)
+            async with running_service(config=config, clock=clock) as service:
+                for _ in range(2):
+                    ok = await service.handle(
+                        request("GET", "/healthz", client="alice")
+                    )
+                    assert ok.status == 200
+                limited = await service.handle(
+                    request("GET", "/healthz", client="alice")
+                )
+                assert limited.status == 429
+                assert int(limited.headers["Retry-After"]) >= 1
+                assert service.counters["rate_limited"] == 1
+                # Other clients are unaffected; time heals alice.
+                other = await service.handle(
+                    request("GET", "/healthz", client="bob")
+                )
+                assert other.status == 200
+                clock.advance(1.0)
+                healed = await service.handle(
+                    request("GET", "/healthz", client="alice")
+                )
+                assert healed.status == 200
+
+        run(go())
+
+
+class TestForceRefresh:
+    def test_refresh_is_noop_when_fresh(self):
+        async def go():
+            async with running_service() as service:
+                response = await service.handle(request("POST", "/refresh"))
+                assert response.status == 200
+                assert response.payload == {
+                    "refreshed": False, "stale": False, "epoch": 0,
+                }
+
+        run(go())
+
+
+class TestChaosEndpoint:
+    def test_hidden_unless_enabled(self):
+        async def go():
+            async with running_service() as service:
+                response = await service.handle(
+                    request("POST", "/chaos", payload={"fail_refreshes": 1})
+                )
+                assert response.status == 404
+
+        run(go())
+
+    def test_arms_and_reports_when_enabled(self):
+        async def go():
+            config = ServiceConfig(k=2, enable_chaos=True)
+            async with running_service(config=config) as service:
+                armed = await service.handle(
+                    request("POST", "/chaos", payload={"fail_refreshes": 2})
+                )
+                assert armed.status == 200
+                assert armed.payload["armed"]["fail_refreshes"] == 2
+                cleared = await service.handle(
+                    request("POST", "/chaos", payload={"reset": True})
+                )
+                assert cleared.payload["armed"]["fail_refreshes"] == 0
+                bad = await service.handle(
+                    request("POST", "/chaos", payload={"warp_field": 1})
+                )
+                assert bad.status == 400
+
+        run(go())
+
+
+class TestServeCli:
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--rate", "0"],
+            ["--burst", "0"],
+            ["--queue-depth", "0"],
+            ["--deadline-ms", "0"],
+            ["--breaker-threshold", "0"],
+        ],
+    )
+    def test_bad_arguments_exit_2(self, tmp_path, extra):
+        from repro.cli import main
+        from repro.graph.oem import dumps_oem
+
+        oem = tmp_path / "tiny.oem"
+        oem.write_text(dumps_oem(person_firm_db()), encoding="utf-8")
+        assert main(["serve", str(oem), *extra]) == 2
+
+    def test_missing_file_exits_1(self):
+        from repro.cli import main
+
+        assert main(["serve", "/nope/missing.oem"]) == 1

@@ -1,0 +1,97 @@
+"""Unit tests for the circuit breaker's state machine and backoff."""
+
+import pytest
+
+from repro.service.breaker import CircuitBreaker
+
+from tests.service.conftest import FakeClock
+
+
+def make(clock, rng=lambda: 0.0, **kwargs):
+    defaults = dict(
+        failure_threshold=3, reset_timeout=1.0, max_backoff=8.0, jitter=0.5
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, rng=rng, **defaults)
+
+
+class TestStateMachine:
+    def test_closed_until_threshold(self):
+        breaker = make(FakeClock())
+        assert breaker.allow()
+        breaker.record_failure("one")
+        breaker.record_failure("two")
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        breaker.record_failure("three")
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_and_recovery(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)  # base backoff elapsed
+        assert breaker.allow()  # the single probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # no second probe
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_with_doubled_backoff(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure("probe failed")
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.retry_after() == pytest.approx(2.0)  # doubled
+
+    def test_backoff_is_capped(self):
+        clock = FakeClock()
+        breaker = make(clock, max_backoff=4.0)
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(6):  # keep failing probes
+            clock.advance(100.0)
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.retry_after() <= 4.0
+
+    def test_jitter_extends_backoff_deterministically(self):
+        clock = FakeClock()
+        breaker = make(clock, rng=lambda: 1.0, jitter=0.5)
+        for _ in range(3):
+            breaker.record_failure()
+        # base 1.0s * (1 + 0.5*1.0) = 1.5s
+        assert breaker.retry_after() == pytest.approx(1.5)
+
+    def test_snapshot_carries_last_error(self):
+        breaker = make(FakeClock())
+        for _ in range(3):
+            breaker.record_failure("chaos: injected refresh crash")
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["trips"] == 1
+        assert "injected refresh crash" in snap["last_error"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)

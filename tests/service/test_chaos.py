@@ -1,0 +1,327 @@
+"""The chaos acceptance suite (ISSUE robustness criteria).
+
+The invariants under fire:
+
+* the daemon never serves a typing that disagrees with a fresh
+  ``SchemaExtractor`` oracle unless the answer is explicitly marked
+  ``stale``;
+* overload and degradation answer 429/503 with ``Retry-After`` —
+  never a deadlock or unbounded growth;
+* ``/healthz`` flips to 503 around an induced breaker trip and
+  recovers once the backed-off probe succeeds;
+* client disconnects and dropped responses never wedge the daemon.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import SchemaExtractor
+from repro.service import ServiceConfig
+
+from tests.service.conftest import (
+    FakeClock,
+    person_firm_db,
+    request,
+    run,
+    running_service,
+)
+
+#: Rate limits are not under test here — keep them out of the way.
+LOOSE = dict(rate=10_000.0, burst=10_000.0)
+
+
+def mutate_request(*ops):
+    return request("POST", "/mutate", payload={"ops": list(ops)})
+
+
+def attach(person, obj, value, label):
+    """Ops giving ``person`` a new atomic attribute."""
+    return (
+        {"op": "add-atomic", "object": obj, "value": value},
+        {"op": "add-link", "src": person, "dst": obj, "label": label},
+    )
+
+
+async def assert_oracle_agreement(service):
+    """Every non-stale lookup must match a from-scratch extraction."""
+    db = service.session.db
+    k = service.session.result.chosen_k
+    oracle = SchemaExtractor(db.copy()).extract(k=k)
+    for obj in db.complex_objects():
+        response = await service.handle(request("GET", f"/lookup/{obj}"))
+        assert response.status == 200
+        if not response.payload["stale"]:
+            assert response.payload["types"] == sorted(
+                oracle.assignment.get(obj, frozenset())
+            ), f"non-stale answer for {obj} disagrees with the oracle"
+
+
+class TestRefreshCrash:
+    def test_stale_last_good_then_absorbed_recovery(self):
+        async def go():
+            config = ServiceConfig(k=2, **LOOSE)
+            async with running_service(config=config) as service:
+                before = (await service.handle(
+                    request("GET", "/lookup/p0"))).payload["types"]
+
+                service.chaos.arm(fail_refreshes=1)
+                crashed = await service.handle(
+                    mutate_request(*attach("p0", "w0", "p0.example", "web"))
+                )
+                # The mutation landed; the refresh died; answers are
+                # the last-good typing, explicitly marked stale.
+                assert crashed.status == 200
+                assert crashed.payload["applied"] == 2
+                assert crashed.payload["refreshed"] is False
+                assert crashed.payload["stale"] is True
+                assert crashed.payload["epoch"] == 0
+                assert "w0" in service.session.db
+
+                stale = await service.handle(request("GET", "/lookup/p0"))
+                assert stale.payload["stale"] is True
+                assert stale.payload["types"] == before
+
+                status = (await service.handle(
+                    request("GET", "/status"))).payload
+                assert status["failed_refreshes"] == 1
+                assert status["degradation"]["stage"] == "refresh"
+                assert "chaos" in status["degradation"]["detail"]
+                await assert_oracle_agreement(service)
+
+                # The next healthy write folds BOTH pending batches in
+                # one absorbed differential refresh.
+                healed = await service.handle(
+                    mutate_request(*attach("p1", "w1", "p1.example", "web"))
+                )
+                assert healed.payload["refreshed"] is True
+                assert healed.payload["stale"] is False
+                assert healed.payload["epoch"] == 1
+                assert service.session.pending is None
+                await assert_oracle_agreement(service)
+
+        run(go())
+
+
+class TestBreakerTrip:
+    def test_healthz_flips_and_recovers(self):
+        async def go():
+            clock = FakeClock()
+            config = ServiceConfig(
+                k=2, breaker_threshold=2, breaker_reset=1.0, **LOOSE
+            )
+            async with running_service(
+                config=config, clock=clock, rng=lambda: 0.0
+            ) as service:
+                service.chaos.arm(fail_refreshes=2)
+
+                first = await service.handle(
+                    mutate_request(*attach("p0", "w0", "u0", "web"))
+                )
+                assert first.payload["stale"] is True
+                ok = await service.handle(request("GET", "/healthz"))
+                assert ok.status == 200  # one failure, breaker closed
+
+                second = await service.handle(
+                    mutate_request(*attach("p1", "w1", "u1", "web"))
+                )
+                assert second.payload["stale"] is True
+                degraded = await service.handle(request("GET", "/healthz"))
+                assert degraded.status == 503
+                assert degraded.payload["status"] == "degraded"
+                assert degraded.headers["Retry-After"] == "1"
+
+                # While OPEN, writes still land but no refresh is even
+                # attempted (the chaos tally stays at 2)...
+                third = await service.handle(
+                    mutate_request(*attach("p2", "w2", "u2", "web"))
+                )
+                assert third.status == 200
+                assert third.payload["stale"] is True
+                assert service.chaos.injected["refresh_crashes"] == 2
+                # ... and a forced refresh is refused with Retry-After.
+                refused = await service.handle(request("POST", "/refresh"))
+                assert refused.status == 503
+                assert "Retry-After" in refused.headers
+                await assert_oracle_agreement(service)
+
+                # After the backoff the single probe runs; the fault is
+                # exhausted, so it succeeds and everything recovers.
+                clock.advance(1.0)
+                probe = await service.handle(request("POST", "/refresh"))
+                assert probe.status == 200
+                assert probe.payload["refreshed"] is True
+                assert probe.payload["stale"] is False
+                assert probe.payload["epoch"] == 1
+                assert probe.payload["breaker"] == "closed"
+                healthy = await service.handle(request("GET", "/healthz"))
+                assert healthy.status == 200
+                # All three batches folded into the recovered typing.
+                for obj in ("w0", "w1", "w2"):
+                    assert obj in service.session.db
+                await assert_oracle_agreement(service)
+
+        run(go())
+
+
+class TestChaoticSequence:
+    def test_oracle_agreement_throughout(self):
+        """A scripted storm: every non-stale answer stays oracle-true."""
+
+        async def go():
+            config = ServiceConfig(k=2, **LOOSE)
+            async with running_service(config=config) as service:
+                batches = [
+                    attach("p0", "a0", "x0", "web"),
+                    attach("f0", "a1", "x1", "hq"),
+                    attach("p1", "a2", "x2", "web"),
+                    attach("f1", "a3", "x3", "hq"),
+                    attach("p2", "a4", "x4", "web"),
+                ]
+                # Refreshes for batches 1 and 2 crash; the rest heal.
+                for index, ops in enumerate(batches):
+                    if index == 1:
+                        service.chaos.arm(fail_refreshes=2)
+                    response = await service.handle(mutate_request(*ops))
+                    assert response.status == 200
+                    assert response.payload["applied"] == len(ops)
+                    await assert_oracle_agreement(service)
+                # The storm is over: the daemon converged, nothing is
+                # stale, and the pending delta is fully folded.
+                status = (await service.handle(
+                    request("GET", "/status"))).payload
+                assert status["stale"] is False
+                assert status["pending"] == 0
+                assert status["failed_refreshes"] == 2
+                assert service.chaos.injected["refresh_crashes"] == 2
+                await assert_oracle_agreement(service)
+
+        run(go())
+
+
+async def raw_exchange(host, port, data: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(data)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return response
+
+
+def parse_wire(raw: bytes):
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body) if body else None
+
+
+class TestSockets:
+    def test_disconnects_and_dropped_responses(self):
+        async def go():
+            config = ServiceConfig(k=2, enable_chaos=True, **LOOSE)
+            async with running_service(config=config) as service:
+                server = await asyncio.start_server(
+                    service.handle_connection, "127.0.0.1", 0
+                )
+                host, port = server.sockets[0].getsockname()[:2]
+                try:
+                    # 1. A client that hangs up mid-request is absorbed.
+                    reader, writer = await asyncio.open_connection(host, port)
+                    writer.write(b"GET /status HTTP/1.1\r\nHost:")
+                    await writer.drain()
+                    writer.close()
+                    await writer.wait_closed()
+                    for _ in range(50):
+                        if service.counters["disconnects"]:
+                            break
+                        await asyncio.sleep(0.01)
+                    assert service.counters["disconnects"] == 1
+
+                    # 2. Garbage framing gets a 400, not a hang.
+                    status, payload = parse_wire(await raw_exchange(
+                        host, port, b"\x00\xff junk\r\n\r\n"
+                    ))
+                    assert status == 400
+                    assert "error" in payload
+
+                    # 3. An armed drop severs without answering ...
+                    service.chaos.arm(drop_responses=1)
+                    raw = await raw_exchange(
+                        host, port,
+                        b"GET /healthz HTTP/1.1\r\n\r\n",
+                    )
+                    assert raw == b""
+                    assert service.chaos.injected["dropped_responses"] == 1
+
+                    # 4. ... and the daemon still answers the next one.
+                    status, payload = parse_wire(await raw_exchange(
+                        host, port, b"GET /healthz HTTP/1.1\r\n\r\n"
+                    ))
+                    assert status == 200
+                    assert payload["status"] == "ok"
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        run(go())
+
+
+class TestDaemonProcess:
+    def test_serve_boots_answers_and_shuts_down_cleanly(self, tmp_path):
+        """End to end: the real CLI daemon over real sockets + SIGINT."""
+        from urllib.error import HTTPError
+        from urllib.request import Request as UrlRequest, urlopen
+
+        from repro.graph.oem import dumps_oem
+
+        oem = tmp_path / "people.oem"
+        oem.write_text(dumps_oem(person_firm_db()), encoding="utf-8")
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(oem),
+             "--port", "0", "-k", "2"],
+            cwd=repo_root, env=env, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("listening on "), line
+            base = "http://" + line.split("listening on ", 1)[1]
+
+            with urlopen(f"{base}/healthz", timeout=10) as resp:
+                assert resp.status == 200
+
+            with urlopen(f"{base}/lookup/p0", timeout=10) as resp:
+                before = json.load(resp)
+                assert before["stale"] is False and before["types"]
+
+            body = json.dumps({"ops": [
+                {"op": "add-atomic", "object": "w", "value": "site"},
+                {"op": "add-link", "src": "p0", "dst": "w", "label": "web"},
+            ]}).encode()
+            post = UrlRequest(f"{base}/mutate", data=body, method="POST")
+            with urlopen(post, timeout=30) as resp:
+                outcome = json.load(resp)
+                assert outcome["applied"] == 2
+                assert outcome["refreshed"] is True
+
+            with pytest.raises(HTTPError) as info:
+                urlopen(f"{base}/lookup/ghost", timeout=10)
+            assert info.value.code == 404
+
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+            assert "shutdown complete" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()

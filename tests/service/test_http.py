@@ -1,0 +1,119 @@
+"""Unit tests for the HTTP/1.1 framing layer (no sockets)."""
+
+import asyncio
+
+import pytest
+
+from repro.service.errors import BadRequestError, ProtocolError
+from repro.service.http import (
+    Request,
+    Response,
+    parse_request_line,
+    read_request,
+)
+
+from tests.service.conftest import run
+
+
+async def read(data: bytes, **kwargs):
+    """Frame *data* through a StreamReader built inside the loop."""
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return await read_request(reader, **kwargs)
+
+
+class TestRequestLine:
+    def test_basic(self):
+        assert parse_request_line("GET /status HTTP/1.1") == (
+            "GET", "/status", {},
+        )
+
+    def test_query_and_decoding(self):
+        method, path, query = parse_request_line(
+            "get /lookup%20x?object=p0&flag= HTTP/1.0"
+        )
+        assert method == "GET"
+        assert path == "/lookup x"
+        assert query == {"object": "p0", "flag": ""}
+
+    @pytest.mark.parametrize(
+        "line",
+        ["GET /x", "GET /x SPDY/3", "", "GET /x HTTP/1.1 extra"],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            parse_request_line(line)
+
+
+class TestReadRequest:
+    def test_full_request_with_body(self):
+        request = run(
+            read(
+                b"POST /mutate HTTP/1.1\r\n"
+                b"Content-Length: 11\r\n"
+                b"X-Client-Id: alice\r\n"
+                b"\r\n"
+                b'{"ops": []}',
+                client="peer",
+            )
+        )
+        assert request.method == "POST"
+        assert request.path == "/mutate"
+        assert request.header("x-client-id") == "alice"
+        assert request.json() == {"ops": []}
+        assert request.client == "peer"
+
+    def test_disconnect_before_request_is_none(self):
+        assert run(read(b"")) is None
+
+    def test_disconnect_mid_headers_is_none(self):
+        data = b"GET / HTTP/1.1\r\nHost: x"  # no terminating blank line
+        assert run(read(data)) is None
+
+    def test_disconnect_mid_body_is_none(self):
+        data = (
+            b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+        )
+        assert run(read(data)) is None
+
+    def test_oversized_body_is_413(self):
+        data = b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n"
+        with pytest.raises(BadRequestError) as info:
+            run(read(data, max_body=10))
+        assert info.value.status == 413
+
+    def test_garbage_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            run(read(b"\x00\xff binary junk\r\n\r\n"))
+
+    def test_bad_content_length_rejected(self):
+        data = b"GET / HTTP/1.1\r\nContent-Length: wat\r\n\r\n"
+        with pytest.raises(ProtocolError):
+            run(read(data))
+
+
+class TestResponse:
+    def test_encode_wire_form(self):
+        wire = Response.json({"ok": True}, status=200).encode()
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Connection: close" in head
+        assert b"Content-Type: application/json" in head
+        assert body == b'{"ok": true}\n'
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_retry_after_header_carried(self):
+        wire = Response.json(
+            {"error": "slow down"}, status=429, **{"Retry-After": "2"}
+        ).encode()
+        assert b"HTTP/1.1 429 Too Many Requests" in wire
+        assert b"Retry-After: 2" in wire
+
+    def test_request_json_rejects_garbage(self):
+        request = Request("POST", "/", {}, {}, body=b"not json")
+        with pytest.raises(BadRequestError):
+            request.json()
+
+    def test_empty_body_parses_to_none(self):
+        assert Request("POST", "/", {}, {}).json() is None

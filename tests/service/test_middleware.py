@@ -1,0 +1,190 @@
+"""Unit tests for the middleware stack: ids, rate limits, deadlines."""
+
+import pytest
+
+from repro.exceptions import BudgetExceededError
+from repro.service.errors import BadRequestError, RateLimitedError
+from repro.service.http import Request, Response
+from repro.service.middleware import (
+    RateLimiter,
+    RequestContext,
+    TokenBucket,
+    compose,
+    deadline_middleware,
+    rate_limit_middleware,
+    request_id_middleware,
+    retry_after_header,
+)
+
+from tests.service.conftest import FakeClock, request, run
+
+
+async def ok_handler(req: Request, ctx: RequestContext) -> Response:
+    return Response.json({"ok": True})
+
+
+class TestRequestId:
+    def test_generated_and_echoed(self):
+        handler = compose([request_id_middleware()], ok_handler)
+        ctx = RequestContext()
+        response = run(handler(request("GET", "/"), ctx))
+        assert ctx.request_id.startswith("req-")
+        assert response.headers["X-Request-Id"] == ctx.request_id
+
+    def test_propagated_from_header(self):
+        handler = compose([request_id_middleware()], ok_handler)
+        ctx = RequestContext()
+        response = run(
+            handler(
+                request("GET", "/", headers={"X-Request-Id": "trace-77"}),
+                ctx,
+            )
+        )
+        assert ctx.request_id == "trace-77"
+        assert response.headers["X-Request-Id"] == "trace-77"
+
+    def test_client_prefers_explicit_header(self):
+        handler = compose([request_id_middleware()], ok_handler)
+        ctx = RequestContext()
+        run(
+            handler(
+                request(
+                    "GET", "/", headers={"X-Client-Id": "alice"},
+                    client="1.2.3.4:9",
+                ),
+                ctx,
+            )
+        )
+        assert ctx.client == "alice"
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, now=clock())
+        assert bucket.acquire(clock()) == 0.0
+        assert bucket.acquire(clock()) == 0.0
+        wait = bucket.acquire(clock())
+        assert wait == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert bucket.acquire(clock()) == 0.0
+
+    def test_limiter_isolates_clients(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        assert limiter.acquire("a") == 0.0
+        assert limiter.acquire("a") > 0.0
+        assert limiter.acquire("b") == 0.0  # b has its own bucket
+        assert limiter.rejected == 1
+
+    def test_limiter_evicts_oldest_client(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            rate=1.0, burst=1.0, max_clients=2, clock=clock
+        )
+        limiter.acquire("a")
+        limiter.acquire("b")
+        limiter.acquire("c")  # evicts a
+        # a's bucket was evicted, so it gets a fresh burst.
+        assert limiter.acquire("a") == 0.0
+
+    def test_middleware_raises_with_retry_after(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=2.0, burst=1.0, clock=clock)
+        handler = compose(
+            [request_id_middleware(), rate_limit_middleware(limiter)],
+            ok_handler,
+        )
+        run(handler(request("GET", "/", client="c"), RequestContext()))
+        with pytest.raises(RateLimitedError) as info:
+            run(handler(request("GET", "/", client="c"), RequestContext()))
+        assert info.value.retry_after == pytest.approx(0.5)
+
+    def test_retry_after_header_rounds_up(self):
+        assert retry_after_header(0.2) == "1"
+        assert retry_after_header(1.2) == "2"
+
+
+class TestDeadline:
+    def test_budget_armed_from_default(self):
+        clock = FakeClock()
+        seen = {}
+
+        async def probe(req, ctx):
+            seen["budget"] = ctx.budget
+            return Response.json({})
+
+        handler = compose([deadline_middleware(1500.0, clock=clock)], probe)
+        run(handler(request("GET", "/"), RequestContext()))
+        assert seen["budget"].timeout == pytest.approx(1.5)
+
+    def test_header_overrides_and_clamps(self):
+        clock = FakeClock()
+        seen = {}
+
+        async def probe(req, ctx):
+            seen["deadline"] = ctx.deadline
+            return Response.json({})
+
+        handler = compose(
+            [deadline_middleware(1000.0, max_ms=2000.0, clock=clock)], probe
+        )
+        run(
+            handler(
+                request("GET", "/", headers={"X-Deadline-Ms": "500"}),
+                RequestContext(),
+            )
+        )
+        assert seen["deadline"] == pytest.approx(0.5)
+        run(
+            handler(
+                request("GET", "/", headers={"X-Deadline-Ms": "99999"}),
+                RequestContext(),
+            )
+        )
+        assert seen["deadline"] == pytest.approx(2.0)
+
+    def test_bad_header_is_rejected(self):
+        handler = compose([deadline_middleware(1000.0)], ok_handler)
+        with pytest.raises(BadRequestError):
+            run(
+                handler(
+                    request("GET", "/", headers={"X-Deadline-Ms": "soon"}),
+                    RequestContext(),
+                )
+            )
+
+    def test_exhaustion_maps_to_504(self):
+        clock = FakeClock()
+
+        async def slow(req, ctx):
+            clock.advance(10.0)  # blow the deadline mid-handler
+            ctx.budget.check()
+            return Response.json({})
+
+        handler = compose([deadline_middleware(1000.0, clock=clock)], slow)
+        response = run(handler(request("GET", "/"), RequestContext()))
+        assert response.status == 504
+        assert "deadline" in response.payload["error"]
+
+    def test_no_default_leaves_request_unbounded(self):
+        seen = {}
+
+        async def probe(req, ctx):
+            seen["budget"] = ctx.budget
+            return Response.json({})
+
+        handler = compose([deadline_middleware(None)], probe)
+        run(handler(request("GET", "/"), RequestContext()))
+        assert seen["budget"] is None
+
+    def test_kernel_exhaustion_propagates_as_504(self):
+        # The budget the middleware arms is the same object the typing
+        # kernels charge; a BudgetExceededError from deep inside the
+        # read path must surface as a 504 response.
+        async def kernel(req, ctx):
+            raise BudgetExceededError("deep loop exhausted")
+
+        handler = compose([deadline_middleware(1000.0)], kernel)
+        response = run(handler(request("GET", "/"), RequestContext()))
+        assert response.status == 504

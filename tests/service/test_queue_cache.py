@@ -1,0 +1,115 @@
+"""Unit tests for the bounded writer queue and the mask cache."""
+
+import asyncio
+
+import pytest
+
+from repro.service.cache import MaskCache
+from repro.service.errors import OverloadedError
+from repro.service.queue import MutationQueue
+
+from tests.service.conftest import run
+
+
+class TestMutationQueue:
+    def test_backpressure_when_full(self):
+        async def go():
+            queue = MutationQueue(maxsize=2, retry_after=3.0)
+            queue.submit([("add-object", "a")])
+            queue.submit([("add-object", "b")])
+            with pytest.raises(OverloadedError) as info:
+                queue.submit([("add-object", "c")])
+            assert info.value.retry_after == 3.0
+            assert queue.rejected == 1
+            assert queue.depth == 2
+            assert queue.high_water == 2
+
+        run(go())
+
+    def test_worker_resolves_futures_in_order(self):
+        async def go():
+            queue = MutationQueue(maxsize=8)
+            seen = []
+
+            async def apply(batch):
+                seen.append(batch[0])
+                return {"n": len(seen)}
+
+            worker = asyncio.ensure_future(queue.worker(apply))
+            f1 = queue.submit(["one"])
+            f2 = queue.submit(["two"])
+            assert (await f1)["n"] == 1
+            assert (await f2)["n"] == 2
+            assert seen == ["one", "two"]
+            await queue.close()
+            await worker
+
+        run(go())
+
+    def test_apply_exception_lands_on_future(self):
+        async def go():
+            queue = MutationQueue(maxsize=8)
+
+            async def apply(batch):
+                raise RuntimeError("poisoned")
+
+            worker = asyncio.ensure_future(queue.worker(apply))
+            future = queue.submit(["bad"])
+            with pytest.raises(RuntimeError):
+                await future
+            # The worker survives a failing batch.
+            assert not worker.done()
+            await queue.close()
+            await worker
+
+        run(go())
+
+    def test_closed_queue_refuses_submits(self):
+        async def go():
+            queue = MutationQueue(maxsize=2)
+            worker = asyncio.ensure_future(queue.worker(lambda b: None))
+            await queue.close()
+            with pytest.raises(OverloadedError):
+                queue.submit(["late"])
+            await worker
+
+        run(go())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MutationQueue(maxsize=0)
+
+
+class TestMaskCache:
+    def test_hit_and_miss_per_epoch(self):
+        cache = MaskCache(max_entries=8)
+        assert cache.get(0, 0b101) is None
+        cache.put(0, 0b101, frozenset({"t1"}), False)
+        assert cache.get(0, 0b101) == (frozenset({"t1"}), False)
+        # A new epoch never sees old entries.
+        assert cache.get(1, 0b101) is None
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = MaskCache(max_entries=2)
+        cache.put(0, 1, frozenset(), False)
+        cache.put(0, 2, frozenset(), False)
+        cache.get(0, 1)  # touch 1 -> 2 is now LRU
+        cache.put(0, 3, frozenset(), True)
+        assert cache.get(0, 1) is not None
+        assert cache.get(0, 2) is None
+        assert cache.evictions == 1
+
+    def test_drop_before_sheds_stale_epochs(self):
+        cache = MaskCache(max_entries=16)
+        cache.put(0, 1, frozenset(), False)
+        cache.put(0, 2, frozenset(), False)
+        cache.put(1, 1, frozenset({"t"}), False)
+        assert cache.drop_before(1) == 2
+        assert len(cache) == 1
+        assert cache.get(1, 1) == (frozenset({"t"}), False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaskCache(max_entries=0)
