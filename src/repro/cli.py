@@ -122,6 +122,7 @@ def _make_extractor(args: argparse.Namespace, db, perf):
         ),
         recast_memo=recast_memo,
         use_bitset=not getattr(args, "no_bitset", False),
+        use_matrix=not getattr(args, "no_matrix", False),
         perf=perf,
     )
     if jobs == 1:
@@ -423,6 +424,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "instead of the link-space bitset kernel "
                            "(results are identical; use to measure the "
                            "saving)")
+    p_extract.add_argument("--no-matrix", action="store_true",
+                           help="run Stage 2/3 on the per-pair bitset path "
+                           "instead of the vectorized uint64 matrix kernel "
+                           "(results are identical; use to measure the "
+                           "batching's contribution)")
     p_extract.add_argument("--max-defect", type=int, default=None,
                            help="solve the dual problem: smallest schema "
                            "with defect at most N (overrides -k)")
@@ -459,6 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--no-bitset", action="store_true",
                          help="run the sweep on the frozenset oracle path "
                          "instead of the link-space bitset kernel")
+    p_sweep.add_argument("--no-matrix", action="store_true",
+                         help="run the sweep on the per-pair bitset path "
+                         "instead of the vectorized uint64 matrix kernel")
     p_sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                          help="wall-clock budget; exhaustion truncates the series")
     p_sweep.add_argument("--max-iterations", type=int, default=None, metavar="N",

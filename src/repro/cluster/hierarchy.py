@@ -13,13 +13,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.cluster.kmedian import cached_distance
+from repro.cluster.kmedian import _resolve_distance, cached_distance
 from repro.exceptions import ClusteringError
+
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI job
+    _np = None  # type: ignore[assignment]
 
 #: Distance over original point indices.
 IndexDistance = Callable[[int, int], float]
 
 _LINKAGES = ("single", "complete", "average", "weighted")
+
+#: Minimum ``|A| * |B|`` block size worth a fancy-index slice; smaller
+#: blocks pay more in index-array setup than the scalar calls cost.
+_SLICE_MIN_PAIRS = 64
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,28 @@ def _linkage_distance(
     weights: Sequence[float],
     distance: IndexDistance,
 ) -> float:
+    array = getattr(distance, "pairwise_array", None)
+    if (
+        array is not None
+        and linkage in ("single", "complete", "average")
+        and len(cluster_a) * len(cluster_b) >= _SLICE_MIN_PAIRS
+    ):
+        # One fancy-index slice instead of |A|*|B| Python calls.  The
+        # entries are exact integer distances, so min/max are trivially
+        # identical to the scalar path and the average's int64 sum is
+        # exact (no float summation-order hazard).  The mass-weighted
+        # linkage keeps the scalar loop to preserve its float rounding.
+        # Tiny blocks (singleton-vs-singleton dominates the early
+        # rounds) stay on the scalar loop: below the cutoff the
+        # fancy-index setup costs more than the calls it replaces.
+        a_idx = _np.fromiter(cluster_a, dtype=_np.int64, count=len(cluster_a))
+        b_idx = _np.fromiter(cluster_b, dtype=_np.int64, count=len(cluster_b))
+        sub = array[a_idx[:, None], b_idx[None, :]]
+        if linkage == "single":
+            return float(sub.min())
+        if linkage == "complete":
+            return float(sub.max())
+        return float(int(sub.sum(dtype=_np.int64)) / sub.size)
     pairs = [(a, b) for a in cluster_a for b in cluster_b]
     dists = [distance(a, b) for a, b in pairs]
     if linkage == "single":
@@ -89,16 +120,18 @@ def agglomerate(
     ``O((n - k) * n^2)`` linkage evaluations; deterministic tie-breaks
     by the clusters' smallest members.  Linkages re-query the same
     point pair every round, so ``cache_distances`` (default on) memoises
-    the symmetric pair distances once per run (disable when passing an
-    already-cached distance such as
-    :class:`repro.core.linkspace.CachedBodyDistance`).
+    the symmetric pair distances once per run; distances that cache
+    internally (``already_cached`` attribute, e.g.
+    :class:`repro.core.linkspace.CachedBodyDistance`) skip the redundant
+    second layer, and ones exposing a materialized ``matrix()`` make the
+    single/complete/average linkages one array slice per pair of
+    clusters.
     """
     if linkage not in _LINKAGES:
         raise ClusteringError(
             f"unknown linkage {linkage!r}; expected one of {_LINKAGES}"
         )
-    if cache_distances:
-        distance = cached_distance(distance)
+    distance = _resolve_distance(distance, cache_distances)
     if num_points == 0:
         raise ClusteringError("cannot cluster zero points")
     if not 1 <= k <= num_points:

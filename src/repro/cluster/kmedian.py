@@ -28,6 +28,11 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import ClusteringError
 
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI job
+    _np = None  # type: ignore[assignment]
+
 #: Distance over point indices.
 IndexDistance = Callable[[int, int], float]
 
@@ -39,11 +44,10 @@ def cached_distance(distance: IndexDistance) -> IndexDistance:
     times per elimination/swap round (``O((n-k) * n^2)`` queries over
     ``O(n^2)`` distinct pairs); distances over indices are pure and —
     per the k-median model — symmetric, so a per-run memo keyed on the
-    unordered pair is semantically inert.  Callers with an
-    already-cached
-    distance (e.g. :class:`repro.core.linkspace.CachedBodyDistance`,
-    which also encodes bodies into the bitset kernel) can pass
-    ``cache_distances=False`` to skip the second layer.
+    unordered pair is semantically inert.  Distances that already cache
+    internally (e.g. :class:`repro.core.linkspace.CachedBodyDistance`)
+    advertise it with a truthy ``already_cached`` attribute, and the
+    entry points skip this second layer for them automatically.
     """
     cache: Dict[Tuple[int, int], float] = {}
 
@@ -58,6 +62,54 @@ def cached_distance(distance: IndexDistance) -> IndexDistance:
         return d
 
     return wrapped
+
+
+class _MatrixDistance:
+    """An ``IndexDistance`` backed by a materialized pairwise array.
+
+    Produced by :func:`_resolve_distance` when the supplied distance
+    exposes a ``matrix()`` fast path (``CachedBodyDistance`` does);
+    :func:`_assign` recognises the ``pairwise_array`` attribute and
+    evaluates whole candidate blocks with one fancy-index slice.
+    Scalar calls read a plain nested-list copy — cheaper than both
+    per-element numpy indexing and a tuple-keyed cache dict, and the
+    entries are exact Python ints either way.
+    """
+
+    __slots__ = ("pairwise_array", "_rows")
+
+    #: Fully materialized — never wrap in another cache layer.
+    already_cached = True
+
+    def __init__(self, array) -> None:
+        self.pairwise_array = array
+        self._rows = array.tolist()
+
+    def __call__(self, i: int, j: int) -> float:
+        return self._rows[i][j]
+
+
+def _resolve_distance(
+    distance: IndexDistance, cache_distances: bool
+) -> IndexDistance:
+    """Pick the fastest equivalent form of ``distance``.
+
+    A distance with a ``matrix()`` method that returns a full pairwise
+    array (e.g. ``CachedBodyDistance`` on the bitset path with numpy
+    available) becomes a :class:`_MatrixDistance`.  Otherwise the
+    ``cache_distances`` wrap is applied unless the callable already
+    caches internally (``already_cached`` protocol attribute) — wrapping
+    those built a redundant second ``O(n^2)`` pair dict for no hit-rate
+    gain.
+    """
+    matrix_fn = getattr(distance, "matrix", None)
+    if callable(matrix_fn):
+        array = matrix_fn()
+        if array is not None:
+            return _MatrixDistance(array)
+    if cache_distances and not getattr(distance, "already_cached", False):
+        return cached_distance(distance)
+    return distance
 
 
 @dataclass(frozen=True)
@@ -80,6 +132,9 @@ def _assign(
     medians: Sequence[int],
     distance: IndexDistance,
 ) -> Tuple[Dict[int, int], float]:
+    array = getattr(distance, "pairwise_array", None)
+    if array is not None and len(medians) > 0:
+        return _assign_from_array(points, weights, medians, array)
     assignment: Dict[int, int] = {}
     cost = 0.0
     for point in points:
@@ -92,6 +147,34 @@ def _assign(
         assert best_median is not None
         assignment[point] = best_median
         cost += weights[point] * best_dist
+    return assignment, cost
+
+
+def _assign_from_array(
+    points: Sequence[int],
+    weights: Sequence[float],
+    medians: Sequence[int],
+    array,
+) -> Tuple[Dict[int, int], float]:
+    """Matrix twin of the :func:`_assign` loop, answer-identical.
+
+    The scalar loop breaks distance ties toward the smallest median
+    *value*; sorting the median columns ascending makes ``argmin``'s
+    first-occurrence rule reproduce that exactly.  The cost is still
+    accumulated sequentially in original point order so float rounding
+    matches the scalar path bit for bit.
+    """
+    med = _np.asarray(sorted(medians), dtype=_np.int64)
+    pts = _np.asarray(points, dtype=_np.int64)
+    sub = array[pts[:, None], med[None, :]]
+    choice = sub.argmin(axis=1)
+    best_medians = med[choice]
+    best_dists = sub[_np.arange(len(pts)), choice]
+    assignment: Dict[int, int] = {}
+    cost = 0.0
+    for idx, point in enumerate(points):
+        assignment[point] = int(best_medians[idx])
+        cost += weights[point] * float(best_dists[idx])
     return assignment, cost
 
 
@@ -117,8 +200,7 @@ def greedy_k_median(
     """
     n = len(weights)
     _validate(n, k)
-    if cache_distances:
-        distance = cached_distance(distance)
+    distance = _resolve_distance(distance, cache_distances)
     points = list(range(n))
     medians = set(points)
     while len(medians) > k:
@@ -152,8 +234,7 @@ def local_search_k_median(
     """
     n = len(weights)
     _validate(n, k)
-    if cache_distances:
-        distance = cached_distance(distance)
+    distance = _resolve_distance(distance, cache_distances)
     points = list(range(n))
     if initial is None:
         medians = set(
@@ -200,8 +281,7 @@ def exact_k_median(
     """
     n = len(weights)
     _validate(n, k)
-    if cache_distances:
-        distance = cached_distance(distance)
+    distance = _resolve_distance(distance, cache_distances)
     if n > max_points:
         raise ClusteringError(
             f"exact search limited to {max_points} points, got {n}"

@@ -67,6 +67,7 @@ from typing import (
     Union,
 )
 
+from repro.core import matrixspace
 from repro.core.distance import WeightedDistance, delta_2, manhattan_bodies
 from repro.core.linkspace import BodyKernel, LinkSpace
 from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
@@ -199,6 +200,16 @@ class GreedyMerger:
         property suite pins the bitset path against (CLI
         ``--no-bitset``).  Merge traces and results are identical
         either way.
+    use_matrix:
+        When true (the default) *and* the bitset path is active *and*
+        numpy is importable, the live bodies are additionally mirrored
+        into a packed :class:`~repro.core.matrixspace.MaskMatrix`, so
+        the initial all-pairs candidate fill is one pairwise matrix and
+        candidate regeneration after a merge evaluates one batched
+        distance row per changed type instead of a Python popcount per
+        pair.  ``False`` (CLI ``--no-matrix``) or missing numpy keeps
+        the per-pair bitset path; distances are exact integers either
+        way, so traces and results are identical.
     frozen:
         Type names that may *absorb* other types but can never be
         absorbed or moved to the empty type — the Section 2 "a priori
@@ -220,6 +231,7 @@ class GreedyMerger:
         frozen: Optional[AbstractSet[str]] = None,
         perf: Optional[PerfRecorder] = None,
         use_bitset: bool = True,
+        use_matrix: bool = True,
     ) -> None:
         if EMPTY_TYPE in program:
             raise ClusteringError(
@@ -260,6 +272,25 @@ class GreedyMerger:
                 }
             self._perf.incr("linkspace.encodes", len(self._bodies))
             self._space = space
+        self._use_matrix = (
+            bool(use_matrix) and self._use_bitset and matrixspace.HAVE_NUMPY
+        )
+        # Matrix mirror of the live bodies: row i of ``_matrix`` is the
+        # packed mask of type ``_row_names[i]``; rows die by swap-remove
+        # as types merge away.
+        self._matrix: Optional[matrixspace.MaskMatrix] = None
+        self._row_of: Dict[str, int] = {}
+        self._row_names: List[str] = []
+        if self._use_matrix:
+            assert self._space is not None
+            self._row_names = sorted(self._bodies)
+            self._row_of = {name: i for i, name in enumerate(self._row_names)}
+            self._matrix = matrixspace.MaskMatrix.from_masks(
+                [self._bodies[name] for name in self._row_names],
+                self._space.dimension,
+            )
+            self._perf.incr("linkspace.matrix_builds")
+            self._perf.peak("linkspace.matrix_bytes", self._matrix.nbytes)
         # Per-cluster members for WEIGHTED_CENTER: (body, weight) pairs
         # in the active representation.
         self._members: Dict[str, List[Tuple[Body, float]]] = {
@@ -292,10 +323,20 @@ class GreedyMerger:
                 self._push_pair(EMPTY_TYPE, name)
         # Initial full pairing (each unordered pair pushed both ways).
         names = sorted(self._bodies)
-        for i, a in enumerate(names):
-            for b in names[i + 1 :]:
-                self._push_pair(a, b)
-                self._push_pair(b, a)
+        if self._matrix is not None and len(names) > 1:
+            # One vectorized pairwise matrix instead of O(n^2) popcounts.
+            pair_d = self._matrix.pairwise()
+            row_of = self._row_of
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    d = int(pair_d[row_of[a], row_of[b]])
+                    self._push_pair(a, b, d=d)
+                    self._push_pair(b, a, d=d)
+        else:
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    self._push_pair(a, b)
+                    self._push_pair(b, a)
 
     # ------------------------------------------------------------------
     # Heap helpers
@@ -326,7 +367,9 @@ class GreedyMerger:
         self._d_cache[key] = (va, vb, d)
         return d
 
-    def _cost(self, absorber: str, absorbed: str) -> Tuple[float, int]:
+    def _cost(
+        self, absorber: str, absorbed: str, d: Optional[int] = None
+    ) -> Tuple[float, int]:
         if absorber == EMPTY_TYPE:
             body = self._bodies[absorbed]
             d = body.bit_count() if self._use_bitset else len(body)
@@ -334,16 +377,24 @@ class GreedyMerger:
                 self._distance(self._empty_weight, self._weights[absorbed], d),
                 d,
             )
-        d = self._manhattan(absorber, absorbed)
+        if d is None:
+            d = self._manhattan(absorber, absorbed)
+        else:
+            # Precomputed by a batched matrix pass; counted the same as
+            # a per-pair evaluation so the work counters stay comparable
+            # across kernels.
+            self._perf.incr("merge.manhattan_evals")
         return (
             self._distance(self._weights[absorber], self._weights[absorbed], d),
             d,
         )
 
-    def _push_pair(self, absorber: str, absorbed: str) -> None:
+    def _push_pair(
+        self, absorber: str, absorbed: str, d: Optional[int] = None
+    ) -> None:
         if absorbed in self._frozen:
             return
-        cost, _ = self._cost(absorber, absorbed)
+        cost, _ = self._cost(absorber, absorbed, d)
         va = -1 if absorber == EMPTY_TYPE else self._absorb_version[absorber]
         heapq.heappush(
             self._heap,
@@ -417,6 +468,11 @@ class GreedyMerger:
     def use_bitset(self) -> bool:
         """Whether bodies are held as link-space bitmasks."""
         return self._use_bitset
+
+    @property
+    def use_matrix(self) -> bool:
+        """Whether the vectorized matrix kernel is active."""
+        return self._use_matrix
 
     @property
     def link_space(self) -> Optional[LinkSpace]:
@@ -536,6 +592,29 @@ class GreedyMerger:
                 ]
         return changed
 
+    def _matrix_sync(self, removed: str, changed: Iterable[str]) -> None:
+        """Mirror a merge into the packed matrix.
+
+        Swap-removes the dead type's row, widens the word columns if
+        retargeting interned new links, and repacks every body the
+        merge rewrote.
+        """
+        if self._matrix is None:
+            return
+        index = self._row_of.pop(removed)
+        self._matrix.swap_remove(index)
+        last = len(self._row_names) - 1
+        if index != last:
+            moved_name = self._row_names[last]
+            self._row_names[index] = moved_name
+            self._row_of[moved_name] = index
+        self._row_names.pop()
+        assert self._space is not None
+        self._matrix.ensure_capacity(self._space.dimension)
+        for name in changed:
+            self._matrix.set_row(self._row_of[name], self._bodies[name])
+        self._perf.peak("linkspace.matrix_bytes", self._matrix.nbytes)
+
     def step(self, budget: Optional["Budget"] = None) -> MergeRecord:
         """Execute the single cheapest merge and return its record.
 
@@ -585,6 +664,7 @@ class GreedyMerger:
             self._members.pop(absorbed, None)
             body_changed = set(self._retarget(absorbed, None))
             weight_only: Set[str] = set()
+            self._matrix_sync(absorbed, body_changed)
         else:
             if absorber in self._frozen:
                 # Known types keep their body verbatim under any policy.
@@ -611,6 +691,7 @@ class GreedyMerger:
                 weight_only = set()
             else:
                 weight_only = {absorber}
+            self._matrix_sync(absorbed, body_changed)
 
         # Redirect the merge map.
         target = None if absorber == EMPTY_TYPE else absorber
@@ -653,8 +734,30 @@ class GreedyMerger:
         if self._allow_empty:
             for name in full | moved_side:
                 pairs.add((EMPTY_TYPE, name))
-        for a, b in pairs:
-            self._push_pair(a, b)
+        if self._matrix is not None and pairs:
+            # Every non-empty pair has an endpoint in full | moved_side;
+            # one batched distance row per such type replaces a Python
+            # popcount per pair.
+            distance_rows: Dict[str, object] = {}
+            row_of = self._row_of
+            for name in full | moved_side:
+                distance_rows[name] = self._matrix.distances(
+                    self._bodies[name]
+                )
+                self._perf.incr("linkspace.matrix_distance_rows")
+            for a, b in pairs:
+                if a == EMPTY_TYPE:
+                    self._push_pair(a, b)
+                    continue
+                row = distance_rows.get(a)
+                if row is not None:
+                    pair_d = int(row[row_of[b]])
+                else:
+                    pair_d = int(distance_rows[b][row_of[a]])
+                self._push_pair(a, b, d=pair_d)
+        else:
+            for a, b in pairs:
+                self._push_pair(a, b)
         self._perf.incr("merge.steps")
         self._perf.peak("merge.peak_heap", len(self._heap))
 

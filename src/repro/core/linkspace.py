@@ -166,7 +166,13 @@ class LinkSpace:
         collapse — exactly the frozenset semantics of
         :meth:`TypedLink.rename` under set union (Example 5.1's
         zero-cost follow-up merges rely on this).
+
+        ``old == new`` is an identity rename: the mask is returned
+        unchanged (previously this cleared and re-interned the identical
+        bits one at a time).
         """
+        if old == new:
+            return mask
         hit = mask & self._target_masks.get(old, 0)
         if not hit:
             return mask
@@ -327,11 +333,35 @@ class CachedBodyDistance:
     path) behind the same cache, so ablations can still isolate the
     encoding's contribution.
 
+    :meth:`matrix` materializes the *full* pairwise distance matrix in
+    one vectorized shot (``repro.core.matrixspace``); once materialized
+    the per-pair ``_cache`` dict — an ``O(n^2)`` memory hazard at sweep
+    scale — is cleared and bypassed entirely, with the backing storage
+    reported under the ``linkspace.matrix_bytes`` peak counter.
+    ``use_matrix=False`` (or missing numpy, or the set path) keeps the
+    bounded-by-queries dict behaviour.
+
+    ``already_cached`` marks instances as self-caching so the cluster
+    entry points do not stack a second pair dict on top
+    (:func:`repro.cluster.kmedian.cached_distance` checks it).
+
     Instances are callables with the ``IndexDistance`` signature
     (``(i, j) -> float``) expected by the cluster machinery.
     """
 
-    __slots__ = ("_bodies", "_masks", "_cache", "_perf", "use_bitset")
+    #: Protocol attribute: this distance caches internally, so the
+    #: cluster machinery must not wrap it in another cache layer.
+    already_cached = True
+
+    __slots__ = (
+        "_bodies",
+        "_masks",
+        "_cache",
+        "_matrix",
+        "_perf",
+        "use_bitset",
+        "use_matrix",
+    )
 
     def __init__(
         self,
@@ -339,10 +369,13 @@ class CachedBodyDistance:
         use_bitset: bool = True,
         space: Optional[LinkSpace] = None,
         perf: Optional[PerfRecorder] = None,
+        use_matrix: bool = True,
     ) -> None:
         self._perf = _resolve_perf(perf)
         self.use_bitset = use_bitset
+        self.use_matrix = use_matrix
         self._cache: Dict[Tuple[int, int], int] = {}
+        self._matrix = None
         if use_bitset:
             space = space if space is not None else LinkSpace()
             with self._perf.span("linkspace.encode"):
@@ -356,10 +389,43 @@ class CachedBodyDistance:
     def __len__(self) -> int:
         return len(self._masks) if self.use_bitset else len(self._bodies)
 
+    def matrix(self):
+        """The full pairwise distance matrix as numpy int64, or ``None``.
+
+        Materialized once (``n`` XOR broadcasts + popcounts instead of
+        ``n^2`` Python calls); ``None`` when numpy is missing, on the
+        frozenset path, or with ``use_matrix=False`` — callers fall back
+        to per-pair queries.  On success the per-pair dict is cleared:
+        every subsequent :meth:`manhattan` reads the array directly.
+        """
+        if self._matrix is not None:
+            return self._matrix
+        if not (self.use_matrix and self.use_bitset):
+            return None
+        from repro.core import matrixspace
+
+        if not matrixspace.HAVE_NUMPY:
+            return None
+        n = len(self._masks)
+        with self._perf.span("linkspace.matrix_build"):
+            packed = matrixspace.MaskMatrix.from_masks(self._masks)
+            self._matrix = packed.pairwise()
+        self._perf.incr("linkspace.matrix_builds")
+        self._perf.peak(
+            "linkspace.matrix_bytes",
+            int(self._matrix.nbytes) + packed.nbytes,
+        )
+        self._perf.incr("linkspace.matrix_evals", n * (n - 1) // 2)
+        self._cache.clear()
+        return self._matrix
+
     def manhattan(self, i: int, j: int) -> int:
         """``d`` between points ``i`` and ``j`` (cached, symmetric)."""
         if i == j:
             return 0
+        if self._matrix is not None:
+            self._perf.incr("linkspace.matrix_hits")
+            return int(self._matrix[i, j])
         if i > j:
             i, j = j, i
         key = (i, j)

@@ -1,0 +1,395 @@
+"""Vectorized uint64 matrix kernel over the typed-link hypercube.
+
+PR 5's bitset kernel (:mod:`repro.core.linkspace`) made every hot
+operation a single integer op — but the *loops around* those ops are
+still Python: the merger evaluates candidate distances pair by pair,
+Stage 3 tests each rule against each object one subset check at a
+time, and the clustering ablations call an index distance ``O(n^2)``
+times per round.  Per-pair interpreter dispatch now dominates the
+Stage 2/3 wall clock.
+
+This module batches those loops.  A :class:`MaskMatrix` packs ``n``
+link-space masks into an ``(n, n_words)`` ``numpy`` uint64 array (bit
+``j`` of a mask lives in word ``j // 64``, bit ``j % 64``) and
+evaluates whole rows per call:
+
+* **Manhattan rows/matrices** — XOR broadcast + vectorized popcount
+  (:func:`numpy.bitwise_count` when available, a byte-table fallback
+  otherwise): :meth:`MaskMatrix.distances` answers ``d(q, row_i)`` for
+  every row at once, :meth:`MaskMatrix.pairwise` the full ``n x n``
+  distance matrix in one shot;
+* **covering** — Stage 3's ``body & ~local == 0`` as a masked-equality
+  broadcast across all rules (:meth:`MaskMatrix.covered_by`);
+* **column passes** — weighted per-link support, the WEIGHTED_CENTER
+  majority rule and the jump-function defining mask as column-wise
+  tallies over the unpacked bit planes.
+
+:class:`RuleMatrix` wraps a program's encoded rule bodies with the
+deterministic tie-break machinery of
+:func:`repro.core.recast.closest_by_mask`, so the recast fallback loop
+and the schema service's read path answer closest-type queries with
+one batched row.
+
+numpy is optional: when it is not importable, :data:`HAVE_NUMPY` is
+false and every consumer silently stays on the PR 5 per-pair bitset
+path (``--no-matrix`` forces the same thing for A/B runs; the
+pure-python :class:`~repro.core.linkspace.BodyKernel` remains the
+oracle the property suite pins against).  Results are bit-identical
+on all three paths.
+
+Exactness note: the column passes accumulate float weights with numpy
+(pairwise summation) while :class:`BodyKernel` adds sequentially.  For
+the weights the pipeline produces — home-object counts, i.e. integral
+floats — every partial sum is exact and the outputs are identical;
+pathological non-integral weights could differ in the last ulp, which
+is why the merger's WEIGHTED_CENTER aggregation stays on
+:class:`BodyKernel` (see ``docs/PERFORMANCE.md``).
+
+Perf counters (recorded by the consumers): ``linkspace.matrix_builds``
+(matrices packed), ``linkspace.matrix_distance_rows`` (batched
+distance rows evaluated), ``linkspace.matrix_bytes`` (peak backing
+storage).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI job
+    np = None  # type: ignore[assignment]
+
+#: Whether the vectorized kernel is available at all.  Consumers gate
+#: ``use_matrix`` on this and degrade to the bitset path when false.
+HAVE_NUMPY = np is not None
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+if HAVE_NUMPY:
+    _HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+    if not _HAVE_BITWISE_COUNT:  # pragma: no cover - numpy >= 2.0 has it
+        _POPCOUNT_TABLE = np.array(
+            [bin(i).count("1") for i in range(256)], dtype=np.uint8
+        )
+
+
+def popcount_words(words: "np.ndarray") -> "np.ndarray":
+    """Per-word popcounts of a uint64 array (any shape, same shape out)."""
+    if _HAVE_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    flat = np.ascontiguousarray(words)  # pragma: no cover - old numpy
+    counts = _POPCOUNT_TABLE[flat.view(np.uint8)]  # pragma: no cover
+    return counts.reshape(words.shape + (8,)).sum(  # pragma: no cover
+        axis=-1, dtype=np.uint8
+    )
+
+
+def pack_mask(mask: int, n_words: int) -> "np.ndarray":
+    """``mask`` as a little-endian uint64 word vector of length ``n_words``.
+
+    Raises ``OverflowError`` when the mask does not fit — callers are
+    expected to :meth:`MaskMatrix.ensure_capacity` first.
+    """
+    buf = mask.to_bytes(n_words * 8, "little")
+    return np.frombuffer(buf, dtype="<u8").astype(np.uint64, copy=False)
+
+
+def unpack_row(row: "np.ndarray") -> int:
+    """The Python ``int`` mask of one packed word vector."""
+    return int.from_bytes(
+        np.ascontiguousarray(row, dtype="<u8").tobytes(), "little"
+    )
+
+
+class MaskMatrix:
+    """``n`` link-space masks packed as an ``(n, n_words)`` uint64 array.
+
+    Rows are addressed by index; the capacity (``n_words * 64`` bit
+    positions) can grow mid-run via :meth:`ensure_capacity` when the
+    shared :class:`~repro.core.linkspace.LinkSpace` interns new links
+    (Stage 2 retargeting does), and rows can be dropped in O(words)
+    with :meth:`swap_remove` as types merge away.  Bit positions are
+    exactly the link space's, so every batched answer is bit-for-bit
+    the per-pair bitset answer.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self, n_rows: int = 0, dimension: int = 0) -> None:
+        words = max(1, -(-max(dimension, 1) // WORD_BITS))
+        self._buf = np.zeros((n_rows, words), dtype=np.uint64)
+        self._n = n_rows
+
+    @classmethod
+    def from_masks(
+        cls, masks: Sequence[int], dimension: int = 0
+    ) -> "MaskMatrix":
+        """Pack ``masks``; capacity covers ``dimension`` and every mask."""
+        if masks:
+            dimension = max(dimension, max(m.bit_length() for m in masks))
+        matrix = cls(len(masks), dimension)
+        words = matrix._buf.shape[1]
+        for i, mask in enumerate(masks):
+            matrix._buf[i] = pack_mask(mask, words)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of live rows."""
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_words(self) -> int:
+        """Packed words per row."""
+        return int(self._buf.shape[1])
+
+    @property
+    def capacity(self) -> int:
+        """Number of addressable bit positions (``n_words * 64``)."""
+        return int(self._buf.shape[1]) * WORD_BITS
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of backing storage (the ``linkspace.matrix_bytes`` peak)."""
+        return int(self._buf.nbytes)
+
+    @property
+    def rows(self) -> "np.ndarray":
+        """The live ``(n_rows, n_words)`` uint64 view (do not resize)."""
+        return self._buf[: self._n]
+
+    def ensure_capacity(self, dimension: int) -> None:
+        """Widen the word columns (zero-filled) to cover ``dimension`` bits."""
+        needed = max(1, -(-dimension // WORD_BITS))
+        if needed <= self._buf.shape[1]:
+            return
+        grown = np.zeros((self._buf.shape[0], needed), dtype=np.uint64)
+        grown[:, : self._buf.shape[1]] = self._buf
+        self._buf = grown
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def mask_of(self, i: int) -> int:
+        """Row ``i`` decoded back to a Python ``int`` mask."""
+        return unpack_row(self.rows[i])
+
+    def set_row(self, i: int, mask: int) -> None:
+        """Overwrite row ``i`` with ``mask`` (widening if needed)."""
+        if mask.bit_length() > self.capacity:
+            self.ensure_capacity(mask.bit_length())
+        self._buf[i] = pack_mask(mask, self._buf.shape[1])
+
+    def swap_remove(self, i: int) -> None:
+        """Drop row ``i`` by moving the last live row into its slot.
+
+        O(words).  The caller owns the index bookkeeping (the merger
+        tracks which type name now lives at ``i``).
+        """
+        last = self._n - 1
+        if i != last:
+            self._buf[i] = self._buf[last]
+        self._n = last
+
+    # ------------------------------------------------------------------
+    # Batched kernels
+    # ------------------------------------------------------------------
+    def sizes(self) -> "np.ndarray":
+        """``|body_i|`` for every row, as int64."""
+        return popcount_words(self.rows).sum(axis=-1, dtype=np.int64)
+
+    def distances(self, mask: int) -> "np.ndarray":
+        """Manhattan ``d(mask, row_i)`` for every row, as int64.
+
+        One XOR broadcast + popcount over whole rows — the batched twin
+        of ``(a ^ b).bit_count()`` per pair.  ``mask`` must fit the
+        capacity (callers truncate and add the overflow popcount as a
+        constant when querying wider local pictures — see
+        :meth:`RuleMatrix.closest`).
+        """
+        query = pack_mask(mask, self._buf.shape[1])
+        return popcount_words(self.rows ^ query).sum(axis=-1, dtype=np.int64)
+
+    def pairwise(self) -> "np.ndarray":
+        """The full ``(n, n)`` Manhattan matrix in one shot (int64).
+
+        Row blocks are chunked so the intermediate XOR tensor stays
+        around 32 MB regardless of ``n``.
+        """
+        rows = self.rows
+        n, words = rows.shape
+        out = np.zeros((n, n), dtype=np.int64)
+        if n == 0:
+            return out
+        chunk = max(1, (1 << 22) // max(1, n * words))
+        for start in range(0, n, chunk):
+            block = rows[start : start + chunk]
+            xor = block[:, None, :] ^ rows[None, :, :]
+            out[start : start + chunk] = popcount_words(xor).sum(
+                axis=-1, dtype=np.int64
+            )
+        return out
+
+    def covered_by(self, local_mask: int) -> "np.ndarray":
+        """``body_i <= local`` for every row, as a boolean vector.
+
+        The masked-equality broadcast ``rows & ~local == 0``.  Bits of
+        ``local_mask`` beyond the capacity cannot affect coverage (no
+        row has them) and are ignored.
+        """
+        words = self._buf.shape[1]
+        local = pack_mask(local_mask & ((1 << self.capacity) - 1), words)
+        return ((self.rows & ~local) == 0).all(axis=-1)
+
+    # ------------------------------------------------------------------
+    # Column passes (support / weighted center / jump function)
+    # ------------------------------------------------------------------
+    def bit_columns(self) -> "np.ndarray":
+        """The unpacked ``(n_rows, capacity)`` 0/1 bit planes (uint8)."""
+        rows = np.ascontiguousarray(self.rows, dtype="<u8")
+        return np.unpackbits(
+            rows.view(np.uint8).reshape(self._n, -1),
+            axis=1,
+            bitorder="little",
+        )
+
+    def support(self, weights: Sequence[float]) -> "np.ndarray":
+        """Weighted support per bit position (float64, length capacity).
+
+        Column-wise counterpart of
+        :meth:`repro.core.linkspace.BodyKernel.support`.
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        if len(w) != self._n:
+            raise ValueError(
+                f"expected {self._n} weights, got {len(w)}"
+            )
+        if self._n == 0:
+            return np.zeros(self.capacity, dtype=np.float64)
+        return w @ self.bit_columns()
+
+    def weighted_center(self, weights: Sequence[float]) -> int:
+        """Mask of bits supported by at least half the total weight.
+
+        The WEIGHTED_CENTER majority rule as one column pass; matches
+        :meth:`BodyKernel.weighted_center` (0 on non-positive total).
+        """
+        total = sum(weights)
+        if total <= 0:
+            return 0
+        support = self.support(weights)
+        mask = 0
+        for j in np.nonzero(2.0 * support >= total)[0].tolist():
+            mask |= 1 << j
+        return mask
+
+    def defining_mask(self, weights: Sequence[float]) -> int:
+        """Mask of the defining bits per the jump function.
+
+        Column-pass counterpart of :meth:`BodyKernel.defining_mask`:
+        supports are normalised by the total weight, and only bits that
+        actually occur participate in the jump-threshold computation
+        (zero-support columns are padding, not attributes).
+        """
+        from repro.cluster.jump import jump_threshold
+
+        total = sum(weights)
+        if total <= 0:
+            from repro.exceptions import ClusteringError
+
+            raise ClusteringError("total member weight must be positive")
+        support = self.support(weights) / total
+        present = np.nonzero(support > 0)[0]
+        threshold = jump_threshold(
+            float(support[j]) for j in present.tolist()
+        )
+        mask = 0
+        for j in present.tolist():
+            if float(support[j]) > threshold:
+                mask |= 1 << j
+        return mask
+
+
+class RuleMatrix:
+    """A program's encoded rule bodies, batch-queryable.
+
+    Wraps a :class:`MaskMatrix` over the ``(name, body_mask)`` pairs
+    the recast hot loop and the service read path already build, plus
+    the precomputed tie-break keys (body size, lexicographic name
+    rank) that keep :meth:`closest` answer-identical to
+    :func:`repro.core.recast.closest_by_mask`.
+
+    Local pictures witnessed after construction may intern new bits
+    beyond the matrix capacity; both queries stay exact — coverage
+    because rule bodies have no such bits, distance because the
+    overflow popcount is the same additive constant for every rule.
+    """
+
+    __slots__ = ("names", "masks", "matrix", "_sizes", "_name_rank")
+
+    def __init__(
+        self, rule_masks: Sequence[Tuple[str, int]], dimension: int = 0
+    ) -> None:
+        self.names: List[str] = [name for name, _ in rule_masks]
+        self.masks: List[int] = [mask for _, mask in rule_masks]
+        self.matrix = MaskMatrix.from_masks(self.masks, dimension)
+        self._sizes = self.matrix.sizes()
+        rank = np.empty(len(self.names), dtype=np.int64)
+        order = sorted(range(len(self.names)), key=lambda i: self.names[i])
+        for pos, i in enumerate(order):
+            rank[i] = pos
+        self._name_rank = rank
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def nbytes(self) -> int:
+        """Backing bytes (matrix + tie-break vectors)."""
+        return (
+            self.matrix.nbytes
+            + int(self._sizes.nbytes)
+            + int(self._name_rank.nbytes)
+        )
+
+    def covered_row(self, local_mask: int) -> "np.ndarray":
+        """``body_r <= local`` for every rule, one broadcast."""
+        return self.matrix.covered_by(local_mask)
+
+    def satisfied(self, local_mask: int) -> List[str]:
+        """Names of the rules whose body ``local_mask`` covers."""
+        covered = self.covered_row(local_mask)
+        return [
+            name
+            for name, hit in zip(self.names, covered.tolist())
+            if hit
+        ]
+
+    def closest(self, local_mask: int) -> Tuple[str, int]:
+        """``(name, d)`` of the closest rule — batched ``closest_by_mask``.
+
+        Exactly the per-pair tie-break: smallest ``d``, then smaller
+        body, then lexicographically smaller name.
+        """
+        if not self.names:
+            raise ValueError(
+                "cannot pick a closest type from an empty rule matrix"
+            )
+        capacity = self.matrix.capacity
+        low = local_mask & ((1 << capacity) - 1)
+        d = self.matrix.distances(low)
+        extra = (local_mask >> capacity).bit_count()
+        if extra:
+            d = d + extra
+        best = int(np.lexsort((self._name_rank, self._sizes, d))[0])
+        return self.names[best], int(d[best])

@@ -172,6 +172,13 @@ class SchemaExtractor:
         (:mod:`repro.core.linkspace`; default on).  ``False`` selects
         the frozenset oracle path (CLI ``--no-bitset``); results are
         identical either way.
+    use_matrix:
+        Batch the Stage 2/3 hot loops through the vectorized uint64
+        matrix kernel (:mod:`repro.core.matrixspace`; default on).
+        Effective only on the bitset path with numpy importable —
+        missing numpy silently degrades to the per-pair bitset path.
+        ``False`` (CLI ``--no-matrix``) forces that path for A/B runs;
+        results are identical either way.
     perf:
         Optional :class:`repro.perf.PerfRecorder` threaded through all
         three stages (GFP engine, merger, sweep) plus the pipeline-level
@@ -196,6 +203,7 @@ class SchemaExtractor:
         stage1: Optional[PerfectTyping] = None,
         recast_memo: bool = True,
         use_bitset: bool = True,
+        use_matrix: bool = True,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         self._db = db
@@ -211,6 +219,7 @@ class SchemaExtractor:
         self._local_rule_fn = local_rule_fn
         self._recast_memo = recast_memo
         self._use_bitset = use_bitset
+        self._use_matrix = use_matrix
         self._stage1: Optional[PerfectTyping] = stage1
 
     # ------------------------------------------------------------------
@@ -301,6 +310,7 @@ class SchemaExtractor:
             perf=self._perf,
             use_memo=self._recast_memo,
             use_bitset=self._use_bitset,
+            use_matrix=self._use_matrix,
         )
 
     def extract(
@@ -377,6 +387,7 @@ class SchemaExtractor:
                 distance=distance,
                 perf=self._perf,
                 use_bitset=self._use_bitset,
+                use_matrix=self._use_matrix,
             )
             if merger.initial_program != start_program:
                 raise ReproError(
@@ -429,6 +440,7 @@ class SchemaExtractor:
                         perf=self._perf,
                         use_memo=self._recast_memo,
                         use_bitset=self._use_bitset,
+                        use_matrix=self._use_matrix,
                     )
             except ExecutionInterruptedError as exc:
                 # Not even one point sampled: degrade to the perfect
@@ -471,6 +483,7 @@ class SchemaExtractor:
                 frozen=frozen,
                 perf=self._perf,
                 use_bitset=self._use_bitset,
+                use_matrix=self._use_matrix,
             )
         writer = self._checkpoint_writer(checkpoint_path, k, checkpoint_every)
         try:
@@ -506,6 +519,7 @@ class SchemaExtractor:
                 fallback=self._fallback,
                 perf=self._perf,
                 use_bitset=self._use_bitset,
+                use_matrix=self._use_matrix,
             )
             defect = compute_defect(
                 stage2.program, self._db, recast_result.assignment
@@ -625,6 +639,7 @@ class SchemaExtractor:
             fallback=self._fallback,
             perf=self._perf,
             use_bitset=self._use_bitset,
+            use_matrix=self._use_matrix,
         )
         defect = compute_defect(
             stage2.program, self._db, recast_result.assignment

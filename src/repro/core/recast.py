@@ -70,6 +70,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core import matrixspace
 from repro.core.distance import manhattan_bodies
 from repro.core.fixpoint import greatest_fixpoint
 from repro.core.linkspace import LinkSpace
@@ -176,6 +177,34 @@ class RecastMemo:
             self.hits += 1
         return cached
 
+    def fold_row(
+        self,
+        body_masks: List[int],
+        local_mask: int,
+        covered: List[bool],
+    ) -> Tuple[int, int]:
+        """Fold one batch-computed coverage row into the mask cache.
+
+        ``covered[i]`` is the (already exact) answer for
+        ``(body_masks[i], local_mask)``.  Rules whose key is already
+        cached count as hits, the rest are written and count as misses
+        — identical tallies to calling :meth:`covered_mask` per rule,
+        without the per-rule dict probe on the batched path.  Returns
+        ``(hits, misses)``.
+        """
+        cache = self._mask_cache
+        hits = 0
+        for body_mask, value in zip(body_masks, covered):
+            key = (body_mask, local_mask)
+            if key in cache:
+                hits += 1
+            else:
+                cache[key] = value
+        misses = len(body_masks) - hits
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
     def __len__(self) -> int:
         return len(self._cache) + len(self._mask_cache)
 
@@ -262,6 +291,55 @@ def _satisfied_for_mask(
     if hits:
         perf.incr("recast.memo_hits", hits)
     return frozenset(names)
+
+
+def _satisfied_for_matrix(
+    rule_matrix: "matrixspace.RuleMatrix",
+    local_mask: int,
+    memo: Optional[RecastMemo],
+    perf: PerfRecorder,
+    call_cache: Optional[Dict[int, FrozenSet[str]]] = None,
+) -> FrozenSet[str]:
+    """Matrix twin of :func:`_satisfied_for_mask`: one broadcast per object.
+
+    All per-rule cover checks for ``local_mask`` are answered by a
+    single masked-equality broadcast over the packed rule matrix.  The
+    counters stay bit-identical to the per-pair path: every call still
+    counts ``len(rules)`` cover checks, and the memo ledger is settled
+    through :meth:`RecastMemo.fold_row` (rules whose ``(body, local)``
+    key was already cached count as hits, the rest as evaluations).
+
+    ``call_cache`` (optional, keyed on the local mask) short-circuits
+    repeated pictures within one recast call; a repeated picture means
+    every per-rule key is already in the memo, so the counters record
+    ``len(rules)`` hits exactly as the per-pair loop would.
+    """
+    checks = len(rule_matrix)
+    if call_cache is not None:
+        cached = call_cache.get(local_mask)
+        if cached is not None:
+            perf.incr("recast.cover_checks", checks)
+            if memo is not None:
+                memo.hits += checks
+                perf.incr("recast.memo_hits", checks)
+            else:
+                perf.incr("recast.evaluations", checks)
+            return cached
+    covered = rule_matrix.covered_row(local_mask).tolist()
+    result = frozenset(
+        name for name, hit in zip(rule_matrix.names, covered) if hit
+    )
+    perf.incr("recast.cover_checks", checks)
+    if memo is None:
+        perf.incr("recast.evaluations", checks)
+    else:
+        hits, misses = memo.fold_row(rule_matrix.masks, local_mask, covered)
+        perf.incr("recast.evaluations", misses)
+        if hits:
+            perf.incr("recast.memo_hits", hits)
+    if call_cache is not None:
+        call_cache[local_mask] = result
+    return result
 
 
 class RecastMode(enum.Enum):
@@ -465,6 +543,7 @@ def recast(
     memo: Optional[RecastMemo] = None,
     perf: Optional[PerfRecorder] = None,
     use_bitset: bool = True,
+    use_matrix: bool = True,
 ) -> RecastResult:
     """Run Stage 3 and return the final object-to-types assignment.
 
@@ -493,6 +572,15 @@ def recast(
         the closest-type fallback run on the link-space bitset kernel;
         ``False`` keeps the frozenset oracle path.  Results are
         identical either way.
+    use_matrix:
+        When true (the default) *and* the bitset path is active *and*
+        numpy is importable, the encoded rule bodies are packed into a
+        :class:`~repro.core.matrixspace.RuleMatrix` once per call, so
+        each object's satisfaction test is one masked-equality
+        broadcast and each fallback lookup one batched distance row.
+        ``False`` (CLI ``--no-matrix``) or missing numpy keeps the
+        per-rule bitset loop.  Results and perf counters are identical
+        either way.
     """
     if fallback not in ("closest", "none"):
         raise RecastError(f"unknown fallback {fallback!r}")
@@ -514,6 +602,12 @@ def recast(
                 for rule in program.rules()
             ]
         recorder.incr("linkspace.encodes", len(rule_masks))
+    rule_matrix: Optional[matrixspace.RuleMatrix] = None
+    if rule_masks is not None and use_matrix and matrixspace.HAVE_NUMPY:
+        assert space is not None
+        rule_matrix = matrixspace.RuleMatrix(rule_masks, space.dimension)
+        recorder.incr("linkspace.matrix_builds")
+        recorder.peak("linkspace.matrix_bytes", rule_matrix.nbytes)
 
     assignment: Dict[ObjectId, Set[str]] = {
         obj: set() for obj in db.complex_objects()
@@ -534,7 +628,24 @@ def recast(
         # uses_sorts, the encoded/interned rules and the local pictures
         # are computed once per call (not per satisfied_types
         # invocation) on this hot path.
-        if rule_masks is not None:
+        if rule_matrix is not None:
+            assert space is not None
+            # Repeated local pictures are resolved from a per-call
+            # cache only when a memo is present — without one, every
+            # object must still pay its evaluations, as per-pair does.
+            call_cache: Optional[Dict[int, FrozenSet[str]]] = (
+                {} if memo is not None else None
+            )
+            for obj in assignment:
+                local_mask = object_local_mask(
+                    db, obj, home, space, include_sorts=uses_sorts
+                )
+                assignment[obj].update(
+                    _satisfied_for_matrix(
+                        rule_matrix, local_mask, memo, recorder, call_cache
+                    )
+                )
+        elif rule_masks is not None:
             assert space is not None
             for obj in assignment:
                 local_mask = object_local_mask(
@@ -579,7 +690,10 @@ def recast(
                 local_mask = object_local_mask(
                     db, obj, reference, space, include_sorts=uses_sorts
                 )
-                chosen, _ = closest_by_mask(rule_masks, local_mask)
+                if rule_matrix is not None:
+                    chosen, _ = rule_matrix.closest(local_mask)
+                else:
+                    chosen, _ = closest_by_mask(rule_masks, local_mask)
             else:
                 chosen, _ = closest_type(program, db, obj, reference)
             types.add(chosen)

@@ -170,6 +170,7 @@ def sensitivity_sweep(
     sample_at: Optional[Iterable[int]] = None,
     use_memo: bool = True,
     use_bitset: bool = True,
+    use_matrix: bool = True,
 ) -> SensitivityResult:
     """Sweep ``k`` from the perfect typing size down to ``min_k``.
 
@@ -216,6 +217,13 @@ def sensitivity_sweep(
         bitset kernel (the default); ``False`` selects the frozenset
         oracle path (``--no-bitset``).  Results are identical either
         way.
+    use_matrix:
+        Batch the merger's candidate distances and the per-sample
+        recast cover checks through the vectorized matrix kernel
+        (``repro.core.matrixspace``, the default); ``False`` selects
+        the per-pair bitset path (``--no-matrix``).  Effective only on
+        the bitset path with numpy importable; results are identical
+        either way.
 
     Returns a :class:`SensitivityResult` sorted by ascending ``k``.
     """
@@ -236,6 +244,7 @@ def sensitivity_sweep(
         frozen=frozen,
         perf=perf,
         use_bitset=use_bitset,
+        use_matrix=use_matrix,
     )
     n = merger.num_types
     if max_k is None or max_k > n:
@@ -263,6 +272,7 @@ def sensitivity_sweep(
             recast_result = recast(
                 snapshot.program, db, home=home, mode=mode,
                 memo=memo, perf=perf, use_bitset=use_bitset,
+                use_matrix=use_matrix,
             )
             report = compute_defect(
                 snapshot.program, db, recast_result.assignment

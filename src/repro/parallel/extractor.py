@@ -225,6 +225,7 @@ def parallel_sweep(
     perf: Optional[PerfRecorder] = None,
     use_memo: bool = True,
     use_bitset: bool = True,
+    use_matrix: bool = True,
 ) -> SensitivityResult:
     """The Figure 6 sweep, with sample blocks fanned out to workers.
 
@@ -272,6 +273,7 @@ def parallel_sweep(
             ),
             use_memo=use_memo,
             use_bitset=use_bitset,
+            use_matrix=use_matrix,
             record_perf=recorder.enabled,
         )
         for index, block in enumerate(blocks)
@@ -344,6 +346,7 @@ class ParallelExtractor:
         local_rule_fn=None,
         recast_memo: bool = True,
         use_bitset: bool = True,
+        use_matrix: bool = True,
         max_shard_objects: Optional[int] = None,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
@@ -362,6 +365,7 @@ class ParallelExtractor:
         self._local_rule_fn = local_rule_fn
         self._recast_memo = recast_memo
         self._use_bitset = use_bitset
+        self._use_matrix = use_matrix
         self._max_shard_objects = max_shard_objects
         self._perf = _resolve_perf(perf)
         self._stage1: Optional[PerfectTyping] = None
@@ -410,6 +414,7 @@ class ParallelExtractor:
             stage1=self._stage1,
             recast_memo=self._recast_memo,
             use_bitset=self._use_bitset,
+            use_matrix=self._use_matrix,
             perf=self._perf if self._perf.enabled else None,
         )
 
@@ -456,6 +461,7 @@ class ParallelExtractor:
                 perf=self._perf if self._perf.enabled else None,
                 use_memo=self._recast_memo,
                 use_bitset=self._use_bitset,
+                use_matrix=self._use_matrix,
             )
         except ExecutionInterruptedError:
             raise  # same contract as the sequential sweep
@@ -526,6 +532,7 @@ class ParallelExtractor:
                     perf=self._perf if self._perf.enabled else None,
                     use_memo=self._recast_memo,
                     use_bitset=self._use_bitset,
+                    use_matrix=self._use_matrix,
                 )
                 k = sensitivity.knee()
                 logger.info("parallel sweep: chose k=%d", k)

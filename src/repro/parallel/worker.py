@@ -100,6 +100,7 @@ class SweepTask:
     max_iterations: Optional[int] = None  #: parent's *remaining* units.
     use_memo: bool = True
     use_bitset: bool = True
+    use_matrix: bool = True
     record_perf: bool = False
 
 
@@ -149,6 +150,7 @@ def run_sweep_task(task: SweepTask) -> SweepOutcome:
             sample_at=task.sample_at,
             use_memo=task.use_memo,
             use_bitset=task.use_bitset,
+            use_matrix=task.use_matrix,
         )
         points = result.points
         exhausted = result.exhausted

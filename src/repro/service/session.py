@@ -30,12 +30,14 @@ from __future__ import annotations
 import logging
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.core import matrixspace
 from repro.core.incremental import IncrementalTyper
 from repro.core.linkspace import LinkSpace
 from repro.core.pipeline import ExtractionResult, SchemaExtractor
 from repro.core.recast import (
     RecastMemo,
     _satisfied_for_mask,
+    _satisfied_for_matrix,
     closest_by_mask,
     object_local_mask,
 )
@@ -95,6 +97,17 @@ class DatasetSession:
             (rule.name, self._space.encode(rule.body))
             for rule in result.program.rules()
         ]
+        # Warm batched kernel for the read path: one covered_by /
+        # closest pass over all rules per lookup instead of a Python
+        # loop.  Falls back to the per-rule mask loop when numpy is
+        # unavailable (or the program is empty).
+        self._rule_matrix = None
+        if self._rule_masks and matrixspace.HAVE_NUMPY:
+            self._rule_matrix = matrixspace.RuleMatrix(
+                self._rule_masks, self._space.dimension
+            )
+            self._perf.incr("linkspace.matrix_builds")
+            self._perf.peak("linkspace.matrix_bytes", self._rule_matrix.nbytes)
 
     @property
     def db(self) -> Database:
@@ -131,12 +144,22 @@ class DatasetSession:
             return cached
         if budget is not None:
             budget.charge(max(1, len(self._rule_masks)))
-        satisfied = _satisfied_for_mask(
-            self._rule_masks, mask, self._memo, self._perf
-        )
+        if self._rule_matrix is not None:
+            # MaskCache already dedups whole requests, so no call_cache.
+            satisfied = _satisfied_for_matrix(
+                self._rule_matrix, mask, self._memo, self._perf
+            )
+        else:
+            satisfied = _satisfied_for_mask(
+                self._rule_masks, mask, self._memo, self._perf
+            )
         fallback = False
         if satisfied:
             types = satisfied
+        elif self._rule_matrix is not None:
+            chosen, _ = self._rule_matrix.closest(mask)
+            types = frozenset([chosen])
+            fallback = True
         elif self._rule_masks:
             chosen, _ = closest_by_mask(self._rule_masks, mask)
             types = frozenset([chosen])

@@ -98,6 +98,21 @@ class TestLinkSpace:
             [TypedLink.outgoing("advisor", "fresh")]
         )
 
+    def test_retarget_identity_short_circuits(self, monkeypatch):
+        """``old == new`` must return the mask untouched without doing
+        any per-bit work (regression: the old path decoded and
+        re-interned every hit bit for a no-op rename)."""
+        space = LinkSpace()
+        mask = space.encode([ADVISOR, NAME])
+        before = space.dimension
+
+        def boom(*args, **kwargs):  # any interning proves the bug
+            raise AssertionError("retarget(old, old) touched the universe")
+
+        monkeypatch.setattr(LinkSpace, "bit", boom)
+        assert space.retarget(mask, "t1", "t1") == mask
+        assert space.dimension == before
+
 
 class TestBodyKernel:
     def test_manhattan_matches_symmetric_difference(self):

@@ -1,0 +1,293 @@
+"""Unit tests for the uint64 matrix kernel and its consumers.
+
+The property suite (``tests/property/test_property_matrix.py``) pins
+the batched math against both oracles on random inputs; this file pins
+the plumbing — capacity growth, row bookkeeping, the distance-cache
+bypass, the ``already_cached`` double-wrap guard, graceful numpy-less
+degradation and the pipeline-level ``use_matrix`` identity.
+"""
+
+import pytest
+
+from repro.core import matrixspace
+from repro.core.clustering import GreedyMerger, MergePolicy
+from repro.core.linkspace import CachedBodyDistance, LinkSpace
+from repro.core.pipeline import SchemaExtractor
+from repro.core.typing_program import TypedLink, TypeRule, TypingProgram
+from repro.graph.database import Database
+from repro.perf import PerfRecorder
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+from repro.core.matrixspace import (  # noqa: E402
+    MaskMatrix,
+    RuleMatrix,
+    pack_mask,
+    popcount_words,
+    unpack_row,
+)
+
+
+def body(*labels):
+    return frozenset(TypedLink.to_atomic(label) for label in labels)
+
+
+def small_db():
+    db = Database()
+    db.add_atomic("n1", 1)
+    db.add_atomic("s1", "x")
+    for i in range(3):
+        db.add_link(f"a{i}", "n1", "num")
+        db.add_link(f"a{i}", "s1", "name")
+    for i in range(3):
+        db.add_link(f"b{i}", "s1", "name")
+        db.add_link(f"b{i}", f"a{i % 2}", "owns")
+    db.add_link("root", "a0", "item")
+    db.add_link("root", "b0", "item")
+    return db
+
+
+class TestPackUnpack:
+    def test_round_trip(self):
+        mask = (1 << 200) | (1 << 64) | 3
+        assert unpack_row(pack_mask(mask, 4)) == mask
+
+    def test_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            pack_mask(1 << 64, 1)
+
+    def test_popcount_matches_int_bit_count(self):
+        words = np.array(
+            [[0, 2**64 - 1, 1 << 63], [5, 0, 2**63 - 1]], dtype=np.uint64
+        )
+        got = popcount_words(words)
+        for row_w, row_c in zip(words, got):
+            for w, c in zip(row_w, row_c):
+                assert int(c) == int(w).bit_count()
+
+
+class TestMaskMatrixPlumbing:
+    def test_ensure_capacity_widens_and_preserves(self):
+        matrix = MaskMatrix.from_masks([0b101, 0b011], dimension=3)
+        assert matrix.n_words == 1
+        matrix.ensure_capacity(130)
+        assert matrix.n_words == 3
+        assert matrix.mask_of(0) == 0b101
+        assert matrix.mask_of(1) == 0b011
+
+    def test_set_row_auto_widens(self):
+        matrix = MaskMatrix.from_masks([1], dimension=1)
+        matrix.set_row(0, 1 << 100)
+        assert matrix.n_words >= 2
+        assert matrix.mask_of(0) == 1 << 100
+
+    def test_swap_remove_moves_last_row(self):
+        matrix = MaskMatrix.from_masks([1, 2, 4])
+        matrix.swap_remove(0)
+        assert len(matrix) == 2
+        assert matrix.mask_of(0) == 4
+        assert matrix.mask_of(1) == 2
+
+    def test_nbytes_grows_with_capacity(self):
+        matrix = MaskMatrix.from_masks([1, 2], dimension=1)
+        before = matrix.nbytes
+        matrix.ensure_capacity(640)
+        assert matrix.nbytes > before
+
+
+class TestRuleMatrix:
+    def test_closest_rejects_empty(self):
+        rules = RuleMatrix([], 0)
+        with pytest.raises(ValueError):
+            rules.closest(0)
+
+    def test_closest_counts_overflow_bits(self):
+        # A query mask wider than the rule capacity: the extra bits are
+        # symmetric difference against *every* rule, uniformly.
+        rules = RuleMatrix([("r0", 0b1), ("r1", 0b11)], 2)
+        wide = 0b1 | (1 << 300)
+        name, dist = rules.closest(wide)
+        assert (name, dist) == ("r0", 1)
+
+    def test_satisfied_matches_subset_semantics(self):
+        rules = RuleMatrix([("r0", 0b01), ("r1", 0b11)], 2)
+        assert rules.satisfied(0b01) == ["r0"]
+        assert rules.satisfied(0b11) == ["r0", "r1"]
+        assert rules.satisfied(0b10) == []
+
+
+class TestDistanceCacheBypass:
+    """Satellite: the unbounded pair dict dies once the matrix lands."""
+
+    def test_matrix_clears_and_bypasses_dict_cache(self):
+        bodies = [body("a"), body("a", "b"), body("c")]
+        perf = PerfRecorder()
+        dist = CachedBodyDistance(bodies, perf=perf)
+        assert dist.manhattan(0, 1) == 1  # populates the dict
+        assert len(dist._cache) == 1
+        array = dist.matrix()
+        assert array is not None
+        assert len(dist._cache) == 0  # satellite: dict released
+        assert dist.manhattan(0, 2) == 2
+        assert len(dist._cache) == 0  # reads go to the array now
+        assert perf.counter("linkspace.matrix_builds") == 1
+        assert perf.counter("linkspace.matrix_hits") == 1
+        assert perf.counter("linkspace.matrix_evals") >= 3
+        assert perf.peak_value("linkspace.matrix_bytes") > 0
+
+    def test_matrix_is_cached_and_exact(self):
+        bodies = [body("a"), body("b", "c")]
+        dist = CachedBodyDistance(bodies)
+        array = dist.matrix()
+        assert dist.matrix() is array
+        assert array[0, 1] == 3
+        assert array.dtype == np.int64
+
+    def test_use_matrix_false_returns_none(self):
+        dist = CachedBodyDistance([body("a")], use_matrix=False)
+        assert dist.matrix() is None
+
+    def test_set_oracle_path_returns_none(self):
+        dist = CachedBodyDistance([body("a")], use_bitset=False)
+        assert dist.matrix() is None
+
+
+class TestAlreadyCachedProtocol:
+    """Satellite: no redundant second cache layer around internal ones."""
+
+    def test_cached_body_distance_is_not_rewrapped(self):
+        from repro.cluster.kmedian import _resolve_distance
+
+        dist = CachedBodyDistance([body("a"), body("b")], use_matrix=False)
+        assert _resolve_distance(dist, cache_distances=True) is dist
+
+    def test_matrix_distance_resolution(self):
+        from repro.cluster.kmedian import _MatrixDistance, _resolve_distance
+
+        dist = CachedBodyDistance([body("a"), body("b")])
+        resolved = _resolve_distance(dist, cache_distances=True)
+        assert isinstance(resolved, _MatrixDistance)
+        assert resolved.already_cached
+        # Resolving the resolved form is a no-op wrap-wise.
+        assert _resolve_distance(resolved, cache_distances=True) is resolved
+
+    def test_plain_callable_still_wrapped(self):
+        from repro.cluster.kmedian import _resolve_distance
+
+        calls = []
+
+        def raw(i, j):
+            calls.append((i, j))
+            return abs(i - j)
+
+        wrapped = _resolve_distance(raw, cache_distances=True)
+        assert wrapped is not raw
+        assert wrapped(0, 1) == 1
+        assert wrapped(1, 0) == 1
+        assert len(calls) == 1  # second call served by the wrap
+
+
+class TestGracefulDegradation:
+    def test_cached_distance_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(matrixspace, "HAVE_NUMPY", False)
+        dist = CachedBodyDistance([body("a"), body("b")])
+        assert dist.matrix() is None
+        assert dist.manhattan(0, 1) == 2  # dict path still exact
+
+    def test_merger_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(matrixspace, "HAVE_NUMPY", False)
+        program = TypingProgram(
+            [TypeRule("t0", body("a")), TypeRule("t1", body("a", "b"))]
+        )
+        merger = GreedyMerger(program, {"t0": 1.0, "t1": 1.0})
+        assert merger.use_matrix is False
+        merger.run_to(1)  # bitset path carries the run
+
+    def test_pipeline_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(matrixspace, "HAVE_NUMPY", False)
+        result = SchemaExtractor(small_db()).extract(k=2)
+        assert result.num_types == 2
+
+
+class TestMergerMatrixIdentity:
+    @pytest.mark.parametrize("policy", list(MergePolicy))
+    def test_traces_match_per_pair_kernel(self, policy):
+        db = small_db()
+        stage1 = SchemaExtractor(db).stage1()
+        program = stage1.program
+        weights = {n: float(w) for n, w in stage1.weights.items()}
+        with_matrix = GreedyMerger(
+            program, weights, policy=policy, use_matrix=True
+        ).run_to(2)
+        without = GreedyMerger(
+            program, weights, policy=policy, use_matrix=False
+        ).run_to(2)
+        assert with_matrix.program == without.program
+        assert with_matrix.merge_map == without.merge_map
+        assert [
+            (r.absorber, r.absorbed, r.cost, r.manhattan)
+            for r in with_matrix.records
+        ] == [
+            (r.absorber, r.absorbed, r.cost, r.manhattan)
+            for r in without.records
+        ]
+
+    def test_counters_match_per_pair_kernel(self):
+        db = small_db()
+        stage1 = SchemaExtractor(db).stage1()
+        weights = {n: float(w) for n, w in stage1.weights.items()}
+        results = {}
+        for use_matrix in (True, False):
+            perf = PerfRecorder()
+            GreedyMerger(
+                stage1.program, weights, perf=perf, use_matrix=use_matrix
+            ).run_to(2)
+            counters = perf.to_dict()["counters"]
+            results[use_matrix] = {
+                key: counters.get(key, 0)
+                for key in (
+                    "merge.manhattan_evals",
+                    "merge.heap_pushes",
+                    "merge.heap_pops",
+                )
+            }
+        assert results[True] == results[False]
+
+    def test_matrix_rows_counter_increments(self):
+        db = small_db()
+        stage1 = SchemaExtractor(db).stage1()
+        weights = {n: float(w) for n, w in stage1.weights.items()}
+        perf = PerfRecorder()
+        merger = GreedyMerger(stage1.program, weights, perf=perf)
+        assert merger.use_matrix
+        merger.run_to(2)
+        assert perf.counter("linkspace.matrix_builds") >= 1
+        assert perf.counter("linkspace.matrix_distance_rows") > 0
+        assert perf.peak_value("linkspace.matrix_bytes") > 0
+
+    def test_use_matrix_requires_bitset(self):
+        program = TypingProgram([TypeRule("t0", body("a"))])
+        merger = GreedyMerger(
+            program, {"t0": 1.0}, use_bitset=False, use_matrix=True
+        )
+        assert merger.use_matrix is False
+
+
+class TestPipelineMatrixIdentity:
+    def test_extract_identical(self):
+        db = small_db()
+        with_matrix = SchemaExtractor(db).extract(k=2)
+        without = SchemaExtractor(db, use_matrix=False).extract(k=2)
+        assert with_matrix.program == without.program
+        assert with_matrix.assignment == without.assignment
+        assert (
+            with_matrix.recast_result.extents
+            == without.recast_result.extents
+        )
+        assert with_matrix.defect.total == without.defect.total
+
+    def test_sweep_identical(self):
+        db = small_db()
+        with_matrix = SchemaExtractor(db).sweep()
+        without = SchemaExtractor(db, use_matrix=False).sweep()
+        assert with_matrix.points == without.points

@@ -1,0 +1,223 @@
+"""Property-based equivalence of the matrix kernel and both oracles.
+
+The uint64 matrix kernel (:mod:`repro.core.matrixspace`) is the third
+representation of the same body algebra: frozensets (the paper's
+semantics), Python int bitmasks (the PR 5 kernel) and packed numpy
+rows.  Every batched operation must agree bit for bit with *both*
+predecessors on random inputs, including
+
+* multi-word rows (universes wider than 64 links, so word boundaries
+  are actually crossed),
+* empty bodies and empty local masks,
+* retarget-then-batch interleavings — a ``LinkSpace.retarget`` can
+  grow the universe mid-run, after which ``ensure_capacity`` rows must
+  still answer identically to fresh encodings.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import matrixspace
+from repro.core.distance import manhattan_bodies
+from repro.core.linkspace import BodyKernel, LinkSpace
+from repro.core.matrixspace import MaskMatrix, RuleMatrix
+from repro.core.typing_program import TypedLink
+
+# A label pool big enough that random bodies routinely push the
+# interned universe past one 64-bit word.
+wide_labels = st.sampled_from([f"l{i}" for i in range(40)])
+targets = st.sampled_from([f"t{i}" for i in range(4)] + [None])
+
+
+@st.composite
+def wide_bodies(draw):
+    links = set()
+    for _ in range(draw(st.integers(0, 12))):
+        label = draw(wide_labels)
+        target = draw(targets)
+        if target is None:
+            links.add(TypedLink.to_atomic(label))
+        elif draw(st.booleans()):
+            links.add(TypedLink.outgoing(label, target))
+        else:
+            links.add(TypedLink.incoming(label, target))
+    return frozenset(links)
+
+
+body_lists = st.lists(wide_bodies(), min_size=1, max_size=8)
+
+
+def encode_all(bodies):
+    space = LinkSpace()
+    return space, [space.encode(body) for body in bodies]
+
+
+class TestAgainstBothOracles:
+    @given(body_lists, wide_bodies())
+    @settings(max_examples=60, deadline=None)
+    def test_distances(self, bodies, probe):
+        space, masks = encode_all(bodies)
+        probe_mask = space.encode(probe)
+        matrix = MaskMatrix.from_masks(masks, space.dimension)
+        got = matrix.distances(probe_mask)
+        for i, (body, mask) in enumerate(zip(bodies, masks)):
+            assert got[i] == BodyKernel.manhattan(mask, probe_mask)
+            assert got[i] == manhattan_bodies(body, probe)
+
+    @given(body_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise(self, bodies):
+        space, masks = encode_all(bodies)
+        matrix = MaskMatrix.from_masks(masks, space.dimension)
+        pair = matrix.pairwise()
+        for i in range(len(masks)):
+            for j in range(len(masks)):
+                assert pair[i, j] == BodyKernel.manhattan(masks[i], masks[j])
+                assert pair[i, j] == manhattan_bodies(bodies[i], bodies[j])
+
+    @given(body_lists, wide_bodies())
+    @settings(max_examples=60, deadline=None)
+    def test_covered_by(self, bodies, local):
+        space, masks = encode_all(bodies)
+        local_mask = space.encode(local)
+        matrix = MaskMatrix.from_masks(masks, space.dimension)
+        got = matrix.covered_by(local_mask)
+        for i, (body, mask) in enumerate(zip(bodies, masks)):
+            assert bool(got[i]) == BodyKernel.covered(mask, local_mask)
+            assert bool(got[i]) == (body <= local)
+
+    @given(body_lists, wide_bodies())
+    @settings(max_examples=60, deadline=None)
+    def test_rule_matrix_closest(self, bodies, probe):
+        space, masks = encode_all(bodies)
+        probe_mask = space.encode(probe)
+        named = [(f"r{i}", mask) for i, mask in enumerate(masks)]
+        rules = RuleMatrix(named, space.dimension)
+        name, dist = rules.closest(probe_mask)
+        # Oracle: the per-pair tie-break — distance, then body size,
+        # then lexicographic name.
+        best = min(
+            named,
+            key=lambda item: (
+                BodyKernel.manhattan(item[1], probe_mask),
+                item[1].bit_count(),
+                item[0],
+            ),
+        )
+        assert name == best[0]
+        assert dist == BodyKernel.manhattan(best[1], probe_mask)
+
+    @given(
+        st.lists(
+            st.tuples(wide_bodies(), st.integers(1, 30)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_center_and_support(self, members):
+        space = LinkSpace()
+        encoded = [(space.encode(body), float(w)) for body, w in members]
+        matrix = MaskMatrix.from_masks(
+            [mask for mask, _ in encoded], space.dimension
+        )
+        weights = [w for _, w in encoded]
+        assert matrix.weighted_center(weights) == BodyKernel.weighted_center(
+            encoded
+        )
+        support = matrix.support(weights)
+        for bit in range(space.dimension):
+            expected = sum(
+                w for mask, w in encoded if mask >> bit & 1
+            )
+            assert support[bit] == pytest.approx(expected)
+
+    @given(
+        st.lists(
+            st.tuples(wide_bodies(), st.integers(1, 30)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_defining_mask(self, members):
+        space = LinkSpace()
+        encoded = [(space.encode(body), float(w)) for body, w in members]
+        matrix = MaskMatrix.from_masks(
+            [mask for mask, _ in encoded], space.dimension
+        )
+        weights = [w for _, w in encoded]
+        assert matrix.defining_mask(weights) == BodyKernel.defining_mask(
+            encoded
+        )
+
+
+class TestWordBoundaries:
+    def test_row_wider_than_64_links(self):
+        space = LinkSpace()
+        body = frozenset(
+            TypedLink.to_atomic(f"wide{i}") for i in range(130)
+        )
+        mask = space.encode(body)
+        assert space.dimension > 128  # three words at least
+        matrix = MaskMatrix.from_masks([mask, 0], space.dimension)
+        assert matrix.n_words >= 3
+        assert matrix.mask_of(0) == mask
+        assert matrix.distances(0)[0] == 130
+        assert matrix.pairwise()[0, 1] == 130
+        assert bool(matrix.covered_by(mask)[0])
+        assert not bool(matrix.covered_by(mask >> 1)[0])
+
+    def test_empty_bodies_everywhere(self):
+        matrix = MaskMatrix.from_masks([0, 0, 0])
+        assert matrix.distances(0).tolist() == [0, 0, 0]
+        assert matrix.pairwise().tolist() == [[0] * 3] * 3
+        assert matrix.covered_by(0).all()
+        assert matrix.sizes().tolist() == [0, 0, 0]
+
+
+class TestRetargetThenBatch:
+    @given(body_lists, st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_rows_after_universe_growth(self, bodies, old_i, new_i):
+        """Retarget may mint new bits; refreshed rows must still agree
+        with a from-scratch encoding of the renamed bodies."""
+        space, masks = encode_all(bodies)
+        matrix = MaskMatrix.from_masks(masks, space.dimension)
+        old, new = f"t{old_i}", f"t{new_i}"
+        moved = [space.retarget(mask, old, new) for mask in masks]
+        matrix.ensure_capacity(space.dimension)
+        for i, mask in enumerate(moved):
+            matrix.set_row(i, mask)
+        renamed = [
+            frozenset(link.rename({old: new}) for link in body)
+            for body in bodies
+        ]
+        pair = matrix.pairwise()
+        for i in range(len(moved)):
+            assert matrix.mask_of(i) == moved[i]
+            for j in range(len(moved)):
+                assert pair[i, j] == manhattan_bodies(
+                    renamed[i], renamed[j]
+                )
+
+    @given(body_lists, wide_bodies())
+    @settings(max_examples=30, deadline=None)
+    def test_swap_remove_keeps_answers(self, bodies, probe):
+        space, masks = encode_all(bodies)
+        probe_mask = space.encode(probe)
+        matrix = MaskMatrix.from_masks(masks, space.dimension)
+        survivors = list(masks)
+        while len(survivors) > 1:
+            matrix.swap_remove(0)
+            last = survivors.pop()
+            if survivors:
+                survivors[0] = last
+            got = matrix.distances(probe_mask)
+            for i, mask in enumerate(survivors):
+                assert matrix.mask_of(i) == mask
+                assert got[i] == BodyKernel.manhattan(mask, probe_mask)
