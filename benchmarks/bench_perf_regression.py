@@ -15,7 +15,14 @@ key work metrics to ``benchmarks/results/BENCH_pipeline.json``:
 * wall-clock per stage (from the recorder's spans);
 * a parallel-vs-sequential pipeline comparison on a multi-component
   spec — the gate is **extent equality** between ``jobs=1`` and
-  ``jobs=N`` (wall-clock and speedup are recorded but never asserted);
+  ``jobs=N`` (wall-clock and speedup are recorded but never asserted
+  on the small scenario);
+* a pooled-vs-sequential Stage 1 comparison on the 10^5-object
+  multi-component workload (standalone/CI only) — the gate **asserts**
+  ``speedup > MIN_PARALLEL_SPEEDUP``: the sequential whole-database
+  fixpoint runs under a ``LARGE_SEQ_CAP_FACTOR x parallel_wall``
+  budget, so exhausting it proves the speedup lower bound without an
+  unbounded run (see :func:`compare_parallel_large`);
 * a recast-memo on/off sweep comparison — the gate is a >= 30%
   reduction in ``recast.evaluations`` with identical defect curves;
 * a matrix-vs-per-pair kernel comparison on DBG — the gates are
@@ -72,11 +79,17 @@ from repro.core.linkspace import CachedBodyDistance, LinkSpace
 from repro.core.perfect import build_object_program, minimal_perfect_typing
 from repro.core.pipeline import SchemaExtractor
 from repro.parallel import ParallelExtractor
+from repro.exceptions import BudgetExceededError
 from repro.perf import PerfRecorder
+from repro.runtime.budget import Budget
 from repro.synth.datasets import make_dbg
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
-from bench_scalability import make_multi_component, make_scaled  # noqa: E402
+from bench_scalability import (  # noqa: E402
+    make_large_multi_component,
+    make_multi_component,
+    make_scaled,
+)
 
 RESULTS_PATH = (
     pathlib.Path(__file__).resolve().parent / "results" / "BENCH_pipeline.json"
@@ -119,8 +132,34 @@ MAX_DELTA_VISITED_FRACTION = 0.20
 #: representative batch rather than a fresh draw per CI run.
 DELTA_EDIT_SEED = 26
 
+#: Minimum Stage 1 speedup of the pooled sharded path over the
+#: whole-database sequential fixpoint on the large multi-component
+#: workload.  Asserted (the suite's second wall-clock assertion, and
+#: the only one involving multiprocessing) because the advantage is
+#: *algorithmic*, not core-count: the whole-database GFP mixes the
+#: signature frontiers of every component superlinearly, while the
+#: sharded path types ~250-object components independently and
+#: reconciles at the class level — measured headroom on the 10^5
+#: workload is > 20x even on a single-core runner.
+MIN_PARALLEL_SPEEDUP = 1.0
+
+#: Wall-clock allowance granted to the sequential baseline on the
+#: large workload, as a multiple of the parallel wall time.  The
+#: sequential GFP runs under ``Budget(timeout=factor * parallel_wall)``;
+#: when the budget trips, ``speedup > factor`` is a *proven lower
+#: bound* (the baseline consumed its whole allowance and had not
+#: finished), so the gate asserts on it without waiting the 20+
+#: minutes the full sequential run would take.
+LARGE_SEQ_CAP_FACTOR = 3.0
+
+#: Shard-size cap for the large comparison: fine-grained ~component
+#: sized shards keep every worker task small and make the pooled
+#: dispatch overhead (the thing this PR removed) measurable.
+LARGE_SHARD_CAP = 512
+
 DEFAULT_SIZES = [100, 400]
 DEFAULT_JOBS = 4
+DEFAULT_LARGE_OBJECTS = 100_000
 
 
 def compare_gfp_engines(num_objects: int) -> Dict[str, object]:
@@ -225,6 +264,7 @@ def compare_parallel_pipeline(
     ), f"jobs={jobs} recast extents diverged on multi-{num_objects}"
     assert parallel.defect.total == sequential.defect.total
     return {
+        "scenario": "small",
         "num_objects": num_objects,
         "jobs": jobs,
         "shards": perf.counter("parallel.shards"),
@@ -236,6 +276,93 @@ def compare_parallel_pipeline(
         "speedup": round(
             sequential_seconds / max(parallel_seconds, 1e-9), 3
         ),
+        "speedup_asserted": False,
+        "pool_reuses": perf.counter("parallel.pool_reuses"),
+        "payload_bytes": perf.counter("parallel.payload_bytes"),
+        "task_bytes": perf.counter("parallel.task_bytes"),
+        "pickle_seconds": round(perf.elapsed("parallel.pickle_seconds"), 6),
+    }
+
+
+def compare_parallel_large(
+    num_objects: int = DEFAULT_LARGE_OBJECTS,
+    jobs: int = 2,
+    cap_factor: float = LARGE_SEQ_CAP_FACTOR,
+) -> Dict[str, object]:
+    """Pooled sharded Stage 1 vs the whole-database fixpoint at 10^5.
+
+    The suite's asserted parallel gate (``speedup_asserted: true``).
+    The parallel side is :meth:`ParallelExtractor.stage1` through the
+    persistent shared-memory pool with fine-grained shards; the
+    sequential side is the whole-database ``build_object_program`` +
+    ``greatest_fixpoint`` under a wall-clock budget of
+    ``cap_factor * parallel_wall``.  Two outcomes, both sound:
+
+    * the sequential run **finishes** inside the allowance — the gate
+      asserts the measured ``sequential / parallel > 1.0``;
+    * the budget **trips** — the baseline provably needs more than
+      ``cap_factor`` times the parallel wall, so ``speedup >
+      cap_factor`` is a lower bound and the gate asserts on that.
+
+    Either way no unbounded 20-minute sequential run happens in CI,
+    and the asserted number is a measurement, never an extrapolation.
+    The advantage being algorithmic (component-local signatures vs
+    cross-component mixing), the gate holds even on one core.
+    """
+    db = make_large_multi_component(num_objects)
+    perf = PerfRecorder()
+    extractor = ParallelExtractor(
+        db, jobs=jobs, max_shard_objects=LARGE_SHARD_CAP, perf=perf
+    )
+    start = time.perf_counter()
+    sharded = extractor.stage1()
+    parallel_seconds = time.perf_counter() - start
+    assert perf.counter("parallel.shards") >= 2, (
+        "large workload did not shard; the comparison would be vacuous"
+    )
+
+    allowance = cap_factor * parallel_seconds
+    budget = Budget(timeout=allowance).start()
+    completed = False
+    start = time.perf_counter()
+    try:
+        program = build_object_program(db)
+        budget.check()
+        greatest_fixpoint(program, db, budget=budget)
+        completed = True
+    except BudgetExceededError:
+        pass
+    sequential_seconds = time.perf_counter() - start
+
+    if completed:
+        speedup = sequential_seconds / max(parallel_seconds, 1e-9)
+    else:
+        # The baseline consumed its whole allowance without finishing:
+        # the true sequential time exceeds it, so this is a floor.
+        speedup = allowance / max(parallel_seconds, 1e-9)
+    assert speedup > MIN_PARALLEL_SPEEDUP, (
+        f"pooled sharded Stage 1 speedup {speedup:.2f}x fell below the "
+        f"{MIN_PARALLEL_SPEEDUP:.1f}x bar on the large workload "
+        f"({parallel_seconds:.1f}s parallel vs {sequential_seconds:.1f}s "
+        f"sequential, completed={completed})"
+    )
+    return {
+        "scenario": "large",
+        "num_objects": db.num_objects,
+        "num_complex": db.num_complex,
+        "jobs": jobs,
+        "shards": perf.counter("parallel.shards"),
+        "num_types": sharded.num_types,
+        "parallel_wall_seconds": round(parallel_seconds, 3),
+        "sequential_wall_seconds": round(sequential_seconds, 3),
+        "sequential_completed": completed,
+        "sequential_cap_factor": cap_factor,
+        "speedup": round(speedup, 3),
+        "speedup_is_lower_bound": not completed,
+        "speedup_asserted": True,
+        "payload_bytes": perf.counter("parallel.payload_bytes"),
+        "task_bytes": perf.counter("parallel.task_bytes"),
+        "pickle_seconds": round(perf.elapsed("parallel.pickle_seconds"), 6),
     }
 
 
@@ -557,21 +684,36 @@ def compare_incremental_refresh(
 
 
 def run_suite(
-    sizes: List[int], jobs: int = DEFAULT_JOBS
+    sizes: List[int],
+    jobs: int = DEFAULT_JOBS,
+    include_large: bool = False,
+    large_objects: int = DEFAULT_LARGE_OBJECTS,
 ) -> Dict[str, object]:
-    """The whole harness: engine comparison + instrumented pipeline."""
+    """The whole harness: engine comparison + instrumented pipeline.
+
+    ``include_large`` adds the asserted 10^5-object pooled-vs-
+    sequential entry to ``parallel_comparison`` (minutes of wall time;
+    the pytest entry point leaves it off, the standalone/CI harness
+    turns it on).
+    """
+    parallel_entries = [
+        compare_parallel_pipeline(n, jobs=jobs) for n in sizes
+    ]
+    if include_large:
+        parallel_entries.append(
+            compare_parallel_large(large_objects, jobs=max(2, min(jobs, 4)))
+        )
     return {
         "suite": "perf-regression",
         "min_check_reduction": MIN_CHECK_REDUCTION,
         "min_memo_reduction": MIN_MEMO_REDUCTION,
         "min_kernel_reduction": MIN_KERNEL_REDUCTION,
         "min_matrix_speedup": MIN_MATRIX_SPEEDUP,
+        "min_parallel_speedup": MIN_PARALLEL_SPEEDUP,
         "max_delta_visited_fraction": MAX_DELTA_VISITED_FRACTION,
         "engine_comparison": [compare_gfp_engines(n) for n in sizes],
         "pipeline": [run_pipeline(n) for n in sizes],
-        "parallel_comparison": [
-            compare_parallel_pipeline(n, jobs=jobs) for n in sizes
-        ],
+        "parallel_comparison": parallel_entries,
         "recast_memo": compare_recast_memo(),
         "manhattan_kernel": compare_manhattan_kernel(),
         "matrix_kernel": compare_matrix_kernel(),
@@ -656,6 +798,11 @@ def test_pipeline_emits_bench_json(tmp_path):
     (parallel_entry,) = loaded["parallel_comparison"]
     assert parallel_entry["jobs"] == 2
     assert parallel_entry["shards"] >= 2
+    assert parallel_entry["scenario"] == "small"
+    assert parallel_entry["speedup_asserted"] is False
+    assert parallel_entry["payload_bytes"] > 0
+    assert parallel_entry["task_bytes"] > 0
+    assert "pool_reuses" in parallel_entry
     assert loaded["recast_memo"]["evaluation_reduction"] >= (
         MIN_MEMO_REDUCTION
     )
@@ -688,8 +835,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", default=str(RESULTS_PATH), metavar="PATH",
         help="where to write BENCH_pipeline.json",
     )
+    parser.add_argument(
+        "--skip-large", action="store_true",
+        help="skip the asserted 10^5-object parallel comparison "
+        "(minutes of wall time)",
+    )
+    parser.add_argument(
+        "--large-objects", type=int, default=DEFAULT_LARGE_OBJECTS,
+        metavar="N", help="object count for the large parallel "
+        "comparison (>= 10^5 for the published results file)",
+    )
     args = parser.parse_args(argv)
-    payload = run_suite(args.sizes, jobs=args.jobs)
+    payload = run_suite(
+        args.sizes,
+        jobs=args.jobs,
+        include_large=not args.skip_large,
+        large_objects=args.large_objects,
+    )
     write_report(payload, pathlib.Path(args.output))
     for entry in payload["engine_comparison"]:
         print(
@@ -708,6 +870,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"peak {entry['peak_candidates']} candidates"
         )
     for entry in payload["parallel_comparison"]:
+        if entry["scenario"] == "large":
+            bound = (
+                "lower bound, sequential budget exhausted"
+                if entry["speedup_is_lower_bound"]
+                else "measured"
+            )
+            print(
+                f"parallel large-{entry['num_objects']} "
+                f"jobs={entry['jobs']}: {entry['shards']} shards, "
+                f"{entry['parallel_wall_seconds']:.1f} s pooled vs "
+                f"{entry['sequential_wall_seconds']:.1f} s sequential "
+                f"({entry['speedup']:.2f}x {bound}, asserted > "
+                f"{MIN_PARALLEL_SPEEDUP:.1f}x)"
+            )
+            continue
         print(
             f"parallel multi-{entry['num_objects']} jobs={entry['jobs']}: "
             f"{entry['shards']} shards, extents identical, "

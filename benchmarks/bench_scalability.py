@@ -74,6 +74,69 @@ def make_multi_component(num_objects: int, num_components: int = 4):
     return out
 
 
+def make_bounded_component(num_objects: int, seed: int):
+    """One component with *bounded* link-pattern variety.
+
+    ``make_scaled``'s optional links give almost every object a unique
+    GFP signature, so the perfect typing grows linearly with size — at
+    10^5 objects Stage 1 would be dominated by tens of thousands of
+    types, which is realistic for Table 1 but useless for a wall-clock
+    gate.  This spec keeps the variants per type small (two mandatory
+    links, at most one optional), so a component of any size collapses
+    to a handful of types and the cost driver is the *object count*,
+    exactly what a scalability workload should measure.
+    """
+    per = max(num_objects // 4, 4)
+    types = (
+        TypeSpec("r", per, (
+            LinkSpec("r-name", ATOMIC, 1.0),
+            LinkSpec("member", "m", 1.0),
+        )),
+        TypeSpec("m", per, (
+            LinkSpec("m-name", ATOMIC, 1.0),
+            LinkSpec("item", "i", 1.0),
+        )),
+        TypeSpec("i", per, (
+            LinkSpec("i-name", ATOMIC, 1.0),
+            LinkSpec("tag", ATOMIC, 0.5),
+        )),
+        TypeSpec("x", per, (
+            LinkSpec("x-name", ATOMIC, 1.0),
+            LinkSpec("links", "r", 0.5),
+        )),
+    )
+    return generate(DatasetSpec(f"bounded-{num_objects}", types), seed=seed)
+
+
+def make_large_multi_component(num_objects: int = 100_000):
+    """A >= 10^5-object disjoint union of bounded-variant components.
+
+    ``num_objects`` is the target for ``db.num_objects`` (complex plus
+    atomic); the generator requests roughly half that in complex
+    objects, spread over ~250-object components (seeds ``7 + index``),
+    and the atoms land it slightly above the target — the default
+    yields ~105k objects in ~200 components with ~31 global types.
+    This is the regime the persistent-pool benches gate on: many small
+    components, so sharded Stage 1 does strictly less signature-mixing
+    work than the whole-database fixpoint.
+    """
+    requested = max(num_objects // 2, 500)
+    num_components = max(requested // 250, 1)
+    out = Database()
+    per_copy = max(requested // num_components, 16)
+    for index in range(num_components):
+        db = make_bounded_component(per_copy, seed=7 + index)
+        prefix = f"p{index}_"
+        for obj in db.objects():
+            if db.is_atomic(obj):
+                out.add_atomic(prefix + obj, db.value(obj))
+            else:
+                out.add_complex(prefix + obj)
+        for edge in db.edges():
+            out.add_link(prefix + edge.src, prefix + edge.dst, edge.label)
+    return out
+
+
 def run_stage1(num_objects: int) -> float:
     if num_objects not in _CACHE:
         db = make_scaled(num_objects)

@@ -39,7 +39,7 @@ from repro.core.hierarchy import hierarchy_to_dot
 from repro.core.sorts import sorted_local_rule
 from repro.core.pipeline import SchemaExtractor
 from repro.exceptions import ReproError
-from repro.parallel import ParallelExtractor
+from repro.parallel import ParallelExtractor, resolve_jobs
 from repro.graph.dot import database_to_dot, program_to_dot
 from repro.graph.oem import dumps_oem, load_oem
 from repro.graph.sanitize import load_oem_sanitized
@@ -101,17 +101,28 @@ def _report_perf(args: argparse.Namespace, perf: Optional[PerfRecorder]) -> None
         print(perf.summary(), file=sys.stderr)
 
 
+def _jobs_value(text: str):
+    """argparse type for ``--jobs``: a positive int or ``auto``."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+
+
 def _make_extractor(args: argparse.Namespace, db, perf):
     """A sequential or parallel extractor, depending on ``--jobs``.
 
     ``--jobs 1`` (the default) builds a plain :class:`SchemaExtractor`
-    so the sequential path stays byte-identical; ``--jobs N`` builds a
-    :class:`ParallelExtractor`, which itself falls back to sequential
+    so the sequential path stays byte-identical; ``--jobs N`` (or
+    ``--jobs auto``, which resolves to the machine's CPU count) builds
+    a :class:`ParallelExtractor`, which itself falls back to sequential
     when the graph is a single component.
     """
-    jobs = getattr(args, "jobs", 1)
-    if jobs < 1:
-        raise ReproError("--jobs must be >= 1")
+    jobs = resolve_jobs(getattr(args, "jobs", 1))
     recast_memo = not getattr(args, "no_recast_memo", False)
     common = dict(
         distance=args.distance,
@@ -127,7 +138,12 @@ def _make_extractor(args: argparse.Namespace, db, perf):
     )
     if jobs == 1:
         return SchemaExtractor(db, **common)
-    return ParallelExtractor(db, jobs=jobs, **common)
+    return ParallelExtractor(
+        db,
+        jobs=jobs,
+        use_shared_pool=not getattr(args, "no_shared_pool", False),
+        **common,
+    )
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
@@ -411,10 +427,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="allow moving outlier types to the empty type")
     p_extract.add_argument("--sorts", action="store_true",
                            help="distinguish atomic sorts (Remark 2.1)")
-    p_extract.add_argument("--jobs", type=int, default=1, metavar="N",
+    p_extract.add_argument("--jobs", type=_jobs_value, default=1,
+                           metavar="N|auto",
                            help="worker processes for Stage 1 sharding and "
-                           "the sweep (1 = sequential; falls back to "
-                           "sequential on single-component graphs)")
+                           "the sweep (1 = sequential; 'auto' = the "
+                           "machine's CPU count, capped by the shard "
+                           "count; falls back to sequential on "
+                           "single-component graphs)")
+    p_extract.add_argument("--no-shared-pool", action="store_true",
+                           help="use the legacy spawn-per-call worker path "
+                           "instead of the persistent shared-memory pool "
+                           "(results are identical; use to measure the "
+                           "pool's contribution)")
     p_extract.add_argument("--no-recast-memo", action="store_true",
                            help="disable the cross-sample recast memo "
                            "(results are identical; use to measure the "
@@ -457,9 +481,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--distance", default="delta_2")
     p_sweep.add_argument("--step", type=int, default=1,
                          help="sample every STEP values of k")
-    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+    p_sweep.add_argument("--jobs", type=_jobs_value, default=1,
+                         metavar="N|auto",
                          help="worker processes for the sweep's sample "
-                         "blocks (1 = sequential)")
+                         "blocks (1 = sequential; 'auto' = the machine's "
+                         "CPU count)")
+    p_sweep.add_argument("--no-shared-pool", action="store_true",
+                         help="use the legacy spawn-per-call worker path "
+                         "instead of the persistent shared-memory pool")
     p_sweep.add_argument("--no-recast-memo", action="store_true",
                          help="disable the cross-sample recast memo")
     p_sweep.add_argument("--no-bitset", action="store_true",

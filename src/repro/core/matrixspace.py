@@ -137,6 +137,31 @@ class MaskMatrix:
             matrix._buf[i] = pack_mask(mask, words)
         return matrix
 
+    @classmethod
+    def from_words(
+        cls, buffer, n_rows: int, n_words: int
+    ) -> "MaskMatrix":
+        """Attach pre-packed rows (``linkspace.pack_masks`` layout).
+
+        ``buffer`` is any uint64-compatible buffer — an ``array('Q')``
+        or a ``memoryview`` over a ``multiprocessing.shared_memory``
+        segment.  The words are viewed in place via ``np.frombuffer``
+        (zero-copy) and only reshaped, so an attached matrix reads the
+        exporter's rows without duplicating them; callers that intend
+        to mutate (``ensure_capacity`` growth, ``swap_remove``) must
+        attach a private copy instead — shared segments are a read-only
+        transport.
+        """
+        if n_words < 1:
+            raise ValueError(f"n_words must be >= 1, got {n_words}")
+        flat = np.frombuffer(buffer, dtype="<u8", count=n_rows * n_words)
+        matrix = cls(0, n_words * WORD_BITS)
+        matrix._buf = flat.reshape(n_rows, n_words).astype(
+            np.uint64, copy=False
+        )
+        matrix._n = n_rows
+        return matrix
+
     # ------------------------------------------------------------------
     # Shape
     # ------------------------------------------------------------------

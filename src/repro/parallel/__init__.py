@@ -3,6 +3,8 @@
 Public surface:
 
 * :class:`ParallelExtractor` — the ``--jobs N`` front end;
+* :class:`SharedWorkerPool` / :func:`resolve_jobs` — the persistent
+  shared-memory worker pool and the ``--jobs auto`` resolver;
 * :func:`parallel_stage1` / :func:`parallel_sweep` — the two
   fan-out phases, usable on their own;
 * :func:`merge_shard_typings` / :func:`sharded_stage1` — the
@@ -16,13 +18,17 @@ from repro.parallel.extractor import (
     ParallelExtractor,
     parallel_stage1,
     parallel_sweep,
+    resolve_jobs,
 )
 from repro.parallel.merge import merge_shard_typings, sharded_stage1
+from repro.parallel.pool import SharedWorkerPool
 
 __all__ = [
     "ParallelExtractor",
+    "SharedWorkerPool",
     "merge_shard_typings",
     "parallel_stage1",
     "parallel_sweep",
+    "resolve_jobs",
     "sharded_stage1",
 ]

@@ -22,6 +22,15 @@ sequential extractor, byte-identical by construction.  With ``jobs>1``
 a single-component database falls back to the same sequential path
 (see ``docs/PARALLELISM.md`` for when ``--jobs`` helps vs. hurts).
 
+With ``jobs>1`` the heavy payloads travel through one persistent
+:class:`~repro.parallel.pool.SharedWorkerPool` per public call: the
+wire-codec database (plus partition) is published to shared memory
+once and decoded once per worker, Stage 1 tasks shrink to shard
+indexes, sweep tasks to (segment-name, params) — and the *same* pool
+carries both phases (``parallel.pool_reuses``).
+``use_shared_pool=False`` (CLI ``--no-shared-pool``) keeps the legacy
+spawn-per-call executors as the byte-identical oracle path.
+
 Budgets and cancellation: Stage 1 remains the pipeline's mandatory
 minimum, so workers run it unbudgeted; the parent polls the budget's
 :class:`~repro.runtime.budget.CancellationToken` between future
@@ -38,8 +47,11 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import os
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Sequence, TypeVar, Union
 
 from repro.core.clustering import MergePolicy
 from repro.core.perfect import PerfectTyping, minimal_perfect_typing
@@ -66,9 +78,18 @@ from repro.graph.partition import Shard, extract_shard, partition_database
 from repro.perf import PerfRecorder, resolve as _resolve_perf
 from repro.runtime.budget import Budget, DegradationReport
 from repro.runtime.checkpoint import Checkpoint
+from repro.parallel import codec
 from repro.parallel.merge import merge_shard_typings
+from repro.parallel.pool import (
+    PooledStage1Task,
+    PooledSweepTask,
+    SharedWorkerPool,
+    run_pooled_stage1,
+    run_pooled_sweep,
+)
 from repro.parallel.worker import (
     Stage1Task,
+    SweepParams,
     SweepTask,
     run_stage1_task,
     run_sweep_task,
@@ -81,6 +102,22 @@ _Outcome = TypeVar("_Outcome")
 
 #: Seconds between cancellation polls while futures are in flight.
 _POLL_INTERVAL = 0.1
+
+
+def resolve_jobs(jobs: Union[int, str]) -> int:
+    """Resolve a ``--jobs`` value (an int, or ``"auto"``) to a count.
+
+    ``"auto"`` means ``os.cpu_count()`` — the partitioner then caps
+    effective parallelism by the shard count, since the pool never
+    runs more workers than it has tasks.
+    """
+    if jobs == "auto":
+        return max(1, os.cpu_count() or 1)
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ReproError(f"jobs must be an int or 'auto', got {jobs!r}")
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    return jobs
 
 
 def _run_pool(
@@ -134,6 +171,7 @@ def parallel_stage1(
     local_rule_fn=None,
     budget: Optional[Budget] = None,
     perf: Optional[PerfRecorder] = None,
+    pool: Optional[SharedWorkerPool] = None,
 ) -> PerfectTyping:
     """Stage 1 across a worker pool; extent-identical to sequential.
 
@@ -141,6 +179,12 @@ def parallel_stage1(
     degenerates to a single shard (one giant component) or ``jobs``
     is 1.  Stage 1 is the mandatory minimum, so workers run without a
     budget; only cancellation is enforced (parent-side).
+
+    With a :class:`~repro.parallel.pool.SharedWorkerPool` the shard
+    sub-databases never cross the process boundary: workers carve each
+    shard out of the initializer-shipped database, and a task is just
+    the shard index.  Without one (the legacy oracle path) every task
+    pickles its shard as before.
     """
     recorder = _resolve_perf(perf)
     if shards is None:
@@ -155,17 +199,28 @@ def parallel_stage1(
         "parallel.peak_shard_objects", max(len(shard) for shard in shards)
     )
     with recorder.span("pipeline.stage1"):
-        tasks = [
-            Stage1Task(
-                index=shard.index,
-                db=extract_shard(db, shard.objects),
-                local_rule_fn=local_rule_fn,
-                record_perf=recorder.enabled,
-            )
-            for shard in shards
-        ]
         try:
-            outcomes = _run_pool(tasks, run_stage1_task, jobs, budget)
+            if pool is not None:
+                pooled = [
+                    PooledStage1Task(
+                        index=shard.index,
+                        local_rule_fn=local_rule_fn,
+                        record_perf=recorder.enabled,
+                    )
+                    for shard in shards
+                ]
+                outcomes = pool.run(pooled, run_pooled_stage1, budget)
+            else:
+                tasks = [
+                    Stage1Task(
+                        index=shard.index,
+                        db=extract_shard(db, shard.objects),
+                        local_rule_fn=local_rule_fn,
+                        record_perf=recorder.enabled,
+                    )
+                    for shard in shards
+                ]
+                outcomes = _run_pool(tasks, run_stage1_task, jobs, budget)
         except ExecutionInterruptedError:
             raise  # cancellation/budget: the caller decides how to degrade
         except Exception as exc:
@@ -193,7 +248,8 @@ def parallel_stage1(
             len(shards), sum(t.num_types for t in typings),
         )
         return merge_shard_typings(
-            db, typings, local_rule_fn=local_rule_fn, perf=perf
+            db, typings, local_rule_fn=local_rule_fn, budget=budget,
+            perf=perf,
         )
 
 
@@ -226,6 +282,7 @@ def parallel_sweep(
     use_memo: bool = True,
     use_bitset: bool = True,
     use_matrix: bool = True,
+    pool: Optional[SharedWorkerPool] = None,
 ) -> SensitivityResult:
     """The Figure 6 sweep, with sample blocks fanned out to workers.
 
@@ -253,13 +310,10 @@ def parallel_sweep(
     sample_ks.add(max_k)
     blocks = _chunk_blocks(sorted(sample_ks, reverse=True), jobs)
     recorder.incr("parallel.sweep_blocks", len(blocks))
-    tasks = [
-        SweepTask(
+    allowance = budget.child() if budget is not None else None
+    params = [
+        SweepParams(
             index=index,
-            db=db,
-            stage1=stage1,
-            assignment=stage1.assignment(),
-            weights={name: float(w) for name, w in stage1.weights.items()},
             distance_name=distance_name,
             dimensions=len(stage1.program.typed_links()),
             policy=policy,
@@ -267,9 +321,11 @@ def parallel_sweep(
             mode=mode,
             sample_at=tuple(block),
             frozen=None,
-            timeout=budget.remaining_timeout() if budget is not None else None,
+            timeout=(
+                allowance.timeout if allowance is not None else None
+            ),
             max_iterations=(
-                budget.remaining_iterations() if budget is not None else None
+                allowance.max_iterations if allowance is not None else None
             ),
             use_memo=use_memo,
             use_bitset=use_bitset,
@@ -278,7 +334,47 @@ def parallel_sweep(
         )
         for index, block in enumerate(blocks)
     ]
-    outcomes = _run_pool(tasks, run_sweep_task, jobs, budget)
+    if pool is not None:
+        # The typing crosses the boundary once, as packed masks in a
+        # shared segment; each task is just the block's params.
+        started = time.perf_counter()
+        typing_wire = codec.encode_typing(stage1, distance_name)
+        recorder.add_time(
+            "parallel.pickle_seconds", time.perf_counter() - started
+        )
+        segment = pool.publish("stage1", typing_wire)
+        pooled = [
+            PooledSweepTask(typing_segment=segment, params=p)
+            for p in params
+        ]
+        outcomes = pool.run(pooled, run_pooled_sweep, budget)
+    else:
+        tasks = [
+            SweepTask(
+                index=p.index,
+                db=db,
+                stage1=stage1,
+                assignment=stage1.assignment(),
+                weights={
+                    name: float(w) for name, w in stage1.weights.items()
+                },
+                distance_name=p.distance_name,
+                dimensions=p.dimensions,
+                policy=p.policy,
+                allow_empty_type=p.allow_empty_type,
+                mode=p.mode,
+                sample_at=p.sample_at,
+                frozen=p.frozen,
+                timeout=p.timeout,
+                max_iterations=p.max_iterations,
+                use_memo=p.use_memo,
+                use_bitset=p.use_bitset,
+                use_matrix=p.use_matrix,
+                record_perf=p.record_perf,
+            )
+            for p in params
+        ]
+        outcomes = _run_pool(tasks, run_sweep_task, jobs, budget)
 
     consumed = sum(outcome.iterations for outcome in outcomes)
     if budget is not None and consumed:
@@ -317,11 +413,19 @@ class ParallelExtractor:
     Parameters
     ----------
     jobs:
-        Worker-process count.  ``1`` (the default) delegates every call
-        to the sequential extractor unchanged.
+        Worker-process count, or ``"auto"`` for ``os.cpu_count()``
+        (effective parallelism is further capped by the shard count —
+        the pool never runs more workers than it has tasks).  ``1``
+        (the default) delegates every call to the sequential extractor
+        unchanged.
     max_shard_objects:
         Optional cap on complex objects per Stage 1 shard (see
         :func:`repro.graph.partition.partition_database`).
+    use_shared_pool:
+        Ship payloads once through a persistent
+        :class:`~repro.parallel.pool.SharedWorkerPool` (the default).
+        ``False`` keeps the legacy spawn-per-call executors — the
+        byte-identical oracle path behind ``--no-shared-pool``.
 
     Restrictions: the parallel *sweep* path needs a named distance and
     no roles/prior transforms (those reshape the Stage 2 starting
@@ -334,7 +438,7 @@ class ParallelExtractor:
     def __init__(
         self,
         db: Database,
-        jobs: int = 1,
+        jobs: Union[int, str] = 1,
         distance: Union[str, WeightedDistance] = "delta_2",
         policy: MergePolicy = MergePolicy.ABSORB,
         use_roles: bool = False,
@@ -348,12 +452,11 @@ class ParallelExtractor:
         use_bitset: bool = True,
         use_matrix: bool = True,
         max_shard_objects: Optional[int] = None,
+        use_shared_pool: bool = True,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
-        if jobs < 1:
-            raise ReproError(f"jobs must be >= 1, got {jobs}")
         self._db = db
-        self._jobs = jobs
+        self._jobs = resolve_jobs(jobs)
         self._distance_spec = distance
         self._policy = policy
         self._use_roles = use_roles
@@ -367,15 +470,66 @@ class ParallelExtractor:
         self._use_bitset = use_bitset
         self._use_matrix = use_matrix
         self._max_shard_objects = max_shard_objects
+        self._use_shared_pool = use_shared_pool
         self._perf = _resolve_perf(perf)
         self._stage1: Optional[PerfectTyping] = None
         self._shards: Optional[List[Shard]] = None
+        self._pool: Optional[SharedWorkerPool] = None
 
     # ------------------------------------------------------------------
     @property
     def jobs(self) -> int:
-        """The configured worker count."""
+        """The resolved worker count (``"auto"`` already expanded)."""
         return self._jobs
+
+    def _open_pool(self) -> Optional[SharedWorkerPool]:
+        """Build the persistent pool, or ``None`` for the legacy path.
+
+        Pool construction failures degrade, never break: the legacy
+        spawn-per-call executors carry the phase instead.
+        """
+        if not self._use_shared_pool or self._jobs <= 1:
+            return None
+        try:
+            shards = self.shards()
+            return SharedWorkerPool(
+                jobs=self._jobs,
+                db=self._db,
+                shard_objects=(
+                    [shard.objects for shard in shards]
+                    if len(shards) > 1 else None
+                ),
+                perf=self._perf if self._perf.enabled else None,
+            )
+        except Exception as exc:
+            logger.warning(
+                "shared worker pool unavailable (%s: %s); using "
+                "spawn-per-call executors",
+                type(exc).__name__, exc,
+            )
+            self._perf.incr("parallel.pool_fallbacks")
+            return None
+
+    @contextmanager
+    def _pool_scope(self) -> Iterator[Optional[SharedWorkerPool]]:
+        """One pool per outermost public call, reused by nested phases.
+
+        ``extract`` opens the pool once and ``stage1``/``sweep`` reuse
+        it; the opener's ``finally`` closes it, which unlinks every
+        shared segment — the normal-exit *and* SIGINT cleanup path
+        (KeyboardInterrupt unwinds through the same ``finally``).
+        """
+        if self._pool is not None:
+            yield self._pool
+            return
+        pool = self._open_pool()
+        self._pool = pool
+        try:
+            yield pool
+        finally:
+            self._pool = None
+            if pool is not None:
+                pool.close()
 
     def shards(self) -> List[Shard]:
         """The Stage 1 partition (cached across calls)."""
@@ -388,14 +542,16 @@ class ParallelExtractor:
     def stage1(self, budget: Optional[Budget] = None) -> PerfectTyping:
         """The (parallel) Stage 1 result, cached across calls."""
         if self._stage1 is None:
-            self._stage1 = parallel_stage1(
-                self._db,
-                jobs=self._jobs,
-                shards=self.shards() if self._jobs > 1 else None,
-                local_rule_fn=self._local_rule_fn,
-                budget=budget,
-                perf=self._perf if self._perf.enabled else None,
-            )
+            with self._pool_scope() as pool:
+                self._stage1 = parallel_stage1(
+                    self._db,
+                    jobs=self._jobs,
+                    shards=self.shards() if self._jobs > 1 else None,
+                    local_rule_fn=self._local_rule_fn,
+                    budget=budget,
+                    perf=self._perf if self._perf.enabled else None,
+                    pool=pool,
+                )
         return self._stage1
 
     def _sequential(self) -> SchemaExtractor:
@@ -441,40 +597,42 @@ class ParallelExtractor:
             )
         if budget is not None:
             budget.start()
-        stage1 = self.stage1(budget)
-        if not self._can_parallel_sweep():
-            return self._sequential().sweep(
-                min_k=min_k, step=step, budget=budget
-            )
-        try:
-            return parallel_sweep(
-                self._db,
-                stage1,
-                jobs=self._jobs,
-                distance_name=self._distance_spec,
-                policy=self._policy,
-                allow_empty_type=self._allow_empty,
-                mode=self._recast_mode,
-                min_k=min_k,
-                step=step,
-                budget=budget,
-                perf=self._perf if self._perf.enabled else None,
-                use_memo=self._recast_memo,
-                use_bitset=self._use_bitset,
-                use_matrix=self._use_matrix,
-            )
-        except ExecutionInterruptedError:
-            raise  # same contract as the sequential sweep
-        except Exception as exc:
-            logger.warning(
-                "parallel sweep worker failed (%s: %s); "
-                "falling back to sequential sweep",
-                type(exc).__name__, exc,
-            )
-            self._perf.incr("parallel.pool_fallbacks")
-            return self._sequential().sweep(
-                min_k=min_k, step=step, budget=budget
-            )
+        with self._pool_scope() as pool:
+            stage1 = self.stage1(budget)
+            if not self._can_parallel_sweep():
+                return self._sequential().sweep(
+                    min_k=min_k, step=step, budget=budget
+                )
+            try:
+                return parallel_sweep(
+                    self._db,
+                    stage1,
+                    jobs=self._jobs,
+                    distance_name=self._distance_spec,
+                    policy=self._policy,
+                    allow_empty_type=self._allow_empty,
+                    mode=self._recast_mode,
+                    min_k=min_k,
+                    step=step,
+                    budget=budget,
+                    perf=self._perf if self._perf.enabled else None,
+                    use_memo=self._recast_memo,
+                    use_bitset=self._use_bitset,
+                    use_matrix=self._use_matrix,
+                    pool=pool,
+                )
+            except ExecutionInterruptedError:
+                raise  # same contract as the sequential sweep
+            except Exception as exc:
+                logger.warning(
+                    "parallel sweep worker failed (%s: %s); "
+                    "falling back to sequential sweep",
+                    type(exc).__name__, exc,
+                )
+                self._perf.incr("parallel.pool_fallbacks")
+                return self._sequential().sweep(
+                    min_k=min_k, step=step, budget=budget
+                )
 
     def extract(
         self,
@@ -504,57 +662,61 @@ class ParallelExtractor:
             )
         if budget is not None:
             budget.start()
-        try:
-            self.stage1(budget)
-        except ExecutionInterruptedError as exc:
-            logger.warning(
-                "parallel stage1 interrupted (%s); degrading sequentially",
-                exc,
-            )
         sensitivity: Optional[SensitivityResult] = None
-        if (
-            k is None
-            and resume_from is None
-            and self._stage1 is not None
-            and self._can_parallel_sweep()
-        ):
+        with self._pool_scope() as pool:
             try:
-                sensitivity = parallel_sweep(
-                    self._db,
-                    self._stage1,
-                    jobs=self._jobs,
-                    distance_name=self._distance_spec,
-                    policy=self._policy,
-                    allow_empty_type=self._allow_empty,
-                    mode=self._recast_mode,
-                    step=sweep_step,
-                    budget=budget,
-                    perf=self._perf if self._perf.enabled else None,
-                    use_memo=self._recast_memo,
-                    use_bitset=self._use_bitset,
-                    use_matrix=self._use_matrix,
-                )
-                k = sensitivity.knee()
-                logger.info("parallel sweep: chose k=%d", k)
+                self.stage1(budget)
             except ExecutionInterruptedError as exc:
-                # Nothing sampled; the sequential pipeline will degrade
-                # to the perfect typing through its own budget checks.
                 logger.warning(
-                    "parallel sweep interrupted (%s); degrading "
+                    "parallel stage1 interrupted (%s); degrading "
                     "sequentially", exc,
                 )
-                sensitivity = None
-            except Exception as exc:
-                # A worker death is not a degradation: the sequential
-                # extract below redoes the sweep in-process and the
-                # result is exactly the jobs=1 answer.
-                logger.warning(
-                    "parallel sweep worker failed (%s: %s); "
-                    "falling back to sequential sweep",
-                    type(exc).__name__, exc,
-                )
-                self._perf.incr("parallel.pool_fallbacks")
-                sensitivity = None
+            if (
+                k is None
+                and resume_from is None
+                and self._stage1 is not None
+                and self._can_parallel_sweep()
+            ):
+                try:
+                    sensitivity = parallel_sweep(
+                        self._db,
+                        self._stage1,
+                        jobs=self._jobs,
+                        distance_name=self._distance_spec,
+                        policy=self._policy,
+                        allow_empty_type=self._allow_empty,
+                        mode=self._recast_mode,
+                        step=sweep_step,
+                        budget=budget,
+                        perf=self._perf if self._perf.enabled else None,
+                        use_memo=self._recast_memo,
+                        use_bitset=self._use_bitset,
+                        use_matrix=self._use_matrix,
+                        pool=pool,
+                    )
+                    k = sensitivity.knee()
+                    logger.info("parallel sweep: chose k=%d", k)
+                except ExecutionInterruptedError as exc:
+                    # Nothing sampled; the sequential pipeline will
+                    # degrade to the perfect typing through its own
+                    # budget checks.
+                    logger.warning(
+                        "parallel sweep interrupted (%s); degrading "
+                        "sequentially", exc,
+                    )
+                    sensitivity = None
+                except Exception as exc:
+                    # A worker death is not a degradation: the
+                    # sequential extract below redoes the sweep
+                    # in-process and the result is exactly the jobs=1
+                    # answer.
+                    logger.warning(
+                        "parallel sweep worker failed (%s: %s); "
+                        "falling back to sequential sweep",
+                        type(exc).__name__, exc,
+                    )
+                    self._perf.incr("parallel.pool_fallbacks")
+                    sensitivity = None
         result = self._sequential().extract(
             k=k,
             sweep_step=sweep_step,
@@ -601,11 +763,13 @@ class ParallelExtractor:
         with the sweep parallelised when the configuration allows."""
         if max_defect < 0:
             raise ClusteringError("max_defect must be non-negative")
-        sweep = self.sweep(step=sweep_step, budget=budget)
-        eligible = [p.k for p in sweep.points if p.defect <= max_defect]
-        if not eligible:
-            raise ClusteringError(
-                f"no sampled k meets defect <= {max_defect}; smallest "
-                f"observed defect is {min(p.defect for p in sweep.points)}"
-            )
-        return self.extract(k=min(eligible), budget=budget)
+        with self._pool_scope():
+            sweep = self.sweep(step=sweep_step, budget=budget)
+            eligible = [p.k for p in sweep.points if p.defect <= max_defect]
+            if not eligible:
+                raise ClusteringError(
+                    f"no sampled k meets defect <= {max_defect}; smallest "
+                    f"observed defect is "
+                    f"{min(p.defect for p in sweep.points)}"
+                )
+            return self.extract(k=min(eligible), budget=budget)

@@ -43,6 +43,7 @@ from repro.exceptions import ClusteringError
 from repro.graph.database import Database, ObjectId
 from repro.graph.partition import extract_shard, partition_database
 from repro.perf import PerfRecorder, resolve as _resolve_perf
+from repro.runtime.budget import Budget
 
 #: Separator between the shard prefix and the shard-local class name.
 #: Shard-local names are ``t<i>`` and final names are ``t<i>``, so the
@@ -54,6 +55,7 @@ def merge_shard_typings(
     db: Database,
     typings: Sequence[PerfectTyping],
     local_rule_fn=None,
+    budget: Optional[Budget] = None,
     perf: Optional[PerfRecorder] = None,
 ) -> PerfectTyping:
     """Merge per-shard Stage 1 results into the global perfect typing.
@@ -64,9 +66,18 @@ def merge_shard_typings(
     the one the shards used.  Returns a :class:`PerfectTyping` equal to
     the sequential ``minimal_perfect_typing(db)`` in every field except
     ``q_iterations``.
+
+    ``budget`` makes the reconcile pass *cancellation*-aware: only its
+    token is honoured (via an otherwise-unlimited local budget), never
+    its timeout or iteration cap — Stage 1 is the pipeline's mandatory
+    minimum and must not degrade differently from the sequential path,
+    but a Ctrl-C must be able to stop a large reconcile GFP mid-flight.
     """
     recorder = _resolve_perf(perf)
     build = local_rule_fn if local_rule_fn is not None else local_rule
+    gfp_budget: Optional[Budget] = None
+    if budget is not None and budget.token is not None:
+        gfp_budget = Budget(token=budget.token).start()
 
     # 1. Prefix-rename each shard's classes apart and pool the rules.
     with recorder.span("parallel.reconcile"):
@@ -87,7 +98,7 @@ def merge_shard_typings(
 
         # 2. One class-level GFP over the *full* database: its extents
         # are the global extents of each shard class's leader.
-        fixpoint = greatest_fixpoint(combined, db, perf=perf)
+        fixpoint = greatest_fixpoint(combined, db, budget=gfp_budget, perf=perf)
         recorder.incr("parallel.reconcile_classes", len(prefixed_rules))
 
         # 3. Group shard classes by global extent — the cross-shard

@@ -9,9 +9,11 @@ frozensets).  Two consequences the extractor layer enforces:
 
 * **distances travel by name** — ``delta_1``/``delta_4`` are closures
   over the hypercube dimension, so a sweep task carries the distance
-  *name* plus the dimension count and the worker re-resolves it via
-  :func:`~repro.core.distance.named_distances`; callable distances
-  force the sequential path;
+  *name* plus the dimension count and the worker resolves it through
+  the per-process :func:`resolve_distance` cache (one
+  :func:`~repro.core.distance.named_distances` build per
+  ``(name, dimensions)``, not per task); callable distances force the
+  sequential path;
 * **budgets travel by remaining allowance** — a
   :class:`~repro.runtime.budget.Budget` holds a ``threading.Event``
   token that cannot cross the process boundary, so sweep tasks carry
@@ -32,7 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
 from repro.core.clustering import MergePolicy
-from repro.core.distance import named_distances
+from repro.core.distance import WeightedDistance, named_distances
 from repro.core.perfect import PerfectTyping, minimal_perfect_typing
 from repro.core.recast import RecastMode
 from repro.core.sensitivity import SensitivityPoint, sensitivity_sweep
@@ -40,6 +42,23 @@ from repro.exceptions import BudgetExceededError
 from repro.graph.database import Database, ObjectId
 from repro.perf import PerfRecorder
 from repro.runtime.budget import Budget
+
+#: Per-worker-process distance cache.  ``delta_1``/``delta_4`` are
+#: closures over the hypercube dimension, so resolving them rebuilds
+#: the whole named-distance family; one worker serving many sweep
+#: blocks (or many pooled tasks) must pay that once per
+#: ``(name, dimensions)``, not once per task.
+_DISTANCE_CACHE: Dict[Tuple[str, int], WeightedDistance] = {}
+
+
+def resolve_distance(name: str, dimensions: int) -> WeightedDistance:
+    """The named distance for ``dimensions``, cached per worker process."""
+    key = (name, dimensions)
+    distance = _DISTANCE_CACHE.get(key)
+    if distance is None:
+        distance = named_distances(dimensions)[name]
+        _DISTANCE_CACHE[key] = distance
+    return distance
 
 
 @dataclass(frozen=True)
@@ -61,16 +80,29 @@ class Stage1Outcome:
     perf_snapshot: Optional[Dict[str, Any]] = None
 
 
-def run_stage1_task(task: Stage1Task) -> Stage1Outcome:
-    """Worker body: minimal perfect typing of one shard."""
-    perf = PerfRecorder() if task.record_perf else None
-    typing = minimal_perfect_typing(
-        task.db, local_rule_fn=task.local_rule_fn, perf=perf
-    )
+def stage1_body(
+    db: Database,
+    index: int,
+    local_rule_fn=None,
+    record_perf: bool = False,
+) -> Stage1Outcome:
+    """Shared Stage 1 worker core (legacy tasks and pooled tasks)."""
+    perf = PerfRecorder() if record_perf else None
+    typing = minimal_perfect_typing(db, local_rule_fn=local_rule_fn, perf=perf)
     return Stage1Outcome(
-        index=task.index,
+        index=index,
         typing=typing,
         perf_snapshot=perf.to_dict() if perf is not None else None,
+    )
+
+
+def run_stage1_task(task: Stage1Task) -> Stage1Outcome:
+    """Worker body: minimal perfect typing of one shard."""
+    return stage1_body(
+        task.db,
+        index=task.index,
+        local_rule_fn=task.local_rule_fn,
+        record_perf=task.record_perf,
     )
 
 
@@ -115,8 +147,39 @@ class SweepOutcome:
     perf_snapshot: Optional[Dict[str, Any]] = None
 
 
-def run_sweep_task(task: SweepTask) -> SweepOutcome:
-    """Worker body: sample one block of the Figure 6 sweep.
+@dataclass(frozen=True)
+class SweepParams:
+    """The small per-task knobs of a sweep block (pooled or legacy).
+
+    This is what a pooled sweep task actually ships: everything heavy
+    (database, Stage 1 typing) already lives worker-side, so a task is
+    an index, a sample block and these scalars.
+    """
+
+    index: int
+    distance_name: str
+    dimensions: int
+    policy: MergePolicy
+    allow_empty_type: bool
+    mode: RecastMode
+    sample_at: Tuple[int, ...]
+    frozen: Optional[FrozenSet[str]] = None
+    timeout: Optional[float] = None
+    max_iterations: Optional[int] = None
+    use_memo: bool = True
+    use_bitset: bool = True
+    use_matrix: bool = True
+    record_perf: bool = False
+
+
+def sweep_body(
+    db: Database,
+    stage1: PerfectTyping,
+    assignment: Mapping[ObjectId, FrozenSet[str]],
+    weights: Mapping[str, float],
+    params: SweepParams,
+) -> SweepOutcome:
+    """Shared sweep worker core (legacy tasks and pooled tasks).
 
     Budget exhaustion never propagates as an exception: the worker
     returns whatever prefix of its block it managed, flagged
@@ -124,33 +187,33 @@ def run_sweep_task(task: SweepTask) -> SweepOutcome:
     contract — and reports the units it consumed so the parent can
     charge them against the real budget.
     """
-    perf = PerfRecorder() if task.record_perf else None
+    perf = PerfRecorder() if params.record_perf else None
     budget: Optional[Budget] = None
-    if task.timeout is not None or task.max_iterations is not None:
+    if params.timeout is not None or params.max_iterations is not None:
         budget = Budget(
-            timeout=task.timeout, max_iterations=task.max_iterations
+            timeout=params.timeout, max_iterations=params.max_iterations
         ).start()
-    distance = named_distances(task.dimensions)[task.distance_name]
+    distance = resolve_distance(params.distance_name, params.dimensions)
     points: Tuple[SensitivityPoint, ...] = ()
     exhausted = False
     try:
         result = sensitivity_sweep(
-            task.db,
-            stage1=task.stage1,
-            assignment=task.assignment,
-            weights=task.weights,
+            db,
+            stage1=stage1,
+            assignment=assignment,
+            weights=weights,
             distance=distance,
-            policy=task.policy,
-            allow_empty_type=task.allow_empty_type,
-            mode=task.mode,
-            min_k=min(task.sample_at),
-            frozen=task.frozen,
+            policy=params.policy,
+            allow_empty_type=params.allow_empty_type,
+            mode=params.mode,
+            min_k=min(params.sample_at),
+            frozen=params.frozen,
             budget=budget,
             perf=perf,
-            sample_at=task.sample_at,
-            use_memo=task.use_memo,
-            use_bitset=task.use_bitset,
-            use_matrix=task.use_matrix,
+            sample_at=params.sample_at,
+            use_memo=params.use_memo,
+            use_bitset=params.use_bitset,
+            use_matrix=params.use_matrix,
         )
         points = result.points
         exhausted = result.exhausted
@@ -158,9 +221,35 @@ def run_sweep_task(task: SweepTask) -> SweepOutcome:
         # Not even the block's first sample completed.
         exhausted = True
     return SweepOutcome(
-        index=task.index,
+        index=params.index,
         points=points,
         exhausted=exhausted,
         iterations=budget.iterations if budget is not None else 0,
         perf_snapshot=perf.to_dict() if perf is not None else None,
+    )
+
+
+def run_sweep_task(task: SweepTask) -> SweepOutcome:
+    """Worker body: sample one block of the Figure 6 sweep."""
+    return sweep_body(
+        task.db,
+        task.stage1,
+        task.assignment,
+        task.weights,
+        SweepParams(
+            index=task.index,
+            distance_name=task.distance_name,
+            dimensions=task.dimensions,
+            policy=task.policy,
+            allow_empty_type=task.allow_empty_type,
+            mode=task.mode,
+            sample_at=task.sample_at,
+            frozen=task.frozen,
+            timeout=task.timeout,
+            max_iterations=task.max_iterations,
+            use_memo=task.use_memo,
+            use_bitset=task.use_bitset,
+            use_matrix=task.use_matrix,
+            record_perf=task.record_perf,
+        ),
     )

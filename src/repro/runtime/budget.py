@@ -271,6 +271,22 @@ class Budget:
                     iterations=self._iterations,
                 )
 
+    def child(self) -> "Budget":
+        """A fresh budget carrying this one's *remaining* allowance.
+
+        This is how allowances cross a process boundary: the token is
+        a ``threading.Event`` and cannot travel, so worker tasks get a
+        token-free child with the remaining timeout/iterations and the
+        parent enforces cancellation pool-side.  The persistent worker
+        pool derives one child per dispatch round, so a pool reused
+        across phases keeps honouring the single original deadline.
+        """
+        return Budget(
+            timeout=self.remaining_timeout(),
+            max_iterations=self.remaining_iterations(),
+            clock=self._clock,
+        )
+
     def exhausted(self) -> bool:
         """Whether :meth:`check` would raise (without raising)."""
         try:

@@ -291,3 +291,28 @@ class TestPipelineMatrixIdentity:
         with_matrix = SchemaExtractor(db).sweep()
         without = SchemaExtractor(db, use_matrix=False).sweep()
         assert with_matrix.points == without.points
+
+
+class TestFromWords:
+    """Zero-copy attach of pre-packed rows (the pool's transport)."""
+
+    def test_attached_rows_match_pack_mask(self):
+        from repro.core.linkspace import pack_masks
+
+        masks = [0b1011, (1 << 70) | 1, 0]
+        words, n_words = pack_masks(masks, dimension=71)
+        matrix = MaskMatrix.from_words(words, n_rows=len(masks), n_words=n_words)
+        for i, mask in enumerate(masks):
+            assert matrix.mask_of(i) == mask
+
+    def test_attach_from_memoryview(self):
+        from array import array
+
+        from repro.core.linkspace import pack_masks
+
+        masks = [3, 12]
+        words, n_words = pack_masks(masks, dimension=8)
+        view = memoryview(array("Q", words)).cast("B")
+        matrix = MaskMatrix.from_words(view, n_rows=2, n_words=n_words)
+        assert matrix.mask_of(0) == 3
+        assert matrix.mask_of(1) == 12

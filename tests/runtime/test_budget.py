@@ -213,3 +213,42 @@ class TestBudgetedLoops:
         budget = Budget(max_iterations=0)
         with pytest.raises(ExecutionInterruptedError):
             sensitivity_sweep(soccer_movie_db, budget=budget)
+
+
+class TestChildBudgets:
+    """``Budget.child()`` — how allowances cross the process boundary."""
+
+    def test_child_carries_remaining_allowance(self):
+        clock = FakeClock()
+        budget = Budget(
+            timeout=10.0, max_iterations=100, clock=clock
+        ).start()
+        clock.advance(4.0)
+        budget.charge(30)
+        child = budget.child()
+        assert child.timeout == pytest.approx(6.0)
+        assert child.max_iterations == 70
+
+    def test_child_of_unbounded_is_unbounded(self):
+        child = Budget().child()
+        assert child.timeout is None
+        assert child.max_iterations is None
+
+    def test_child_drops_the_token(self):
+        from repro.runtime.budget import CancellationToken
+
+        token = CancellationToken()
+        budget = Budget(token=token)
+        child = budget.child()
+        assert child.token is None
+        token.cancel()
+        child.check()  # the child must not see the parent's token
+
+    def test_exhausted_parent_yields_zero_child(self):
+        clock = FakeClock()
+        budget = Budget(timeout=1.0, max_iterations=5, clock=clock).start()
+        clock.advance(2.0)
+        budget._iterations = 9
+        child = budget.child()
+        assert child.timeout == 0.0
+        assert child.max_iterations == 0

@@ -296,3 +296,40 @@ def test_incremental_tiers_mutually_exclusive(oem_file, mutation_file):
         main([
             "incremental", oem_file, mutation_file, "--refresh", "--rebuild",
         ])
+
+
+def test_extract_jobs_auto(oem_file, capsys):
+    """``--jobs auto`` resolves to the CPU count and must print the
+    same extraction as the sequential default."""
+    assert main(["extract", oem_file, "-k", "2"]) == 0
+    sequential = capsys.readouterr().out
+    assert main(["extract", oem_file, "-k", "2", "--jobs", "auto"]) == 0
+    assert capsys.readouterr().out == sequential
+
+
+def test_extract_jobs_rejects_garbage(oem_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["extract", oem_file, "--jobs", "several"])
+    assert "positive integer or 'auto'" in capsys.readouterr().err
+
+
+def test_extract_jobs_rejects_zero(oem_file, capsys):
+    assert main(["extract", oem_file, "--jobs", "0"]) == 2
+    assert "jobs must be >= 1" in capsys.readouterr().err
+
+
+def test_extract_no_shared_pool_is_output_identical(oem_file, capsys):
+    """The legacy spawn-per-call path stays the byte-identical oracle."""
+    assert main(["extract", oem_file, "-k", "2", "--jobs", "2"]) == 0
+    pooled = capsys.readouterr().out
+    assert main([
+        "extract", oem_file, "-k", "2", "--jobs", "2", "--no-shared-pool",
+    ]) == 0
+    assert capsys.readouterr().out == pooled
+
+
+def test_sweep_jobs_auto(oem_file, capsys):
+    assert main(["sweep", oem_file]) == 0
+    sequential = capsys.readouterr().out
+    assert main(["sweep", oem_file, "--jobs", "auto"]) == 0
+    assert capsys.readouterr().out == sequential
