@@ -281,6 +281,16 @@ def compare_parallel_pipeline(
         "payload_bytes": perf.counter("parallel.payload_bytes"),
         "task_bytes": perf.counter("parallel.task_bytes"),
         "pickle_seconds": round(perf.elapsed("parallel.pickle_seconds"), 6),
+        "reconcile_seconds": round(perf.elapsed("parallel.reconcile"), 6),
+        "reconcile_fraction": round(
+            perf.elapsed("parallel.reconcile")
+            / max(parallel_seconds, 1e-9),
+            4,
+        ),
+        "reconcile_tasks": perf.counter("parallel.reconcile_tasks"),
+        "reconcile_quotient_rules": perf.counter(
+            "parallel.reconcile_quotient_rules"
+        ),
     }
 
 
@@ -308,6 +318,12 @@ def compare_parallel_large(
     and the asserted number is a measurement, never an extrapolation.
     The advantage being algorithmic (component-local signatures vs
     cross-component mixing), the gate holds even on one core.
+
+    A second asserted gate (``reconcile_gate_asserted: true``) pins
+    the distributed reconcile: the ``parallel.reconcile`` span's share
+    of the pooled Stage 1 wall must be strictly smaller with the
+    distributed reconcile than with ``parallel_reconcile=False``, and
+    the two runs' extents must be identical.
     """
     db = make_large_multi_component(num_objects)
     perf = PerfRecorder()
@@ -319,6 +335,39 @@ def compare_parallel_large(
     parallel_seconds = time.perf_counter() - start
     assert perf.counter("parallel.shards") >= 2, (
         "large workload did not shard; the comparison would be vacuous"
+    )
+
+    # The reconcile gate: the same pooled Stage 1 with the distributed
+    # reconcile disabled (--no-parallel-reconcile) must spend a strictly
+    # larger *fraction* of its wall on the reconcile span.  Fractions,
+    # not absolutes, so the gate is robust to machine speed; and the
+    # distributed side's win is algorithmic (quotient + shard-restricted
+    # GFPs), so it holds even on one core.
+    perf_oracle = PerfRecorder()
+    oracle_extractor = ParallelExtractor(
+        db,
+        jobs=jobs,
+        max_shard_objects=LARGE_SHARD_CAP,
+        parallel_reconcile=False,
+        perf=perf_oracle,
+    )
+    start = time.perf_counter()
+    oracle = oracle_extractor.stage1()
+    oracle_seconds = time.perf_counter() - start
+    assert oracle.extents == sharded.extents, (
+        "distributed reconcile diverged from the full-database GFP "
+        "reconcile on the large workload"
+    )
+    reconcile_parallel = perf.elapsed("parallel.reconcile")
+    reconcile_sequential = perf_oracle.elapsed("parallel.reconcile")
+    fraction_parallel = reconcile_parallel / max(parallel_seconds, 1e-9)
+    fraction_sequential = reconcile_sequential / max(oracle_seconds, 1e-9)
+    assert fraction_parallel < fraction_sequential, (
+        f"distributed reconcile consumed {fraction_parallel:.1%} of the "
+        f"parallel wall, not below the sequential reconcile's "
+        f"{fraction_sequential:.1%} "
+        f"({reconcile_parallel:.2f}s/{parallel_seconds:.2f}s vs "
+        f"{reconcile_sequential:.2f}s/{oracle_seconds:.2f}s)"
     )
 
     allowance = cap_factor * parallel_seconds
@@ -363,6 +412,15 @@ def compare_parallel_large(
         "payload_bytes": perf.counter("parallel.payload_bytes"),
         "task_bytes": perf.counter("parallel.task_bytes"),
         "pickle_seconds": round(perf.elapsed("parallel.pickle_seconds"), 6),
+        "reconcile_seconds_parallel": round(reconcile_parallel, 6),
+        "reconcile_seconds_sequential": round(reconcile_sequential, 6),
+        "reconcile_fraction_parallel": round(fraction_parallel, 4),
+        "reconcile_fraction_sequential": round(fraction_sequential, 4),
+        "reconcile_tasks": perf.counter("parallel.reconcile_tasks"),
+        "reconcile_quotient_rules": perf.counter(
+            "parallel.reconcile_quotient_rules"
+        ),
+        "reconcile_gate_asserted": True,
     }
 
 

@@ -142,6 +142,7 @@ def _make_extractor(args: argparse.Namespace, db, perf):
         db,
         jobs=jobs,
         use_shared_pool=not getattr(args, "no_shared_pool", False),
+        parallel_reconcile=not getattr(args, "no_parallel_reconcile", False),
         **common,
     )
 
@@ -392,6 +393,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         refresh_timeout=args.refresh_timeout,
         breaker_threshold=args.breaker_threshold,
         enable_chaos=args.enable_chaos,
+        jobs=resolve_jobs(getattr(args, "jobs", 1)),
     )
     try:
         return asyncio.run(
@@ -439,6 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "instead of the persistent shared-memory pool "
                            "(results are identical; use to measure the "
                            "pool's contribution)")
+    p_extract.add_argument("--no-parallel-reconcile", action="store_true",
+                           help="run the shard-merge reconcile as one "
+                           "full-database GFP on the coordinator instead "
+                           "of fanning per-shard restricted GFPs to the "
+                           "worker pool (results are identical; use to "
+                           "measure the distributed reconcile)")
     p_extract.add_argument("--no-recast-memo", action="store_true",
                            help="disable the cross-sample recast memo "
                            "(results are identical; use to measure the "
@@ -489,6 +497,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--no-shared-pool", action="store_true",
                          help="use the legacy spawn-per-call worker path "
                          "instead of the persistent shared-memory pool")
+    p_sweep.add_argument("--no-parallel-reconcile", action="store_true",
+                         help="run the shard-merge reconcile as one "
+                         "full-database GFP on the coordinator instead of "
+                         "fanning per-shard restricted GFPs to the worker "
+                         "pool (results are identical)")
     p_sweep.add_argument("--no-recast-memo", action="store_true",
                          help="disable the cross-sample recast memo")
     p_sweep.add_argument("--no-bitset", action="store_true",
@@ -605,6 +618,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--breaker-threshold", type=int, default=3,
                          help="consecutive refresh failures that trip "
                          "the circuit breaker")
+    p_serve.add_argument("--jobs", type=_jobs_value, default=1,
+                         metavar="N|auto",
+                         help="worker processes leased for the initial "
+                         "extraction and refreshes (one persistent pool "
+                         "per database epoch; 1 = sequential)")
     p_serve.add_argument("--enable-chaos", action="store_true",
                          help="expose POST /chaos fault injection "
                          "(tests and benches only)")

@@ -220,13 +220,21 @@ def satisfies_link(
 
 
 def _signature_upper_bound(
-    program: TypingProgram, db: Database, perf: PerfRecorder
+    program: TypingProgram,
+    db: Database,
+    perf: PerfRecorder,
+    objects: Optional[Iterable[ObjectId]] = None,
 ) -> Dict[str, Set[ObjectId]]:
-    """The pre-fixpoint start assignment described in the module doc."""
+    """The pre-fixpoint start assignment described in the module doc.
+
+    ``objects`` optionally restricts the candidate pool to a subset of
+    the complex objects (the shard-restricted evaluation of
+    :func:`greatest_fixpoint_restricted`); ``None`` means all of them.
+    """
     # Group objects by signature so the superset tests run once per
     # distinct signature rather than once per object.
     by_signature: Dict[FrozenSet[_Kind], List[ObjectId]] = {}
-    for obj in db.complex_objects():
+    for obj in db.complex_objects() if objects is None else objects:
         by_signature.setdefault(object_signature(db, obj), []).append(obj)
     bound: Dict[str, Set[ObjectId]] = {}
     for rule in program.rules():
@@ -258,6 +266,7 @@ def greatest_fixpoint(
     restrict_to: Optional[Mapping[str, Iterable[ObjectId]]] = None,
     budget: Optional["Budget"] = None,
     perf: Optional[PerfRecorder] = None,
+    objects: Optional[Iterable[ObjectId]] = None,
 ) -> FixpointResult:
     """Compute the greatest fixpoint of ``program`` on ``db``.
 
@@ -285,12 +294,16 @@ def greatest_fixpoint(
         (bodies verified), ``gfp.satisfaction_checks`` (per-object
         typed-link evaluations — the work measure the dirty tracking
         and the atomic-link elision reduce) and ``gfp.objects_removed``.
+    objects:
+        Optional restriction of the candidate pool to a subset of the
+        complex objects; see :func:`greatest_fixpoint_restricted` for
+        when the restricted evaluation is exact.
 
     Returns a :class:`FixpointResult` with the GFP extents.
     """
     perf = _resolve_perf(perf)
     with perf.span("gfp.signature_bound"):
-        extents = _signature_upper_bound(program, db, perf)
+        extents = _signature_upper_bound(program, db, perf, objects)
     if restrict_to is not None:
         for name, allowed in restrict_to.items():
             if name in extents:
@@ -381,6 +394,110 @@ def greatest_fixpoint(
         extents={name: frozenset(members) for name, members in extents.items()},
         iterations=iterations,
     )
+
+
+def greatest_fixpoint_restricted(
+    program: TypingProgram,
+    db: Database,
+    objects: Iterable[ObjectId],
+    budget: Optional["Budget"] = None,
+    perf: Optional[PerfRecorder] = None,
+) -> FixpointResult:
+    """GFP of ``program`` with the candidate pool restricted to ``objects``.
+
+    Evaluates link satisfaction against the *full* database adjacency
+    but only ever admits members of ``objects`` into extents.  When
+    ``objects`` is closed under edges between complex objects — a union
+    of weakly-connected components, e.g. one shard of
+    :func:`repro.graph.partition.partition_database` — the result is
+    exactly the restriction of the global GFP:
+
+    * every typed-link witness of a member of ``objects`` lies inside
+      ``objects`` (closure), so the restricted iteration removes an
+      object iff the global iteration does;
+    * hence ``M_S(q) = M(q) ∩ S`` for every type ``q``, and the global
+      extent is the disjoint union of the per-shard restricted extents.
+
+    This is the worker-side entry point of the distributed reconcile
+    (:mod:`repro.parallel.merge`): each shard task computes its own
+    restricted extents and the coordinator unions them, skipping the
+    full-database signature scan entirely.
+    """
+    return greatest_fixpoint(
+        program, db, budget=budget, perf=perf, objects=list(objects)
+    )
+
+
+def bisimulation_quotient(
+    program: TypingProgram,
+) -> Tuple[TypingProgram, Dict[str, str]]:
+    """Collapse syntactically bisimilar rules; exact for GFP extents.
+
+    Returns ``(quotient, mapping)`` where ``mapping`` sends every type
+    name of ``program`` to the name of its representative in
+    ``quotient``, and for every database ``D``::
+
+        greatest_fixpoint(program, D).members(q)
+            == greatest_fixpoint(quotient, D).members(mapping[q])
+
+    The partition is computed by Moore-style refinement: start with all
+    rules in one class and repeatedly split classes by the rule
+    *signature* — the body with every complex target replaced by the
+    current class of that target (atomic targets kept verbatim) — until
+    stable.  On the stable partition all rules of a class have
+    literally equal bodies after renaming targets to representatives.
+
+    Exactness argument (rule bodies are *positive* conjunctions, which
+    is what makes both directions work):
+
+    * Pulling the quotient GFP ``M'`` back along ``mapping`` gives a
+      fixpoint of ``program``: satisfaction of a renamed body under
+      ``M'`` coincides with satisfaction of the original body under the
+      pullback, so the pullback is ``T_P``-stable and therefore below
+      the GFP ``M`` of ``program``.
+    * Pushing ``M`` forward (per-class union) gives a *pre*-fixpoint of
+      the quotient — monotonicity of positive bodies means enlarging
+      extents never breaks satisfaction — so the pushforward is below
+      ``M'``, i.e. ``M(q) ⊆ M'(mapping[q])``.
+
+    Together: equality.  The reconcile pass of the parallel extractor
+    uses this to shrink the broadcast combined program from
+    ``shards × classes`` rules to one rule per structurally distinct
+    class before fanning out per-shard restricted evaluations.
+    """
+    rules = list(program.rules())
+    names = [rule.name for rule in rules]
+    cls: Dict[str, int] = {name: 0 for name in names}
+    num_classes = 1 if rules else 0
+    while True:
+        buckets: Dict[Tuple[int, FrozenSet], List[str]] = {}
+        for rule in rules:
+            signature = frozenset(
+                (link.direction, link.label, link.target)
+                if link.is_atomic_target
+                else (link.direction, link.label, cls[link.target])
+                for link in rule.body
+            )
+            buckets.setdefault((cls[rule.name], signature), []).append(
+                rule.name
+            )
+        if len(buckets) == num_classes:
+            break
+        num_classes = len(buckets)
+        cls = {}
+        for new_id, members in enumerate(buckets.values()):
+            for member in members:
+                cls[member] = new_id
+
+    representative: Dict[int, str] = {}
+    for name in names:  # first-in-program-order member represents
+        representative.setdefault(cls[name], name)
+    mapping = {name: representative[cls[name]] for name in names}
+    quotient_rules = [
+        program.rule(rep).rename_targets(mapping)
+        for rep in representative.values()
+    ]
+    return TypingProgram(quotient_rules, check=False), mapping
 
 
 def greatest_fixpoint_rescan(

@@ -212,8 +212,37 @@ class IncrementalTyper:
         """
         self._maintainer = None
 
+    def _extractor(self, stage1, perf, jobs, pool_lease, extractor_options):
+        """The Stage 2–3 runner: sequential, or pooled when ``jobs>1``.
+
+        The parallel import stays lazy so the incremental tier never
+        drags in multiprocessing for the common ``jobs=1`` service.
+        The injected ``stage1`` skips the parallel Stage 1 outright —
+        only the sweep fans out, over the (possibly leased) pool.
+        """
+        if jobs > 1:
+            from repro.parallel.extractor import ParallelExtractor
+
+            return ParallelExtractor(
+                self._db,
+                jobs=jobs,
+                pool_lease=pool_lease,
+                stage1=stage1,
+                perf=perf,
+                **extractor_options,
+            )
+        return SchemaExtractor(
+            self._db, stage1=stage1, perf=perf, **extractor_options
+        )
+
     def refresh(
-        self, changes: ChangeLog, budget=None, perf=None, **extractor_options
+        self,
+        changes: ChangeLog,
+        budget=None,
+        perf=None,
+        jobs: int = 1,
+        pool_lease=None,
+        **extractor_options,
     ) -> Optional[ExtractionResult]:
         """Fold a recorded mutation batch in exactly; adopt the result.
 
@@ -236,14 +265,20 @@ class IncrementalTyper:
         Returns ``None`` — and resets nothing — when ``changes`` is
         empty.  The maintainer (and its signature index) is kept
         across calls, so repeated batches amortise the index build.
+
+        ``jobs``/``pool_lease`` route the Stage 2–3 re-run through a
+        :class:`~repro.parallel.extractor.ParallelExtractor` sharing
+        the service's long-lived worker pool; with the maintained
+        Stage 1 injected and ``k`` pinned this only fans out when a
+        sweep is actually needed.
         """
         if changes.empty:
             return None
         if self._maintainer is None:
             self._maintainer = Stage1Maintainer(self._db, self._stage1)
         new_stage1 = self._maintainer.apply(changes, budget=budget, perf=perf)
-        result = SchemaExtractor(
-            self._db, stage1=new_stage1, perf=perf, **extractor_options
+        result = self._extractor(
+            new_stage1, perf, jobs, pool_lease, extractor_options
         ).extract(k=self._k, budget=budget)
         self._program = result.program
         self._assignment = dict(result.assignment)
@@ -254,17 +289,26 @@ class IncrementalTyper:
         return result
 
     def rebuild(
-        self, k: Optional[int] = None, **extractor_options
+        self,
+        k: Optional[int] = None,
+        jobs: int = 1,
+        pool_lease=None,
+        perf=None,
+        **extractor_options,
     ) -> ExtractionResult:
         """Re-run the full pipeline and adopt its result.
 
         ``k`` defaults to the previous ``k`` (clamped by the pipeline if
         the perfect typing shrank below it); extra keyword arguments are
-        forwarded to :class:`~repro.core.pipeline.SchemaExtractor`.
+        forwarded to :class:`~repro.core.pipeline.SchemaExtractor` —
+        or, with ``jobs > 1``, to
+        :class:`~repro.parallel.extractor.ParallelExtractor`, which
+        shards Stage 1 (and the distributed reconcile) over
+        ``pool_lease``'s warm worker pool.
         """
-        result = SchemaExtractor(self._db, **extractor_options).extract(
-            k=self._k if k is None else k
-        )
+        result = self._extractor(
+            None, perf, jobs, pool_lease, extractor_options
+        ).extract(k=self._k if k is None else k)
         self._program = result.program
         self._assignment = dict(result.assignment)
         self._k = result.chosen_k

@@ -3,12 +3,16 @@
 Public surface:
 
 * :class:`ParallelExtractor` — the ``--jobs N`` front end;
-* :class:`SharedWorkerPool` / :func:`resolve_jobs` — the persistent
-  shared-memory worker pool and the ``--jobs auto`` resolver;
+* :class:`SharedWorkerPool` / :class:`PoolLease` /
+  :func:`resolve_jobs` — the persistent shared-memory worker pool,
+  the lease that keeps one pool warm across extractions, and the
+  ``--jobs auto`` resolver;
 * :func:`parallel_stage1` / :func:`parallel_sweep` — the two
   fan-out phases, usable on their own;
-* :func:`merge_shard_typings` / :func:`sharded_stage1` — the
-  in-process reconciliation primitives (used by the property tests).
+* :func:`merge_shard_typings` / :func:`sharded_stage1` /
+  :func:`restricted_reconcile` — the in-process reconciliation
+  primitives (used by the property tests; ``restricted_reconcile``
+  is the in-process twin of the pooled distributed reconcile).
 
 See ``docs/PARALLELISM.md`` for the sharding model and the
 determinism guarantees.
@@ -20,15 +24,21 @@ from repro.parallel.extractor import (
     parallel_sweep,
     resolve_jobs,
 )
-from repro.parallel.merge import merge_shard_typings, sharded_stage1
-from repro.parallel.pool import SharedWorkerPool
+from repro.parallel.merge import (
+    merge_shard_typings,
+    restricted_reconcile,
+    sharded_stage1,
+)
+from repro.parallel.pool import PoolLease, SharedWorkerPool
 
 __all__ = [
     "ParallelExtractor",
+    "PoolLease",
     "SharedWorkerPool",
     "merge_shard_typings",
     "parallel_stage1",
     "parallel_sweep",
     "resolve_jobs",
+    "restricted_reconcile",
     "sharded_stage1",
 ]

@@ -179,6 +179,7 @@ def _start(kind: int) -> _Writer:
 _KIND_DATABASE = 1
 _KIND_TYPING = 2
 _KIND_SHARDS = 3
+_KIND_PROGRAM = 4
 
 # ---------------------------------------------------------------------------
 # Database
@@ -440,6 +441,73 @@ def decode_typing(buffer) -> Tuple[PerfectTyping, str]:
 
 
 # ---------------------------------------------------------------------------
+# Bare typing programs (the reconcile broadcast)
+# ---------------------------------------------------------------------------
+
+
+def encode_program(program: TypingProgram) -> bytes:
+    """Serialize a bare :class:`TypingProgram` (no extents/home/weights).
+
+    Same layout as the rule section of :func:`encode_typing`: rule
+    bodies as packed uint64 rows over the exported link table.  Used to
+    broadcast the combined (quotiented) reconcile program once per
+    merge; workers decode it once and evaluate shard-restricted
+    fixpoints against it.
+    """
+    table = _StringTable()
+    space = LinkSpace()
+    rules = list(program.rules())
+    masks = [space.encode(rule.body) for rule in rules]
+    link_table = space.export_table()
+    packed, n_words = pack_masks(masks, space.dimension)
+
+    type_ids = array(_U32, [table.intern(rule.name) for rule in rules])
+    links = array(_U32)
+    for direction_value, label, target in link_table:
+        links.append(0 if direction_value == "out" else 1)
+        links.append(table.intern(label))
+        links.append(table.intern(target))
+
+    writer = _start(_KIND_PROGRAM)
+    writer.strings(table.strings)
+    writer.u32_array(type_ids)
+    writer.u32_array(links)
+    writer.u32(n_words)
+    writer.u32(len(rules))
+    writer.blob(packed.tobytes())
+    return writer.getvalue()
+
+
+def decode_program(buffer) -> TypingProgram:
+    """Invert :func:`encode_program` (rule order preserved)."""
+    reader = _Reader(buffer)
+    _check_magic(reader, _KIND_PROGRAM)
+    strings = reader.strings()
+    type_ids = reader.u32_array()
+    links = reader.u32_array()
+    n_words = reader.u32()
+    n_rules = reader.u32()
+    mask_view = reader.blob()
+    words = (
+        mask_view.cast("Q") if len(mask_view) else array("Q")
+    )
+    space = LinkSpace.from_table(
+        (
+            "out" if links[i] == 0 else "in",
+            strings[links[i + 1]],
+            strings[links[i + 2]],
+        )
+        for i in range(0, len(links), 3)
+    )
+    masks = unpack_masks(words, n_words)[:n_rules]
+    rules = [
+        TypeRule(strings[index], space.decode(mask))
+        for index, mask in zip(type_ids, masks)
+    ]
+    return TypingProgram(rules, check=False)
+
+
+# ---------------------------------------------------------------------------
 # Multi-section payloads (what actually lands in a shared segment)
 # ---------------------------------------------------------------------------
 
@@ -468,22 +536,33 @@ def unpack_sections(buffer) -> Dict[str, memoryview]:
 def build_pool_payload(
     db: Database,
     shard_objects: Optional[Sequence[FrozenSet[ObjectId]]] = None,
-) -> bytes:
-    """The initializer payload: the database, plus the partition."""
+) -> Tuple[bytes, Tuple[str, ...]]:
+    """The initializer payload: the database, plus the partition.
+
+    Returns ``(payload, strings)`` — the coordinator keeps the interned
+    string table so reconcile outcomes (uint32 indexes into it) can be
+    mapped back to object ids without decoding the payload.
+    """
     table = _StringTable()
     sections = {"db": encode_database(db, table)}
     if shard_objects is not None:
         sections["shards"] = encode_shards(shard_objects, table)
-    return pack_sections(sections)
+    return pack_sections(sections), tuple(table.strings)
 
 
 def load_pool_payload(
     buffer,
-) -> Tuple[Database, Optional[List[FrozenSet[ObjectId]]]]:
-    """Invert :func:`build_pool_payload` (worker initializer side)."""
+) -> Tuple[Database, Optional[List[FrozenSet[ObjectId]]], Tuple[str, ...]]:
+    """Invert :func:`build_pool_payload` (worker initializer side).
+
+    Also returns the payload's interned string table: reconcile workers
+    index their extent arrays against it, and the coordinator keeps its
+    own copy to map those indexes back to object ids without
+    re-encoding anything.
+    """
     sections = unpack_sections(buffer)
     db, strings = decode_database(sections["db"])
     shards = None
     if "shards" in sections:
         shards = decode_shards(sections["shards"], strings)
-    return db, shards
+    return db, shards, strings

@@ -46,9 +46,11 @@ to the usual best-so-far partial result.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import logging
 import os
 import time
+from array import array
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from typing import Callable, Iterator, List, Optional, Sequence, TypeVar, Union
@@ -78,12 +80,16 @@ from repro.graph.partition import Shard, extract_shard, partition_database
 from repro.perf import PerfRecorder, resolve as _resolve_perf
 from repro.runtime.budget import Budget, DegradationReport
 from repro.runtime.checkpoint import Checkpoint
+from repro.core.fixpoint import bisimulation_quotient
 from repro.parallel import codec
-from repro.parallel.merge import merge_shard_typings
+from repro.parallel.merge import ReconcileFn, merge_shard_typings
 from repro.parallel.pool import (
+    PooledReconcileTask,
     PooledStage1Task,
     PooledSweepTask,
+    PoolLease,
     SharedWorkerPool,
+    run_pooled_reconcile,
     run_pooled_stage1,
     run_pooled_sweep,
 )
@@ -163,6 +169,79 @@ def _run_pool(
         pool.shutdown(wait=clean, cancel_futures=not clean)
 
 
+def _pooled_reconcile(
+    pool: SharedWorkerPool,
+    shard_indexes: Sequence[int],
+    recorder: PerfRecorder,
+) -> ReconcileFn:
+    """The distributed reconcile pass over a live worker pool.
+
+    Quotients the combined program
+    (:func:`~repro.core.fixpoint.bisimulation_quotient` — exact for the
+    positive rule bodies), broadcasts it once through the wire codec as
+    a content-addressed segment (re-running the merge against an
+    unchanged program re-uses the segment), fans one
+    :class:`~repro.parallel.pool.PooledReconcileTask` per shard to the
+    already-warm workers and unions the returned uint32 extent arrays
+    through the pool's string table.  Extent-identical to the full-db
+    GFP by the component-closure argument in
+    :mod:`repro.parallel.merge`.
+    """
+
+    def run(combined, gfp_budget):
+        with recorder.span("parallel.reconcile_fanout"):
+            quotient, mapping = bisimulation_quotient(combined)
+            recorder.incr(
+                "parallel.reconcile_quotient_rules", len(quotient)
+            )
+            started = time.perf_counter()
+            wire = codec.encode_program(quotient)
+            recorder.add_time(
+                "parallel.pickle_seconds", time.perf_counter() - started
+            )
+            digest = hashlib.sha1(wire).hexdigest()[:16]
+            segment = pool.publish(f"program:{digest}", wire)
+            recorder.incr("parallel.reconcile_bytes", len(wire))
+            tasks = [
+                PooledReconcileTask(
+                    index=index,
+                    program_segment=segment,
+                    record_perf=recorder.enabled,
+                )
+                for index in shard_indexes
+            ]
+            outcomes = pool.run(tasks, run_pooled_reconcile, gfp_budget)
+            recorder.incr("parallel.reconcile_tasks", len(tasks))
+            strings = pool.strings
+            names = [rule.name for rule in quotient.rules()]
+            union = {name: set() for name in names}
+            iterations = 0
+            total_members = 0
+            for outcome in outcomes:
+                if outcome.perf_snapshot is not None:
+                    recorder.merge_dict(outcome.perf_snapshot)
+                iterations += outcome.iterations
+                offsets = array("I")
+                offsets.frombytes(outcome.offsets)
+                ids = array("I")
+                ids.frombytes(outcome.members)
+                for position, name in enumerate(names):
+                    start, end = offsets[position], offsets[position + 1]
+                    if end > start:
+                        bucket = union[name]
+                        for i in range(start, end):
+                            bucket.add(strings[ids[i]])
+                total_members += len(ids)
+            recorder.incr("parallel.reconcile_members", total_members)
+            frozen = {
+                name: frozenset(members) for name, members in union.items()
+            }
+            extents = {name: frozen[rep] for name, rep in mapping.items()}
+        return extents, iterations
+
+    return run
+
+
 def parallel_stage1(
     db: Database,
     jobs: int,
@@ -172,6 +251,7 @@ def parallel_stage1(
     budget: Optional[Budget] = None,
     perf: Optional[PerfRecorder] = None,
     pool: Optional[SharedWorkerPool] = None,
+    parallel_reconcile: bool = True,
 ) -> PerfectTyping:
     """Stage 1 across a worker pool; extent-identical to sequential.
 
@@ -185,6 +265,11 @@ def parallel_stage1(
     shard out of the initializer-shipped database, and a task is just
     the shard index.  Without one (the legacy oracle path) every task
     pickles its shard as before.
+
+    ``parallel_reconcile`` additionally distributes the reconcile GFP
+    over the same pool (see :func:`_pooled_reconcile`); it only takes
+    effect on the pooled path — the legacy executors keep the
+    full-database reconcile, preserving the oracle exactly.
     """
     recorder = _resolve_perf(perf)
     if shards is None:
@@ -247,9 +332,14 @@ def parallel_stage1(
             "parallel stage1: %d shard(s) -> %d shard type(s)",
             len(shards), sum(t.num_types for t in typings),
         )
+        reconcile: Optional[ReconcileFn] = None
+        if pool is not None and parallel_reconcile:
+            reconcile = _pooled_reconcile(
+                pool, [shard.index for shard in shards], recorder
+            )
         return merge_shard_typings(
             db, typings, local_rule_fn=local_rule_fn, budget=budget,
-            perf=perf,
+            perf=perf, reconcile=reconcile,
         )
 
 
@@ -426,6 +516,20 @@ class ParallelExtractor:
         :class:`~repro.parallel.pool.SharedWorkerPool` (the default).
         ``False`` keeps the legacy spawn-per-call executors — the
         byte-identical oracle path behind ``--no-shared-pool``.
+    parallel_reconcile:
+        Distribute the reconcile GFP over the shared pool (the
+        default).  ``False`` (CLI ``--no-parallel-reconcile``) keeps
+        the sequential full-database reconcile as the oracle.
+    pool_lease:
+        An optional :class:`~repro.parallel.pool.PoolLease` that owns
+        the shared pool's lifetime, letting repeated extractions (and
+        service refreshes) against the same database epoch reuse one
+        pool and one shipped payload.  Without one, each outermost
+        public call builds and tears down its own pool as before.
+    stage1:
+        A precomputed Stage 1 typing to inject (same contract as the
+        sequential extractor's ``stage1=``), skipping the parallel
+        Stage 1 entirely.
 
     Restrictions: the parallel *sweep* path needs a named distance and
     no roles/prior transforms (those reshape the Stage 2 starting
@@ -453,6 +557,9 @@ class ParallelExtractor:
         use_matrix: bool = True,
         max_shard_objects: Optional[int] = None,
         use_shared_pool: bool = True,
+        parallel_reconcile: bool = True,
+        pool_lease: Optional[PoolLease] = None,
+        stage1: Optional[PerfectTyping] = None,
         perf: Optional[PerfRecorder] = None,
     ) -> None:
         self._db = db
@@ -471,8 +578,10 @@ class ParallelExtractor:
         self._use_matrix = use_matrix
         self._max_shard_objects = max_shard_objects
         self._use_shared_pool = use_shared_pool
+        self._parallel_reconcile = parallel_reconcile
+        self._lease = pool_lease
         self._perf = _resolve_perf(perf)
-        self._stage1: Optional[PerfectTyping] = None
+        self._stage1: Optional[PerfectTyping] = stage1
         self._shards: Optional[List[Shard]] = None
         self._pool: Optional[SharedWorkerPool] = None
 
@@ -522,6 +631,37 @@ class ParallelExtractor:
         if self._pool is not None:
             yield self._pool
             return
+        if (
+            self._lease is not None
+            and self._use_shared_pool
+            and self._jobs > 1
+        ):
+            # A leased pool outlives this call: the lease owns teardown,
+            # so the scope only clears the reuse slot, never closes.
+            try:
+                shards = self.shards()
+                pool = self._lease.acquire(
+                    self._db,
+                    shard_objects=(
+                        [shard.objects for shard in shards]
+                        if len(shards) > 1 else None
+                    ),
+                    perf=self._perf if self._perf.enabled else None,
+                )
+            except Exception as exc:
+                logger.warning(
+                    "leased worker pool unavailable (%s: %s); using "
+                    "spawn-per-call executors",
+                    type(exc).__name__, exc,
+                )
+                self._perf.incr("parallel.pool_fallbacks")
+                pool = None
+            self._pool = pool
+            try:
+                yield pool
+            finally:
+                self._pool = None
+            return
         pool = self._open_pool()
         self._pool = pool
         try:
@@ -551,6 +691,7 @@ class ParallelExtractor:
                     budget=budget,
                     perf=self._perf if self._perf.enabled else None,
                     pool=pool,
+                    parallel_reconcile=self._parallel_reconcile,
                 )
         return self._stage1
 
@@ -651,7 +792,9 @@ class ParallelExtractor:
         to the sequential pipeline, whose sticky budget turns the run
         into the usual best-so-far partial result.
         """
-        if self._jobs == 1:
+        if self._jobs == 1 or (self._stage1 is not None and k is not None):
+            # jobs=1, or both parallel phases are already moot (Stage 1
+            # injected, k fixed so no sweep): don't touch a pool at all.
             return self._sequential().extract(
                 k=k,
                 sweep_step=sweep_step,

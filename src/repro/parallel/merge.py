@@ -25,13 +25,52 @@ smallest-home-object leaders, same canonical ``t1..tn`` names, same
 representative rules and weights.  The only sequential field that
 differs is the ``q_iterations`` diagnostic (work now happens in
 several fixpoints); tests compare everything else.
+
+Distributing the reconcile
+--------------------------
+At 100+ shards the single full-database GFP becomes the dominant
+*sequential* tail of the parallel pipeline (Amdahl).  The same
+component-closure argument that makes sharded Stage 1 exact also makes
+the reconcile embarrassingly parallel: for every class ``q`` of the
+combined program, ``M(q) = ⋃_i M(q) ∩ S_i`` and each restricted extent
+``M(q) ∩ S_i`` is computable from shard ``i`` alone
+(:func:`repro.core.fixpoint.greatest_fixpoint_restricted`).  Two
+further facts make the distributed pass an outright algorithmic win
+rather than a bare parallelism one:
+
+* **Quotient before broadcast.**  Rule bodies are positive
+  conjunctions, so collapsing syntactically bisimilar rules
+  (:func:`repro.core.fixpoint.bisimulation_quotient`) preserves GFP
+  extents exactly.  Databases with many structurally similar
+  components — precisely the ones that shard well — shrink the
+  ``shards × classes``-rule combined program to one rule per
+  structurally distinct class, cutting the per-shard candidate pairs
+  by the duplication factor.
+* **Extents stay interned.**  Workers return restricted extents as
+  compact uint32 indexes into the pool payload's string table; the
+  coordinator unions per quotient class and shares one frozenset
+  instance across all classes of a quotient class, so the
+  extent-identity grouping below hashes each distinct extent once.
+
+:func:`merge_shard_typings` accepts the distributed pass as an
+injected ``reconcile`` callable (built by
+:func:`repro.parallel.extractor.parallel_stage1` over the live worker
+pool, or in-process by :func:`restricted_reconcile`); any failure
+falls back to the full-database GFP (``parallel.reconcile_fallbacks``)
+so the parallel path can never produce a worse answer than the
+sequential one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+import logging
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.core.fixpoint import greatest_fixpoint
+from repro.core.fixpoint import (
+    bisimulation_quotient,
+    greatest_fixpoint,
+    greatest_fixpoint_restricted,
+)
 from repro.core.perfect import (
     PerfectTyping,
     local_rule,
@@ -39,11 +78,21 @@ from repro.core.perfect import (
     object_type_name,
 )
 from repro.core.typing_program import TypeRule, TypingProgram
-from repro.exceptions import ClusteringError
+from repro.exceptions import ClusteringError, ExecutionInterruptedError
 from repro.graph.database import Database, ObjectId
 from repro.graph.partition import extract_shard, partition_database
 from repro.perf import PerfRecorder, resolve as _resolve_perf
 from repro.runtime.budget import Budget
+
+logger = logging.getLogger("repro.parallel.merge")
+
+#: The injected reconcile pass: ``(combined program, budget)`` to
+#: ``(extents by class name, iteration count)``.  Must cover every
+#: type name of the combined program.
+ReconcileFn = Callable[
+    [TypingProgram, Optional[Budget]],
+    Tuple[Dict[str, FrozenSet[ObjectId]], int],
+]
 
 #: Separator between the shard prefix and the shard-local class name.
 #: Shard-local names are ``t<i>`` and final names are ``t<i>``, so the
@@ -57,6 +106,7 @@ def merge_shard_typings(
     local_rule_fn=None,
     budget: Optional[Budget] = None,
     perf: Optional[PerfRecorder] = None,
+    reconcile: Optional[ReconcileFn] = None,
 ) -> PerfectTyping:
     """Merge per-shard Stage 1 results into the global perfect typing.
 
@@ -72,6 +122,12 @@ def merge_shard_typings(
     its timeout or iteration cap — Stage 1 is the pipeline's mandatory
     minimum and must not degrade differently from the sequential path,
     but a Ctrl-C must be able to stop a large reconcile GFP mid-flight.
+
+    ``reconcile`` optionally replaces the full-database GFP with a
+    distributed or shard-restricted pass (see the module doc).  It must
+    return extents for every class of the combined program;
+    cancellation propagates, any other failure logs a warning, bumps
+    ``parallel.reconcile_fallbacks`` and falls back to the full-db GFP.
     """
     recorder = _resolve_perf(perf)
     build = local_rule_fn if local_rule_fn is not None else local_rule
@@ -96,16 +152,44 @@ def merge_shard_typings(
                 shard_members.setdefault(prefix + home, []).append(obj)
         combined = TypingProgram(prefixed_rules, check=False)
 
-        # 2. One class-level GFP over the *full* database: its extents
-        # are the global extents of each shard class's leader.
-        fixpoint = greatest_fixpoint(combined, db, budget=gfp_budget, perf=perf)
+        # 2. Global extents of every shard class: either the injected
+        # (distributed / shard-restricted) reconcile pass, or one
+        # class-level GFP over the *full* database.
+        extents_by_name: Optional[Dict[str, FrozenSet[ObjectId]]] = None
+        reconcile_iterations = 0
+        if reconcile is not None:
+            try:
+                extents_by_name, reconcile_iterations = reconcile(
+                    combined, gfp_budget
+                )
+            except ExecutionInterruptedError:
+                raise
+            except Exception:
+                logger.warning(
+                    "distributed reconcile failed; falling back to the "
+                    "full-database GFP",
+                    exc_info=True,
+                )
+                recorder.incr("parallel.reconcile_fallbacks")
+                extents_by_name = None
+        if extents_by_name is None:
+            fixpoint = greatest_fixpoint(
+                combined, db, budget=gfp_budget, perf=perf
+            )
+            extents_by_name = {
+                name: fixpoint.members(name)
+                for name in combined.type_names()
+            }
+            reconcile_iterations = fixpoint.iterations
         recorder.incr("parallel.reconcile_classes", len(prefixed_rules))
 
         # 3. Group shard classes by global extent — the cross-shard
         # half of the sequential collapse.
         by_extent: Dict[FrozenSet[ObjectId], List[str]] = {}
         for name in combined.type_names():
-            by_extent.setdefault(fixpoint.members(name), []).append(name)
+            by_extent.setdefault(
+                extents_by_name.get(name, frozenset()), []
+            ).append(name)
 
         groups: List[Tuple[ObjectId, FrozenSet[ObjectId], List[ObjectId]]] = []
         seen: set = set()
@@ -164,9 +248,53 @@ def merge_shard_typings(
         extents=class_extent,
         weights=weights,
         q_iterations=(
-            sum(t.q_iterations for t in typings) + fixpoint.iterations
+            sum(t.q_iterations for t in typings) + reconcile_iterations
         ),
     )
+
+
+def restricted_reconcile(
+    db: Database,
+    shard_objects: Sequence[FrozenSet[ObjectId]],
+    perf: Optional[PerfRecorder] = None,
+) -> ReconcileFn:
+    """In-process shard-restricted reconcile pass.
+
+    Quotients the combined program
+    (:func:`~repro.core.fixpoint.bisimulation_quotient`), evaluates one
+    :func:`~repro.core.fixpoint.greatest_fixpoint_restricted` per shard
+    and unions the restricted extents — the exact algorithm the pooled
+    path distributes, minus the worker pool.  Used by
+    :func:`sharded_stage1` (``parallel_reconcile=True``) and by the
+    property suite as the middle oracle between the sequential Stage 1
+    and the distributed reconcile.
+    """
+    recorder = _resolve_perf(perf)
+
+    def run(
+        combined: TypingProgram, gfp_budget: Optional[Budget]
+    ) -> Tuple[Dict[str, FrozenSet[ObjectId]], int]:
+        quotient, mapping = bisimulation_quotient(combined)
+        recorder.incr("parallel.reconcile_quotient_rules", len(quotient))
+        union: Dict[str, set] = {name: set() for name in quotient.type_names()}
+        iterations = 0
+        for objects in shard_objects:
+            members = [obj for obj in objects if db.is_complex(obj)]
+            fixpoint = greatest_fixpoint_restricted(
+                quotient, db, members, budget=gfp_budget, perf=perf
+            )
+            iterations += fixpoint.iterations
+            for name, extent in fixpoint.extents.items():
+                union[name] |= extent
+            recorder.incr("parallel.reconcile_tasks")
+        frozen = {name: frozenset(members) for name, members in union.items()}
+        recorder.incr(
+            "parallel.reconcile_members",
+            sum(len(members) for members in frozen.values()),
+        )
+        return {name: frozen[rep] for name, rep in mapping.items()}, iterations
+
+    return run
 
 
 def sharded_stage1(
@@ -175,6 +303,7 @@ def sharded_stage1(
     max_objects: Optional[int] = None,
     local_rule_fn=None,
     perf: Optional[PerfRecorder] = None,
+    parallel_reconcile: bool = True,
 ) -> PerfectTyping:
     """Stage 1 via sharding, in-process (no worker pool).
 
@@ -183,7 +312,18 @@ def sharded_stage1(
     extractor dispatches the same per-shard work to workers; the
     property-test suite uses this function to check the sharded result
     against the sequential oracle without multiprocessing noise.
+
+    ``parallel_reconcile`` selects the shard-restricted reconcile pass
+    (:func:`restricted_reconcile`, the in-process twin of the
+    distributed one); ``False`` keeps the original full-database GFP
+    as the oracle.
+
+    Per-shard typing runs inside a ``parallel.shard_stage1`` span so
+    shard work and the reconcile pass stay separately attributable in
+    the aggregated recorder (previously both landed in the same
+    undifferentiated counters).
     """
+    recorder = _resolve_perf(perf)
     shards = partition_database(db, num_shards, max_objects=max_objects)
     if len(shards) <= 1:
         # One giant component (or an empty/trivial database): the
@@ -191,14 +331,24 @@ def sharded_stage1(
         return minimal_perfect_typing(
             db, local_rule_fn=local_rule_fn, perf=perf
         )
-    typings = [
-        minimal_perfect_typing(
-            extract_shard(db, shard.objects),
-            local_rule_fn=local_rule_fn,
-            perf=perf,
+    with recorder.span("parallel.shard_stage1"):
+        typings = [
+            minimal_perfect_typing(
+                extract_shard(db, shard.objects),
+                local_rule_fn=local_rule_fn,
+                perf=perf,
+            )
+            for shard in shards
+        ]
+    reconcile = None
+    if parallel_reconcile:
+        reconcile = restricted_reconcile(
+            db, [shard.objects for shard in shards], perf=perf
         )
-        for shard in shards
-    ]
     return merge_shard_typings(
-        db, typings, local_rule_fn=local_rule_fn, perf=perf
+        db,
+        typings,
+        local_rule_fn=local_rule_fn,
+        perf=perf,
+        reconcile=reconcile,
     )

@@ -42,6 +42,7 @@ import logging
 import os
 import pickle
 import time
+from array import array
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -53,12 +54,15 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Tuple,
 )
 
+from repro.core.fixpoint import greatest_fixpoint_restricted
 from repro.graph.database import Database, ObjectId
 from repro.graph.partition import extract_shard
 from repro.parallel import codec, shm
 from repro.parallel.worker import (
+    ReconcileOutcome,
     Stage1Outcome,
     SweepOutcome,
     SweepParams,
@@ -100,14 +104,17 @@ def _pool_initializer(payload_segment: str) -> None:
     payload = shm.SharedPayload.attach(payload_segment)
     view = payload.view()
     try:
-        db, shards = codec.load_pool_payload(view)
+        db, shards, strings = codec.load_pool_payload(view)
     finally:
         view.release()
     _WORKER_STATE = {
         "payload": payload,
         "db": db,
         "shards": shards,
+        "strings": strings,
+        "object_index": None,  # built lazily by the first reconcile task
         "typings": {},
+        "programs": {},
     }
 
 
@@ -149,6 +156,43 @@ def _worker_typing(segment_name: str):
         )
         state["typings"][segment_name] = cached
     return cached
+
+
+def _worker_program(segment_name: str):
+    """The decoded reconcile program of ``segment_name`` (cached).
+
+    Same attach-decode-close-cache protocol as :func:`_worker_typing`:
+    the broadcast combined program costs one decode per worker, not one
+    per shard task.
+    """
+    state = _worker_state()
+    cached = state["programs"].get(segment_name)
+    if cached is None:
+        payload = shm.SharedPayload.attach(segment_name)
+        view = payload.view()
+        try:
+            cached = codec.decode_program(view)
+        finally:
+            view.release()
+        payload.close()
+        state["programs"][segment_name] = cached
+    return cached
+
+
+def _worker_object_index() -> Dict[ObjectId, int]:
+    """Object id -> index into the pool payload's string table.
+
+    Built once per worker on first use; reconcile outcomes ship their
+    extents as uint32 indexes into this table instead of strings.
+    """
+    state = _worker_state()
+    index = state["object_index"]
+    if index is None:
+        index = {
+            name: position for position, name in enumerate(state["strings"])
+        }
+        state["object_index"] = index
+    return index
 
 
 def _maybe_chaos_exit(segment_name: Optional[str]) -> None:
@@ -221,6 +265,56 @@ def run_pooled_sweep(task: PooledSweepTask) -> SweepOutcome:
     return sweep_body(state["db"], typing, assignment, weights, task.params)
 
 
+@dataclass(frozen=True)
+class PooledReconcileTask:
+    """Reconcile work order: a shard index plus the program segment."""
+
+    index: int
+    program_segment: str
+    record_perf: bool = False
+    chaos_kill_segment: Optional[str] = None
+
+
+def run_pooled_reconcile(task: PooledReconcileTask) -> ReconcileOutcome:
+    """Pool worker body: shard-restricted extents of the broadcast program.
+
+    Evaluates
+    :func:`~repro.core.fixpoint.greatest_fixpoint_restricted` of the
+    (already quotiented) combined program over this shard's complex
+    objects against the initializer's database — exact because shards
+    are edge-closed unions of components — and returns the extents as
+    compact uint32 arrays over the payload string table: ``offsets[i]``
+    ..``offsets[i+1]`` bounds the members of the ``i``-th rule of the
+    program (program order).
+    """
+    _maybe_chaos_exit(task.chaos_kill_segment)
+    state = _worker_state()
+    shards = state["shards"]
+    if shards is None:
+        raise RuntimeError("pool payload carries no shard partition")
+    db = state["db"]
+    program = _worker_program(task.program_segment)
+    perf = PerfRecorder() if task.record_perf else None
+    members = [obj for obj in shards[task.index] if db.is_complex(obj)]
+    fixpoint = greatest_fixpoint_restricted(
+        program, db, members, perf=perf
+    )
+    index_of = _worker_object_index()
+    offsets = array("I", [0])
+    extent_ids = array("I")
+    for name in program.type_names():
+        for obj in fixpoint.members(name):
+            extent_ids.append(index_of[obj])
+        offsets.append(len(extent_ids))
+    return ReconcileOutcome(
+        index=task.index,
+        offsets=offsets.tobytes(),
+        members=extent_ids.tobytes(),
+        iterations=fixpoint.iterations,
+        perf_snapshot=perf.to_dict() if perf is not None else None,
+    )
+
+
 # ---------------------------------------------------------------------------
 # The pool
 # ---------------------------------------------------------------------------
@@ -257,10 +351,11 @@ class SharedWorkerPool:
         self._perf = _resolve_perf(perf)
         self._max_respawns = max_respawns
         started = time.perf_counter()
-        payload = codec.build_pool_payload(db, shard_objects)
+        payload, strings = codec.build_pool_payload(db, shard_objects)
         self._perf.add_time(
             "parallel.pickle_seconds", time.perf_counter() - started
         )
+        self._strings = strings
         self._payload = shm.SharedPayload.create(payload)
         self._perf.incr("parallel.payload_bytes", len(payload))
         self._perf.incr("parallel.shm_segments")
@@ -279,6 +374,15 @@ class SharedWorkerPool:
     def payload_segment(self) -> str:
         """Name of the initializer payload segment."""
         return self._payload.name
+
+    @property
+    def strings(self) -> Tuple[str, ...]:
+        """The payload's interned string table (coordinator's copy).
+
+        Reconcile outcomes index into this table; the coordinator maps
+        the uint32 arrays back through it.
+        """
+        return self._strings
 
     def publish(self, key: str, data: bytes) -> str:
         """Publish a follow-up payload once; returns its segment name.
@@ -418,6 +522,135 @@ class SharedWorkerPool:
         self._payload.unlink()
 
     def __enter__(self) -> "SharedWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Pool lifetime beyond a single extraction
+# ---------------------------------------------------------------------------
+
+
+class PoolLease:
+    """Context-managed pool ownership across extractions.
+
+    A :class:`SharedWorkerPool` used to live and die inside one
+    ``extract()`` call: every repeated extraction (a sensitivity sweep
+    re-run, every service-daemon refresh) re-shipped the same database
+    payload and respawned the workers.  A lease holds one pool across
+    callers instead:
+
+    * :meth:`acquire` returns the cached pool when the database object,
+      the lease epoch and (when requested) the shard partition all
+      match what the pool was built for (``parallel.lease_hits``);
+      otherwise the stale pool is torn down (``parallel.pool_rebuilds``)
+      and a fresh one built.
+    * :meth:`bump_epoch` invalidates the cached payload without
+      touching the pool immediately — callers bump it whenever the
+      database mutates (the service session does this on every applied
+      batch) so the next acquire rebuilds against fresh data.
+    * :meth:`close` (or the context manager) tears the pool down and
+      unlinks its segments; the lease is breaker-safe in the service:
+      session close runs it regardless of refresh state.
+
+    Extractors holding a lease never close the pool themselves — the
+    lease owns the lifetime (see
+    :class:`repro.parallel.extractor.ParallelExtractor`).
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        perf: Optional[PerfRecorder] = None,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
+    ) -> None:
+        self._jobs = max(1, int(jobs))
+        self._perf = _resolve_perf(perf)
+        self._max_respawns = max_respawns
+        self._pool: Optional[SharedWorkerPool] = None
+        self._db_id: Optional[int] = None
+        self._built_epoch: Optional[int] = None
+        self._shards: Optional[List[FrozenSet[ObjectId]]] = None
+        self._epoch = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        """Worker count every leased pool is built with."""
+        return self._jobs
+
+    @property
+    def epoch(self) -> int:
+        """Current data epoch (bumped on database mutation)."""
+        return self._epoch
+
+    @property
+    def active(self) -> bool:
+        """Whether a pool is currently alive under the lease."""
+        return self._pool is not None
+
+    def bump_epoch(self) -> None:
+        """Mark the shipped payload stale; the next acquire rebuilds."""
+        self._epoch += 1
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        db: Database,
+        shard_objects: Optional[Sequence[FrozenSet[ObjectId]]] = None,
+        perf: Optional[PerfRecorder] = None,
+    ) -> SharedWorkerPool:
+        """The leased pool for ``db``, building or rebuilding as needed.
+
+        A cached pool built without a shard partition cannot serve a
+        caller that needs one (and a changed partition invalidates it
+        too); a pool built *with* shards serves sweep-only callers
+        fine.
+        """
+        if self._closed:
+            raise RuntimeError("pool lease is closed")
+        recorder = self._perf if perf is None else _resolve_perf(perf)
+        shards = list(shard_objects) if shard_objects is not None else None
+        reuse = (
+            self._pool is not None
+            and self._db_id == id(db)
+            and self._built_epoch == self._epoch
+            and (shards is None or shards == self._shards)
+        )
+        if reuse:
+            recorder.incr("parallel.lease_hits")
+            return self._pool
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            recorder.incr("parallel.pool_rebuilds")
+        pool = SharedWorkerPool(
+            jobs=self._jobs,
+            db=db,
+            shard_objects=shards,
+            perf=recorder if recorder.enabled else None,
+            max_respawns=self._max_respawns,
+        )
+        self._pool = pool
+        self._db_id = id(db)
+        self._built_epoch = self._epoch
+        self._shards = shards
+        return pool
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the leased pool and unlink its segments."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "PoolLease":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -86,14 +86,45 @@ def stage1_body(
     local_rule_fn=None,
     record_perf: bool = False,
 ) -> Stage1Outcome:
-    """Shared Stage 1 worker core (legacy tasks and pooled tasks)."""
+    """Shared Stage 1 worker core (legacy tasks and pooled tasks).
+
+    The typing runs inside a ``parallel.shard_stage1`` span so that,
+    after the parent merges the worker snapshots, shard work remains
+    attributable separately from the coordinator's
+    ``parallel.reconcile`` span.
+    """
     perf = PerfRecorder() if record_perf else None
-    typing = minimal_perfect_typing(db, local_rule_fn=local_rule_fn, perf=perf)
+    if perf is not None:
+        with perf.span("parallel.shard_stage1"):
+            typing = minimal_perfect_typing(
+                db, local_rule_fn=local_rule_fn, perf=perf
+            )
+    else:
+        typing = minimal_perfect_typing(
+            db, local_rule_fn=local_rule_fn, perf=perf
+        )
     return Stage1Outcome(
         index=index,
         typing=typing,
         perf_snapshot=perf.to_dict() if perf is not None else None,
     )
+
+
+@dataclass(frozen=True)
+class ReconcileOutcome:
+    """One shard's restricted reconcile extents, wire-compact.
+
+    ``offsets``/``members`` are the raw bytes of two uint32 arrays:
+    ``members[offsets[i]:offsets[i+1]]`` are the indexes (into the pool
+    payload's string table) of the objects in the restricted extent of
+    the ``i``-th rule of the broadcast program, in program order.
+    """
+
+    index: int
+    offsets: bytes
+    members: bytes
+    iterations: int
+    perf_snapshot: Optional[Dict[str, Any]] = None
 
 
 def run_stage1_task(task: Stage1Task) -> Stage1Outcome:

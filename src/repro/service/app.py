@@ -46,7 +46,9 @@ from repro.service.errors import (
     RateLimitedError,
     ServiceError,
 )
+from repro.perf import PerfRecorder
 from repro.service.http import Request, Response, read_request
+from repro.service.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.service.middleware import (
     RateLimiter,
     RequestContext,
@@ -80,6 +82,7 @@ class ServiceConfig:
     breaker_max_backoff: float = 5.0
     cache_entries: int = 4096
     enable_chaos: bool = False  #: expose POST /chaos (tests/benches only).
+    jobs: int = 1  #: worker processes leased for extract/refresh (>1 pools).
     extractor_options: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -138,10 +141,16 @@ class SchemaService:
         rng: Callable[[], float] = None,
     ) -> None:
         self.config = config or ServiceConfig()
+        # One always-on recorder for the whole daemon lifetime: the
+        # Prometheus endpoint exports its counters/spans, so recording
+        # is not optional the way --perf-report is for the CLI.
+        self.perf = PerfRecorder()
         self.session = DatasetSession(
             db,
             k=self.config.k,
             cache_entries=self.config.cache_entries,
+            perf=self.perf,
+            jobs=self.config.jobs,
             **self.config.extractor_options,
         )
         self.breaker = CircuitBreaker(
@@ -203,6 +212,9 @@ class SchemaService:
             except (asyncio.TimeoutError, asyncio.CancelledError):
                 self._writer_task.cancel()
             self._writer_task = None
+        # After the writer drained: no refresh can race the teardown of
+        # the session's leased worker pool (and its /dev/shm payload).
+        self.session.close()
 
     @property
     def ready(self) -> bool:
@@ -316,6 +328,11 @@ class SchemaService:
         if path == "/readyz":
             return self._readyz()
         if path == "/status" and method == "GET":
+            if request.query.get("format") == "prometheus":
+                return Response.text(
+                    render_prometheus(self._status(), self.perf),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
             return Response.json(self._status())
         if path == "/schema" and method == "GET":
             return Response.json(self.session.schema())

@@ -65,19 +65,38 @@ class Request:
 
 @dataclass
 class Response:
-    """One HTTP response; :meth:`encode` emits the full wire form."""
+    """One HTTP response; :meth:`encode` emits the full wire form.
+
+    Two body forms: ``payload`` is JSON-serialised (the default
+    content type), ``body`` is raw bytes emitted verbatim with the
+    caller's content type — the Prometheus text exposition path.
+    ``body`` wins when both are set.
+    """
 
     status: int = 200
     payload: Any = None  #: JSON-serialised when not ``None``.
     headers: Dict[str, str] = field(default_factory=dict)
+    body: Optional[bytes] = None  #: raw body; overrides ``payload``.
 
     @classmethod
     def json(cls, payload: Any, status: int = 200, **headers: str) -> "Response":
         return cls(status=status, payload=payload, headers=dict(headers))
 
+    @classmethod
+    def text(
+        cls,
+        text: str,
+        status: int = 200,
+        content_type: str = "text/plain; charset=utf-8",
+        **headers: str,
+    ) -> "Response":
+        """A raw text response (e.g. the Prometheus exposition format)."""
+        merged = {"Content-Type": content_type, **headers}
+        return cls(status=status, headers=merged, body=text.encode("utf-8"))
+
     def encode(self) -> bytes:
-        body = b""
-        if self.payload is not None:
+        body = self.body if self.body is not None else b""
+        if self.body is None and self.payload is not None:
             body = (json.dumps(self.payload, sort_keys=True) + "\n").encode(
                 "utf-8"
             )

@@ -61,14 +61,38 @@ class DatasetSession:
         k: Optional[int] = None,
         cache_entries: int = 4096,
         perf: Optional[PerfRecorder] = None,
+        jobs: int = 1,
         **extractor_options: Any,
     ) -> None:
         self._db = db
         self._perf = _resolve_perf(perf)
         self._extractor_options = extractor_options
-        result = SchemaExtractor(db, perf=perf, **extractor_options).extract(
-            k=k
-        )
+        self._jobs = max(1, int(jobs))
+        self._lease = None
+        if self._jobs > 1:
+            # One PoolLease for the session's whole lifetime: the
+            # initial extract, every refresh/rebuild and every
+            # sensitivity re-run share a single warm worker pool (and
+            # one shipped payload) per database epoch.  The lease's
+            # epoch is bumped whenever a mutation batch lands, so a
+            # stale payload is never served.
+            from repro.parallel.pool import PoolLease
+
+            self._lease = PoolLease(self._jobs, perf=self._perf)
+        if self._jobs > 1:
+            from repro.parallel.extractor import ParallelExtractor
+
+            result = ParallelExtractor(
+                db,
+                jobs=self._jobs,
+                pool_lease=self._lease,
+                perf=perf,
+                **extractor_options,
+            ).extract(k=k)
+        else:
+            result = SchemaExtractor(
+                db, perf=perf, **extractor_options
+            ).extract(k=k)
         self._typer = IncrementalTyper(db, result)
         self.cache = MaskCache(max_entries=cache_entries)
         self.epoch = 0
@@ -376,6 +400,10 @@ class DatasetSession:
         """Fold a successfully applied batch into the pending delta."""
         if log.empty:
             return
+        if self._lease is not None:
+            # The leased pool's shipped payload describes the pre-batch
+            # database; invalidate it so the next acquire rebuilds.
+            self._lease.bump_epoch()
         if self.pending is None:
             self.pending = log
         else:
@@ -395,7 +423,14 @@ class DatasetSession:
             return False
         pending = self.pending
         try:
-            result = self._typer.refresh(pending, budget=budget)
+            result = self._typer.refresh(
+                pending,
+                budget=budget,
+                perf=self._perf if self._perf.enabled else None,
+                jobs=self._jobs,
+                pool_lease=self._lease,
+                **self._extractor_options,
+            )
         except Exception:
             self._typer.reset_maintainer()
             raise
@@ -424,6 +459,19 @@ class DatasetSession:
         )
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release held OS resources (the leased worker pool, if any).
+
+        Idempotent.  The session stays usable for reads afterwards;
+        the lease reference is dropped and ``jobs`` falls back to 1 so
+        later refreshes run sequentially rather than resurrecting a
+        pool the daemon already tore down.
+        """
+        lease, self._lease = self._lease, None
+        if lease is not None:
+            lease.close()
+        self._jobs = 1
+
     def status(self) -> Dict[str, Any]:
         """DegradationReport-style operational snapshot."""
         failure = None
@@ -437,6 +485,7 @@ class DatasetSession:
             "epoch": self.epoch,
             "stale": self.stale,
             "pending": 0 if self.pending is None else len(self.pending),
+            "jobs": self._jobs,
             "objects": self._db.num_complex,
             "k": self._result.chosen_k,
             "defect": self._result.defect.total,

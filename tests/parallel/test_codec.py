@@ -77,18 +77,48 @@ class TestTypingRoundTrip:
         assert decoded.assignment() == stage1.assignment()
 
 
+class TestProgramRoundTrip:
+    def test_stage1_program_round_trips(self, dbg):
+        program = minimal_perfect_typing(dbg).program
+        decoded = codec.decode_program(codec.encode_program(program))
+        assert [rule.name for rule in decoded.rules()] == [
+            rule.name for rule in program.rules()
+        ]
+        assert {
+            rule.name: rule.body for rule in decoded.rules()
+        } == {rule.name: rule.body for rule in program.rules()}
+
+    def test_encoding_is_deterministic(self, dbg):
+        program = minimal_perfect_typing(dbg).program
+        assert codec.encode_program(program) == codec.encode_program(program)
+
+    def test_garbage_is_rejected(self):
+        with pytest.raises(ReproError):
+            codec.decode_program(b"definitely not a program payload")
+
+    def test_typing_wire_is_not_a_program(self, dbg):
+        wire = codec.encode_typing(minimal_perfect_typing(dbg))
+        with pytest.raises(ReproError):
+            codec.decode_program(wire)
+
+
 class TestPoolPayload:
     def test_payload_with_shards(self, dbg):
         shards = partition_database(dbg, 2)
         shard_objects = [shard.objects for shard in shards]
-        payload = codec.build_pool_payload(dbg, shard_objects)
-        decoded_db, decoded_shards = codec.load_pool_payload(payload)
+        payload, strings = codec.build_pool_payload(dbg, shard_objects)
+        decoded_db, decoded_shards, loaded = codec.load_pool_payload(payload)
         assert _edges(decoded_db) == _edges(dbg)
         assert decoded_shards == [frozenset(s) for s in shard_objects]
+        assert loaded == strings
 
     def test_payload_without_shards(self, dbg):
-        decoded_db, decoded_shards = codec.load_pool_payload(
-            codec.build_pool_payload(dbg)
-        )
+        payload, strings = codec.build_pool_payload(dbg)
+        decoded_db, decoded_shards, loaded = codec.load_pool_payload(payload)
         assert decoded_shards is None
         assert decoded_db.num_objects == dbg.num_objects
+        assert loaded == strings
+
+    def test_string_table_covers_objects(self, dbg):
+        _payload, strings = codec.build_pool_payload(dbg)
+        assert set(dbg.objects()) <= set(strings)

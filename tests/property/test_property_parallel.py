@@ -91,6 +91,26 @@ def test_sharded_stage1_respects_max_objects(db, num_shards, cap):
     _assert_same_typing(sharded, sequential)
 
 
+@given(multi_component_databases(), st.integers(2, 4))
+@settings(max_examples=60, deadline=None)
+def test_reconcile_modes_agree_three_ways(db, num_shards):
+    """Sequential == full-db-GFP reconcile == restricted reconcile.
+
+    The PR's exactness claim for the distributed reconcile: the
+    quotient + per-shard restricted GFP pass
+    (``parallel_reconcile=True``, the in-process twin of the pooled
+    path) must produce the same typing as both the full-database GFP
+    reconcile and the sequential Stage 1 on any generated
+    multi-component database.
+    """
+    sequential = minimal_perfect_typing(db)
+    full_gfp = sharded_stage1(db, num_shards, parallel_reconcile=False)
+    restricted = sharded_stage1(db, num_shards, parallel_reconcile=True)
+    _assert_same_typing(full_gfp, sequential)
+    _assert_same_typing(restricted, sequential)
+    assert verify_perfect(restricted, db)
+
+
 @given(multi_component_databases(), st.integers(1, 4))
 @settings(max_examples=60, deadline=None)
 def test_partition_invariants(db, num_shards):

@@ -169,6 +169,31 @@ class TestReadRoutes:
 
         run(go())
 
+    def test_status_prometheus_format(self):
+        async def go():
+            async with running_service() as service:
+                response = await service.handle(
+                    request("GET", "/status?format=prometheus")
+                )
+                assert response.status == 200
+                assert response.payload is None
+                wire = response.encode().decode("utf-8")
+                head, _, body = wire.partition("\r\n\r\n")
+                assert "text/plain; version=0.0.4" in head
+                assert "# TYPE repro_epoch counter" in body
+                assert "repro_ready 1" in body
+                assert "repro_stale 0" in body
+                assert "repro_breaker_state 0" in body
+                assert "repro_queue_capacity 16" in body
+                assert 'repro_requests_total{kind="requests"} 1' in body
+                # The always-on service recorder exports perf series.
+                assert "repro_perf_counter{name=" in body
+                # And the JSON route still answers JSON.
+                plain = await service.handle(request("GET", "/status"))
+                assert plain.payload["jobs"] == 1
+
+        run(go())
+
     def test_unknown_route_is_404(self):
         async def go():
             async with running_service() as service:
