@@ -143,6 +143,7 @@ def _make_extractor(args: argparse.Namespace, db, perf):
         jobs=jobs,
         use_shared_pool=not getattr(args, "no_shared_pool", False),
         parallel_reconcile=not getattr(args, "no_parallel_reconcile", False),
+        parallel_cluster=not getattr(args, "no_parallel_cluster", False),
         **common,
     )
 
@@ -447,6 +448,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "of fanning per-shard restricted GFPs to the "
                            "worker pool (results are identical; use to "
                            "measure the distributed reconcile)")
+    p_extract.add_argument("--no-parallel-cluster", action="store_true",
+                           help="keep the Stage 2 batch distance math "
+                           "(pairwise matrix build, merger candidate "
+                           "regeneration) on the coordinator instead of "
+                           "fanning row blocks to the worker pool "
+                           "(results are identical; the sequential "
+                           "oracle for the pooled clustering)")
     p_extract.add_argument("--no-recast-memo", action="store_true",
                            help="disable the cross-sample recast memo "
                            "(results are identical; use to measure the "
@@ -502,6 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "full-database GFP on the coordinator instead of "
                          "fanning per-shard restricted GFPs to the worker "
                          "pool (results are identical)")
+    p_sweep.add_argument("--no-parallel-cluster", action="store_true",
+                         help="keep the Stage 2 batch distance math on "
+                         "the coordinator instead of fanning row blocks "
+                         "to the worker pool (results are identical)")
     p_sweep.add_argument("--no-recast-memo", action="store_true",
                          help="disable the cross-sample recast memo")
     p_sweep.add_argument("--no-bitset", action="store_true",

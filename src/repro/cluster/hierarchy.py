@@ -114,6 +114,7 @@ def agglomerate(
     weights: Optional[Sequence[float]] = None,
     linkage: str = "average",
     cache_distances: bool = True,
+    cluster_pool=None,
 ) -> Dendrogram:
     """Merge the closest pair of clusters until ``k`` clusters remain.
 
@@ -125,13 +126,14 @@ def agglomerate(
     :class:`repro.core.linkspace.CachedBodyDistance`) skip the redundant
     second layer, and ones exposing a materialized ``matrix()`` make the
     single/complete/average linkages one array slice per pair of
-    clusters.
+    clusters.  ``cluster_pool`` forwards to the ``matrix()`` build so
+    large instances construct that array on the shared worker pool.
     """
     if linkage not in _LINKAGES:
         raise ClusteringError(
             f"unknown linkage {linkage!r}; expected one of {_LINKAGES}"
         )
-    distance = _resolve_distance(distance, cache_distances)
+    distance = _resolve_distance(distance, cache_distances, cluster_pool)
     if num_points == 0:
         raise ClusteringError("cannot cluster zero points")
     if not 1 <= k <= num_points:

@@ -90,7 +90,9 @@ class _MatrixDistance:
 
 
 def _resolve_distance(
-    distance: IndexDistance, cache_distances: bool
+    distance: IndexDistance,
+    cache_distances: bool,
+    cluster_pool=None,
 ) -> IndexDistance:
     """Pick the fastest equivalent form of ``distance``.
 
@@ -101,10 +103,21 @@ def _resolve_distance(
     caches internally (``already_cached`` protocol attribute) — wrapping
     those built a redundant second ``O(n^2)`` pair dict for no hit-rate
     gain.
+
+    ``cluster_pool`` (a :class:`repro.parallel.cluster.ClusterFanout`)
+    is forwarded to the ``matrix()`` build so large instances fan the
+    pairwise construction out over the shared worker pool; distances
+    whose ``matrix()`` predates the parameter are still accepted.
     """
     matrix_fn = getattr(distance, "matrix", None)
     if callable(matrix_fn):
-        array = matrix_fn()
+        if cluster_pool is not None:
+            try:
+                array = matrix_fn(cluster_pool=cluster_pool)
+            except TypeError:
+                array = matrix_fn()
+        else:
+            array = matrix_fn()
         if array is not None:
             return _MatrixDistance(array)
     if cache_distances and not getattr(distance, "already_cached", False):
@@ -190,6 +203,7 @@ def greedy_k_median(
     k: int,
     distance: IndexDistance,
     cache_distances: bool = True,
+    cluster_pool=None,
 ) -> KMedianResult:
     """Greedy center elimination down to ``k`` medians.
 
@@ -200,7 +214,7 @@ def greedy_k_median(
     """
     n = len(weights)
     _validate(n, k)
-    distance = _resolve_distance(distance, cache_distances)
+    distance = _resolve_distance(distance, cache_distances, cluster_pool)
     points = list(range(n))
     medians = set(points)
     while len(medians) > k:
@@ -224,6 +238,7 @@ def local_search_k_median(
     initial: Optional[Sequence[int]] = None,
     max_iterations: int = 1000,
     cache_distances: bool = True,
+    cluster_pool=None,
 ) -> KMedianResult:
     """Single-swap local search: while some (median, non-median) swap
     lowers the cost, perform the best such swap.
@@ -234,7 +249,7 @@ def local_search_k_median(
     """
     n = len(weights)
     _validate(n, k)
-    distance = _resolve_distance(distance, cache_distances)
+    distance = _resolve_distance(distance, cache_distances, cluster_pool)
     points = list(range(n))
     if initial is None:
         medians = set(
@@ -273,6 +288,7 @@ def exact_k_median(
     distance: IndexDistance,
     max_points: int = 16,
     cache_distances: bool = True,
+    cluster_pool=None,
 ) -> KMedianResult:
     """Brute-force optimum over all ``C(n, k)`` center subsets.
 
@@ -281,7 +297,7 @@ def exact_k_median(
     """
     n = len(weights)
     _validate(n, k)
-    distance = _resolve_distance(distance, cache_distances)
+    distance = _resolve_distance(distance, cache_distances, cluster_pool)
     if n > max_points:
         raise ClusteringError(
             f"exact search limited to {max_points} points, got {n}"

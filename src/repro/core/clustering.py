@@ -232,6 +232,7 @@ class GreedyMerger:
         perf: Optional[PerfRecorder] = None,
         use_bitset: bool = True,
         use_matrix: bool = True,
+        cluster_pool=None,
     ) -> None:
         if EMPTY_TYPE in program:
             raise ClusteringError(
@@ -275,6 +276,11 @@ class GreedyMerger:
         self._use_matrix = (
             bool(use_matrix) and self._use_bitset and matrixspace.HAVE_NUMPY
         )
+        # Optional fan-out of the batched distance math over the shared
+        # worker pool (:class:`repro.parallel.cluster.ClusterFanout`).
+        # Distances are bit-identical to the in-process kernel; the
+        # fan-out declines (returns None) below its row threshold.
+        self._cluster_pool = cluster_pool if self._use_matrix else None
         # Matrix mirror of the live bodies: row i of ``_matrix`` is the
         # packed mask of type ``_row_names[i]``; rows die by swap-remove
         # as types merge away.
@@ -324,8 +330,14 @@ class GreedyMerger:
         # Initial full pairing (each unordered pair pushed both ways).
         names = sorted(self._bodies)
         if self._matrix is not None and len(names) > 1:
-            # One vectorized pairwise matrix instead of O(n^2) popcounts.
-            pair_d = self._matrix.pairwise()
+            # One vectorized pairwise matrix instead of O(n^2) popcounts,
+            # fanned out over the worker pool when one is attached (and
+            # the matrix is big enough to pay for the trip).
+            pair_d = None
+            if self._cluster_pool is not None:
+                pair_d = self._cluster_pool.pairwise(self._matrix)
+            if pair_d is None:
+                pair_d = self._matrix.pairwise()
             row_of = self._row_of
             for i, a in enumerate(names):
                 for b in names[i + 1 :]:
@@ -740,10 +752,22 @@ class GreedyMerger:
             # popcount per pair.
             distance_rows: Dict[str, object] = {}
             row_of = self._row_of
-            for name in full | moved_side:
-                distance_rows[name] = self._matrix.distances(
-                    self._bodies[name]
+            queries = sorted(full | moved_side)
+            pooled = None
+            if self._cluster_pool is not None:
+                # One fan-out for the whole changed set; declines (None)
+                # for small matrices, leaving the per-row loop below.
+                pooled = self._cluster_pool.distance_rows(
+                    self._matrix,
+                    [self._bodies[name] for name in queries],
                 )
+            for position, name in enumerate(queries):
+                if pooled is not None:
+                    distance_rows[name] = pooled[position]
+                else:
+                    distance_rows[name] = self._matrix.distances(
+                        self._bodies[name]
+                    )
                 self._perf.incr("linkspace.matrix_distance_rows")
             for a, b in pairs:
                 if a == EMPTY_TYPE:

@@ -439,6 +439,7 @@ class CachedBodyDistance:
         "_masks",
         "_cache",
         "_matrix",
+        "_cluster_pool",
         "_perf",
         "use_bitset",
         "use_matrix",
@@ -451,10 +452,12 @@ class CachedBodyDistance:
         space: Optional[LinkSpace] = None,
         perf: Optional[PerfRecorder] = None,
         use_matrix: bool = True,
+        cluster_pool=None,
     ) -> None:
         self._perf = _resolve_perf(perf)
         self.use_bitset = use_bitset
         self.use_matrix = use_matrix
+        self._cluster_pool = cluster_pool
         self._cache: Dict[Tuple[int, int], int] = {}
         self._matrix = None
         if use_bitset:
@@ -470,7 +473,7 @@ class CachedBodyDistance:
     def __len__(self) -> int:
         return len(self._masks) if self.use_bitset else len(self._bodies)
 
-    def matrix(self):
+    def matrix(self, cluster_pool=None):
         """The full pairwise distance matrix as numpy int64, or ``None``.
 
         Materialized once (``n`` XOR broadcasts + popcounts instead of
@@ -478,6 +481,13 @@ class CachedBodyDistance:
         frozenset path, or with ``use_matrix=False`` — callers fall back
         to per-pair queries.  On success the per-pair dict is cleared:
         every subsequent :meth:`manhattan` reads the array directly.
+
+        With a ``cluster_pool``
+        (:class:`repro.parallel.cluster.ClusterFanout`, here or at
+        construction) the build fans out over the shared worker pool;
+        the fan-out returns ``None`` below its row threshold or on any
+        pool failure, and this path degrades to the in-process kernel —
+        the result is bit-identical either way.
         """
         if self._matrix is not None:
             return self._matrix
@@ -488,9 +498,11 @@ class CachedBodyDistance:
         if not matrixspace.HAVE_NUMPY:
             return None
         n = len(self._masks)
+        fanout = cluster_pool if cluster_pool is not None else self._cluster_pool
         with self._perf.span("linkspace.matrix_build"):
             packed = matrixspace.MaskMatrix.from_masks(self._masks)
-            self._matrix = packed.pairwise()
+            pooled = fanout.pairwise(packed) if fanout is not None else None
+            self._matrix = pooled if pooled is not None else packed.pairwise()
         self._perf.incr("linkspace.matrix_builds")
         self._perf.peak(
             "linkspace.matrix_bytes",

@@ -205,6 +205,7 @@ class SchemaExtractor:
         use_bitset: bool = True,
         use_matrix: bool = True,
         perf: Optional[PerfRecorder] = None,
+        cluster_pool=None,
     ) -> None:
         self._db = db
         self._perf = _resolve_perf(perf)
@@ -220,6 +221,10 @@ class SchemaExtractor:
         self._recast_memo = recast_memo
         self._use_bitset = use_bitset
         self._use_matrix = use_matrix
+        # Optional Stage 2 fan-out over the shared worker pool
+        # (:class:`repro.parallel.cluster.ClusterFanout`); the parallel
+        # extractor injects it, the sequential CLI path leaves it None.
+        self._cluster_pool = cluster_pool
         self._stage1: Optional[PerfectTyping] = stage1
 
     # ------------------------------------------------------------------
@@ -484,6 +489,7 @@ class SchemaExtractor:
                 perf=self._perf,
                 use_bitset=self._use_bitset,
                 use_matrix=self._use_matrix,
+                cluster_pool=self._cluster_pool,
             )
         writer = self._checkpoint_writer(checkpoint_path, k, checkpoint_every)
         try:

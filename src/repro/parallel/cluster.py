@@ -1,0 +1,248 @@
+"""Stage 2/3 batch distance math fanned out over the shared pool.
+
+:meth:`~repro.core.matrixspace.MaskMatrix.pairwise` computes the full
+``n x n`` Manhattan matrix on the coordinator; at large ``n`` that one
+call dominates the Stage 2 wall clock (the merger's initial candidate
+fill, the k-median/agglomeration distance cache).  This module moves
+the batch math onto the :class:`~repro.parallel.pool.SharedWorkerPool`
+the extractor already holds:
+
+* the packed uint64 mask rows are published once into a rotating
+  shared-memory *slot* (:meth:`SharedWorkerPool.publish_slot`) and
+  attached zero-copy by every worker;
+* **pairwise** ships upper-triangle *wedge* tasks — block rows
+  ``[i0, i1)`` against columns ``[i0, n)`` — and mirrors the transpose
+  coordinator-side, so the fleet computes half the square the
+  sequential kernel does (an algorithmic win that survives a single
+  physical core);
+* **distance rows** (the merger's post-merge candidate regeneration)
+  ship the query masks in the task and fan the *columns* out in row
+  blocks;
+* results come back as compact uint16/uint32 arrays
+  (:func:`~repro.parallel.pool.cluster_result_dtype`) and are widened
+  to int64 on assembly, bit-identical to the sequential kernel.
+
+Tiny matrices never fan out: :func:`resolve_row_blocks` returns no
+blocks below :data:`CLUSTER_MIN_ROWS` rows and every consumer falls
+back to the in-process kernel (``None`` return).  Any pool failure
+degrades the same way (``parallel.cluster_fallbacks``) — the fan-out
+is an accelerator, never a correctness dependency.
+
+Perf accounting: the ``parallel.cluster_fanout`` span wraps each
+fanned batch; ``parallel.cluster_tasks`` / ``parallel.cluster_rows``
+count work orders and assembled rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import matrixspace
+from repro.parallel.pool import (
+    ClusterOutcome,
+    PooledClusterTask,
+    SharedWorkerPool,
+    cluster_result_dtype,
+    run_pooled_cluster,
+)
+from repro.perf import PerfRecorder, resolve as _resolve_perf
+
+logger = logging.getLogger("repro.parallel")
+
+#: Matrices with fewer rows than this never fan out — the fixed cost of
+#: publishing the rows and crossing the process boundary exceeds the
+#: whole sequential kernel down there.
+CLUSTER_MIN_ROWS = 2048
+
+_SLOT_COUNTER = itertools.count()
+
+
+def resolve_row_blocks(
+    n_rows: int,
+    jobs: int,
+    min_rows: int = CLUSTER_MIN_ROWS,
+    triangular: bool = False,
+) -> List[Tuple[int, int]]:
+    """Row-block partition ``[(start, end), ...]`` for a fan-out.
+
+    Returns ``[]`` when fanning out cannot pay for itself — fewer than
+    ``min_rows`` rows, or a single worker — which every caller treats
+    as "stay sequential".  With ``triangular`` the blocks balance the
+    *upper-wedge area* ``sum(n - i)`` instead of the row count, so the
+    early (wide) wedges get fewer rows than the late (narrow) ones.
+    The block count is ``2 * jobs``: enough granularity to keep the
+    workers level without drowning the batch in per-task overhead.
+    """
+    if n_rows < max(1, min_rows) or jobs <= 1:
+        return []
+    parts = min(2 * jobs, n_rows)
+    blocks: List[Tuple[int, int]] = []
+    if triangular:
+        total = n_rows * (n_rows + 1) / 2.0
+        target = total / parts
+        start = 0
+        acc = 0.0
+        for i in range(n_rows):
+            acc += n_rows - i
+            if acc >= target and len(blocks) < parts - 1:
+                blocks.append((start, i + 1))
+                start = i + 1
+                acc = 0.0
+        if start < n_rows:
+            blocks.append((start, n_rows))
+        return blocks
+    step = -(-n_rows // parts)
+    for start in range(0, n_rows, step):
+        blocks.append((start, min(start + step, n_rows)))
+    return blocks
+
+
+class ClusterFanout:
+    """Batch distance math for one extraction, against one leased pool.
+
+    A fan-out owns one publish *slot*: every :meth:`pairwise` /
+    :meth:`distance_rows` call re-publishes the current mask rows into
+    it (the previous revision is unlinked, workers evict their cached
+    attachment by segment name).  Both methods return ``None`` whenever
+    the pooled path does not apply — too few rows, numpy missing, the
+    pool gone, a worker error — and the caller runs the sequential
+    kernel instead; a non-``None`` result is bit-identical to it.
+    """
+
+    def __init__(
+        self,
+        pool: SharedWorkerPool,
+        perf: Optional[PerfRecorder] = None,
+        min_rows: int = CLUSTER_MIN_ROWS,
+        jobs: Optional[int] = None,
+    ) -> None:
+        self._pool = pool
+        self._perf = _resolve_perf(perf)
+        self._min_rows = min_rows
+        self._jobs = jobs if jobs is not None else pool.jobs
+        self._slot = f"cluster:{os.getpid()}:{next(_SLOT_COUNTER)}"
+
+    # ------------------------------------------------------------------
+    def _publish_rows(self, matrix: matrixspace.MaskMatrix) -> str:
+        np = matrixspace.np
+        data = np.ascontiguousarray(matrix.rows, dtype="<u8").tobytes()
+        return self._pool.publish_slot(self._slot, data)
+
+    def _run(self, tasks: Sequence[PooledClusterTask]):
+        outcomes: List[ClusterOutcome] = self._pool.run(
+            tasks, run_pooled_cluster
+        )
+        self._perf.incr("parallel.cluster_tasks", len(tasks))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def pairwise(self, matrix: matrixspace.MaskMatrix):
+        """The full pairwise Manhattan matrix, or ``None`` to stay local.
+
+        Workers compute upper-triangle wedges only; the lower triangle
+        is a transpose view filled in here — half the XOR/popcount
+        volume of :meth:`MaskMatrix.pairwise`.
+        """
+        if not matrixspace.HAVE_NUMPY:
+            return None
+        n, words = matrix.n_rows, matrix.n_words
+        blocks = resolve_row_blocks(
+            n, self._jobs, self._min_rows, triangular=True
+        )
+        if not blocks:
+            return None
+        np = matrixspace.np
+        with self._perf.span("parallel.cluster_fanout"):
+            try:
+                segment = self._publish_rows(matrix)
+                tasks = [
+                    PooledClusterTask(
+                        slot=self._slot,
+                        segment=segment,
+                        n_rows=n,
+                        n_words=words,
+                        row_start=start,
+                        row_end=end,
+                    )
+                    for start, end in blocks
+                ]
+                outcomes = self._run(tasks)
+            except Exception:
+                logger.warning(
+                    "pooled pairwise fan-out failed; falling back to the "
+                    "sequential kernel",
+                    exc_info=True,
+                )
+                self._perf.incr("parallel.cluster_fallbacks")
+                return None
+            dtype = cluster_result_dtype(words)
+            out = np.zeros((n, n), dtype=np.int64)
+            for outcome in outcomes:
+                wedge = np.frombuffer(outcome.data, dtype=dtype).reshape(
+                    outcome.row_end - outcome.row_start,
+                    n - outcome.row_start,
+                )
+                out[outcome.row_start:outcome.row_end,
+                    outcome.row_start:] = wedge
+            for start, end in blocks:
+                out[end:, start:end] = out[start:end, end:].T
+            self._perf.incr("parallel.cluster_rows", n)
+        return out
+
+    def distance_rows(
+        self, matrix: matrixspace.MaskMatrix, masks: Sequence[int]
+    ):
+        """``d(mask_q, row_i)`` for every query/row pair, or ``None``.
+
+        Returns an ``(len(masks), n_rows)`` int64 array in query order.
+        The queries ride in the tasks (they are few — the merger's
+        moved types after one merge step); the row axis fans out.
+        """
+        if not matrixspace.HAVE_NUMPY or not masks:
+            return None
+        n, words = matrix.n_rows, matrix.n_words
+        blocks = resolve_row_blocks(n, self._jobs, self._min_rows)
+        if not blocks:
+            return None
+        np = matrixspace.np
+        with self._perf.span("parallel.cluster_fanout"):
+            try:
+                packed = np.stack(
+                    [matrixspace.pack_mask(mask, words) for mask in masks]
+                )
+                queries = np.ascontiguousarray(packed, dtype="<u8").tobytes()
+                segment = self._publish_rows(matrix)
+                tasks = [
+                    PooledClusterTask(
+                        slot=self._slot,
+                        segment=segment,
+                        n_rows=n,
+                        n_words=words,
+                        row_start=start,
+                        row_end=end,
+                        queries=queries,
+                        n_queries=len(masks),
+                    )
+                    for start, end in blocks
+                ]
+                outcomes = self._run(tasks)
+            except Exception:
+                logger.warning(
+                    "pooled distance-rows fan-out failed; falling back to "
+                    "the sequential kernel",
+                    exc_info=True,
+                )
+                self._perf.incr("parallel.cluster_fallbacks")
+                return None
+            dtype = cluster_result_dtype(words)
+            out = np.empty((len(masks), n), dtype=np.int64)
+            for outcome in outcomes:
+                block = np.frombuffer(outcome.data, dtype=dtype).reshape(
+                    len(masks), outcome.row_end - outcome.row_start
+                )
+                out[:, outcome.row_start:outcome.row_end] = block
+            self._perf.incr("parallel.cluster_rows", len(masks))
+        return out

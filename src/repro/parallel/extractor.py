@@ -81,7 +81,9 @@ from repro.perf import PerfRecorder, resolve as _resolve_perf
 from repro.runtime.budget import Budget, DegradationReport
 from repro.runtime.checkpoint import Checkpoint
 from repro.core.fixpoint import bisimulation_quotient
+from repro.core import matrixspace
 from repro.parallel import codec
+from repro.parallel.cluster import CLUSTER_MIN_ROWS, ClusterFanout
 from repro.parallel.merge import ReconcileFn, merge_shard_typings
 from repro.parallel.pool import (
     PooledReconcileTask,
@@ -432,7 +434,11 @@ def parallel_sweep(
         recorder.add_time(
             "parallel.pickle_seconds", time.perf_counter() - started
         )
-        segment = pool.publish("stage1", typing_wire)
+        # Content-addressed: a lease-held pool outlives this sweep, and
+        # a later sweep against a *different* Stage 1 result must not
+        # collide with a stale "stage1" key.
+        typing_digest = hashlib.sha1(typing_wire).hexdigest()[:16]
+        segment = pool.publish(f"stage1:{typing_digest}", typing_wire)
         pooled = [
             PooledSweepTask(typing_segment=segment, params=p)
             for p in params
@@ -558,6 +564,8 @@ class ParallelExtractor:
         max_shard_objects: Optional[int] = None,
         use_shared_pool: bool = True,
         parallel_reconcile: bool = True,
+        parallel_cluster: bool = True,
+        cluster_min_rows: int = CLUSTER_MIN_ROWS,
         pool_lease: Optional[PoolLease] = None,
         stage1: Optional[PerfectTyping] = None,
         perf: Optional[PerfRecorder] = None,
@@ -579,6 +587,8 @@ class ParallelExtractor:
         self._max_shard_objects = max_shard_objects
         self._use_shared_pool = use_shared_pool
         self._parallel_reconcile = parallel_reconcile
+        self._parallel_cluster = parallel_cluster
+        self._cluster_min_rows = cluster_min_rows
         self._lease = pool_lease
         self._perf = _resolve_perf(perf)
         self._stage1: Optional[PerfectTyping] = stage1
@@ -695,8 +705,14 @@ class ParallelExtractor:
                 )
         return self._stage1
 
-    def _sequential(self) -> SchemaExtractor:
-        """A sequential extractor sharing this one's state and knobs."""
+    def _sequential(self, cluster_pool=None) -> SchemaExtractor:
+        """A sequential extractor sharing this one's state and knobs.
+
+        ``cluster_pool`` (a :class:`ClusterFanout` over a live pool)
+        lets the "sequential" Stage 2/3 machinery fan its batch
+        distance math back out over the workers; results are identical
+        with or without it.
+        """
         return SchemaExtractor(
             self._db,
             distance=self._distance_spec,
@@ -713,7 +729,69 @@ class ParallelExtractor:
             use_bitset=self._use_bitset,
             use_matrix=self._use_matrix,
             perf=self._perf if self._perf.enabled else None,
+            cluster_pool=cluster_pool,
         )
+
+    def _cluster_fanout(self, pool: Optional[SharedWorkerPool]):
+        """A :class:`ClusterFanout` over ``pool``, or ``None``.
+
+        ``None`` whenever the pooled Stage 2 path cannot apply: no
+        pool, ``--no-parallel-cluster``, or the matrix kernel disabled
+        (the fan-out is built on the packed mask rows).
+        """
+        if (
+            pool is None
+            or not self._parallel_cluster
+            or not matrixspace.HAVE_NUMPY
+            or not (self._use_bitset and self._use_matrix)
+        ):
+            return None
+        return ClusterFanout(
+            pool,
+            perf=self._perf if self._perf.enabled else None,
+            min_rows=self._cluster_min_rows,
+            jobs=self._jobs,
+        )
+
+    @contextmanager
+    def _cluster_scope(self):
+        """A fan-out for a call with no parallel Stage 1/sweep phase.
+
+        The service-refresh fast path (Stage 1 injected, ``k`` fixed)
+        skips :meth:`_pool_scope` entirely — but Stage 2 batch math can
+        still ride a pool, and on the leased path the acquire is also
+        what ships the epoch delta.  Acquires with ``shard_objects=None``
+        (no partition needed: cluster tasks read only the published
+        mask rows).  Failures degrade to ``None`` — fully sequential.
+        """
+        if not (
+            self._use_shared_pool
+            and self._parallel_cluster
+            and self._jobs > 1
+        ):
+            yield None
+            return
+        if self._pool is not None:
+            yield self._cluster_fanout(self._pool)
+            return
+        if self._lease is None:
+            yield None
+            return
+        try:
+            pool = self._lease.acquire(
+                self._db,
+                shard_objects=None,
+                perf=self._perf if self._perf.enabled else None,
+            )
+        except Exception as exc:
+            logger.warning(
+                "leased worker pool unavailable (%s: %s); running "
+                "stage 2 in-process",
+                type(exc).__name__, exc,
+            )
+            self._perf.incr("parallel.pool_fallbacks")
+            pool = None
+        yield self._cluster_fanout(pool)
 
     def _can_parallel_sweep(self) -> bool:
         """Whether the sweep itself may be fanned out (see class doc)."""
@@ -792,9 +870,7 @@ class ParallelExtractor:
         to the sequential pipeline, whose sticky budget turns the run
         into the usual best-so-far partial result.
         """
-        if self._jobs == 1 or (self._stage1 is not None and k is not None):
-            # jobs=1, or both parallel phases are already moot (Stage 1
-            # injected, k fixed so no sweep): don't touch a pool at all.
+        if self._jobs == 1:
             return self._sequential().extract(
                 k=k,
                 sweep_step=sweep_step,
@@ -803,6 +879,20 @@ class ParallelExtractor:
                 resume_from=resume_from,
                 checkpoint_every=checkpoint_every,
             )
+        if self._stage1 is not None and k is not None:
+            # Both parallel phases are moot (Stage 1 injected, k fixed
+            # so no sweep) — the service refresh path.  Stage 2 batch
+            # math can still fan out over a leased pool, and acquiring
+            # that pool is also what ships the pending epoch delta.
+            with self._cluster_scope() as fanout:
+                return self._sequential(cluster_pool=fanout).extract(
+                    k=k,
+                    sweep_step=sweep_step,
+                    budget=budget,
+                    checkpoint_path=checkpoint_path,
+                    resume_from=resume_from,
+                    checkpoint_every=checkpoint_every,
+                )
         if budget is not None:
             budget.start()
         sensitivity: Optional[SensitivityResult] = None
@@ -860,14 +950,18 @@ class ParallelExtractor:
                     )
                     self._perf.incr("parallel.pool_fallbacks")
                     sensitivity = None
-        result = self._sequential().extract(
-            k=k,
-            sweep_step=sweep_step,
-            budget=budget,
-            checkpoint_path=checkpoint_path,
-            resume_from=resume_from,
-            checkpoint_every=checkpoint_every,
-        )
+            # Stage 2/3 run inside the pool scope so the merger's batch
+            # distance math can fan out over the same warm workers.
+            result = self._sequential(
+                cluster_pool=self._cluster_fanout(pool)
+            ).extract(
+                k=k,
+                sweep_step=sweep_step,
+                budget=budget,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_from,
+                checkpoint_every=checkpoint_every,
+            )
         if sensitivity is not None and result.sensitivity is None:
             degradation = result.degradation
             if sensitivity.exhausted and degradation is None:

@@ -46,18 +46,22 @@ from array import array
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from multiprocessing import util as mp_util
 from typing import (
     Any,
     Callable,
     Dict,
     FrozenSet,
+    Iterable,
     List,
     Optional,
     Sequence,
     Tuple,
 )
 
+from repro.core import matrixspace
 from repro.core.fixpoint import greatest_fixpoint_restricted
+from repro.exceptions import ReproError
 from repro.graph.database import Database, ObjectId
 from repro.graph.partition import extract_shard
 from repro.parallel import codec, shm
@@ -81,6 +85,11 @@ _POLL_INTERVAL = 0.1
 #: Consecutive executor breakages tolerated before giving up.
 DEFAULT_MAX_RESPAWNS = 2
 
+#: A delta larger than this fraction of the full payload is not worth
+#: shipping — the lease falls back to a full pool rebuild instead
+#: (``parallel.full_reships``).
+DELTA_FULL_RESHIP_FRACTION = 0.5
+
 
 # ---------------------------------------------------------------------------
 # Worker-side state (one per worker process)
@@ -91,13 +100,18 @@ DEFAULT_MAX_RESPAWNS = 2
 _WORKER_STATE: Optional[Dict[str, Any]] = None
 
 
-def _pool_initializer(payload_segment: str) -> None:
+def _pool_initializer(
+    payload_segment: str, delta_segments: Sequence[str] = ()
+) -> None:
     """Decode the pool payload once per worker process.
 
     Runs in the worker.  Attaches the initializer segment, decodes the
     database (and the shard partition, when present) and leaves the
     mapping open for the worker's lifetime; per-typing attachments are
-    cached lazily in ``typings``.
+    cached lazily in ``typings``.  ``delta_segments`` replays any
+    epoch deltas already shipped — a respawned worker folds the whole
+    chain in before serving tasks, landing on the same state as the
+    workers it replaced.
     """
     global _WORKER_STATE
     shm.forget_inherited()
@@ -115,7 +129,11 @@ def _pool_initializer(payload_segment: str) -> None:
         "object_index": None,  # built lazily by the first reconcile task
         "typings": {},
         "programs": {},
+        "applied_deltas": [],
+        "matrices": {},  # slot -> (segment, payload, view, MaskMatrix)
     }
+    mp_util.Finalize(None, _worker_release_matrices, exitpriority=10)
+    _worker_sync_deltas(delta_segments)
 
 
 def _worker_state() -> Dict[str, Any]:
@@ -193,6 +211,108 @@ def _worker_object_index() -> Dict[ObjectId, int]:
         }
         state["object_index"] = index
     return index
+
+
+def _worker_apply_delta(segment_name: str) -> None:
+    """Fold one epoch delta segment into this worker's decoded state."""
+    state = _worker_state()
+    payload = shm.SharedPayload.attach(segment_name)
+    view = payload.view()
+    try:
+        strings, shards = codec.apply_payload_delta(
+            view, state["db"], state["strings"], state["shards"]
+        )
+    finally:
+        view.release()
+        payload.close()
+    previous = len(state["strings"])
+    state["strings"] = strings
+    state["shards"] = shards
+    index = state["object_index"]
+    if index is not None:
+        for position in range(previous, len(strings)):
+            index[strings[position]] = position
+    state["applied_deltas"].append(segment_name)
+
+
+def _worker_sync_deltas(delta_segments: Sequence[str]) -> None:
+    """Catch this worker up to the coordinator's delta chain.
+
+    Deltas are strictly append-only: a worker that has applied a prefix
+    applies the missing suffix; a chain that does not extend what the
+    worker already folded in means the coordinator rebuilt behind our
+    back, which the lease never does — fail loudly rather than serve
+    answers off divergent state.
+    """
+    state = _worker_state()
+    applied = state["applied_deltas"]
+    chain = list(delta_segments)
+    if applied != chain[: len(applied)]:
+        raise RuntimeError(
+            "payload delta chain diverged from this worker's applied "
+            f"prefix ({applied!r} vs {chain!r})"
+        )
+    for segment_name in chain[len(applied):]:
+        _worker_apply_delta(segment_name)
+
+
+def _run_pool_task(delta_segments: Tuple[str, ...], fn, task):
+    """Every pooled task body runs through here: sync deltas, then run."""
+    _worker_sync_deltas(delta_segments)
+    return fn(task)
+
+
+def _worker_release_matrices() -> None:
+    """Drop every cached matrix attachment in dependency order.
+
+    Runs at worker shutdown (``multiprocessing.util.Finalize`` — atexit
+    does not fire in forked pool children).  Dropping the numpy matrix
+    before releasing the view before closing the mapping keeps the
+    teardown silent; interpreter-exit GC order would otherwise close
+    the ``mmap`` under a live buffer export and spray ignored
+    ``BufferError`` tracebacks onto stderr.
+    """
+    state = _WORKER_STATE
+    if state is None:
+        return
+    cache = state.get("matrices") or {}
+    for slot in list(cache):
+        _, payload, view, matrix = cache.pop(slot)
+        del matrix
+        view.release()
+        payload.close()
+
+
+def _worker_matrix(
+    slot: str, segment_name: str, n_rows: int, n_words: int
+) -> matrixspace.MaskMatrix:
+    """Zero-copy attach to a published mask-matrix segment (cached).
+
+    One cached attachment per ``slot``: re-publishing a slot (the
+    merger regenerating after a merge step) evicts the stale mapping so
+    worker address space tracks the coordinator's rotation instead of
+    accumulating dead segments.
+    """
+    state = _worker_state()
+    cache = state.setdefault("matrices", {})
+    cached = cache.get(slot)
+    if cached is not None and cached[0] == segment_name:
+        return cached[3]
+    if cached is not None:
+        # Free the stale numpy matrix BEFORE releasing its view and
+        # closing the mapping; a live buffer export would make the
+        # close silently fail and leave the mmap to die noisily in
+        # ``SharedMemory.__del__`` at interpreter shutdown.
+        cache.pop(slot, None)
+        _, payload, view, matrix = cached
+        del cached, matrix
+        view.release()
+        payload.close()
+    payload = shm.SharedPayload.attach(segment_name)
+    view = payload.view()
+    matrix = matrixspace.MaskMatrix.from_words(view, n_rows, n_words)
+    cache[slot] = (segment_name, payload, view, matrix)
+    return matrix
 
 
 def _maybe_chaos_exit(segment_name: Optional[str]) -> None:
@@ -315,6 +435,89 @@ def run_pooled_reconcile(task: PooledReconcileTask) -> ReconcileOutcome:
     )
 
 
+def cluster_result_dtype(n_words: int):
+    """Result dtype for pooled distance blocks.
+
+    Manhattan distances are bounded by the bit capacity, so matrices up
+    to 65535 bits ship uint16 wedges — on one physical core the IPC
+    byte volume is a first-order term, and halving it is most of the
+    measured win.
+    """
+    bits = n_words * matrixspace.WORD_BITS
+    return matrixspace.np.uint16 if bits <= 0xFFFF else matrixspace.np.uint32
+
+
+@dataclass(frozen=True)
+class PooledClusterTask:
+    """Stage 2 distance work order against a published mask matrix.
+
+    ``queries is None`` selects *wedge* mode: the worker computes the
+    upper-triangle block ``rows[row_start:row_end] x rows[row_start:]``
+    of the pairwise matrix (the coordinator mirrors the transpose).
+    Otherwise *rows* mode: distances of the packed ``queries`` masks
+    against ``rows[row_start:row_end]``.
+    """
+
+    slot: str
+    segment: str
+    n_rows: int
+    n_words: int
+    row_start: int
+    row_end: int
+    queries: Optional[bytes] = None
+    n_queries: int = 0
+    chaos_kill_segment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ClusterOutcome:
+    """One distance block: row bounds plus the packed result array."""
+
+    row_start: int
+    row_end: int
+    data: bytes
+
+
+def run_pooled_cluster(task: PooledClusterTask) -> ClusterOutcome:
+    """Pool worker body: one distance block over the shared mask rows.
+
+    XOR broadcast + vectorized popcount, chunked so the intermediate
+    tensor stays around 32 MB — the same kernel as
+    :meth:`~repro.core.matrixspace.MaskMatrix.pairwise`, restricted to
+    this task's rows.  Results return as compact uint16/uint32 bytes
+    (:func:`cluster_result_dtype`); the coordinator widens to int64.
+    """
+    _maybe_chaos_exit(task.chaos_kill_segment)
+    np = matrixspace.np
+    matrix = _worker_matrix(
+        task.slot, task.segment, task.n_rows, task.n_words
+    )
+    rows = matrix.rows
+    dtype = cluster_result_dtype(task.n_words)
+    block = rows[task.row_start:task.row_end]
+    if task.queries is None:
+        cols = rows[task.row_start:]
+        out = np.empty((len(block), len(cols)), dtype=dtype)
+        chunk = max(1, (1 << 22) // max(1, len(cols) * task.n_words))
+        for start in range(0, len(block), chunk):
+            xor = block[start:start + chunk, None, :] ^ cols[None, :, :]
+            out[start:start + chunk] = matrixspace.popcount_words(xor).sum(
+                axis=-1, dtype=dtype
+            )
+        return ClusterOutcome(task.row_start, task.row_end, out.tobytes())
+    queries = np.frombuffer(task.queries, dtype="<u8").reshape(
+        task.n_queries, task.n_words
+    )
+    out = np.empty((task.n_queries, len(block)), dtype=dtype)
+    chunk = max(1, (1 << 22) // max(1, len(block) * task.n_words))
+    for start in range(0, task.n_queries, chunk):
+        xor = queries[start:start + chunk, None, :] ^ block[None, :, :]
+        out[start:start + chunk] = matrixspace.popcount_words(xor).sum(
+            axis=-1, dtype=dtype
+        )
+    return ClusterOutcome(task.row_start, task.row_end, out.tobytes())
+
+
 # ---------------------------------------------------------------------------
 # The pool
 # ---------------------------------------------------------------------------
@@ -357,9 +560,12 @@ class SharedWorkerPool:
         )
         self._strings = strings
         self._payload = shm.SharedPayload.create(payload)
+        self._payload_bytes = len(payload)
         self._perf.incr("parallel.payload_bytes", len(payload))
         self._perf.incr("parallel.shm_segments")
         self._extra: Dict[str, shm.SharedPayload] = {}
+        self._slots: Dict[str, shm.SharedPayload] = {}
+        self._delta_chain: List[str] = []
         self._executor: Optional[ProcessPoolExecutor] = None
         self._runs = 0
         self._closed = False
@@ -380,9 +586,64 @@ class SharedWorkerPool:
         """The payload's interned string table (coordinator's copy).
 
         Reconcile outcomes index into this table; the coordinator maps
-        the uint32 arrays back through it.
+        the uint32 arrays back through it.  Extended in lockstep with
+        the workers whenever a delta ships a string tail.
         """
         return self._strings
+
+    @property
+    def payload_bytes(self) -> int:
+        """Size of the initializer payload (the delta-vs-full yardstick)."""
+        return self._payload_bytes
+
+    @property
+    def delta_chain(self) -> Tuple[str, ...]:
+        """Segment names of every delta shipped so far, in order."""
+        return tuple(self._delta_chain)
+
+    def ship_delta(self, delta: bytes) -> str:
+        """Append an epoch delta to the chain; returns its segment name.
+
+        Live workers fold the new segment in lazily (every task body
+        syncs against the current chain before running); respawned
+        workers replay the whole chain from the initializer.  The
+        coordinator's string table is extended with the delta's tail so
+        reconcile index mapping stays aligned with the workers.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        base_count, tail = codec.read_delta_strings(delta)
+        if base_count != len(self._strings):
+            raise ReproError(
+                "payload delta does not extend this pool's string table"
+            )
+        payload = shm.SharedPayload.create(delta)
+        self._extra[f"delta:{len(self._delta_chain)}"] = payload
+        self._delta_chain.append(payload.name)
+        self._strings = self._strings + tail
+        self._perf.incr("parallel.payload_bytes", len(delta))
+        self._perf.incr("parallel.shm_segments")
+        return payload.name
+
+    def publish_slot(self, slot: str, data: bytes) -> str:
+        """Publish ``data`` into a rotating slot; returns the segment name.
+
+        Unlike :meth:`publish`, re-publishing the same slot replaces
+        the previous segment (unlinking it) — the Stage 2 fan-out
+        re-ships the mask matrix after every merge step and only the
+        newest revision is ever read.  Workers key their cached
+        attachment by segment name, so rotation evicts cleanly.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        previous = self._slots.pop(slot, None)
+        payload = shm.SharedPayload.create(data)
+        self._slots[slot] = payload
+        if previous is not None:
+            previous.unlink()
+        self._perf.incr("parallel.payload_bytes", len(data))
+        self._perf.incr("parallel.shm_segments")
+        return payload.name
 
     def publish(self, key: str, data: bytes) -> str:
         """Publish a follow-up payload once; returns its segment name.
@@ -408,7 +669,7 @@ class SharedWorkerPool:
             self._executor = ProcessPoolExecutor(
                 max_workers=self._jobs,
                 initializer=_pool_initializer,
-                initargs=(self._payload.name,),
+                initargs=(self._payload.name, tuple(self._delta_chain)),
             )
         return self._executor
 
@@ -447,13 +708,16 @@ class SharedWorkerPool:
         finished = [False] * len(tasks)
         remaining = list(range(len(tasks)))
         respawns = 0
+        chain = tuple(self._delta_chain)
         while remaining:
             executor = self._ensure_executor()
             broken: Optional[BaseException] = None
             future_index = {}
             try:
                 for i in remaining:
-                    future_index[executor.submit(fn, tasks[i])] = i
+                    future_index[
+                        executor.submit(_run_pool_task, chain, fn, tasks[i])
+                    ] = i
             except (BrokenProcessPool, RuntimeError) as exc:
                 broken = exc
             pending = set(future_index)
@@ -519,6 +783,9 @@ class SharedWorkerPool:
         for payload in self._extra.values():
             payload.unlink()
         self._extra.clear()
+        for payload in self._slots.values():
+            payload.unlink()
+        self._slots.clear()
         self._payload.unlink()
 
     def __enter__(self) -> "SharedWorkerPool":
@@ -550,7 +817,14 @@ class PoolLease:
     * :meth:`bump_epoch` invalidates the cached payload without
       touching the pool immediately — callers bump it whenever the
       database mutates (the service session does this on every applied
-      batch) so the next acquire rebuilds against fresh data.
+      batch).  When the caller also names the *changed objects*, the
+      next acquire ships a :func:`codec.encode_payload_delta` segment
+      into the live pool (``parallel.delta_ships`` /
+      ``parallel.delta_bytes``) instead of tearing it down; a bare bump
+      — or a delta bigger than
+      :data:`DELTA_FULL_RESHIP_FRACTION` of the full payload, or any
+      encode/ship error — falls back to the full rebuild
+      (``parallel.full_reships``).
     * :meth:`close` (or the context manager) tears the pool down and
       unlinks its segments; the lease is breaker-safe in the service:
       session close runs it regardless of refresh state.
@@ -574,6 +848,7 @@ class PoolLease:
         self._built_epoch: Optional[int] = None
         self._shards: Optional[List[FrozenSet[ObjectId]]] = None
         self._epoch = 0
+        self._pending_changes: Optional[set] = set()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -592,9 +867,24 @@ class PoolLease:
         """Whether a pool is currently alive under the lease."""
         return self._pool is not None
 
-    def bump_epoch(self) -> None:
-        """Mark the shipped payload stale; the next acquire rebuilds."""
+    def bump_epoch(
+        self, changed_objects: Optional[Iterable[ObjectId]] = None
+    ) -> None:
+        """Mark the shipped payload stale.
+
+        With ``changed_objects`` — every object whose kind, value or
+        out-edge set the mutation batch touched (the service session
+        derives this from its :class:`~repro.graph.database.ChangeLog`)
+        — the next acquire tries a delta re-ship into the live pool.
+        A bare bump means "changed in unknown ways": the accumulated
+        change set is poisoned and the next acquire does a full
+        rebuild.
+        """
         self._epoch += 1
+        if changed_objects is None:
+            self._pending_changes = None
+        elif self._pending_changes is not None:
+            self._pending_changes.update(changed_objects)
 
     # ------------------------------------------------------------------
     def acquire(
@@ -624,6 +914,8 @@ class PoolLease:
             recorder.incr("parallel.lease_hits")
             return self._pool
         if self._pool is not None:
+            if self._try_delta(db, shards, recorder):
+                return self._pool
             self._pool.close()
             self._pool = None
             recorder.incr("parallel.pool_rebuilds")
@@ -638,7 +930,55 @@ class PoolLease:
         self._db_id = id(db)
         self._built_epoch = self._epoch
         self._shards = shards
+        self._pending_changes = set()
         return pool
+
+    def _try_delta(
+        self,
+        db: Database,
+        shards: Optional[List[FrozenSet[ObjectId]]],
+        recorder: PerfRecorder,
+    ) -> bool:
+        """Ship the pending change set into the live pool as a delta.
+
+        Only possible when the lease still tracks the same database
+        object and every epoch bump since the last ship named its
+        changed objects.  Oversized deltas and encode/ship failures
+        report ``False`` (and ``parallel.full_reships``) so the caller
+        falls back to the full rebuild.
+        """
+        pool = self._pool
+        if pool is None or self._db_id != id(db):
+            return False
+        if self._pending_changes is None:
+            if self._built_epoch != self._epoch:
+                recorder.incr("parallel.full_reships")
+            return False
+        try:
+            delta = codec.encode_payload_delta(
+                db,
+                pool.strings,
+                self._pending_changes,
+                base_shards=self._shards,
+                new_shards=shards,
+            )
+            if len(delta) > DELTA_FULL_RESHIP_FRACTION * pool.payload_bytes:
+                recorder.incr("parallel.full_reships")
+                return False
+            pool.ship_delta(delta)
+        except Exception:
+            logger.warning(
+                "delta re-ship failed; rebuilding the pool", exc_info=True
+            )
+            recorder.incr("parallel.full_reships")
+            return False
+        recorder.incr("parallel.delta_ships")
+        recorder.incr("parallel.delta_bytes", len(delta))
+        self._built_epoch = self._epoch
+        if shards is not None:
+            self._shards = shards
+        self._pending_changes = set()
+        return True
 
     # ------------------------------------------------------------------
     def close(self) -> None:

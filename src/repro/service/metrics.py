@@ -4,7 +4,12 @@
 snapshot the JSON ``/status`` serves — session epoch/staleness, queue
 depth and high-water, breaker state, request counters — plus the
 process :class:`~repro.perf.PerfRecorder`'s counters and cumulative
-span times (the ``parallel.*`` pool/reconcile family included), as
+span times (the ``parallel.*`` pool/reconcile family included, and
+with it the Stage 2 cluster fan-out series ``parallel.cluster_tasks``
+/ ``parallel.cluster_rows`` / ``parallel.cluster_fallbacks`` plus the
+``parallel.cluster_fanout`` span, and the delta re-ship series
+``parallel.delta_ships`` / ``parallel.delta_bytes`` /
+``parallel.full_reships``), as
 `text exposition format 0.0.4
 <https://prometheus.io/docs/instrumenting/exposition_formats/>`_.
 
@@ -81,8 +86,10 @@ def render_prometheus(
     ``status`` is exactly what :meth:`SchemaService._status` builds;
     ``perf`` (when recording) contributes ``repro_perf_counter`` /
     ``repro_perf_seconds`` series keyed by the recorder's dotted names,
-    so the pool/reconcile counters this PR adds are scrapeable without
-    a schema change here.
+    so the pool/reconcile counters — and the newer cluster fan-out
+    (``parallel.cluster_*``) and delta re-ship (``parallel.delta_*``,
+    ``parallel.full_reships``) families — are scrapeable without a
+    schema change here.
     """
     lines = _Lines()
 

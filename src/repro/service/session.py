@@ -402,8 +402,19 @@ class DatasetSession:
             return
         if self._lease is not None:
             # The leased pool's shipped payload describes the pre-batch
-            # database; invalidate it so the next acquire rebuilds.
-            self._lease.bump_epoch()
+            # database.  Hand the lease the precise set of objects whose
+            # kind/value/out-edge set changed so the next acquire can
+            # ship a compact delta instead of rebuilding the pool: the
+            # batch's object adds/removes, resurfaced objects, and the
+            # *sources* of every added/removed link (a link only changes
+            # its source's out-edge set; a removed destination cascades
+            # its in-edges into ``removed_links``, so those sources are
+            # covered too).
+            changed = set(log.added_objects) | set(log.removed_objects)
+            changed.update(log.resurfaced)
+            changed.update(edge.src for edge in log.added_links)
+            changed.update(edge.src for edge in log.removed_links)
+            self._lease.bump_epoch(changed_objects=changed)
         if self.pending is None:
             self.pending = log
         else:

@@ -1,0 +1,254 @@
+"""Stage 2 clustering on the shared pool (repro.parallel.cluster).
+
+Pins the fan-out's contracts: row-block partitions are exact covers
+and tiny matrices never fan out (the clamp regression), pooled
+pairwise / distance-row results are bit-identical to the sequential
+:class:`~repro.core.matrixspace.MaskMatrix` kernels, any pool failure
+degrades to ``None`` (sequential fallback), and a pooled end-to-end
+extraction is indistinguishable from the ``--no-parallel-cluster``
+oracle and from the matrix-free scalar path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import matrixspace
+from repro.core.pipeline import SchemaExtractor
+from repro.graph.database import Database
+from repro.parallel import ParallelExtractor
+from repro.parallel.cluster import (
+    CLUSTER_MIN_ROWS,
+    ClusterFanout,
+    resolve_row_blocks,
+)
+from repro.parallel.pool import SharedWorkerPool, cluster_result_dtype
+from repro.perf import PerfRecorder
+from repro.synth.datasets import make_dbg
+
+
+def _union(dbs):
+    out = Database()
+    for index, db in enumerate(dbs):
+        prefix = f"c{index}_"
+        for obj in db.objects():
+            if db.is_atomic(obj):
+                out.add_atomic(prefix + obj, db.value(obj))
+            else:
+                out.add_complex(prefix + obj)
+        for edge in db.edges():
+            out.add_link(prefix + edge.src, prefix + edge.dst, edge.label)
+    return out
+
+
+def _random_matrix(n, words, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, 2**63, size=(n, words), dtype=np.uint64)
+    return matrixspace.MaskMatrix.from_words(rows.tobytes(), n, words), rows
+
+
+def _mask_of(rows, i):
+    mask = 0
+    for w in range(rows.shape[1]):
+        mask |= int(rows[i, w]) << (matrixspace.WORD_BITS * w)
+    return mask
+
+
+@pytest.fixture(scope="module")
+def multi_db():
+    return _union([make_dbg(seed=s) for s in (41, 42, 43)])
+
+
+class TestRowBlocks:
+    def test_tiny_matrices_never_fan_out(self):
+        # The clamp regression: below CLUSTER_MIN_ROWS the sequential
+        # path must be chosen, whatever the worker count.
+        for n in (0, 1, 100, CLUSTER_MIN_ROWS - 1):
+            assert resolve_row_blocks(n, 8) == []
+        assert resolve_row_blocks(CLUSTER_MIN_ROWS, 2) != []
+
+    def test_single_worker_never_fans_out(self):
+        assert resolve_row_blocks(10_000, 1) == []
+        assert resolve_row_blocks(10_000, 0) == []
+
+    def test_blocks_cover_exactly(self):
+        for n in (2048, 4096, 5000):
+            for jobs in (2, 3, 8):
+                for triangular in (False, True):
+                    blocks = resolve_row_blocks(
+                        n, jobs, triangular=triangular
+                    )
+                    assert blocks[0][0] == 0
+                    assert blocks[-1][1] == n
+                    for (_, e1), (s2, _) in zip(blocks, blocks[1:]):
+                        assert e1 == s2
+                    assert len(blocks) <= 2 * jobs
+
+    def test_triangular_blocks_balance_wedge_area(self):
+        n, jobs = 4096, 2
+        blocks = resolve_row_blocks(n, jobs, triangular=True)
+        areas = [
+            sum(n - i for i in range(start, end)) for start, end in blocks
+        ]
+        # Equal-area within the granularity of one (widest) row.
+        assert max(areas) - min(areas) < 2 * n
+
+    def test_min_rows_override(self):
+        assert resolve_row_blocks(64, 2, min_rows=1) != []
+
+
+class TestResultDtype:
+    def test_compact_when_distances_fit(self):
+        assert cluster_result_dtype(1) == np.uint16
+        assert cluster_result_dtype(1023) == np.uint16
+
+    def test_widens_past_uint16_capacity(self):
+        assert cluster_result_dtype(1024) == np.uint32
+
+
+class TestFanoutIdentity:
+    @pytest.fixture(scope="class")
+    def pool(self, multi_db):
+        perf = PerfRecorder()
+        with SharedWorkerPool(jobs=2, db=multi_db, perf=perf) as pool:
+            pool._test_perf = perf
+            yield pool
+
+    def test_pairwise_is_bit_identical(self, pool):
+        matrix, _rows = _random_matrix(257, 3, seed=11)
+        fan = ClusterFanout(pool, min_rows=1, jobs=2)
+        pooled = fan.pairwise(matrix)
+        assert pooled is not None
+        assert pooled.dtype == np.int64
+        assert np.array_equal(pooled, matrix.pairwise())
+
+    def test_distance_rows_are_bit_identical(self, pool):
+        matrix, rows = _random_matrix(301, 2, seed=13)
+        fan = ClusterFanout(pool, min_rows=1, jobs=2)
+        masks = [_mask_of(rows, i) for i in (0, 7, 150, 300)]
+        pooled = fan.distance_rows(matrix, masks)
+        assert pooled is not None
+        for position, mask in enumerate(masks):
+            assert np.array_equal(pooled[position], matrix.distances(mask))
+
+    def test_wide_masks_take_the_uint32_path(self, pool):
+        # 1025 words > uint16 capacity: the wedge returns widen.
+        matrix, _rows = _random_matrix(64, 1025, seed=17)
+        fan = ClusterFanout(pool, min_rows=1, jobs=2)
+        pooled = fan.pairwise(matrix)
+        assert pooled is not None
+        assert np.array_equal(pooled, matrix.pairwise())
+
+    def test_tiny_matrix_declines(self, pool):
+        perf = PerfRecorder()
+        matrix, _rows = _random_matrix(100, 2, seed=19)
+        fan = ClusterFanout(pool, perf=perf, jobs=2)  # default min_rows
+        assert fan.pairwise(matrix) is None
+        assert fan.distance_rows(matrix, [3]) is None
+        counters = perf.to_dict()["counters"]
+        assert "parallel.cluster_tasks" not in counters
+        assert "parallel.cluster_fallbacks" not in counters
+
+    def test_slot_rotation_does_not_accumulate_segments(self, pool):
+        from repro.parallel import shm
+
+        fan = ClusterFanout(pool, min_rows=1, jobs=2)
+        before = len(shm.active_segment_names())
+        for seed in range(4):
+            matrix, _rows = _random_matrix(64, 2, seed=seed)
+            assert np.array_equal(fan.pairwise(matrix), matrix.pairwise())
+        # One rotating slot: republishing replaces, never accumulates.
+        assert len(shm.active_segment_names()) <= before + 1
+
+    def test_perf_counters_record_the_fanout(self, pool):
+        perf = PerfRecorder()
+        matrix, _rows = _random_matrix(128, 2, seed=23)
+        fan = ClusterFanout(pool, perf=perf, min_rows=1, jobs=2)
+        fan.pairwise(matrix)
+        counters = perf.to_dict()["counters"]
+        assert counters["parallel.cluster_tasks"] >= 2
+        assert counters["parallel.cluster_rows"] == 128
+        assert "parallel.cluster_fanout" in perf.to_dict()["timers"]
+
+
+class TestFanoutFallback:
+    def test_dead_pool_degrades_to_none(self, multi_db):
+        perf = PerfRecorder()
+        pool = SharedWorkerPool(jobs=2, db=multi_db)
+        pool.close()
+        fan = ClusterFanout(pool, perf=perf, min_rows=1, jobs=2)
+        matrix, _rows = _random_matrix(64, 2, seed=29)
+        assert fan.pairwise(matrix) is None
+        assert fan.distance_rows(matrix, [1, 2]) is None
+        counters = perf.to_dict()["counters"]
+        assert counters["parallel.cluster_fallbacks"] == 2
+
+
+def _fingerprint(result):
+    return (
+        sorted(result.program.rules(), key=lambda r: r.name),
+        result.assignment,
+        result.defect.total,
+        result.chosen_k,
+    )
+
+
+class TestExtractorEquivalence:
+    """Pooled Stage 2 == sequential oracle == matrix-free scalar path."""
+
+    def test_three_way_property(self, multi_db):
+        perf = PerfRecorder()
+        pooled = ParallelExtractor(
+            multi_db, jobs=2, cluster_min_rows=1, perf=perf
+        ).extract()
+        oracle = ParallelExtractor(
+            multi_db, jobs=2, parallel_cluster=False
+        ).extract()
+        scalar = SchemaExtractor(multi_db, use_matrix=False).extract()
+        assert _fingerprint(pooled) == _fingerprint(oracle)
+        assert _fingerprint(pooled) == _fingerprint(scalar)
+        # The pooled run actually fanned out (min_rows=1 forces it).
+        counters = perf.to_dict()["counters"]
+        assert counters.get("parallel.cluster_tasks", 0) > 0
+        assert counters.get("parallel.cluster_fallbacks", 0) == 0
+
+    def test_oracle_flag_runs_no_cluster_tasks(self, multi_db):
+        perf = PerfRecorder()
+        ParallelExtractor(
+            multi_db,
+            jobs=2,
+            parallel_cluster=False,
+            cluster_min_rows=1,
+            perf=perf,
+        ).extract()
+        counters = perf.to_dict()["counters"]
+        assert "parallel.cluster_tasks" not in counters
+
+    def test_default_min_rows_keeps_small_extractions_sequential(
+        self, multi_db
+    ):
+        # The acceptance clamp end-to-end: a small dataset through the
+        # pooled extractor must choose the sequential Stage 2 path.
+        perf = PerfRecorder()
+        ParallelExtractor(multi_db, jobs=2, perf=perf).extract()
+        counters = perf.to_dict()["counters"]
+        assert "parallel.cluster_tasks" not in counters
+
+    def test_fixed_k_matches_too(self, multi_db):
+        pooled = ParallelExtractor(
+            multi_db, jobs=2, cluster_min_rows=1
+        ).extract(k=4)
+        oracle = SchemaExtractor(multi_db).extract(k=4)
+        assert _fingerprint(pooled) == _fingerprint(oracle)
+
+
+class TestCliFlag:
+    def test_no_parallel_cluster_flag_is_wired(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["extract", "data.json", "--jobs", "2", "--no-parallel-cluster"]
+        )
+        assert args.no_parallel_cluster is True
+        args = parser.parse_args(["extract", "data.json"])
+        assert args.no_parallel_cluster is False

@@ -1,0 +1,285 @@
+"""Delta-encoded payload re-ship through the pool lease.
+
+A mutation batch used to cost a full pool teardown (re-encode, re-ship,
+respawn).  These tests pin the replacement lifecycle: a bump that names
+its changed objects ships a :func:`codec.encode_payload_delta` segment
+into the *live* pool, workers fold it in before their next task (and a
+respawned worker replays the whole chain), while bare bumps, encode
+failures and oversized deltas all fall back to the full rebuild with
+``parallel.full_reships`` accounting.
+"""
+
+import pytest
+
+from repro.core.perfect import minimal_perfect_typing
+from repro.graph.database import Database
+from repro.parallel import codec as codec_module
+from repro.parallel import merge_shard_typings, shm
+from repro.parallel import pool as pool_module
+from repro.parallel.pool import (
+    PooledStage1Task,
+    PoolLease,
+    run_pooled_stage1,
+)
+from repro.perf import PerfRecorder
+from repro.service.session import DatasetSession
+from repro.synth.datasets import make_dbg
+
+
+def _union(dbs):
+    out = Database()
+    for index, db in enumerate(dbs):
+        prefix = f"c{index}_"
+        for obj in db.objects():
+            if db.is_atomic(obj):
+                out.add_atomic(prefix + obj, db.value(obj))
+            else:
+                out.add_complex(prefix + obj)
+        for edge in db.edges():
+            out.add_link(prefix + edge.src, prefix + edge.dst, edge.label)
+    return out
+
+
+def _changed_set(log):
+    changed = set(log.added_objects) | set(log.removed_objects)
+    changed.update(log.resurfaced)
+    changed.update(edge.src for edge in log.added_links)
+    changed.update(edge.src for edge in log.removed_links)
+    return changed
+
+
+def _stage1_extents(pool, db):
+    """Extents the pool's workers compute for shard 0 — a direct probe
+    of the database state they actually hold."""
+    [outcome] = pool.run([PooledStage1Task(index=0)], run_pooled_stage1)
+    return merge_shard_typings(db, [outcome.typing]).extents
+
+
+class TestLeaseDeltaShip:
+    def test_small_edit_ships_a_delta_not_a_rebuild(self):
+        db = _union([make_dbg(seed=s) for s in (61, 62)])
+        perf = PerfRecorder()
+        with PoolLease(jobs=2, perf=perf) as lease:
+            shards = [frozenset(db.objects())]
+            first = lease.acquire(db, shard_objects=shards)
+            assert _stage1_extents(first, db) == minimal_perfect_typing(
+                db
+            ).extents
+            with db.track_changes() as log:
+                db.add_link("c0_root", "c1_root", "xref")
+            lease.bump_epoch(changed_objects=_changed_set(log))
+            second = lease.acquire(
+                db, shard_objects=[frozenset(db.objects())]
+            )
+            assert second is first  # live pool, no teardown
+            # Workers fold the delta in before the task runs.
+            assert _stage1_extents(second, db) == minimal_perfect_typing(
+                db
+            ).extents
+        counters = perf.to_dict()["counters"]
+        assert counters["parallel.delta_ships"] == 1
+        assert counters.get("parallel.full_reships", 0) == 0
+        assert counters.get("parallel.pool_rebuilds", 0) == 0
+        assert 0 < counters["parallel.delta_bytes"] < 0.1 * counters[
+            "parallel.payload_bytes"
+        ]
+
+    def test_deltas_chain_across_batches(self):
+        db = _union([make_dbg(seed=s) for s in (63, 64)])
+        perf = PerfRecorder()
+        with PoolLease(jobs=2, perf=perf) as lease:
+            lease.acquire(db, shard_objects=[frozenset(db.objects())])
+            for round_number in range(3):
+                with db.track_changes() as log:
+                    db.add_complex(f"chain_obj_{round_number}")
+                    db.add_link(
+                        "c0_root",
+                        f"chain_obj_{round_number}",
+                        "chain_link",
+                    )
+                lease.bump_epoch(changed_objects=_changed_set(log))
+                pool = lease.acquire(
+                    db, shard_objects=[frozenset(db.objects())]
+                )
+                assert pool.delta_chain  # the chain grows, pool survives
+                assert _stage1_extents(
+                    pool, db
+                ) == minimal_perfect_typing(db).extents
+            assert len(pool.delta_chain) == 3
+        counters = perf.to_dict()["counters"]
+        assert counters["parallel.delta_ships"] == 3
+        assert counters.get("parallel.pool_rebuilds", 0) == 0
+
+    def test_respawned_worker_replays_the_chain(self):
+        db = _union([make_dbg(seed=s) for s in (65, 66)])
+        perf = PerfRecorder()
+        chaos = shm.SharedPayload.create(b"\x01")
+        try:
+            with PoolLease(jobs=2, perf=perf) as lease:
+                pool = lease.acquire(
+                    db, shard_objects=[frozenset(db.objects())]
+                )
+                with db.track_changes() as log:
+                    db.add_link("c0_root", "c1_root", "respawn_xref")
+                lease.bump_epoch(changed_objects=_changed_set(log))
+                pool = lease.acquire(
+                    db, shard_objects=[frozenset(db.objects())]
+                )
+                # Kill a worker mid-run: the respawn initializer must
+                # replay the delta chain before serving anything.
+                [outcome] = pool.run(
+                    [
+                        PooledStage1Task(
+                            index=0, chaos_kill_segment=chaos.name
+                        )
+                    ],
+                    run_pooled_stage1,
+                )
+                merged = merge_shard_typings(db, [outcome.typing])
+                assert merged.extents == minimal_perfect_typing(db).extents
+        finally:
+            chaos.unlink()
+        counters = perf.to_dict()["counters"]
+        assert counters["parallel.pool_respawns"] >= 1
+        assert counters["parallel.delta_ships"] == 1
+
+
+class TestFullReshipFallback:
+    def test_bare_bump_forces_a_full_rebuild(self):
+        db = _union([make_dbg(seed=s) for s in (67, 68)])
+        perf = PerfRecorder()
+        with PoolLease(jobs=2, perf=perf) as lease:
+            first = lease.acquire(db)
+            db.add_link("c0_root", "c1_root", "bare_xref")
+            lease.bump_epoch()  # no changed set: unknown mutation
+            second = lease.acquire(
+                db, shard_objects=[frozenset(db.objects())]
+            )
+            assert second is not first
+            assert _stage1_extents(second, db) == minimal_perfect_typing(
+                db
+            ).extents
+        counters = perf.to_dict()["counters"]
+        assert counters["parallel.full_reships"] == 1
+        assert counters["parallel.pool_rebuilds"] == 1
+        assert counters.get("parallel.delta_ships", 0) == 0
+
+    def test_encode_failure_degrades_to_rebuild(self, monkeypatch):
+        db = _union([make_dbg(seed=s) for s in (69, 70)])
+        perf = PerfRecorder()
+
+        def broken_encode(*args, **kwargs):
+            raise RuntimeError("chaos: delta encoder down")
+
+        with PoolLease(jobs=2, perf=perf) as lease:
+            first = lease.acquire(db)
+            with db.track_changes() as log:
+                db.add_link("c0_root", "c1_root", "chaos_xref")
+            lease.bump_epoch(changed_objects=_changed_set(log))
+            monkeypatch.setattr(
+                codec_module, "encode_payload_delta", broken_encode
+            )
+            second = lease.acquire(
+                db, shard_objects=[frozenset(db.objects())]
+            )
+            assert second is not first
+            assert _stage1_extents(second, db) == minimal_perfect_typing(
+                db
+            ).extents
+        counters = perf.to_dict()["counters"]
+        assert counters["parallel.full_reships"] == 1
+        assert counters["parallel.pool_rebuilds"] == 1
+        assert counters.get("parallel.delta_ships", 0) == 0
+
+    def test_oversized_delta_degrades_to_rebuild(self, monkeypatch):
+        db = _union([make_dbg(seed=s) for s in (71, 72)])
+        perf = PerfRecorder()
+        # Any delta is "too big" relative to a zero fraction.
+        monkeypatch.setattr(
+            pool_module, "DELTA_FULL_RESHIP_FRACTION", 0.0
+        )
+        with PoolLease(jobs=2, perf=perf) as lease:
+            first = lease.acquire(db)
+            with db.track_changes() as log:
+                db.add_link("c0_root", "c1_root", "oversize_xref")
+            lease.bump_epoch(changed_objects=_changed_set(log))
+            second = lease.acquire(
+                db, shard_objects=[frozenset(db.objects())]
+            )
+            assert second is not first
+            assert _stage1_extents(second, db) == minimal_perfect_typing(
+                db
+            ).extents
+        counters = perf.to_dict()["counters"]
+        assert counters["parallel.full_reships"] == 1
+        assert counters.get("parallel.delta_ships", 0) == 0
+
+    def test_different_database_object_rebuilds(self):
+        db = _union([make_dbg(seed=s) for s in (73, 74)])
+        other = _union([make_dbg(seed=s) for s in (75, 76)])
+        perf = PerfRecorder()
+        with PoolLease(jobs=2, perf=perf) as lease:
+            lease.acquire(db)
+            lease.bump_epoch(changed_objects=set())
+            lease.acquire(other)
+        counters = perf.to_dict()["counters"]
+        assert counters.get("parallel.delta_ships", 0) == 0
+        assert counters["parallel.pool_rebuilds"] == 1
+
+
+class TestSessionDeltaPath:
+    def test_single_edge_mutation_ships_a_tiny_delta(self):
+        db = _union([make_dbg(seed=s) for s in (81, 82, 83)])
+        perf = PerfRecorder()
+        session = DatasetSession(db, jobs=2, perf=perf)
+        try:
+            log = session.apply_batch(
+                [("add-link", "c0_root", "c1_root", "xref")]
+            )
+            session.note_changes(log)
+            assert session.stale
+            assert session.refresh()
+            assert not session.stale
+        finally:
+            session.close()
+        counters = perf.to_dict()["counters"]
+        assert counters["parallel.delta_ships"] >= 1
+        assert counters.get("parallel.full_reships", 0) == 0
+        # The acceptance bound: a single-edge delta is well under 10%
+        # of the full payload bytes.
+        assert counters["parallel.delta_bytes"] < 0.1 * counters[
+            "parallel.payload_bytes"
+        ]
+
+    def test_refreshed_answers_match_a_fresh_extraction(self):
+        from repro.core.pipeline import SchemaExtractor
+
+        db = _union([make_dbg(seed=s) for s in (84, 85)])
+        session = DatasetSession(db, jobs=2)
+        try:
+            log = session.apply_batch(
+                [
+                    ("add-object", "new_hub"),
+                    ("add-link", "c0_root", "new_hub", "hub"),
+                    ("add-link", "new_hub", "c1_root", "spoke"),
+                ]
+            )
+            session.note_changes(log)
+            assert session.refresh()
+            fresh = SchemaExtractor(db).extract(k=session.result.chosen_k)
+            assert session.result.defect.total == fresh.defect.total
+        finally:
+            session.close()
+
+    def test_no_segments_leak_after_session_close(self):
+        db = _union([make_dbg(seed=s) for s in (86, 87)])
+        session = DatasetSession(db, jobs=2)
+        try:
+            log = session.apply_batch(
+                [("add-link", "c0_root", "c1_root", "leak_probe")]
+            )
+            session.note_changes(log)
+            session.refresh()
+        finally:
+            session.close()
+        assert shm.active_segment_names() == []
